@@ -1,0 +1,50 @@
+// Package abortable provides deterministic abortable mutual exclusion with
+// sublogarithmic adaptive RMR complexity, implementing the algorithm of
+// Alon & Morrison, "Deterministic Abortable Mutual Exclusion with
+// Sublogarithmic Adaptive RMR Complexity" (PODC 2018) on Go's native
+// atomics.
+//
+// An abortable lock is a mutual-exclusion lock whose waiters can abandon
+// their acquisition attempt in a bounded number of their own steps — the
+// primitive behind responsive deadlock recovery, priority handoff, and
+// work-stealing under serialization (§1 of the paper). Unlike a try-lock,
+// an abortable lock lets a waiter join the queue and only later decide to
+// leave, preserving FCFS-style handoff efficiency on the fast path.
+//
+// # The algorithm
+//
+// The lock is an array-based queue lock (fetch-and-add doorway, per-slot
+// grant flags) augmented with a 64-ary tree that tracks abandoned queue
+// slots. On machines with 64-bit words this gives, in the cache-coherent
+// RMR cost model the paper analyzes:
+//
+//   - O(1) remote memory references per passage when nobody aborts,
+//   - O(log₆₄ A) per passage when A processes abort during it,
+//   - bounded abort: an abort completes within O(log₆₄ N) own steps.
+//
+// A generic transformation (§6 of the paper) turns the one-shot queue into
+// a long-lived lock by atomically switching to a fresh one-shot instance
+// whenever the old one quiesces; stale instances are reclaimed by Go's
+// garbage collector, which substitutes for the paper's §6.2 manual
+// reclamation schemes without changing the RMR behaviour.
+//
+// # Usage
+//
+// Each participating goroutine obtains a Handle (its "process" identity)
+// and then acquires through it:
+//
+//	lk := abortable.New(abortable.Config{MaxHandles: 64})
+//	h, _ := lk.NewHandle()
+//	...
+//	if h.Enter() {           // or h.EnterContext(ctx)
+//	    defer h.Exit()
+//	    // critical section
+//	}
+//
+// Abortion is requested asynchronously — from a watchdog, a prioritizer, a
+// timeout — via h.Abort(), which makes the pending (or next) Enter return
+// false in a bounded number of steps.
+//
+// The package also ships reference locks used by the benchmark suite: MCS
+// (non-abortable queue lock) and SpinTry (test-and-test-and-set).
+package abortable

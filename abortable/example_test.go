@@ -1,0 +1,114 @@
+package abortable_test
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sublock/abortable"
+)
+
+// The basic Enter/Exit discipline: one handle per goroutine.
+func ExampleLock() {
+	lk := abortable.New(abortable.Config{MaxHandles: 4})
+	h, err := lk.NewHandle()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if h.Enter() {
+		fmt.Println("holding the lock")
+		h.Exit()
+	}
+	// Output: holding the lock
+}
+
+// TryEnter joins the queue and abandons instantly unless the lock is
+// already grantable — an FCFS-polite try-lock.
+func ExampleHandle_TryEnter() {
+	lk := abortable.New(abortable.Config{MaxHandles: 2})
+	a, _ := lk.NewHandle()
+	b, _ := lk.NewHandle()
+
+	if a.TryEnter() {
+		fmt.Println("a acquired")
+	}
+	if !b.TryEnter() {
+		fmt.Println("b bounced off the held lock")
+	}
+	a.Exit()
+	// Output:
+	// a acquired
+	// b bounced off the held lock
+}
+
+// EnterContext bounds the wait: cancellation aborts the attempt in a
+// bounded number of steps (the paper's bounded-abort property).
+func ExampleHandle_EnterContext() {
+	lk := abortable.New(abortable.Config{MaxHandles: 2})
+	holder, _ := lk.NewHandle()
+	waiter, _ := lk.NewHandle()
+
+	holder.Enter()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	if err := waiter.EnterContext(ctx); err != nil {
+		fmt.Println("gave up:", err == context.DeadlineExceeded)
+	}
+	holder.Exit()
+	// Output: gave up: true
+}
+
+// Abort releases a waiter from another goroutine — the watchdog pattern.
+func ExampleHandle_Abort() {
+	lk := abortable.New(abortable.Config{MaxHandles: 2})
+	holder, _ := lk.NewHandle()
+	waiter, _ := lk.NewHandle()
+
+	holder.Enter()
+	done := make(chan bool)
+	go func() { done <- waiter.Enter() }()
+	time.Sleep(time.Millisecond) // watchdog decides the wait is too long
+	waiter.Abort()
+	fmt.Println("waiter acquired:", <-done)
+	holder.Exit()
+	// Output: waiter acquired: false
+}
+
+// A HandlePool serves more goroutines than the lock has handles.
+func ExampleHandlePool() {
+	lk := abortable.New(abortable.Config{MaxHandles: 2})
+	pool, _ := abortable.NewHandlePool(lk, 2)
+
+	results := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		go func() {
+			h := pool.Enter()
+			defer pool.Release(h)
+			results <- i
+		}()
+	}
+	sum := 0
+	for i := 0; i < 8; i++ {
+		sum += <-results
+	}
+	fmt.Println("all critical sections ran; sum =", sum)
+	// Output: all critical sections ran; sum = 28
+}
+
+// The one-shot lock is FCFS: doorway order is entry order.
+func ExampleOneShot() {
+	l := abortable.NewOneShot(3)
+	for i := 0; i < 3; i++ {
+		h, _ := l.NewHandle()
+		if h.Enter() {
+			fmt.Println("slot", h.Slot())
+			h.Exit()
+		}
+	}
+	// Output:
+	// slot 0
+	// slot 1
+	// slot 2
+}

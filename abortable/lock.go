@@ -1,0 +1,211 @@
+package abortable
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrAborted is returned by EnterContext when the attempt was abandoned by
+// an explicit Abort rather than by context cancellation.
+var ErrAborted = errors.New("abortable: lock acquisition aborted")
+
+// Config configures a Lock.
+type Config struct {
+	// MaxHandles caps the number of handles (participating goroutines).
+	// It sizes each one-shot instance's queue. 0 selects DefaultMaxHandles.
+	MaxHandles int
+}
+
+// DefaultMaxHandles is the handle capacity used when Config.MaxHandles is 0.
+const DefaultMaxHandles = 128
+
+// Lock is a long-lived abortable mutual-exclusion lock (the paper's final
+// algorithm, §6 applied to §3, with W = 64). Its methods are safe for
+// concurrent use; per-goroutine state lives in Handles.
+type Lock struct {
+	n       int
+	handles atomic.Int64
+	desc    atomic.Pointer[instance] // the paper's LockDesc
+
+	switches atomic.Int64 // completed instance switches (observability)
+	aborts   atomic.Int64 // attempts abandoned via the abort path
+}
+
+// Stats is a point-in-time observability snapshot of a Lock.
+type Stats struct {
+	// Handles is the number of registered handles.
+	Handles int
+	// Switches counts one-shot instance replacements so far: the lock
+	// quiesced (every active attempt finished) that many times. Each
+	// switch allocates a fresh instance, so this is also the GC-pressure
+	// metric.
+	Switches int64
+	// Aborts counts Enter attempts that returned unacquired.
+	Aborts int64
+}
+
+// Stats returns current counters. Values are individually atomic snapshots
+// and may be mutually skewed while the lock is in active use.
+func (l *Lock) Stats() Stats {
+	return Stats{
+		Handles:  int(l.handles.Load()),
+		Switches: l.switches.Load(),
+		Aborts:   l.aborts.Load(),
+	}
+}
+
+// New creates a Lock.
+func New(cfg Config) *Lock {
+	n := cfg.MaxHandles
+	if n == 0 {
+		n = DefaultMaxHandles
+	}
+	if n < 1 {
+		panic(fmt.Sprintf("abortable: MaxHandles=%d must be positive", n))
+	}
+	l := &Lock{n: n}
+	l.desc.Store(newInstance(n))
+	return l
+}
+
+// NewHandle registers a participant and returns its handle. A Handle must
+// be used by one goroutine at a time. NewHandle fails once MaxHandles
+// handles exist (handles are not reclaimed; pool them if participants are
+// short-lived).
+func (l *Lock) NewHandle() (*Handle, error) {
+	if l.handles.Add(1) > int64(l.n) {
+		l.handles.Add(-1)
+		return nil, fmt.Errorf("abortable: handle limit %d reached", l.n)
+	}
+	return &Handle{lk: l}, nil
+}
+
+// Handle is one goroutine's identity at the lock. It is not safe for
+// concurrent use, with the exception of Abort, which may be called from
+// any goroutine.
+type Handle struct {
+	lk      *Lock
+	oldInst *instance // instance used by the previous acquisition
+	cur     *instance // instance currently held (between Enter and Exit)
+	slot    int       // queue slot in cur (set by a successful enter)
+
+	abortFlag atomic.Bool
+	ctx       context.Context // non-nil only inside EnterContext
+}
+
+// Abort asynchronously requests that the handle's pending (or next) Enter
+// abandon its attempt and return false. The signal is consumed when Enter
+// returns, whichever way it returns: an Enter that is granted the lock
+// before observing the signal returns true and the signal is dropped
+// (paper footnote 2 — the caller holds the lock and should Exit normally).
+func (h *Handle) Abort() {
+	h.abortFlag.Store(true)
+}
+
+// abortPending reports whether the current attempt should abandon.
+func (h *Handle) abortPending() bool {
+	if h.abortFlag.Load() {
+		return true
+	}
+	if h.ctx != nil {
+		select {
+		case <-h.ctx.Done():
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// Enter acquires the lock, blocking until it is granted or until Abort is
+// called. It reports whether the lock was acquired; after true the caller
+// must eventually call Exit.
+func (h *Handle) Enter() bool {
+	if h.cur != nil {
+		panic("abortable: Enter while holding the lock")
+	}
+	defer h.abortFlag.Store(false) // consume the signal
+	var spin spinner
+	for {
+		ins := h.lk.desc.Load()
+		if ins == h.oldInst {
+			// Lines 57–61: we already used this instance; wait until it is
+			// switched out (O(1) RMRs: one flag, set once).
+			for !ins.switched.Load() {
+				if h.abortPending() {
+					return false
+				}
+				spin.wait()
+			}
+			continue
+		}
+		// Line 62: pin the instance. The closed bit makes "increment the
+		// refcount and obtain the instance" atomic with respect to the
+		// switch: a pin that lands after retirement is rejected.
+		if ins.refcnt.Add(1)&closedBit != 0 {
+			spin.wait() // switcher is about to publish the new instance
+			continue
+		}
+		if !ins.enter(h) {
+			h.cleanup(ins)
+			h.lk.aborts.Add(1)
+			return false
+		}
+		h.cur = ins
+		return true
+	}
+}
+
+// EnterContext acquires the lock, abandoning the attempt when ctx is
+// cancelled (returning ctx.Err()) or Abort is called (returning
+// ErrAborted). A nil error means the lock is held and Exit is owed.
+func (h *Handle) EnterContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	h.ctx = ctx
+	ok := h.Enter()
+	h.ctx = nil
+	if ok {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return ErrAborted
+}
+
+// TryEnter acquires the lock only if it is granted without waiting: it
+// joins the queue and abandons immediately if the slot is not already
+// granted. It reports whether the lock was acquired.
+func (h *Handle) TryEnter() bool {
+	h.abortFlag.Store(true)
+	return h.Enter()
+}
+
+// Exit releases the lock. It panics if the handle does not hold it.
+func (h *Handle) Exit() {
+	ins := h.cur
+	if ins == nil {
+		panic("abortable: Exit without holding the lock")
+	}
+	ins.exit()
+	h.cur = nil
+	h.cleanup(ins)
+}
+
+// cleanup is Algorithm 6.3: unpin the instance; the process that drops the
+// refcount to zero retires it (closed bit), installs a fresh instance, and
+// wakes the processes waiting for the switch. The retired instance becomes
+// garbage once the last oldInst reference to it is overwritten, so
+// reclamation falls to the garbage collector (see DESIGN.md).
+func (h *Handle) cleanup(ins *instance) {
+	h.oldInst = ins
+	if ins.refcnt.Add(-1) == 0 && ins.refcnt.CompareAndSwap(0, closedBit) {
+		h.lk.desc.Store(newInstance(h.lk.n))
+		ins.switched.Store(true)
+		h.lk.switches.Add(1)
+	}
+}

@@ -1,0 +1,91 @@
+package abortable
+
+import "sync/atomic"
+
+// MCS is the classic Mellor-Crummey–Scott queue lock: non-abortable, FCFS,
+// O(1) RMRs per passage. It is the reference point the paper's introduction
+// compares against and the strongest non-abortable baseline in the
+// benchmark suite. The zero value is ready to use.
+type MCS struct {
+	tail atomic.Pointer[mcsNode]
+}
+
+type mcsNode struct {
+	next   atomic.Pointer[mcsNode]
+	locked atomic.Bool
+	_      [46]byte // pad to a cache line
+}
+
+// MCSHandle carries a goroutine's reusable queue node.
+type MCSHandle struct {
+	l    *MCS
+	node *mcsNode
+}
+
+// NewHandle returns a handle for one goroutine.
+func (l *MCS) NewHandle() *MCSHandle {
+	return &MCSHandle{l: l, node: &mcsNode{}}
+}
+
+// Enter acquires the lock.
+func (h *MCSHandle) Enter() {
+	n := h.node
+	n.next.Store(nil)
+	pred := h.l.tail.Swap(n)
+	if pred == nil {
+		return
+	}
+	n.locked.Store(true)
+	pred.next.Store(n)
+	var spin spinner
+	for n.locked.Load() {
+		spin.wait()
+	}
+}
+
+// Exit releases the lock.
+func (h *MCSHandle) Exit() {
+	n := h.node
+	if n.next.Load() == nil {
+		if h.l.tail.CompareAndSwap(n, nil) {
+			return
+		}
+		var spin spinner
+		for n.next.Load() == nil {
+			spin.wait()
+		}
+	}
+	n.next.Load().locked.Store(false)
+}
+
+// SpinTry is a test-and-test-and-set spin lock with abortable acquisition:
+// the simplest abortable lock, unfair and RMR-unbounded under contention.
+// The zero value is ready to use.
+type SpinTry struct {
+	word atomic.Uint32
+}
+
+// Enter acquires the lock, returning false if abort() reports true first.
+// abort may be nil for an unbounded wait.
+func (l *SpinTry) Enter(abort func() bool) bool {
+	var spin spinner
+	for {
+		if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
+			return true
+		}
+		if abort != nil && abort() {
+			return false
+		}
+		spin.wait()
+	}
+}
+
+// TryEnter acquires the lock only if it is immediately free.
+func (l *SpinTry) TryEnter() bool {
+	return l.word.Load() == 0 && l.word.CompareAndSwap(0, 1)
+}
+
+// Exit releases the lock.
+func (l *SpinTry) Exit() {
+	l.word.Store(0)
+}

@@ -1,0 +1,98 @@
+package abortable
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// noProc is the out-of-band LastExited value before any exit (paper's −1).
+const noProc = ^uint64(0)
+
+// grantFlag is a per-slot grant flag padded to its own cache line so that
+// a waiter's spinning does not contend with its neighbours' flags.
+type grantFlag struct {
+	v atomic.Uint32
+	_ [60]byte
+}
+
+// instance is one one-shot abortable lock (Figure 1 of the paper) plus the
+// per-instance state of the long-lived transformation (§6): the reference
+// count with its closed bit, and the switched flag that substitutes for the
+// paper's spin node (a process that already used this instance waits on
+// switched instead of re-reading the lock descriptor).
+type instance struct {
+	tail atomic.Uint64
+	head atomic.Uint64
+	last atomic.Uint64 // LastExited
+	gos  []grantFlag
+	tr   *tree
+
+	refcnt   atomic.Int64
+	switched atomic.Bool
+}
+
+// closedBit marks a refcount whose instance has been retired; an Enter
+// whose increment lands on a closed instance must reload the descriptor.
+const closedBit = int64(1) << 62
+
+// newInstance builds a fresh one-shot instance for n queue slots.
+func newInstance(n int) *instance {
+	ins := &instance{
+		gos: make([]grantFlag, n),
+		tr:  newTree(n),
+	}
+	ins.last.Store(noProc)
+	ins.gos[0].v.Store(1) // slot 0 owns the lock initially
+	return ins
+}
+
+// enter is Algorithm 3.1. It returns the process's slot and whether the CS
+// was entered; on abort it has already run Algorithm 3.3.
+func (ins *instance) enter(h *Handle) bool {
+	i := ins.tail.Add(1) - 1
+	if i >= uint64(len(ins.gos)) {
+		// Unreachable under the handle-count protocol (each handle enters
+		// an instance at most once); a panic here means API misuse such as
+		// sharing a Handle between goroutines.
+		panic(fmt.Sprintf("abortable: instance doorway overflow (slot %d of %d)", i, len(ins.gos)))
+	}
+	slot := int(i)
+	var spin spinner
+	for ins.gos[slot].v.Load() == 0 {
+		if h.abortPending() {
+			ins.abort(slot)
+			return false
+		}
+		spin.wait()
+	}
+	ins.head.Store(uint64(slot))
+	h.slot = slot
+	return true
+}
+
+// exit is Algorithm 3.2.
+func (ins *instance) exit() {
+	head := ins.head.Load()
+	ins.last.Store(head)
+	ins.signalNext(int(head))
+}
+
+// abort is Algorithm 3.3: abandon the slot; if the last exiter may have
+// crossed paths with our tree removal, take over its handoff.
+func (ins *instance) abort(slot int) {
+	ins.tr.remove(slot)
+	head := ins.head.Load()
+	if head != ins.last.Load() {
+		return
+	}
+	ins.signalNext(int(head))
+}
+
+// signalNext is Algorithm 3.4.
+func (ins *instance) signalNext(head int) {
+	j, out := ins.tr.findNext(head)
+	if out != outFound {
+		return
+	}
+	ins.gos[j].v.Store(1)
+}

@@ -1,0 +1,100 @@
+package abortable
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// OneShot is the paper's §3 one-shot abortable lock as a standalone
+// native primitive: an FCFS abortable mutual-exclusion lock in which each
+// handle may attempt acquisition at most once.
+//
+// Unlike the long-lived Lock, OneShot is first-come-first-served: among
+// attempts that do not abort, the order of Acquire calls (more precisely,
+// of their doorway steps) is the order of critical-section entry. That
+// makes it useful for single-round coordination — leader handoff chains,
+// ordered shutdown, turn-taking protocols — where fairness matters and
+// each participant goes through once.
+type OneShot struct {
+	ins     *instance
+	n       int
+	handles atomic.Int64
+}
+
+// NewOneShot creates a one-shot lock for up to n acquisition attempts.
+func NewOneShot(n int) *OneShot {
+	if n < 1 {
+		panic(fmt.Sprintf("abortable: NewOneShot(%d): n must be positive", n))
+	}
+	return &OneShot{ins: newInstance(n), n: n}
+}
+
+// NewHandle registers a participant. It fails after n handles.
+func (l *OneShot) NewHandle() (*OneShotHandle, error) {
+	if l.handles.Add(1) > int64(l.n) {
+		l.handles.Add(-1)
+		return nil, fmt.Errorf("abortable: one-shot handle limit %d reached", l.n)
+	}
+	return &OneShotHandle{l: l}, nil
+}
+
+// OneShotHandle is one participant's single-use interface to a OneShot
+// lock. Abort may be called from any goroutine; everything else must be
+// called by the owning goroutine.
+type OneShotHandle struct {
+	l         *OneShot
+	slot      int
+	state     int // 0 = fresh, 1 = holding, 2 = spent
+	abortFlag atomic.Bool
+}
+
+// Abort asynchronously requests that the pending (or upcoming) Enter
+// abandon its attempt.
+func (h *OneShotHandle) Abort() { h.abortFlag.Store(true) }
+
+// abortPending reports whether the attempt should abandon (adapter to the
+// instance code, which takes a *Handle-shaped abort probe).
+func (h *OneShotHandle) abortPending() bool { return h.abortFlag.Load() }
+
+// Enter attempts to acquire the lock once, blocking until granted or
+// aborted. It reports whether the lock is held; after true the caller
+// must call Exit. A second call panics.
+func (h *OneShotHandle) Enter() bool {
+	if h.state != 0 {
+		panic("abortable: one-shot Enter called twice")
+	}
+	i := h.l.ins.tail.Add(1) - 1
+	if i >= uint64(h.l.n) {
+		panic(fmt.Sprintf("abortable: one-shot doorway overflow (slot %d of %d)", i, h.l.n))
+	}
+	h.slot = int(i)
+	var spin spinner
+	for h.l.ins.gos[h.slot].v.Load() == 0 {
+		if h.abortPending() {
+			h.l.ins.abort(h.slot)
+			h.state = 2
+			return false
+		}
+		spin.wait()
+	}
+	h.l.ins.head.Store(uint64(h.slot))
+	h.state = 1
+	return true
+}
+
+// Exit releases the lock, handing it to the next non-aborted attempt.
+func (h *OneShotHandle) Exit() {
+	if h.state != 1 {
+		panic("abortable: one-shot Exit without holding the lock")
+	}
+	h.l.ins.exit()
+	h.state = 2
+}
+
+// Slot returns the FCFS position the doorway assigned, or -1 before Enter.
+func (h *OneShotHandle) Slot() int {
+	if h.state == 0 {
+		return -1
+	}
+	return h.slot
+}

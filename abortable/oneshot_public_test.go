@@ -1,0 +1,203 @@
+package abortable
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOneShotSequentialChain(t *testing.T) {
+	l := NewOneShot(8)
+	for i := 0; i < 8; i++ {
+		h, err := l.NewHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !h.Enter() {
+			t.Fatalf("handle %d failed to enter", i)
+		}
+		if h.Slot() != i {
+			t.Fatalf("handle %d got slot %d", i, h.Slot())
+		}
+		h.Exit()
+	}
+}
+
+func TestOneShotHandleLimit(t *testing.T) {
+	l := NewOneShot(1)
+	if _, err := l.NewHandle(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.NewHandle(); err == nil {
+		t.Fatal("second handle accepted with n=1")
+	}
+}
+
+func TestOneShotFCFS(t *testing.T) {
+	// Among non-aborting attempts, CS entry order equals slot order.
+	const n = 16
+	for round := 0; round < 20; round++ {
+		l := NewOneShot(n)
+		var mu sync.Mutex // protects order (appended inside the CS)
+		var order []int
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			h, err := l.NewHandle()
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if h.Enter() {
+					mu.Lock()
+					order = append(order, h.Slot())
+					mu.Unlock()
+					h.Exit()
+				}
+			}()
+		}
+		wg.Wait()
+		if len(order) != n {
+			t.Fatalf("round %d: %d of %d entered", round, len(order), n)
+		}
+		for k := 1; k < n; k++ {
+			if order[k] < order[k-1] {
+				t.Fatalf("round %d: FCFS violated: %v", round, order)
+			}
+		}
+	}
+}
+
+func TestOneShotMutualExclusion(t *testing.T) {
+	const n = 12
+	l := NewOneShot(n)
+	var inCS, violations atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		h, err := l.NewHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if h.Enter() {
+				if inCS.Add(1) > 1 {
+					violations.Add(1)
+				}
+				inCS.Add(-1)
+				h.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d mutual-exclusion violations", v)
+	}
+}
+
+func TestOneShotAborts(t *testing.T) {
+	const n = 10
+	l := NewOneShot(n)
+	holder, err := l.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holder.Enter() {
+		t.Fatal("holder failed")
+	}
+
+	// Aborters enqueue then abandon while the holder is in the CS.
+	type res struct {
+		ok   bool
+		done chan struct{}
+	}
+	var aborters []*OneShotHandle
+	var results []*res
+	for i := 0; i < 6; i++ {
+		h, err := l.NewHandle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &res{done: make(chan struct{})}
+		go func() {
+			defer close(r.done)
+			r.ok = h.Enter()
+		}()
+		time.Sleep(time.Millisecond)
+		aborters = append(aborters, h)
+		results = append(results, r)
+	}
+	for _, h := range aborters {
+		h.Abort()
+	}
+	for _, r := range results {
+		<-r.done
+		if r.ok {
+			t.Fatal("aborter entered while the lock was held")
+		}
+	}
+
+	// A live waiter behind all the aborted slots still acquires.
+	waiter, err := l.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan bool, 1)
+	go func() { got <- waiter.Enter() }()
+	holder.Exit()
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("waiter failed to acquire")
+		}
+		waiter.Exit()
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter stranded behind aborted slots")
+	}
+}
+
+func TestOneShotMisuse(t *testing.T) {
+	t.Run("double enter", func(t *testing.T) {
+		l := NewOneShot(2)
+		h, _ := l.NewHandle()
+		if !h.Enter() {
+			t.Fatal("enter failed")
+		}
+		h.Exit()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		h.Enter()
+	})
+	t.Run("exit without enter", func(t *testing.T) {
+		l := NewOneShot(2)
+		h, _ := l.NewHandle()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		h.Exit()
+	})
+	t.Run("bad n", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		NewOneShot(0)
+	})
+}
+
+func TestOneShotSlotBeforeEnter(t *testing.T) {
+	l := NewOneShot(1)
+	h, _ := l.NewHandle()
+	if h.Slot() != -1 {
+		t.Fatalf("Slot before Enter = %d, want -1", h.Slot())
+	}
+}

@@ -1,0 +1,88 @@
+package abortable
+
+import (
+	"context"
+	"fmt"
+)
+
+// HandlePool shares a fixed set of lock handles among arbitrarily many
+// goroutines. A Handle is single-goroutine state, and a Lock admits at most
+// MaxHandles of them; when more (or anonymous, short-lived) goroutines need
+// the lock, they borrow a handle for the duration of one passage:
+//
+//	pool, _ := abortable.NewHandlePool(lk, 8)
+//	h, err := pool.EnterContext(ctx)
+//	if err != nil { return err }
+//	defer pool.Release(h)
+//	// critical section
+//
+// Borrowing blocks while all handles are in flight, which also caps the
+// number of goroutines simultaneously queued at the lock.
+type HandlePool struct {
+	free chan *Handle
+}
+
+// NewHandlePool registers n fresh handles on lk and pools them.
+func NewHandlePool(lk *Lock, n int) (*HandlePool, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("abortable: pool size %d must be positive", n)
+	}
+	p := &HandlePool{free: make(chan *Handle, n)}
+	for i := 0; i < n; i++ {
+		h, err := lk.NewHandle()
+		if err != nil {
+			return nil, fmt.Errorf("abortable: pool handle %d: %w", i, err)
+		}
+		p.free <- h
+	}
+	return p, nil
+}
+
+// Enter borrows a handle and acquires the lock, blocking for both. The
+// returned handle must be passed to Release after the critical section.
+func (p *HandlePool) Enter() *Handle {
+	h := <-p.free
+	for !h.Enter() {
+		// The pooled handle carries no pending abort (Release clears any
+		// stray signal), so a false return can only follow an explicit
+		// Abort by the borrower's collaborators — retry on their behalf.
+	}
+	return h
+}
+
+// EnterContext borrows a handle and acquires the lock, giving up when ctx
+// is cancelled. On success the handle must be passed to Release.
+func (p *HandlePool) EnterContext(ctx context.Context) (*Handle, error) {
+	select {
+	case h := <-p.free:
+		if err := h.EnterContext(ctx); err != nil {
+			p.free <- h
+			return nil, err
+		}
+		return h, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// TryEnter borrows a handle and try-locks. It returns nil if no handle was
+// immediately available or the lock was not immediately grantable.
+func (p *HandlePool) TryEnter() *Handle {
+	select {
+	case h := <-p.free:
+		if h.TryEnter() {
+			return h
+		}
+		p.free <- h
+		return nil
+	default:
+		return nil
+	}
+}
+
+// Release exits the critical section and returns the handle to the pool.
+func (p *HandlePool) Release(h *Handle) {
+	h.Exit()
+	h.abortFlag.Store(false) // drop any signal aimed at the previous borrower
+	p.free <- h
+}

@@ -1,0 +1,105 @@
+package abortable
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHandlePoolBasic(t *testing.T) {
+	lk := New(Config{MaxHandles: 4})
+	pool, err := NewHandlePool(lk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pool.Enter()
+	pool.Release(h)
+	h2, err := pool.EnterContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool.Release(h2)
+}
+
+func TestHandlePoolValidation(t *testing.T) {
+	lk := New(Config{MaxHandles: 2})
+	if _, err := NewHandlePool(lk, 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := NewHandlePool(lk, 3); err == nil {
+		t.Fatal("pool larger than MaxHandles accepted")
+	}
+}
+
+func TestHandlePoolManyGoroutines(t *testing.T) {
+	// 32 goroutines share 4 handles; mutual exclusion and full completion.
+	lk := New(Config{MaxHandles: 4})
+	pool, err := NewHandlePool(lk, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inCS, violations atomic.Int32
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				h := pool.Enter()
+				if inCS.Add(1) > 1 {
+					violations.Add(1)
+				}
+				done.Add(1)
+				inCS.Add(-1)
+				pool.Release(h)
+			}
+		}()
+	}
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d mutual-exclusion violations", violations.Load())
+	}
+	if done.Load() != 32*25 {
+		t.Fatalf("completed %d passages, want %d", done.Load(), 32*25)
+	}
+}
+
+func TestHandlePoolContextWhileExhausted(t *testing.T) {
+	lk := New(Config{MaxHandles: 1})
+	pool, err := NewHandlePool(lk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pool.Enter() // drain the pool
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := pool.EnterContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	pool.Release(h)
+}
+
+func TestHandlePoolTryEnter(t *testing.T) {
+	lk := New(Config{MaxHandles: 2})
+	pool, err := NewHandlePool(lk, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := pool.TryEnter()
+	if a == nil {
+		t.Fatal("TryEnter on free lock failed")
+	}
+	if b := pool.TryEnter(); b != nil {
+		t.Fatal("TryEnter succeeded while held")
+	}
+	pool.Release(a)
+	if c := pool.TryEnter(); c == nil {
+		t.Fatal("TryEnter after release failed")
+	} else {
+		pool.Release(c)
+	}
+}

@@ -1,0 +1,20 @@
+package abortable
+
+import "runtime"
+
+// spinner implements bounded busy-waiting: a short burst of pure spins
+// (cheap when the wait is short and cores are plentiful), then cooperative
+// yields so waiters cannot starve the lock holder on small GOMAXPROCS.
+type spinner struct {
+	i int
+}
+
+const spinBurst = 32
+
+func (s *spinner) wait() {
+	if s.i < spinBurst {
+		s.i++
+		return
+	}
+	runtime.Gosched()
+}

@@ -1,0 +1,264 @@
+package sublock
+
+// This file is the benchmark face of the reproduction: one testing.B
+// benchmark per table/figure of the paper (see DESIGN.md's per-experiment
+// index and EXPERIMENTS.md for paper-vs-measured). Each benchmark reports
+// the experiment's RMR measurement via b.ReportMetric — the paper's cost
+// model — alongside the usual wall-clock numbers.
+//
+// The cmd/rmrbench CLI runs the same experiments at full paper scale and
+// prints them as tables; the benchmarks keep the sweeps moderate so
+// `go test -bench=.` terminates in minutes.
+
+import (
+	"fmt"
+	"testing"
+
+	"sublock/internal/harness"
+	"sublock/internal/tree"
+	"sublock/rmr"
+)
+
+// BenchmarkTable1WorstCase is experiment E1: the "Worst-case" column of
+// Table 1 — all but one waiter abort and the handoff passage pays each
+// algorithm's worst case.
+func BenchmarkTable1WorstCase(b *testing.B) {
+	for _, algo := range harness.Table1Algos {
+		for _, n := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("%s/N=%d", algo, n), func(b *testing.B) {
+				var holder, waiter int64
+				for i := 0; i < b.N; i++ {
+					res, err := harness.AbortStorm(algo, harness.DefaultW, n-2, algo == harness.AlgoScott)
+					if err != nil {
+						b.Fatal(err)
+					}
+					holder, waiter = res.HolderPassage, res.WaiterPassage
+				}
+				b.ReportMetric(float64(holder), "holderRMRs")
+				b.ReportMetric(float64(waiter), "waiterRMRs")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1NoAborts is experiment E2: the "No aborts" column — a full
+// queue drains with zero aborts; per-passage RMRs are O(1) for the queue
+// locks and Θ(log N) for the tournament.
+func BenchmarkTable1NoAborts(b *testing.B) {
+	algos := append([]harness.Algo{harness.AlgoMCS}, harness.Table1Algos...)
+	for _, algo := range algos {
+		for _, n := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/N=%d", algo, n), func(b *testing.B) {
+				var maxRMRs int64
+				var mean float64
+				for i := 0; i < b.N; i++ {
+					res, err := harness.QueueWorkload(algo, harness.DefaultW, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					maxRMRs, mean = res.Passages.Max(), res.Passages.Mean()
+				}
+				b.ReportMetric(float64(maxRMRs), "maxRMRs/passage")
+				b.ReportMetric(mean, "meanRMRs/passage")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Adaptive is experiment E3: the "Adaptive bound" column —
+// N fixed, aborts sweep; the paper's lock pays O(log_W A).
+func BenchmarkTable1Adaptive(b *testing.B) {
+	for _, algo := range harness.Table1Algos {
+		for _, a := range []int{0, 4, 16, 64, 256} {
+			b.Run(fmt.Sprintf("%s/A=%d", algo, a), func(b *testing.B) {
+				var holder int64
+				for i := 0; i < b.N; i++ {
+					res, err := harness.AbortStorm(algo, harness.DefaultW, a, algo == harness.AlgoScott)
+					if err != nil {
+						b.Fatal(err)
+					}
+					holder = res.HolderPassage
+				}
+				b.ReportMetric(float64(holder), "holderRMRs")
+			})
+		}
+	}
+}
+
+// BenchmarkTable1Space is experiment E4: the "Space" column — words of
+// shared memory per algorithm after construction and after an abort storm.
+func BenchmarkTable1Space(b *testing.B) {
+	algos := append(append([]harness.Algo{}, harness.Table1Algos...), harness.AlgoPaperLLBounded)
+	for _, algo := range algos {
+		for _, n := range []int{64, 256} {
+			b.Run(fmt.Sprintf("%s/N=%d", algo, n), func(b *testing.B) {
+				var words int
+				for i := 0; i < b.N; i++ {
+					res, err := harness.AbortStorm(algo, harness.DefaultW, n-2, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					words = res.Words
+				}
+				b.ReportMetric(float64(words), "words")
+			})
+		}
+	}
+}
+
+// BenchmarkWSweep is experiment E5: the §1 headline time/space tradeoff —
+// RMR cost of the paper's lock as the word width W sweeps at fixed N.
+func BenchmarkWSweep(b *testing.B) {
+	for _, w := range []int{2, 4, 8, 16, 32, 64} {
+		b.Run(fmt.Sprintf("W=%d", w), func(b *testing.B) {
+			var holder int64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.AbortStorm(harness.AlgoPaper, w, 254, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				holder = res.HolderPassage
+			}
+			b.ReportMetric(float64(holder), "holderRMRs")
+		})
+	}
+}
+
+// BenchmarkFig2Scenarios is experiment E6: the three FindNext outcomes of
+// Figure 2, reproduced under scripted schedules.
+func BenchmarkFig2Scenarios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig2Scenarios(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveFindNext is experiment E7 (Figure 4): the ascent cost of
+// plain FindNext vs AdaptiveFindNext when the successor is adjacent across
+// a subtree boundary. This is also a true hot-path micro-benchmark of the
+// tree operations themselves.
+func BenchmarkAdaptiveFindNext(b *testing.B) {
+	for _, n := range []int{64, 4096, 32768} {
+		for _, variant := range []string{"plain", "adaptive"} {
+			b.Run(fmt.Sprintf("%s/N=%d", variant, n), func(b *testing.B) {
+				m := rmr.NewMemory(rmr.CC, 2, nil)
+				tr, err := tree.New(m, tree.Config{W: 8, N: n})
+				if err != nil {
+					b.Fatal(err)
+				}
+				leaf := n/8 - 1
+				// Cold-cache RMR cost, measured once with a process that
+				// has touched nothing (repeat calls hit the CC cache, so a
+				// per-iteration average would read ≈0 — the model's point).
+				cold := m.Proc(1)
+				before := cold.RMRs()
+				if variant == "plain" {
+					tr.FindNext(cold, leaf)
+				} else {
+					tr.AdaptiveFindNext(cold, leaf)
+				}
+				b.ReportMetric(float64(cold.RMRs()-before), "coldRMRs")
+
+				p := m.Proc(0)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if variant == "plain" {
+						tr.FindNext(p, leaf)
+					} else {
+						tr.AdaptiveFindNext(p, leaf)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLongLivedOverhead is experiment E9: per-passage cost of the §6
+// transformation in both memory-management modes.
+func BenchmarkLongLivedOverhead(b *testing.B) {
+	for _, algo := range []harness.Algo{harness.AlgoPaperLL, harness.AlgoPaperLLBounded} {
+		b.Run(string(algo), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.MultiPassage(algo, harness.DefaultW, 8, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.Passages.Mean()
+			}
+			b.ReportMetric(mean, "meanRMRs/passage")
+		})
+	}
+}
+
+// BenchmarkDSMVariant is experiment E10: waiting cost in the DSM model with
+// and without the §3 announce/spin-bit indirection.
+func BenchmarkDSMVariant(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := harness.DSMVariant([]int{100, 1000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tbl
+	}
+}
+
+// BenchmarkMCSAnchor is experiment E11: MCS's flat O(1) per-passage RMRs.
+func BenchmarkMCSAnchor(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			var maxRMRs int64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.QueueWorkload(harness.AlgoMCS, harness.DefaultW, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				maxRMRs = res.Passages.Max()
+			}
+			b.ReportMetric(float64(maxRMRs), "maxRMRs/passage")
+		})
+	}
+}
+
+// BenchmarkSpinNodeAblation is experiment E13: the cost of waiting for an
+// instance switch with spin nodes vs by polling the descriptor.
+func BenchmarkSpinNodeAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SpinNodeAblation([]int{16, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChurn is experiment E14: the bounded long-lived lock under an
+// abort-probability sweep, reporting the completed-passage RMR mean.
+func BenchmarkChurn(b *testing.B) {
+	for _, p := range []float64{0, 0.5, 0.95} {
+		b.Run(fmt.Sprintf("pAbort=%.2f", p), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := harness.Churn(harness.AlgoPaperLLBounded, harness.DefaultW, 8, 16, p, 42)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.Successful.Mean()
+			}
+			b.ReportMetric(mean, "meanRMRs/passage")
+		})
+	}
+}
+
+// BenchmarkPointContention is experiment E15: per-passage cost as the
+// number of active processes sweeps at fixed lock capacity.
+func BenchmarkPointContention(b *testing.B) {
+	for _, k := range []int{2, 16, 128} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.PointContention(256, harness.DefaultW, []int{k}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

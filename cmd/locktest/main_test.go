@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"sublock/internal/harness"
+	"sublock/rmr"
+)
+
+func TestRunDefaults(t *testing.T) {
+	if err := run([]string{"-seeds", "5", "-n", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAborters(t *testing.T) {
+	if err := run([]string{"-algo", "paper", "-n", "8", "-seeds", "5", "-aborters", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDSM(t *testing.T) {
+	if err := run([]string{"-algo", "paper", "-n", "6", "-seeds", "5", "-model", "dsm"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLongLived(t *testing.T) {
+	if err := run([]string{"-algo", "paper-longlived-bounded", "-n", "6", "-seeds", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadModel(t *testing.T) {
+	if err := run([]string{"-model", "numa"}); err == nil {
+		t.Fatal("bad model accepted")
+	}
+}
+
+func TestRunRejectsTooManyAborters(t *testing.T) {
+	err := run([]string{"-n", "4", "-aborters", "4"})
+	if err == nil || !strings.Contains(err.Error(), "aborters") {
+		t.Fatalf("err = %v, want aborters error", err)
+	}
+}
+
+func TestRunRejectsAbortingMCS(t *testing.T) {
+	err := run([]string{"-algo", "mcs", "-aborters", "1", "-n", "4"})
+	if err == nil || !strings.Contains(err.Error(), "not abortable") {
+		t.Fatalf("err = %v, want not-abortable error", err)
+	}
+}
+
+func TestExploreDetectsStall(t *testing.T) {
+	// A tiny step budget must surface as a stall error, not a hang.
+	_, _, err := explore(rmr.CC, harness.AlgoPaper, 4, 8, 0, 1, 3)
+	if err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Fatalf("err = %v, want stall error", err)
+	}
+}
+
+func TestRunExhaustive(t *testing.T) {
+	if err := run([]string{"-exhaustive", "-n", "2", "-exhauststeps", "18", "-exhaustcap", "30000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExhaustiveWithAborter(t *testing.T) {
+	if err := run([]string{"-exhaustive", "-n", "2", "-aborters", "1", "-exhauststeps", "18", "-exhaustcap", "20000"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Command rmrbench regenerates the evaluation artifacts of Alon & Morrison
+// (PODC 2018) on the RMR-metered shared-memory simulator: every column of
+// Table 1 and the figure-derived experiments of §4 and §6.
+//
+// Usage:
+//
+//	rmrbench [-quick] [experiment ...]
+//
+// With no arguments every experiment runs (-list enumerates: e1–e7 and
+// e9–e16; e8, the Theorem 2 property checking, lives in cmd/locktest and
+// the test suite). -quick shrinks the sweeps for a fast smoke run, -csv
+// emits machine-readable series, and -chart N renders column N as an
+// ASCII bar chart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sublock/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "rmrbench:", err)
+		os.Exit(1)
+	}
+}
+
+type experiment struct {
+	id   string
+	desc string
+	full func() (*harness.Table, error)
+	fast func() (*harness.Table, error)
+}
+
+func experiments() []experiment {
+	const w = harness.DefaultW
+	return []experiment{
+		{
+			id: "e1", desc: "Table 1 worst-case column",
+			full: func() (*harness.Table, error) { return harness.Table1WorstCase([]int{64, 256, 1024, 4096}, w) },
+			fast: func() (*harness.Table, error) { return harness.Table1WorstCase([]int{16, 64}, w) },
+		},
+		{
+			id: "e2", desc: "Table 1 no-aborts column",
+			full: func() (*harness.Table, error) { return harness.Table1NoAborts([]int{64, 256, 1024}, w) },
+			fast: func() (*harness.Table, error) { return harness.Table1NoAborts([]int{16, 64}, w) },
+		},
+		{
+			id: "e3", desc: "Table 1 adaptive-bound column",
+			full: func() (*harness.Table, error) {
+				return harness.Table1Adaptive(4096, w, []int{0, 1, 4, 16, 64, 256, 1024})
+			},
+			fast: func() (*harness.Table, error) { return harness.Table1Adaptive(64, w, []int{0, 4, 16}) },
+		},
+		{
+			id: "e4", desc: "Table 1 space column",
+			full: func() (*harness.Table, error) { return harness.Table1Space([]int{64, 256, 1024}, w) },
+			fast: func() (*harness.Table, error) { return harness.Table1Space([]int{16, 64}, w) },
+		},
+		{
+			id: "e5", desc: "§1 time/space tradeoff: RMRs vs word width W",
+			full: func() (*harness.Table, error) { return harness.WSweep(4096, []int{2, 4, 8, 16, 32, 64}) },
+			fast: func() (*harness.Table, error) { return harness.WSweep(256, []int{2, 8, 64}) },
+		},
+		{
+			id: "e6", desc: "Figure 2 FindNext scenarios",
+			full: harness.Fig2Scenarios,
+			fast: harness.Fig2Scenarios,
+		},
+		{
+			id: "e7", desc: "Figure 4 adaptive vs plain FindNext",
+			full: func() (*harness.Table, error) { return harness.Fig4Adaptive([]int{64, 512, 4096, 32768}, w) },
+			fast: func() (*harness.Table, error) { return harness.Fig4Adaptive([]int{64, 512}, w) },
+		},
+		{
+			id: "e9", desc: "§6 long-lived transformation overhead",
+			full: func() (*harness.Table, error) { return harness.LongLivedOverhead(16, 32, w) },
+			fast: func() (*harness.Table, error) { return harness.LongLivedOverhead(4, 8, w) },
+		},
+		{
+			id: "e10", desc: "§3 DSM spin-bit indirection",
+			full: func() (*harness.Table, error) { return harness.DSMVariant([]int{100, 1000, 10000}) },
+			fast: func() (*harness.Table, error) { return harness.DSMVariant([]int{100, 1000}) },
+		},
+		{
+			id: "e11", desc: "MCS O(1) anchor",
+			full: func() (*harness.Table, error) { return harness.MCSAnchor([]int{64, 256, 1024}) },
+			fast: func() (*harness.Table, error) { return harness.MCSAnchor([]int{16, 64}) },
+		},
+		{
+			id: "e13", desc: "§6 spin-node ablation",
+			full: func() (*harness.Table, error) { return harness.SpinNodeAblation([]int{4, 16, 64, 256}) },
+			fast: func() (*harness.Table, error) { return harness.SpinNodeAblation([]int{4, 16}) },
+		},
+		{
+			id: "e14", desc: "dynamic churn: long-lived lock under abort-probability sweep",
+			full: func() (*harness.Table, error) {
+				return harness.ChurnSweep(harness.AlgoPaperLLBounded, w, 16, 64,
+					[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.95})
+			},
+			fast: func() (*harness.Table, error) {
+				return harness.ChurnSweep(harness.AlgoPaperLLBounded, w, 6, 16, []float64{0, 0.5})
+			},
+		},
+		{
+			id: "e16", desc: "DSM model: the one-shot lock's Table 1 CC/DSM claim",
+			full: func() (*harness.Table, error) { return harness.DSMTable([]int{64, 256, 1024}, w) },
+			fast: func() (*harness.Table, error) { return harness.DSMTable([]int{16, 64}, w) },
+		},
+		{
+			id: "e15", desc: "point contention: cost vs active processes at fixed capacity",
+			full: func() (*harness.Table, error) {
+				return harness.PointContention(1024, w, []int{2, 8, 64, 512})
+			},
+			fast: func() (*harness.Table, error) {
+				return harness.PointContention(64, w, []int{2, 8, 32})
+			},
+		},
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("rmrbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink sweeps for a fast smoke run")
+	list := fs.Bool("list", false, "list experiments and exit")
+	csvOut := fs.Bool("csv", false, "emit CSV instead of formatted tables")
+	chartCol := fs.Int("chart", 0, "also render the given column index as an ASCII bar chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	exps := experiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("  %-4s %s\n", e.id, e.desc)
+		}
+		return nil
+	}
+	want := map[string]bool{}
+	for _, a := range fs.Args() {
+		a = strings.ToLower(a)
+		if a == "all" {
+			want = map[string]bool{}
+			break
+		}
+		want[a] = true
+	}
+	known := map[string]bool{}
+	for _, e := range exps {
+		known[e.id] = true
+	}
+	for id := range want {
+		if !known[id] {
+			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		}
+	}
+	for _, e := range exps {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		fn := e.full
+		if *quick {
+			fn = e.fast
+		}
+		tbl, err := fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.id, err)
+		}
+		if *csvOut {
+			fmt.Printf("# %s\n", tbl.Title)
+			if err := tbl.FprintCSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+		if *chartCol > 0 {
+			if err := tbl.FprintChart(os.Stdout, *chartCol); err != nil {
+				fmt.Fprintf(os.Stderr, "rmrbench: %s: chart: %v\n", e.id, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSingleExperiment(t *testing.T) {
+	if err := run([]string{"-quick", "e6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-quick", "-csv", "e7"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	err := run([]string{"zzz"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("err = %v, want unknown-experiment error", err)
+	}
+}
+
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments() {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %q", e.id)
+		}
+		seen[e.id] = true
+		if e.full == nil || e.fast == nil {
+			t.Fatalf("experiment %q missing a runner", e.id)
+		}
+	}
+}
+
+func TestEveryFastExperimentRuns(t *testing.T) {
+	for _, e := range experiments() {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			tbl, err := e.fast()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+		})
+	}
+}

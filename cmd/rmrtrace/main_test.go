@@ -1,0 +1,35 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunTrace(t *testing.T) {
+	if err := run([]string{"-n", "3", "-seed", "2", "-max", "10"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceWithAborters(t *testing.T) {
+	if err := run([]string{"-n", "4", "-aborters", "2", "-seed", "5"}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTraceAllAlgos(t *testing.T) {
+	for _, algo := range []string{"paper", "paper-plain", "paper-longlived", "scott", "tournament", "linearscan", "mcs", "tas"} {
+		if err := run([]string{"-algo", algo, "-n", "3", "-max", "0"}, os.Stdout); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunTraceRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-n", "2", "-aborters", "2"}, os.Stdout); err == nil {
+		t.Fatal("too many aborters accepted")
+	}
+	if err := run([]string{"-algo", "mcs", "-aborters", "1", "-n", "3"}, os.Stdout); err == nil {
+		t.Fatal("aborting MCS accepted")
+	}
+}

@@ -1,0 +1,14 @@
+// Package sublock is a reproduction of "Deterministic Abortable Mutual
+// Exclusion with Sublogarithmic Adaptive RMR Complexity" (Alon & Morrison,
+// PODC 2018).
+//
+// The importable libraries live in subdirectories:
+//
+//   - abortable: the paper's lock on native Go atomics (the library a
+//     downstream user adopts);
+//   - rmr: the RMR-metered shared-memory simulator the evaluation runs on.
+//
+// The root package exists to host the repository-level benchmark suite
+// (bench_test.go), which regenerates every table and figure of the paper;
+// see DESIGN.md and EXPERIMENTS.md.
+package sublock

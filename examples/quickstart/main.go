@@ -1,0 +1,83 @@
+// Quickstart: the abortable lock as a drop-in mutex with an escape hatch.
+//
+// Eight goroutines increment a shared counter under the lock; one impatient
+// goroutine gives up if it cannot acquire within a deadline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"sublock/abortable"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	lk := abortable.New(abortable.Config{MaxHandles: 16})
+
+	// Plain mutual exclusion: Enter/Exit pairs, one handle per goroutine.
+	const workers, increments = 8, 1000
+	counter := 0
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		h, err := lk.NewHandle()
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < increments; i++ {
+				if !h.Enter() {
+					return // aborted (nobody aborts us in this demo)
+				}
+				counter++
+				h.Exit()
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("counter = %d (want %d)\n", counter, workers*increments)
+
+	// The escape hatch: a waiter that refuses to wait longer than 50µs.
+	holder, err := lk.NewHandle()
+	if err != nil {
+		return err
+	}
+	impatient, err := lk.NewHandle()
+	if err != nil {
+		return err
+	}
+	if !holder.Enter() {
+		return errors.New("holder failed to acquire")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Microsecond)
+	defer cancel()
+	switch err := impatient.EnterContext(ctx); {
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Println("impatient waiter gave up cleanly (bounded abort)")
+	case err == nil:
+		return errors.New("impatient waiter acquired a held lock")
+	default:
+		return err
+	}
+	holder.Exit()
+
+	// TryEnter: join the queue, abandon instantly unless already granted.
+	if impatient.TryEnter() {
+		fmt.Println("try-lock on the free lock: acquired")
+		impatient.Exit()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module sublock
+
+go 1.22

@@ -1,0 +1,98 @@
+package mcs
+
+import (
+	"testing"
+
+	"sublock/internal/locktest"
+	"sublock/rmr"
+)
+
+func factory(m *rmr.Memory, _ int) (func(p *rmr.Proc) locktest.Handle, error) {
+	l := New(m)
+	return func(p *rmr.Proc) locktest.Handle { return l.Handle(p) }, nil
+}
+
+func TestSequential(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	l := New(m)
+	h := l.Handle(m.Proc(0))
+	for i := 0; i < 5; i++ {
+		if !h.Enter() {
+			t.Fatal("Enter failed")
+		}
+		h.Exit()
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		res := locktest.Run(t, rmr.CC, 12, seed, factory, nil)
+		locktest.RequireAllEntered(t, res, seed, nil)
+	}
+}
+
+func TestMultiplePassages(t *testing.T) {
+	// Node reuse across acquisitions: each process performs 3 passages.
+	const n, passages = 6, 3
+	for seed := int64(0); seed < 10; seed++ {
+		s := rmr.NewScheduler(n, rmr.RandomPick(seed))
+		m := rmr.NewMemory(rmr.CC, n, nil)
+		l := New(m)
+		handles := make([]*Handle, n)
+		for i := range handles {
+			handles[i] = l.Handle(m.Proc(i))
+		}
+		m.SetGate(s)
+		counts := make([]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			s.Go(func() {
+				for k := 0; k < passages; k++ {
+					if handles[i].Enter() {
+						counts[i]++
+						handles[i].Exit()
+					}
+				}
+			})
+		}
+		if err := s.Run(50_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, c := range counts {
+			if c != passages {
+				t.Fatalf("seed %d: process %d completed %d/%d passages", seed, i, c, passages)
+			}
+		}
+	}
+}
+
+func TestUncontendedPassageRMRs(t *testing.T) {
+	// The MCS selling point: an uncontended passage is a small constant
+	// (SWAP + next write + CAS on exit), independent of anything.
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	l := New(m)
+	p := m.Proc(0)
+	h := l.Handle(p)
+	h.Enter()
+	h.Exit()
+	// Steady state (second passage, caches warm):
+	before := p.RMRs()
+	h.Enter()
+	h.Exit()
+	if got := p.RMRs() - before; got > 3 {
+		t.Fatalf("uncontended passage RMRs = %d, want ≤ 3", got)
+	}
+}
+
+func TestQueueHandoffRMRsConstant(t *testing.T) {
+	// Under a full queue with no aborts, each passage costs O(1) RMRs.
+	const n = 24
+	for seed := int64(0); seed < 5; seed++ {
+		res := locktest.Run(t, rmr.CC, n, seed, factory, nil)
+		for i, c := range res.RMRs {
+			if c > 8 {
+				t.Errorf("seed %d: process %d passage RMRs = %d, want ≤ 8", seed, i, c)
+			}
+		}
+	}
+}

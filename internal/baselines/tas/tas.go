@@ -1,0 +1,49 @@
+// Package tas implements an abortable test-and-test-and-set lock on the
+// simulated shared memory. It is the simplest possible abortable lock —
+// O(1) space, trivially abortable because waiters own no queue state — and
+// serves as the harness's unfair anchor: its RMR cost per passage is
+// unbounded under contention (every handoff invalidates every spinner),
+// which is exactly the pathology queue locks exist to avoid.
+package tas
+
+import "sublock/rmr"
+
+// Lock is a single-word test-and-test-and-set lock.
+type Lock struct {
+	word rmr.Addr // 0 = free, 1 = held
+}
+
+// New allocates a TAS lock in m.
+func New(m *rmr.Memory) *Lock {
+	return &Lock{word: m.Alloc(0)}
+}
+
+// Handle returns process p's handle to the lock.
+func (l *Lock) Handle(p *rmr.Proc) *Handle {
+	return &Handle{l: l, p: p}
+}
+
+// Handle is one process's interface to the lock.
+type Handle struct {
+	l *Lock
+	p *rmr.Proc
+}
+
+// Enter acquires the lock, or returns false if the abort signal arrives
+// while waiting.
+func (h *Handle) Enter() bool {
+	for {
+		if h.p.Read(h.l.word) == 0 && h.p.CAS(h.l.word, 0, 1) {
+			return true
+		}
+		if h.p.AbortSignal() {
+			return false
+		}
+		h.p.Yield()
+	}
+}
+
+// Exit releases the lock.
+func (h *Handle) Exit() {
+	h.p.Write(h.l.word, 0)
+}

@@ -1,0 +1,48 @@
+package tas
+
+import (
+	"testing"
+
+	"sublock/internal/locktest"
+	"sublock/rmr"
+)
+
+func factory(m *rmr.Memory, _ int) (func(p *rmr.Proc) locktest.Handle, error) {
+	l := New(m)
+	return func(p *rmr.Proc) locktest.Handle { return l.Handle(p) }, nil
+}
+
+func TestSequential(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	l := New(m)
+	h := l.Handle(m.Proc(0))
+	for i := 0; i < 5; i++ {
+		if !h.Enter() {
+			t.Fatal("Enter failed")
+		}
+		h.Exit()
+	}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		res := locktest.Run(t, rmr.CC, 10, seed, factory, nil)
+		locktest.RequireAllEntered(t, res, seed, nil)
+	}
+}
+
+func TestAborts(t *testing.T) {
+	aborters := map[int]bool{1: true, 2: true, 5: true}
+	for seed := int64(0); seed < 25; seed++ {
+		res := locktest.Run(t, rmr.CC, 8, seed, factory, aborters)
+		locktest.RequireAllEntered(t, res, seed, aborters)
+	}
+}
+
+func TestSpaceIsOneWord(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 4, nil)
+	New(m)
+	if got := m.Size(); got != 1 {
+		t.Fatalf("TAS lock uses %d words, want 1", got)
+	}
+}

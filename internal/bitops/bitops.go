@@ -1,0 +1,78 @@
+// Package bitops implements the W-bit word operations that the paper's Tree
+// data structure is defined in terms of (Figure 3, footnotes).
+//
+// A node value stores W bits in the low W bits of a uint64. Bit offsets are
+// counted MSB-first, following the paper: offset 0 is the most significant
+// of the W bits (the leftmost child), offset W-1 the least significant (the
+// rightmost child). "To the right of offset o" therefore means offsets
+// strictly greater than o, i.e. strictly less significant positions.
+package bitops
+
+import "math/bits"
+
+// MaxW is the largest supported word width, the width of the simulated
+// machine word.
+const MaxW = 64
+
+// Empty returns the all-ones W-bit word, the paper's EMPTY constant
+// (2^W − 1): the value of a node all of whose children have been abandoned.
+func Empty(w int) uint64 {
+	if w >= MaxW {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// Mask returns the W-bit word with only the offset-th MSB set, the operand
+// of the F&A in Tree.Remove (Algorithm 4.2, line 38).
+func Mask(w, offset int) uint64 {
+	return uint64(1) << uint(w-1-offset)
+}
+
+// Bit reports whether the offset-th MSB of v is set.
+func Bit(v uint64, w, offset int) bool {
+	return v&Mask(w, offset) != 0
+}
+
+// rightMask returns the mask covering all offsets strictly greater than
+// offset (strictly to the right). offset = -1 covers the entire word and is
+// how GetFirstZero is expressed; offset = w-1 yields the empty mask.
+func rightMask(w, offset int) uint64 {
+	k := w - 1 - offset // number of positions to the right of offset
+	if k <= 0 {
+		return 0
+	}
+	if k >= MaxW {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(k)) - 1
+}
+
+// HasZeroToTheRight reports whether v has a zero bit at an offset strictly
+// greater than offset. offset may be -1 to test the whole word.
+func HasZeroToTheRight(v uint64, w, offset int) bool {
+	m := rightMask(w, offset)
+	return ^v&m != 0
+}
+
+// FirstZeroToTheRight returns the smallest offset greater than offset at
+// which v has a zero bit, or -1 if there is none. ("First" is leftmost,
+// i.e. most significant, matching the paper's left-to-right child order.)
+func FirstZeroToTheRight(v uint64, w, offset int) int {
+	z := ^v & rightMask(w, offset)
+	if z == 0 {
+		return -1
+	}
+	return w - bits.Len64(z)
+}
+
+// FirstZero returns the smallest offset at which v has a zero bit, or -1 if
+// v is EMPTY.
+func FirstZero(v uint64, w int) int {
+	return FirstZeroToTheRight(v, w, -1)
+}
+
+// OnesCount returns the number of set bits among the low w bits of v.
+func OnesCount(v uint64, w int) int {
+	return bits.OnesCount64(v & Empty(w))
+}

@@ -1,0 +1,161 @@
+package bitops
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive reference implementations, written directly from the paper's prose.
+
+func naiveBit(v uint64, w, offset int) bool {
+	return (v>>uint(w-1-offset))&1 == 1
+}
+
+func naiveFirstZeroToTheRight(v uint64, w, offset int) int {
+	for o := offset + 1; o < w; o++ {
+		if !naiveBit(v, w, o) {
+			return o
+		}
+	}
+	return -1
+}
+
+func TestEmpty(t *testing.T) {
+	for _, tt := range []struct {
+		w    int
+		want uint64
+	}{
+		{1, 1},
+		{2, 3},
+		{3, 7},
+		{8, 0xFF},
+		{63, (1 << 63) - 1},
+		{64, ^uint64(0)},
+	} {
+		if got := Empty(tt.w); got != tt.want {
+			t.Errorf("Empty(%d) = %#x, want %#x", tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestMaskMSBFirst(t *testing.T) {
+	// For W=8: offset 0 is the MSB (0x80), offset 7 the LSB (0x01).
+	if got := Mask(8, 0); got != 0x80 {
+		t.Errorf("Mask(8,0) = %#x, want 0x80", got)
+	}
+	if got := Mask(8, 7); got != 0x01 {
+		t.Errorf("Mask(8,7) = %#x, want 0x01", got)
+	}
+	if got := Mask(64, 0); got != 1<<63 {
+		t.Errorf("Mask(64,0) = %#x, want 1<<63", got)
+	}
+	if got := Mask(64, 63); got != 1 {
+		t.Errorf("Mask(64,63) = %#x, want 1", got)
+	}
+}
+
+func TestExhaustiveSmallW(t *testing.T) {
+	// For every width up to 10 bits, every value, every offset (including
+	// -1), the fast implementations must agree with the naive ones.
+	for w := 1; w <= 10; w++ {
+		for v := uint64(0); v < uint64(1)<<uint(w); v++ {
+			for offset := -1; offset < w; offset++ {
+				wantIdx := naiveFirstZeroToTheRight(v, w, offset)
+				if got := FirstZeroToTheRight(v, w, offset); got != wantIdx {
+					t.Fatalf("FirstZeroToTheRight(%#x, %d, %d) = %d, want %d",
+						v, w, offset, got, wantIdx)
+				}
+				if got := HasZeroToTheRight(v, w, offset); got != (wantIdx >= 0) {
+					t.Fatalf("HasZeroToTheRight(%#x, %d, %d) = %v, want %v",
+						v, w, offset, got, wantIdx >= 0)
+				}
+				if offset >= 0 {
+					if got := Bit(v, w, offset); got != naiveBit(v, w, offset) {
+						t.Fatalf("Bit(%#x, %d, %d) = %v", v, w, offset, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuickW64(t *testing.T) {
+	// Property test at full width, where shift edge cases live.
+	f := func(v uint64, off uint8) bool {
+		offset := int(off%65) - 1 // -1..63
+		return FirstZeroToTheRight(v, 64, offset) ==
+			naiveFirstZeroToTheRight(v, 64, offset)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRandomWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		w := 1 + rng.Intn(64)
+		v := rng.Uint64() & Empty(w)
+		offset := rng.Intn(w+1) - 1
+		if got, want := FirstZeroToTheRight(v, w, offset), naiveFirstZeroToTheRight(v, w, offset); got != want {
+			t.Fatalf("FirstZeroToTheRight(%#x, %d, %d) = %d, want %d", v, w, offset, got, want)
+		}
+	}
+}
+
+func TestFirstZero(t *testing.T) {
+	for _, tt := range []struct {
+		v    uint64
+		w    int
+		want int
+	}{
+		{0x00, 8, 0},  // all clear: leftmost offset
+		{0x80, 8, 1},  // MSB set: next offset
+		{0xFE, 8, 7},  // only LSB clear
+		{0xFF, 8, -1}, // EMPTY
+		{^uint64(0), 64, -1},
+		{^uint64(1), 64, 63},
+	} {
+		if got := FirstZero(tt.v, tt.w); got != tt.want {
+			t.Errorf("FirstZero(%#x, %d) = %d, want %d", tt.v, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestFirstZeroIsLeftmost(t *testing.T) {
+	// 0b0101 with W=4: zeros at offsets 0 and 2; "first" must be 0.
+	if got := FirstZero(0b0101, 4); got != 0 {
+		t.Fatalf("FirstZero(0b0101, 4) = %d, want 0", got)
+	}
+	// To the right of offset 0, the first zero is at 2.
+	if got := FirstZeroToTheRight(0b0101, 4, 0); got != 2 {
+		t.Fatalf("FirstZeroToTheRight(0b0101, 4, 0) = %d, want 2", got)
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if got := OnesCount(0xF0F0, 16); got != 8 {
+		t.Fatalf("OnesCount(0xF0F0, 16) = %d, want 8", got)
+	}
+	// Bits above width w are ignored.
+	if got := OnesCount(0xFF00, 8); got != 0 {
+		t.Fatalf("OnesCount(0xFF00, 8) = %d, want 0", got)
+	}
+}
+
+func TestRemoveAccumulation(t *testing.T) {
+	// Simulate a node whose children abandon one by one (the Remove F&A
+	// pattern): adding Mask(w, o) for each distinct o must reach EMPTY
+	// exactly after w additions, never overflowing into neighbours.
+	for w := 1; w <= 64; w++ {
+		var v uint64
+		perm := rand.New(rand.NewSource(int64(w))).Perm(w)
+		for i, o := range perm {
+			v += Mask(w, o)
+			if full := v == Empty(w); full != (i == w-1) {
+				t.Fatalf("w=%d: after %d removes value=%#x empty=%v", w, i+1, v, full)
+			}
+		}
+	}
+}

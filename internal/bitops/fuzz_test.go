@@ -1,0 +1,62 @@
+package bitops
+
+import "testing"
+
+// FuzzFirstZeroToTheRight cross-checks the bit-twiddling implementation
+// against the naive scan for arbitrary inputs (run with `go test -fuzz` to
+// search beyond the seed corpus; seeds alone already cover the edges).
+func FuzzFirstZeroToTheRight(f *testing.F) {
+	f.Add(uint64(0), uint8(1), int8(-1))
+	f.Add(^uint64(0), uint8(64), int8(63))
+	f.Add(uint64(0xAAAA_AAAA_AAAA_AAAA), uint8(64), int8(0))
+	f.Add(uint64(0x7F), uint8(8), int8(0))
+	f.Add(uint64(1)<<63, uint8(64), int8(-1))
+	f.Fuzz(func(t *testing.T, v uint64, wRaw uint8, offRaw int8) {
+		w := 1 + int(wRaw)%64
+		offset := int(offRaw)
+		if offset < -1 {
+			offset = -1
+		}
+		if offset >= w {
+			offset = w - 1
+		}
+		v &= Empty(w)
+		want := naiveFirstZeroToTheRight(v, w, offset)
+		if got := FirstZeroToTheRight(v, w, offset); got != want {
+			t.Fatalf("FirstZeroToTheRight(%#x, %d, %d) = %d, want %d", v, w, offset, got, want)
+		}
+		if got := HasZeroToTheRight(v, w, offset); got != (want >= 0) {
+			t.Fatalf("HasZeroToTheRight(%#x, %d, %d) = %v, want %v", v, w, offset, got, want >= 0)
+		}
+	})
+}
+
+// FuzzMaskAccumulation checks that summing distinct child masks behaves
+// like setting bits (the Remove F&A invariant): no overflow between
+// neighbouring positions, EMPTY reached exactly when all offsets added.
+func FuzzMaskAccumulation(f *testing.F) {
+	f.Add(uint8(2), uint16(0b01))
+	f.Add(uint8(64), uint16(0xFFFF))
+	f.Fuzz(func(t *testing.T, wRaw uint8, picks uint16) {
+		w := 1 + int(wRaw)%64
+		var v uint64
+		var set []int
+		for o := 0; o < w && o < 16; o++ {
+			if picks&(1<<o) != 0 {
+				v += Mask(w, o)
+				set = append(set, o)
+			}
+		}
+		for o := 0; o < w && o < 16; o++ {
+			want := false
+			for _, s := range set {
+				if s == o {
+					want = true
+				}
+			}
+			if got := Bit(v, w, o); got != want {
+				t.Fatalf("w=%d picks=%#x: Bit(%d) = %v, want %v", w, picks, o, got, want)
+			}
+		}
+	})
+}

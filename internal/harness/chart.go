@@ -1,0 +1,76 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FprintChart renders one numeric column of the table as a horizontal
+// ASCII bar chart — the "figure" view of an experiment series. col selects
+// the column index; rows whose cell does not parse as a number (or whose
+// leading integer is taken when the cell is "12 (3.4)"-shaped) are skipped.
+func (t *Table) FprintChart(w io.Writer, col int) error {
+	if col <= 0 || col >= len(t.Columns) {
+		return fmt.Errorf("harness: chart column %d out of range [1,%d)", col, len(t.Columns))
+	}
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	maxVal := 0.0
+	for _, row := range t.Rows {
+		if col >= len(row) {
+			continue
+		}
+		v, ok := leadingNumber(row[col])
+		if !ok {
+			continue
+		}
+		label := row[0]
+		bars = append(bars, bar{label, v})
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if len(bars) == 0 {
+		return fmt.Errorf("harness: no numeric cells in column %q", t.Columns[col])
+	}
+	fmt.Fprintf(w, "%s — %s\n", t.Title, t.Columns[col])
+	labelW := 0
+	for _, b := range bars {
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	const width = 48
+	for _, b := range bars {
+		n := 0
+		if maxVal > 0 {
+			n = int(b.value / maxVal * width)
+		}
+		if n == 0 && b.value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "  %-*s | %-*s %g\n", labelW, b.label, width, strings.Repeat("█", n), b.value)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// leadingNumber parses the leading numeric token of a cell like "12",
+// "3.5", or "12 (3.4)".
+func leadingNumber(cell string) (float64, bool) {
+	cell = strings.TrimSpace(cell)
+	end := 0
+	for end < len(cell) && (cell[end] == '.' || cell[end] == '-' || (cell[end] >= '0' && cell[end] <= '9')) {
+		end++
+	}
+	if end == 0 {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(cell[:end], 64)
+	return v, err == nil
+}

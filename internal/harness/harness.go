@@ -1,0 +1,121 @@
+// Package harness builds the locks under comparison, drives the paper's
+// workloads against them on the RMR-metered memory, and formats the results
+// as the tables and figure series of the paper's evaluation (Table 1 and
+// the §4/§6 figures). It backs both the root-level benchmark suite and the
+// cmd/rmrbench CLI.
+package harness
+
+import (
+	"fmt"
+
+	"sublock/internal/baselines/linearscan"
+	"sublock/internal/baselines/mcs"
+	"sublock/internal/baselines/scott"
+	"sublock/internal/baselines/tas"
+	"sublock/internal/baselines/tournament"
+	"sublock/internal/longlived"
+	"sublock/internal/oneshot"
+	"sublock/rmr"
+)
+
+// Handle is the uniform per-process lock interface the drivers operate on.
+type Handle interface {
+	// Enter acquires the lock; false means the attempt aborted.
+	Enter() bool
+	// Exit releases the lock after a successful Enter.
+	Exit()
+}
+
+// HandleFn produces process p's handle to a built lock.
+type HandleFn func(p *rmr.Proc) Handle
+
+// Algo identifies a lock algorithm in experiments.
+type Algo string
+
+// The algorithms under comparison. The four "table1" algorithms correspond
+// to the rows of the paper's Table 1; the rest are anchors and ablations.
+const (
+	// AlgoPaper is the paper's one-shot lock (§3) with AdaptiveFindNext.
+	AlgoPaper Algo = "paper"
+	// AlgoPaperPlain is the one-shot lock with the non-adaptive FindNext
+	// (Algorithm 4.1), the ablation target of Figure 4.
+	AlgoPaperPlain Algo = "paper-plain"
+	// AlgoPaperLL is the long-lived transformation (§6), unbounded variant.
+	AlgoPaperLL Algo = "paper-longlived"
+	// AlgoPaperLLBounded is the long-lived transformation with the §6.2
+	// bounded memory management.
+	AlgoPaperLLBounded Algo = "paper-longlived-bounded"
+	// AlgoScott is the Scott-style abortable CLH queue lock (Table 1 row 1).
+	AlgoScott Algo = "scott"
+	// AlgoTournament is the Jayanti-shaped Θ(log N) arbitration-tree lock
+	// (Table 1 row 2).
+	AlgoTournament Algo = "tournament"
+	// AlgoLinearScan is the Lee-shaped linear-skip queue lock (Table 1 row 3).
+	AlgoLinearScan Algo = "linearscan"
+	// AlgoMCS is the non-abortable MCS lock (§1 anchor).
+	AlgoMCS Algo = "mcs"
+	// AlgoTAS is the abortable test-and-test-and-set lock (unfair anchor).
+	AlgoTAS Algo = "tas"
+)
+
+// Table1Algos are the abortable algorithms of the paper's Table 1, in the
+// paper's row order, with the paper's lock last.
+var Table1Algos = []Algo{AlgoScott, AlgoTournament, AlgoLinearScan, AlgoPaper}
+
+// Abortable reports whether the algorithm supports aborting waiters. MCS
+// does not; workloads that deliver abort signals must skip it.
+func (a Algo) Abortable() bool { return a != AlgoMCS }
+
+// Build constructs algo in m for nprocs processes and returns the handle
+// factory. w is the tree arity for the paper's algorithms (ignored by the
+// baselines). The lock is sized for exactly nprocs participants; use
+// BuildCap to size it for more participants than will actually run.
+func Build(m *rmr.Memory, algo Algo, w, nprocs int) (HandleFn, error) {
+	return BuildCap(m, algo, w, nprocs)
+}
+
+// BuildCap constructs algo sized for capacity processes (queue slots, tree
+// leaves, arbitration-tree width) in a memory that may host fewer actual
+// runners — the point-contention experiment's configuration.
+func BuildCap(m *rmr.Memory, algo Algo, w, capacity int) (HandleFn, error) {
+	nprocs := capacity
+	switch algo {
+	case AlgoPaper, AlgoPaperPlain:
+		l, err := oneshot.New(m, oneshot.Config{W: w, N: nprocs, Adaptive: algo == AlgoPaper})
+		if err != nil {
+			return nil, err
+		}
+		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
+	case AlgoPaperLL, AlgoPaperLLBounded:
+		l, err := longlived.New(m, longlived.Config{
+			W: w, N: nprocs, Adaptive: true, Bounded: algo == AlgoPaperLLBounded,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
+	case AlgoScott:
+		l := scott.New(m)
+		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
+	case AlgoTournament:
+		l, err := tournament.New(m, nprocs)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
+	case AlgoLinearScan:
+		l, err := linearscan.New(m, nprocs)
+		if err != nil {
+			return nil, err
+		}
+		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
+	case AlgoMCS:
+		l := mcs.New(m)
+		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
+	case AlgoTAS:
+		l := tas.New(m)
+		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown algorithm %q", algo)
+	}
+}

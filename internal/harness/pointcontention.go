@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"fmt"
+
+	"sublock/rmr"
+)
+
+// PointContention regenerates experiment E15: per-passage RMR cost as the
+// number of *actually contending* processes k sweeps while the lock stays
+// sized for a large N. Jayanti's lock is adaptive to point contention
+// (O(min(k, log N))); our tournament stand-in is not (it climbs the full
+// Θ(log N) tree even for k = 2), which is the honestly-measured caveat of
+// the Table 1 substitution (see DESIGN.md). The paper's lock is O(1) here
+// regardless of k or N — no process aborts.
+func PointContention(capacity, w int, ks []int) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("E15 — point contention: passage RMRs vs active processes k (capacity N=%d)", capacity),
+		Note: "no aborts; max (mean) RMRs per passage;\n" +
+			"tournament is deliberately non-adaptive here — the documented gap vs Jayanti's O(min(k, log N))",
+		Columns: []string{"algorithm"},
+	}
+	for _, k := range ks {
+		t.Columns = append(t.Columns, fmt.Sprintf("k=%d", k))
+	}
+	for _, algo := range append([]Algo{AlgoMCS}, Table1Algos...) {
+		row := []string{string(algo)}
+		for _, k := range ks {
+			if k > capacity {
+				row = append(row, "—")
+				continue
+			}
+			res, err := queueAtCapacity(algo, w, capacity, k)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, res.Passages.Cell())
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// queueAtCapacity is QueueWorkload with the lock sized for capacity slots
+// but only k processes running.
+func queueAtCapacity(algo Algo, w, capacity, k int) (*QueueResult, error) {
+	m := rmr.NewMemory(rmr.CC, k, nil)
+	fn, err := BuildCap(m, algo, w, capacity)
+	if err != nil {
+		return nil, err
+	}
+	release := make(chan struct{})
+	passages := make([]*passage, k)
+	for i := 0; i < k; i++ {
+		ps := launch(m.Proc(i), fn(m.Proc(i)), release)
+		ps.awaitEnqueued()
+		passages[i] = ps
+	}
+	close(release)
+	res := &QueueResult{}
+	for i, ps := range passages {
+		<-ps.done
+		if !ps.ok {
+			return nil, fmt.Errorf("harness: %s process %d failed its passage", algo, i)
+		}
+		res.Passages = append(res.Passages, ps.rmrs)
+	}
+	res.Words = m.Size()
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sublock/rmr"
+)
+
+// enqueueThreshold is the number of shared-memory steps after which a
+// launched process is certainly past its doorway (every algorithm's doorway
+// completes within its first few operations; a process still running past
+// the threshold is spinning in its wait loop).
+const enqueueThreshold = 8
+
+// passage tracks one process's single acquisition attempt running in its
+// own goroutine.
+type passage struct {
+	p       *rmr.Proc
+	entered atomic.Bool // Enter returned true (process may be in the CS)
+	ok      bool        // final Enter result
+	rmrs    int64       // RMRs of the whole passage
+	done    chan struct{}
+}
+
+// launch starts one Enter(+Exit) passage for p. If release is non-nil, the
+// process holds the critical section until release is closed.
+func launch(p *rmr.Proc, h Handle, release <-chan struct{}) *passage {
+	ps := &passage{p: p, done: make(chan struct{})}
+	go func() {
+		defer close(ps.done)
+		before := p.RMRs()
+		if h.Enter() {
+			ps.entered.Store(true)
+			if release != nil {
+				<-release
+			}
+			h.Exit()
+			ps.ok = true
+		}
+		ps.rmrs = p.RMRs() - before
+	}()
+	return ps
+}
+
+// awaitEnqueued blocks until the passage's process is either past its
+// doorway (spinning), has entered the CS, or has finished.
+func (ps *passage) awaitEnqueued() {
+	for ps.p.Steps() < enqueueThreshold && !ps.entered.Load() {
+		select {
+		case <-ps.done:
+			return
+		default:
+			runtime.Gosched()
+		}
+	}
+}
+
+// abortAndWait delivers the abort signal and waits for the passage to end.
+func (ps *passage) abortAndWait() {
+	ps.p.SignalAbort()
+	<-ps.done
+}
+
+// StormResult reports an AbortStorm run.
+type StormResult struct {
+	// HolderPassage is the RMR cost of the complete passage that performed
+	// the handoff across every aborted slot (Table 1's "complete passage"
+	// with A_i aborts).
+	HolderPassage int64
+	// HolderExit isolates the exit-path handoff cost inside HolderPassage.
+	HolderExit int64
+	// WaiterPassage is the RMR cost of the successor's complete passage,
+	// including any abort-chain traversal its algorithm performs on entry.
+	WaiterPassage int64
+	// Aborted is the per-attempt RMR cost of every aborted passage.
+	Aborted Series
+	// Words is the shared-memory footprint after the run.
+	Words int
+	// Entered counts how many of the storm's aborters entered the CS
+	// anyway (possible when a handoff raced their signal; they exit
+	// normally and the run remains valid).
+	Entered int
+}
+
+// AbortStorm is AbortStormModel under the CC model, the Table 1 default.
+func AbortStorm(algo Algo, w, aborters int, reverse bool) (*StormResult, error) {
+	return AbortStormModel(rmr.CC, algo, w, aborters, reverse)
+}
+
+// AbortStormModel drives the Table 1 adaptive/worst-case scenario on a lock:
+// process 0 acquires and holds; `aborters` processes enqueue behind it and
+// then abort one at a time (front-to-back, or back-to-front if reverse is
+// set — the worst case for adoption-chain algorithms); one more process
+// enqueues as the live waiter; the holder exits, paying the handoff across
+// every abandoned slot; the waiter completes its passage.
+//
+// The total process count is aborters+2. MCS is rejected (not abortable).
+func AbortStormModel(model rmr.Model, algo Algo, w, aborters int, reverse bool) (*StormResult, error) {
+	if !algo.Abortable() {
+		return nil, fmt.Errorf("harness: %s cannot run an abort storm", algo)
+	}
+	nprocs := aborters + 2
+	m := rmr.NewMemory(model, nprocs, nil)
+	fn, err := Build(m, algo, w, nprocs)
+	if err != nil {
+		return nil, err
+	}
+
+	holderProc := m.Proc(0)
+	holder := fn(holderProc)
+	holderBefore := holderProc.RMRs()
+	if !holder.Enter() {
+		return nil, fmt.Errorf("harness: %s holder failed to acquire", algo)
+	}
+
+	// Enqueue the aborters one at a time so queue slots are deterministic.
+	abortersPs := make([]*passage, aborters)
+	for i := 0; i < aborters; i++ {
+		ps := launch(m.Proc(1+i), fn(m.Proc(1+i)), nil)
+		ps.awaitEnqueued()
+		abortersPs[i] = ps
+	}
+	// The live waiter enqueues last.
+	waiterProc := m.Proc(nprocs - 1)
+	waiter := launch(waiterProc, fn(waiterProc), nil)
+	waiter.awaitEnqueued()
+
+	// Abort in the requested order, one at a time.
+	order := make([]int, aborters)
+	for i := range order {
+		if reverse {
+			order[i] = aborters - 1 - i
+		} else {
+			order[i] = i
+		}
+	}
+	res := &StormResult{}
+	for _, i := range order {
+		abortersPs[i].abortAndWait()
+		if abortersPs[i].ok {
+			res.Entered++
+		} else {
+			res.Aborted = append(res.Aborted, abortersPs[i].rmrs)
+		}
+	}
+
+	// The holder releases, paying the adaptive handoff, and the waiter
+	// completes.
+	exitBefore := holderProc.RMRs()
+	holder.Exit()
+	res.HolderExit = holderProc.RMRs() - exitBefore
+	res.HolderPassage = holderProc.RMRs() - holderBefore
+	<-waiter.done
+	if !waiter.ok {
+		return nil, fmt.Errorf("harness: %s waiter failed to acquire", algo)
+	}
+	res.WaiterPassage = waiter.rmrs
+	res.Words = m.Size()
+	return res, nil
+}
+
+// QueueResult reports a QueueWorkload run.
+type QueueResult struct {
+	// Passages holds the per-process RMR cost of each complete passage.
+	Passages Series
+	// Words is the shared-memory footprint after the run.
+	Words int
+}
+
+// QueueWorkload is QueueWorkloadModel under the CC model.
+func QueueWorkload(algo Algo, w, nprocs int) (*QueueResult, error) {
+	return QueueWorkloadModel(rmr.CC, algo, w, nprocs)
+}
+
+// QueueWorkloadModel drives the Table 1 no-abort scenario: nprocs processes
+// enqueue one at a time until all wait behind the first, then the queue
+// drains through successive handoffs; every process performs one complete
+// passage. The per-passage RMR cost is the "No aborts" column.
+func QueueWorkloadModel(model rmr.Model, algo Algo, w, nprocs int) (*QueueResult, error) {
+	m := rmr.NewMemory(model, nprocs, nil)
+	fn, err := Build(m, algo, w, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	release := make(chan struct{})
+	passages := make([]*passage, nprocs)
+	for i := 0; i < nprocs; i++ {
+		ps := launch(m.Proc(i), fn(m.Proc(i)), release)
+		ps.awaitEnqueued()
+		passages[i] = ps
+	}
+	close(release)
+	res := &QueueResult{}
+	for i, ps := range passages {
+		<-ps.done
+		if !ps.ok {
+			return nil, fmt.Errorf("harness: %s process %d failed its passage", algo, i)
+		}
+		res.Passages = append(res.Passages, ps.rmrs)
+	}
+	res.Words = m.Size()
+	return res, nil
+}
+
+// MultiPassageResult reports a MultiPassage run.
+type MultiPassageResult struct {
+	// Passages holds every passage's RMR cost across all processes.
+	Passages Series
+	// WordsBefore and WordsAfter bracket the workload to expose space
+	// growth (Table 1's space column for the long-lived locks).
+	WordsBefore, WordsAfter int
+}
+
+// MultiPassage runs `passages` complete acquisitions per process on a
+// long-lived lock with free-running concurrency. It exercises instance
+// switching and recycling; per-passage costs include both.
+func MultiPassage(algo Algo, w, nprocs, passages int) (*MultiPassageResult, error) {
+	m := rmr.NewMemory(rmr.CC, nprocs, nil)
+	fn, err := Build(m, algo, w, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	res := &MultiPassageResult{WordsBefore: m.Size()}
+	series := make([]Series, nprocs)
+	var wg sync.WaitGroup
+	var failures atomic.Int32
+	for i := 0; i < nprocs; i++ {
+		i := i
+		p := m.Proc(i)
+		h := fn(p)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < passages; k++ {
+				before := p.RMRs()
+				if !h.Enter() {
+					failures.Add(1)
+					return
+				}
+				h.Exit()
+				series[i] = append(series[i], p.RMRs()-before)
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failures.Load(); f != 0 {
+		return nil, fmt.Errorf("harness: %s: %d processes failed", algo, f)
+	}
+	for _, s := range series {
+		res.Passages = append(res.Passages, s...)
+	}
+	res.WordsAfter = m.Size()
+	return res, nil
+}

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a formatted experiment result: a titled grid with a column
+// header, printed in the plain-text style of the paper's tables.
+type Table struct {
+	Title   string
+	Note    string // provenance / expectation note printed under the title
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table to w.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", t.Title)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = runeLen(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && runeLen(cell) > widths[i] {
+				widths[i] = runeLen(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		b.WriteString("  ")
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Columns)
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(rule)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table as a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// FprintCSV renders the table as RFC-4180 CSV (header row then data rows),
+// for feeding the figure series into external plotting tools.
+func (t *Table) FprintCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+func pad(s string, w int) string {
+	if n := w - runeLen(s); n > 0 {
+		return s + strings.Repeat(" ", n)
+	}
+	return s
+}

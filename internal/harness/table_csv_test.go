@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFprintCSV(t *testing.T) {
+	tbl := &Table{
+		Title:   "t",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "x,y") // comma must be quoted
+	tbl.AddRow("2", "z")
+	var b strings.Builder
+	if err := tbl.FprintCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n2,z\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestCSVForRealExperiment(t *testing.T) {
+	tbl, err := Fig4Adaptive([]int{64}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tbl.FprintCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "N,") {
+		t.Fatalf("header = %q", lines[0])
+	}
+}

@@ -1,0 +1,157 @@
+// Package linearizability implements a Wing–Gong-style linearizability
+// checker for histories of operations on a single shared word supporting
+// read, write, CAS, F&A, and SWAP — the primitive set of the paper's
+// machine model (§2).
+//
+// It is used to validate the rmr simulator itself: under free-running real
+// concurrency, recorded invocation/response histories of rmr.Memory
+// operations must be linearizable with respect to the sequential
+// specification of an atomic word. The checker performs an exhaustive
+// search over linearization orders with memoization, which is exponential
+// in the worst case but fast for the small, highly-concurrent histories
+// the tests generate.
+package linearizability
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is the operation type of a history entry.
+type Kind int
+
+// Operation kinds, mirroring the §2 primitive set.
+const (
+	Read Kind = iota + 1
+	Write
+	CAS
+	FAA
+	Swap
+)
+
+// String returns the mnemonic of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case CAS:
+		return "cas"
+	case FAA:
+		return "faa"
+	case Swap:
+		return "swap"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one completed operation in a concurrent history. Invoke and Return
+// are logical timestamps: Invoke is taken before the operation starts,
+// Return after it completes, from a single monotonic counter shared by all
+// recording goroutines.
+type Op struct {
+	Proc   int
+	Kind   Kind
+	Invoke int64
+	Return int64
+
+	// Arg is the written value (Write, Swap), the addend (FAA), or the
+	// proposed new value (CAS).
+	Arg uint64
+	// Expect is CAS's comparison value.
+	Expect uint64
+	// Out is the value returned: the read value (Read), the previous value
+	// (FAA, Swap), or 0/1 for a failed/successful CAS.
+	Out uint64
+}
+
+// apply runs op's sequential specification on state v, returning the new
+// state and whether op's recorded output matches.
+func (op Op) apply(v uint64) (uint64, bool) {
+	switch op.Kind {
+	case Read:
+		return v, op.Out == v
+	case Write:
+		return op.Arg, true
+	case CAS:
+		if v == op.Expect {
+			return op.Arg, op.Out == 1
+		}
+		return v, op.Out == 0
+	case FAA:
+		return v + op.Arg, op.Out == v
+	case Swap:
+		return op.Arg, op.Out == v
+	default:
+		return v, false
+	}
+}
+
+// Check reports whether the history is linearizable with respect to an
+// atomic word initialized to init. The history must consist of completed
+// operations (every Op has both timestamps) with Invoke < Return.
+func Check(init uint64, history []Op) bool {
+	n := len(history)
+	if n == 0 {
+		return true
+	}
+	if n > 64 {
+		// The memoization key is a 64-bit set; histories larger than 64
+		// operations must be checked piecewise by the caller.
+		panic("linearizability: history longer than 64 operations")
+	}
+	ops := make([]Op, n)
+	copy(ops, history)
+	// Sorting by invocation keeps the "minimal pending" frontier cheap.
+	sort.Slice(ops, func(i, j int) bool { return ops[i].Invoke < ops[j].Invoke })
+
+	// Depth-first search over linearization prefixes: state = (set of
+	// linearized ops, word value). An op may linearize next iff every op
+	// that *returned* before this op was *invoked* has already linearized
+	// (real-time order) and its output matches the sequential spec.
+	type key struct {
+		done uint64
+		val  uint64
+	}
+	seen := make(map[key]bool)
+	var dfs func(done uint64, val uint64) bool
+	dfs = func(done uint64, val uint64) bool {
+		if done == uint64(1)<<n-1 {
+			return true
+		}
+		k := key{done, val}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		// earliestReturn of not-yet-linearized ops: an op whose invocation
+		// is after some pending op's return cannot linearize next.
+		earliest := int64(1<<62 - 1)
+		for i := 0; i < n; i++ {
+			if done&(1<<i) == 0 && ops[i].Return < earliest {
+				earliest = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			if ops[i].Invoke > earliest {
+				// Some pending op returned before this one was invoked:
+				// real-time order forbids linearizing this one first.
+				continue
+			}
+			next, ok := ops[i].apply(val)
+			if !ok {
+				continue
+			}
+			if dfs(done|1<<i, next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, init)
+}

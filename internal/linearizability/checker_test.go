@@ -1,0 +1,181 @@
+package linearizability
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sublock/rmr"
+)
+
+func TestSequentialHistories(t *testing.T) {
+	// A strictly sequential history matching the spec linearizes.
+	h := []Op{
+		{Proc: 0, Kind: Write, Arg: 5, Invoke: 1, Return: 2},
+		{Proc: 0, Kind: Read, Out: 5, Invoke: 3, Return: 4},
+		{Proc: 0, Kind: FAA, Arg: 2, Out: 5, Invoke: 5, Return: 6},
+		{Proc: 0, Kind: Swap, Arg: 1, Out: 7, Invoke: 7, Return: 8},
+		{Proc: 0, Kind: CAS, Expect: 1, Arg: 9, Out: 1, Invoke: 9, Return: 10},
+		{Proc: 0, Kind: CAS, Expect: 1, Arg: 9, Out: 0, Invoke: 11, Return: 12},
+	}
+	if !Check(0, h) {
+		t.Fatal("valid sequential history rejected")
+	}
+}
+
+func TestRejectsWrongRead(t *testing.T) {
+	h := []Op{
+		{Proc: 0, Kind: Write, Arg: 5, Invoke: 1, Return: 2},
+		{Proc: 0, Kind: Read, Out: 6, Invoke: 3, Return: 4}, // impossible
+	}
+	if Check(0, h) {
+		t.Fatal("impossible read accepted")
+	}
+}
+
+func TestRejectsStaleReadAfterReturn(t *testing.T) {
+	// The write returned before the read was invoked, so the read cannot
+	// see the initial value: real-time order must be enforced.
+	h := []Op{
+		{Proc: 0, Kind: Write, Arg: 5, Invoke: 1, Return: 2},
+		{Proc: 1, Kind: Read, Out: 0, Invoke: 3, Return: 4},
+	}
+	if Check(0, h) {
+		t.Fatal("stale read accepted despite real-time order")
+	}
+}
+
+func TestAcceptsConcurrentEitherOrder(t *testing.T) {
+	// Overlapping write and read: the read may see either value.
+	for _, out := range []uint64{0, 5} {
+		h := []Op{
+			{Proc: 0, Kind: Write, Arg: 5, Invoke: 1, Return: 10},
+			{Proc: 1, Kind: Read, Out: out, Invoke: 2, Return: 9},
+		}
+		if !Check(0, h) {
+			t.Fatalf("concurrent read of %d rejected", out)
+		}
+	}
+}
+
+func TestRejectsDoubleCASWin(t *testing.T) {
+	// Two CAS(0→x) can't both succeed.
+	h := []Op{
+		{Proc: 0, Kind: CAS, Expect: 0, Arg: 1, Out: 1, Invoke: 1, Return: 10},
+		{Proc: 1, Kind: CAS, Expect: 0, Arg: 2, Out: 1, Invoke: 2, Return: 9},
+	}
+	if Check(0, h) {
+		t.Fatal("double CAS win accepted")
+	}
+}
+
+func TestFAAConcurrent(t *testing.T) {
+	// Two overlapping FAA(+1) from 0 must return 0 and 1 in some order.
+	ok := []Op{
+		{Proc: 0, Kind: FAA, Arg: 1, Out: 0, Invoke: 1, Return: 10},
+		{Proc: 1, Kind: FAA, Arg: 1, Out: 1, Invoke: 2, Return: 9},
+	}
+	if !Check(0, ok) {
+		t.Fatal("valid FAA pair rejected")
+	}
+	bad := []Op{
+		{Proc: 0, Kind: FAA, Arg: 1, Out: 0, Invoke: 1, Return: 10},
+		{Proc: 1, Kind: FAA, Arg: 1, Out: 0, Invoke: 2, Return: 9},
+	}
+	if Check(0, bad) {
+		t.Fatal("duplicate FAA return accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Read: "read", Write: "write", CAS: "cas", FAA: "faa", Swap: "swap", Kind(9): "Kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind %d → %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+// recordOps drives `procs` goroutines performing random operations on one
+// rmr word concurrently and records the invocation/response history.
+func recordOps(t *testing.T, seed int64, procs, perProc int) []Op {
+	t.Helper()
+	m := rmr.NewMemory(rmr.CC, procs, nil)
+	a := m.Alloc(0)
+	var clock atomic.Int64
+	history := make([][]Op, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(seed + int64(i)*997))
+		p := m.Proc(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perProc; k++ {
+				op := Op{Proc: i, Invoke: clock.Add(1)}
+				switch rng.Intn(5) {
+				case 0:
+					op.Kind = Read
+					op.Out = p.Read(a)
+				case 1:
+					op.Kind = Write
+					op.Arg = uint64(rng.Intn(8))
+					p.Write(a, op.Arg)
+				case 2:
+					op.Kind = CAS
+					op.Expect = uint64(rng.Intn(8))
+					op.Arg = uint64(rng.Intn(8))
+					if p.CAS(a, op.Expect, op.Arg) {
+						op.Out = 1
+					}
+				case 3:
+					op.Kind = FAA
+					op.Arg = uint64(rng.Intn(4))
+					op.Out = p.FAA(a, op.Arg)
+				case 4:
+					op.Kind = Swap
+					op.Arg = uint64(rng.Intn(8))
+					op.Out = p.Swap(a, op.Arg)
+				}
+				op.Return = clock.Add(1)
+				history[i] = append(history[i], op)
+			}
+		}()
+	}
+	wg.Wait()
+	var all []Op
+	for _, h := range history {
+		all = append(all, h...)
+	}
+	return all
+}
+
+// TestSimulatorPrimitivesLinearizable validates the rmr memory under real
+// concurrency: every recorded history must linearize against the atomic
+// word specification.
+func TestSimulatorPrimitivesLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		h := recordOps(t, seed, 4, 10)
+		if len(h) > 64 {
+			t.Fatal("history too long for the checker")
+		}
+		if !Check(0, h) {
+			t.Fatalf("seed %d: rmr.Memory produced a non-linearizable history: %+v", seed, h)
+		}
+	}
+}
+
+func TestEmptyAndOversizedHistories(t *testing.T) {
+	if !Check(7, nil) {
+		t.Fatal("empty history rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >64 ops")
+		}
+	}()
+	Check(0, make([]Op, 65))
+}

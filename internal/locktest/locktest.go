@@ -1,0 +1,100 @@
+// Package locktest provides a deterministic correctness harness shared by
+// the test suites of every simulated lock in this repository. It runs one
+// passage per process under a seeded random schedule and checks the two
+// universal properties: mutual exclusion and schedule termination
+// (deadlock/livelock freedom for the given workload).
+package locktest
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sublock/rmr"
+)
+
+// Handle is the per-process interface every simulated lock exposes.
+type Handle interface {
+	// Enter acquires the lock, returning false if the attempt was aborted.
+	Enter() bool
+	// Exit releases the lock after a successful Enter.
+	Exit()
+}
+
+// Factory builds a lock in m and returns a function producing per-process
+// handles. nprocs is the number of processes that will participate.
+type Factory func(m *rmr.Memory, nprocs int) (func(p *rmr.Proc) Handle, error)
+
+// Result reports what happened during a Run.
+type Result struct {
+	// Entered[i] reports whether process i's Enter returned true.
+	Entered []bool
+	// MaxInCS is the maximum number of processes observed inside the
+	// critical section simultaneously; mutual exclusion requires ≤ 1
+	// (Run already fails the test otherwise).
+	MaxInCS int32
+	// RMRs[i] is the number of RMRs process i incurred for its passage.
+	RMRs []int64
+}
+
+// Run executes one Enter/CS/Exit passage per process under a seeded random
+// schedule, delivering the abort signal to the processes in aborters before
+// they start. It fails t on mutual-exclusion violations and on schedules
+// that do not terminate within the step budget.
+func Run(t *testing.T, model rmr.Model, nprocs int, seed int64, factory Factory, aborters map[int]bool) Result {
+	t.Helper()
+	s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+	m := rmr.NewMemory(model, nprocs, nil)
+	handleFor, err := factory(m, nprocs)
+	if err != nil {
+		t.Fatalf("seed %d: factory: %v", seed, err)
+	}
+	m.SetGate(s)
+
+	res := Result{
+		Entered: make([]bool, nprocs),
+		RMRs:    make([]int64, nprocs),
+	}
+	var inCS, maxCS atomic.Int32
+	for i := 0; i < nprocs; i++ {
+		p := m.Proc(i)
+		if aborters[i] {
+			p.SignalAbort()
+		}
+		h := handleFor(p)
+		i := i
+		s.Go(func() {
+			before := p.RMRs()
+			if h.Enter() {
+				cur := inCS.Add(1)
+				for {
+					old := maxCS.Load()
+					if cur <= old || maxCS.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+				res.Entered[i] = true
+				inCS.Add(-1)
+				h.Exit()
+			}
+			res.RMRs[i] = p.RMRs() - before
+		})
+	}
+	if err := s.Run(100_000_000); err != nil {
+		t.Fatalf("seed %d: schedule did not terminate: %v", seed, err)
+	}
+	res.MaxInCS = maxCS.Load()
+	if res.MaxInCS > 1 {
+		t.Fatalf("seed %d: mutual exclusion violated: %d processes in CS", seed, res.MaxInCS)
+	}
+	return res
+}
+
+// RequireAllEntered fails t unless every process not in aborters entered.
+func RequireAllEntered(t *testing.T, res Result, seed int64, aborters map[int]bool) {
+	t.Helper()
+	for i, e := range res.Entered {
+		if !aborters[i] && !e {
+			t.Fatalf("seed %d: non-aborting process %d never entered", seed, i)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Package mem defines the shared-memory access interface that the simulated
+// lock algorithms are written against. *rmr.Proc implements it directly; the
+// reclaim package provides a versioned wrapper implementing the lazy-reset
+// scheme of §6.2, which lets recycled lock instances behave as freshly
+// initialized without an O(s(N))-RMR reset pass.
+package mem
+
+import "sublock/rmr"
+
+// Ops is the set of atomic operations the paper's algorithms use
+// (read, write, CAS, F&A — §2). Implementations attribute the RMR cost of
+// each operation to the process on whose behalf they act.
+type Ops interface {
+	Read(a rmr.Addr) uint64
+	Write(a rmr.Addr, v uint64)
+	CAS(a rmr.Addr, old, new uint64) bool
+	FAA(a rmr.Addr, delta uint64) uint64
+}
+
+var _ Ops = (*rmr.Proc)(nil)
+
+// Allocator hands out shared words at construction time. *rmr.Memory
+// implements it directly; reclaim.Region implements it with logical
+// addresses backed by (version, incarnation-pair) word triples, which is
+// how a recycled one-shot lock instance reads as freshly initialized
+// without an O(s(N))-RMR reset (§6.2).
+//
+// Allocation and Poke happen during initialization only and are not charged
+// RMRs, matching the paper's model (initial values are givens, not steps).
+type Allocator interface {
+	Alloc(init uint64) rmr.Addr
+	AllocN(n int, init uint64) rmr.Addr
+	Poke(a rmr.Addr, v uint64)
+	Model() rmr.Model
+}
+
+var _ Allocator = (*rmr.Memory)(nil)

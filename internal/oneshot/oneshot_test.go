@@ -1,0 +1,575 @@
+package oneshot
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"sublock/rmr"
+)
+
+// runPassages runs one Enter/CS/Exit passage per process under a seeded
+// random schedule. Processes in aborters receive the abort signal before
+// they start. It verifies mutual exclusion and that the schedule completes,
+// and returns for each process whether it entered the CS, plus its slot.
+func runPassages(t *testing.T, model rmr.Model, cfg Config, nprocs int, aborters map[int]bool, seed int64) (entered []bool, slots []int) {
+	t.Helper()
+	s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+	m := rmr.NewMemory(model, nprocs, nil)
+	lk, err := New(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetGate(s)
+
+	entered = make([]bool, nprocs)
+	slots = make([]int, nprocs)
+	var inCS atomic.Int32
+	var maxCS atomic.Int32
+	for i := 0; i < nprocs; i++ {
+		p := m.Proc(i)
+		if aborters[i] {
+			p.SignalAbort()
+		}
+		h := lk.Handle(p)
+		i := i
+		s.Go(func() {
+			if !h.Enter() {
+				slots[i] = h.Slot()
+				return
+			}
+			cur := inCS.Add(1)
+			for {
+				old := maxCS.Load()
+				if cur <= old || maxCS.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			inCS.Add(-1)
+			entered[i] = true
+			slots[i] = h.Slot()
+			h.Exit()
+		})
+	}
+	if err := s.Run(50_000_000); err != nil {
+		t.Fatalf("seed %d: schedule did not complete: %v", seed, err)
+	}
+	if got := maxCS.Load(); got > 1 {
+		t.Fatalf("seed %d: mutual exclusion violated: %d processes in CS", seed, got)
+	}
+	return entered, slots
+}
+
+func TestSingleProcess(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	lk, err := New(m, Config{W: 4, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := lk.Handle(m.Proc(0))
+	if !h.Enter() {
+		t.Fatal("Enter failed with no contention")
+	}
+	if h.Slot() != 0 {
+		t.Fatalf("Slot = %d, want 0", h.Slot())
+	}
+	h.Exit()
+}
+
+func TestSequentialChain(t *testing.T) {
+	// Processes enter strictly one after another (no concurrency): each
+	// must acquire immediately after its predecessor exits.
+	const n = 8
+	m := rmr.NewMemory(rmr.CC, n, nil)
+	lk, err := New(m, Config{W: 2, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		h := lk.Handle(m.Proc(i))
+		if !h.Enter() {
+			t.Fatalf("process %d failed to enter", i)
+		}
+		h.Exit()
+	}
+}
+
+func TestMutualExclusionNoAborts(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		entered, _ := runPassages(t, rmr.CC, Config{W: 4, N: 16}, 16, nil, seed)
+		for i, e := range entered {
+			if !e {
+				t.Fatalf("seed %d: process %d never entered (starvation)", seed, i)
+			}
+		}
+	}
+}
+
+func TestMutualExclusionWithAborts(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		aborters := map[int]bool{1: true, 3: true, 4: true, 7: true, 11: true}
+		entered, _ := runPassages(t, rmr.CC, Config{W: 4, N: 16}, 16, aborters, seed)
+		// An aborter may still enter if it was handed the lock before
+		// noticing the signal (paper footnote 2) — runPassages verifies it
+		// then exits correctly. The hard requirements are mutual exclusion
+		// (checked inside runPassages) and that no non-aborter starves.
+		for i, e := range entered {
+			if !aborters[i] && !e {
+				t.Fatalf("seed %d: non-aborter %d starved", seed, i)
+			}
+		}
+	}
+}
+
+func TestAllAbort(t *testing.T) {
+	// Everybody receives the signal before starting. The process that draws
+	// slot 0 always enters (its go flag is pre-set, so it is granted before
+	// it can notice the signal); others abort unless a handoff raced ahead
+	// of their signal check. The critical liveness property is that the
+	// schedule terminates: nobody may hang waiting for a handoff that no
+	// remaining process is responsible for.
+	for seed := int64(0); seed < 25; seed++ {
+		all := make(map[int]bool, 12)
+		for i := 0; i < 12; i++ {
+			all[i] = true
+		}
+		entered, slots := runPassages(t, rmr.CC, Config{W: 2, N: 12}, 12, all, seed)
+		for i, e := range entered {
+			if slots[i] == 0 && !e {
+				t.Fatalf("seed %d: slot-0 process %d did not enter", seed, i)
+			}
+		}
+	}
+}
+
+func TestAdaptiveVariantPassages(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		aborters := map[int]bool{2: true, 5: true, 6: true}
+		entered, _ := runPassages(t, rmr.CC, Config{W: 4, N: 16, Adaptive: true}, 16, aborters, seed)
+		for i, e := range entered {
+			if !aborters[i] && !e {
+				t.Fatalf("seed %d: non-aborter %d starved (adaptive)", seed, i)
+			}
+		}
+	}
+}
+
+func TestDSMVariant(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		aborters := map[int]bool{1: true, 4: true}
+		entered, _ := runPassages(t, rmr.DSM, Config{W: 4, N: 12}, 12, aborters, seed)
+		for i, e := range entered {
+			if !aborters[i] && !e {
+				t.Fatalf("seed %d: non-aborter %d starved (DSM)", seed, i)
+			}
+		}
+	}
+}
+
+func TestFCFS(t *testing.T) {
+	// FCFS (Lemma 17): among non-aborting processes, CS entry order equals
+	// doorway (slot) order. Entry order is observed inside the CS, where
+	// mutual exclusion makes the observation race-free.
+	for seed := int64(0); seed < 25; seed++ {
+		const n = 12
+		s := rmr.NewScheduler(n, rmr.RandomPick(seed))
+		m := rmr.NewMemory(rmr.CC, n, nil)
+		lk, err := New(m, Config{W: 2, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetGate(s)
+		var order []int
+		for i := 0; i < n; i++ {
+			h := lk.Handle(m.Proc(i))
+			s.Go(func() {
+				if h.Enter() {
+					order = append(order, h.Slot()) // safe: inside the CS
+					h.Exit()
+				}
+			})
+		}
+		if err := s.Run(50_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for k := 1; k < len(order); k++ {
+			if order[k] < order[k-1] {
+				t.Fatalf("seed %d: FCFS violated: CS order %v", seed, order)
+			}
+		}
+		if len(order) != n {
+			t.Fatalf("seed %d: only %d of %d entered", seed, len(order), n)
+		}
+	}
+}
+
+func TestNoAbortPassageIsO1(t *testing.T) {
+	// Table 1 "No aborts" column: with no aborts a complete passage incurs
+	// O(1) RMRs regardless of N — here sequential, so the count is exact
+	// and identical for every N.
+	for _, n := range []int{8, 64, 512, 4096} {
+		m := rmr.NewMemory(rmr.CC, 2, nil)
+		lk, err := New(m, Config{W: 8, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Proc(0)
+		before := p.RMRs()
+		h := lk.Handle(p)
+		if !h.Enter() {
+			t.Fatal("Enter failed")
+		}
+		h.Exit()
+		cost := p.RMRs() - before
+		// Doorway F&A + go read + Head write + LastExited write +
+		// FindNext's reads + (no successor: ⊥ after ascending…) — with
+		// nobody else in the queue FindNext(0) ascends to the root. To keep
+		// this truly O(1) independent of N we assert a small constant bound
+		// only for the adaptive variant below; plain FindNext pays its
+		// ascent here. Sanity: cost must not exceed 4 + 2·height.
+		maxCost := int64(4 + 2*lk.Tree().Height())
+		if cost > maxCost {
+			t.Errorf("N=%d: passage RMRs = %d, want ≤ %d", n, cost, maxCost)
+		}
+	}
+}
+
+func TestNoAbortPassageAdaptiveExactlyConstant(t *testing.T) {
+	// With AdaptiveFindNext, the exit's successor search costs O(1) when no
+	// process aborted, so the whole passage is a constant independent of N.
+	var costs []int64
+	for _, n := range []int{8, 64, 512, 4096} {
+		m := rmr.NewMemory(rmr.CC, 2, nil)
+		lk, err := New(m, Config{W: 8, N: n, Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := m.Proc(0)
+		before := p.RMRs()
+		h := lk.Handle(p)
+		if !h.Enter() {
+			t.Fatal("Enter failed")
+		}
+		h.Exit()
+		costs = append(costs, p.RMRs()-before)
+	}
+	for i := 1; i < len(costs); i++ {
+		if costs[i] != costs[0] {
+			t.Fatalf("adaptive no-abort passage cost varies with N: %v", costs)
+		}
+	}
+	if costs[0] > 8 {
+		t.Fatalf("adaptive no-abort passage cost = %d, want small constant", costs[0])
+	}
+}
+
+func TestHandoffUnderContentionIsO1PerPassage(t *testing.T) {
+	// Queue of n processes, no aborts, concurrent: every passage (including
+	// the handoff to the next waiter) costs O(1) — at most a fixed constant
+	// independent of n. FindNext(i) finds i+1 after reading one node.
+	const n = 32
+	s := rmr.NewScheduler(n, rmr.RandomPick(9))
+	m := rmr.NewMemory(rmr.CC, n, nil)
+	lk, err := New(m, Config{W: 8, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetGate(s)
+	costs := make([]int64, n)
+	for i := 0; i < n; i++ {
+		p := m.Proc(i)
+		h := lk.Handle(p)
+		i := i
+		s.Go(func() {
+			before := p.RMRs()
+			if h.Enter() {
+				h.Exit()
+			}
+			costs[i] = p.RMRs() - before
+		})
+	}
+	if err := s.Run(50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range costs {
+		// Enter: F&A + spin (1 initial read + 1 re-read after the grant's
+		// invalidation) + Head write. Exit: LastExited write + FindNext
+		// (≤ 2 reads at W=8 … next slot is a sibling or one sidestep away,
+		// plain variant may ascend: bound by 2H) + go write + an extra
+		// cached read. Generous constant:
+		if c > 12 {
+			t.Errorf("process %d passage RMRs = %d, want ≤ 12", i, c)
+		}
+	}
+}
+
+func TestAbortCostBounded(t *testing.T) {
+	// Bounded abort: an abort completes within O(height) of the aborter's
+	// own steps once signalled, and an aborted attempt costs O(log_W A_t)
+	// RMRs (Corollary 22).
+	const n = 64
+	m := rmr.NewMemory(rmr.CC, n, nil)
+	lk, err := New(m, Config{W: 4, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Process 0 takes slot 0 and holds the lock.
+	h0 := lk.Handle(m.Proc(0))
+	if !h0.Enter() {
+		t.Fatal("holder failed to enter")
+	}
+	// Processes 1..40 enqueue then abort, one by one (sequentially).
+	for i := 1; i <= 40; i++ {
+		p := m.Proc(i)
+		p.SignalAbort()
+		h := lk.Handle(p)
+		before, beforeSteps := p.RMRs(), p.Steps()
+		if h.Enter() {
+			t.Fatalf("aborter %d entered", i)
+		}
+		rmrs := p.RMRs() - before
+		steps := p.Steps() - beforeSteps
+		// Abort: doorway F&A + one go read + Remove ascent (≤H F&As) +
+		// Head/LastExited reads [+ a handoff that cannot apply here].
+		maxCost := int64(5 + lk.Tree().Height())
+		if rmrs > maxCost {
+			t.Errorf("aborter %d: RMRs = %d, want ≤ %d", i, rmrs, maxCost)
+		}
+		if steps > maxCost+4 {
+			t.Errorf("aborter %d: steps = %d, want ≤ %d (bounded abort)", i, steps, maxCost+4)
+		}
+	}
+	h0.Exit()
+}
+
+func TestResponsibilityHandoff(t *testing.T) {
+	// The ⊤ scenario of §3: the exiter's FindNext crosses paths with an
+	// aborter's Remove and returns ⊤ without signalling anybody; the
+	// aborter must then complete the handoff on the exiter's behalf, or a
+	// live waiter is stranded forever.
+	//
+	// Geometry (W=2, N=8, tree of height 3): slot 0 holds the lock; slots
+	// 1, 2, 3 abort; slot 4 waits. Remove(3) is paused after its F&A makes
+	// node {2,3} EMPTY but before it sets {2,3}'s bit in node {0..3}. The
+	// exiter's FindNext(0) then sees a clear bit for {2,3}, descends into
+	// it, reads EMPTY, and returns ⊤. When Remove(3) resumes and finishes,
+	// process 3 observes Head = LastExited = 0, assumes responsibility, and
+	// its own FindNext(0) locates slot 4.
+	const n = 5
+	c := rmr.NewController(n)
+	m := rmr.NewMemory(rmr.CC, n, nil)
+	lk, err := New(m, Config{W: 2, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetGate(c)
+
+	handles := make([]*Handle, n)
+	results := make([]bool, n)
+	for i := 0; i < n; i++ {
+		handles[i] = lk.Handle(m.Proc(i))
+	}
+
+	// proc0 enters the CS (slot 0 is pre-granted): F&A, read go[0]=1,
+	// write Head.
+	c.Go(0, func() {
+		results[0] = handles[0].Enter()
+		handles[0].Exit()
+	})
+	c.StepN(0, 3)
+
+	// procs 1..4 enqueue in slot order: doorway F&A + first go read each.
+	for i := 1; i < n; i++ {
+		i := i
+		c.Go(i, func() {
+			results[i] = handles[i].Enter()
+			if results[i] {
+				handles[i].Exit()
+			}
+		})
+		c.StepN(i, 2)
+	}
+
+	// Slots 1 and 2 abort to completion. The holder has not exited, so
+	// Head=0 ≠ LastExited=−1 and neither attempts a handoff.
+	for _, i := range []int{1, 2} {
+		m.Proc(i).SignalAbort()
+		c.Finish(i, 1000)
+		if results[i] {
+			t.Fatalf("aborter %d entered the CS", i)
+		}
+	}
+
+	// Slot 3 aborts but is paused mid-Remove: one spin re-read (notices the
+	// signal), then the F&A that makes node {2,3} EMPTY — and stops before
+	// the F&A that would set {2,3}'s bit in node {0..3}.
+	m.Proc(3).SignalAbort()
+	c.StepN(3, 2)
+
+	// The holder exits: reads Head, writes LastExited=0, then FindNext(0):
+	// node {0,1} (bit 1 set → ascend), node {0..3} (bit for {2,3} still
+	// clear → descend), node {2,3} = EMPTY → ⊤ → Exit returns without
+	// signalling anyone.
+	c.Finish(0, 1000)
+	if got := m.Peek(lk.goB + rmr.Addr(4)); got != 0 {
+		t.Fatalf("go[4] = %d after ⊤ exit, want 0 (exiter must not have signalled)", got)
+	}
+
+	// Process 3 resumes: completes Remove(3), reads Head=0 = LastExited=0,
+	// assumes responsibility, and its FindNext(0) finds slot 4.
+	c.Finish(3, 1000)
+	if results[3] {
+		t.Fatal("aborter 3 entered the CS")
+	}
+	if got := m.Peek(lk.goB + rmr.Addr(4)); got != 1 {
+		t.Fatalf("go[4] = %d after responsible abort, want 1", got)
+	}
+
+	// The waiter acquires and exits.
+	c.Finish(4, 1000)
+	c.Wait()
+	if !results[0] {
+		t.Fatal("holder failed to enter")
+	}
+	if !results[4] {
+		t.Fatal("waiter was stranded: responsibility handoff failed")
+	}
+}
+
+func TestAbortAfterGrantStillSignalsSuccessor(t *testing.T) {
+	// A process whose go flag is already set but that detects the abort
+	// signal first must pass the lock on so a later waiter is not stranded.
+	// proc0 enters/exits handing to slot1; slot1's process aborts without
+	// ever reading go[1]=1; slot2's process must still acquire.
+	const n = 3
+	c := rmr.NewController(n)
+	m := rmr.NewMemory(rmr.CC, n, nil)
+	lk, err := New(m, Config{W: 2, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetGate(c)
+
+	h := []*Handle{lk.Handle(m.Proc(0)), lk.Handle(m.Proc(1)), lk.Handle(m.Proc(2))}
+	res := make([]bool, n)
+
+	c.Go(0, func() {
+		res[0] = h[0].Enter()
+		h[0].Exit()
+	})
+	c.StepN(0, 3) // enter CS
+	c.Go(1, func() { res[1] = h[1].Enter() })
+	c.StepN(1, 2) // doorway + first go read (go[1]=0): now spinning
+	c.Go(2, func() { res[2] = h[2].Enter() })
+	c.StepN(2, 2) // doorway + first go read: spinning on go[2]
+
+	// Deliver proc1's abort signal, then let it take one more spin read:
+	// go[1] is still 0, so it notices the signal and commits to aborting —
+	// its next operation will be Remove(1)'s F&A.
+	m.Proc(1).SignalAbort()
+	c.Step(1)
+
+	// Now proc0 exits: FindNext(0) = 1 (Remove(1) has not started), so it
+	// grants go[1] — a grant its recipient will never use.
+	c.Finish(0, 1000)
+	if !res[0] {
+		t.Fatal("proc0 failed")
+	}
+
+	// proc1 aborts despite the pending grant: Remove(1); then it reads
+	// Head = 0 = LastExited, assumes responsibility for the handoff, and
+	// its FindNext(0) finds slot 2.
+	c.Finish(1, 1000)
+	if res[1] {
+		t.Fatal("proc1 should have aborted")
+	}
+	c.Finish(2, 1000)
+	if !res[2] {
+		t.Fatal("proc2 was stranded: abort-after-grant did not hand off")
+	}
+	c.Wait()
+}
+
+func TestMisusePanics(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 2, nil)
+	lk, err := New(m, Config{W: 2, N: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("double enter", func(t *testing.T) {
+		h := lk.Handle(m.Proc(0))
+		if !h.Enter() {
+			t.Fatal("enter failed")
+		}
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		h.Enter()
+	})
+	t.Run("exit without enter", func(t *testing.T) {
+		h := lk.Handle(m.Proc(1))
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		h.Exit()
+	})
+}
+
+func TestTooManyEntrantsPanics(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 2, nil)
+	lk, err := New(m, Config{W: 2, N: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0 := lk.Handle(m.Proc(0))
+	if !h0.Enter() {
+		t.Fatal("enter failed")
+	}
+	h0.Exit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	lk.Handle(m.Proc(1)).Enter()
+}
+
+func TestDSMSpinIsLocal(t *testing.T) {
+	// In the DSM model a waiting process must incur O(1) RMRs no matter how
+	// long it waits (the §3 DSM variant's whole point). Let proc1 spin for
+	// many scheduler steps before proc0 releases, then compare RMR counts.
+	const n = 2
+	c := rmr.NewController(n)
+	m := rmr.NewMemory(rmr.DSM, n, nil)
+	lk, err := New(m, Config{W: 2, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetGate(c)
+
+	h0, h1 := lk.Handle(m.Proc(0)), lk.Handle(m.Proc(1))
+	c.Go(0, func() {
+		h0.Enter()
+		h0.Exit()
+	})
+	c.StepN(0, 3) // proc0 in CS
+	var ok bool
+	c.Go(1, func() { ok = h1.Enter() })
+	c.StepN(1, 400) // doorway, announce publish, go read, long local spin
+	spinRMRs := m.Proc(1).RMRs()
+	if spinRMRs > 4 {
+		t.Fatalf("DSM waiter RMRs while spinning = %d, want ≤ 4", spinRMRs)
+	}
+	c.Finish(0, 1000)
+	c.Finish(1, 1000)
+	c.Wait()
+	if !ok {
+		t.Fatal("waiter did not acquire")
+	}
+	if total := m.Proc(1).RMRs(); total > 6 {
+		t.Fatalf("DSM waiter total RMRs = %d, want ≤ 6", total)
+	}
+}

@@ -1,0 +1,80 @@
+package reclaim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sublock/rmr"
+)
+
+// TestQuickRegionVsModel drives random write/read/recycle sequences against
+// a plain map model: after any number of recycles, unwritten words read
+// their initial value and written words read the last value written in the
+// current incarnation.
+func TestQuickRegionVsModel(t *testing.T) {
+	type step struct {
+		Op   uint8 // 0: write, 1: read-check, 2: recycle, 3: faa
+		Word uint8
+		Val  uint16
+	}
+	type scenario struct {
+		VBits uint8
+		Inits [6]uint16
+		Steps []step
+	}
+	f := func(s scenario) bool {
+		vbits := uint(1 + s.VBits%8)
+		m := rmr.NewMemory(rmr.CC, 1, nil)
+		r, err := NewRegion(m, vbits)
+		if err != nil {
+			return false
+		}
+		const nwords = 6
+		base := r.AllocN(nwords, 0)
+		model := make([]uint64, nwords)
+		inits := make([]uint64, nwords)
+		for i := range inits {
+			inits[i] = uint64(s.Inits[i])
+			r.Poke(base+rmr.Addr(i), inits[i])
+			model[i] = inits[i]
+		}
+		r.Seal()
+		p := m.Proc(0)
+		acc := r.Accessor(p)
+		for _, st := range s.Steps {
+			w := int(st.Word) % nwords
+			a := base + rmr.Addr(w)
+			switch st.Op % 4 {
+			case 0:
+				acc.Write(a, uint64(st.Val))
+				model[w] = uint64(st.Val)
+			case 1:
+				if got := acc.Read(a); got != model[w] {
+					return false
+				}
+			case 2:
+				r.Recycle(p)
+				copy(model, inits)
+				acc = r.Accessor(p)
+			case 3:
+				if old := acc.FAA(a, uint64(st.Val)); old != model[w] {
+					return false
+				}
+				model[w] += uint64(st.Val)
+			}
+		}
+		// Final full check, including through Peek.
+		for w := 0; w < nwords; w++ {
+			if got := acc.Read(base + rmr.Addr(w)); got != model[w] {
+				return false
+			}
+			if got := r.Peek(base + rmr.Addr(w)); got != model[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,228 @@
+// Package reclaim implements the memory-management schemes of §6.2 of the
+// paper, which bound the space of the long-lived lock:
+//
+//   - Region: versioned lazy reset for recycled one-shot lock instances.
+//     Every logical word w of an instance is backed by a triple (V_w, w_0,
+//     w_1): V_w holds a version number and an incarnation bit b_w, w_b is
+//     the live copy, and w_{1−b} always holds w's initial value. A process
+//     reading a stale version flips the incarnation with one CAS — so the
+//     fresh copy (pre-loaded with the initial value) becomes live — and
+//     resets the old copy for the following reuse. Recycling an instance is
+//     then a version bump plus an O(s(N)/2^vbits) eager sweep that defeats
+//     version wraparound, instead of an O(s(N))-RMR full reset.
+//
+//   - Hazards: announcement-based protection for spin nodes, replacing the
+//     Aghazadeh et al. reclamation scheme with a hazard-pointer-style
+//     protocol of the same safety ("never recycle a node a process may
+//     still busy-wait on") and amortized O(1) RMR cost (see DESIGN.md,
+//     Substitutions).
+package reclaim
+
+import (
+	"fmt"
+
+	"sublock/internal/mem"
+	"sublock/rmr"
+)
+
+// Region is a set of logical shared words with versioned lazy reset.
+// Addresses handed out by the Region are logical: they index the Region's
+// word table and are only meaningful to accessors created by Accessor.
+//
+// Construct the guarded object (e.g. a one-shot lock) by passing the Region
+// as its mem.Allocator, then Seal it. Thereafter:
+//
+//   - Accessor(p) returns the mem.Ops through which process p must perform
+//     every operation on the object's words;
+//   - Recycle(p) makes the object read as freshly initialized again. The
+//     caller must guarantee quiescence (no process is still operating on
+//     the previous incarnation), which the long-lived transformation gets
+//     from its reference count (Claim 24).
+type Region struct {
+	m      *rmr.Memory
+	vbits  uint
+	vmask  uint64
+	verA   rmr.Addr // physical word holding the region's current version
+	words  []triple
+	sealed bool
+	cursor int // eager-reset cursor; touched only by the (unique) recycler
+}
+
+// triple is the physical backing of one logical word.
+type triple struct {
+	v    rmr.Addr // V_w: version<<1 | incarnation bit
+	w0   rmr.Addr // incarnation 0
+	w1   rmr.Addr // incarnation 1
+	init uint64   // the word's initial value
+}
+
+var _ mem.Allocator = (*Region)(nil)
+
+// NewRegion creates an empty region in m. vbits (1..62) is the width of the
+// version field; wraparound occurs every 2^vbits recycles and is defeated by
+// the eager sweep, so small values are fine (and make wraparound testable).
+func NewRegion(m *rmr.Memory, vbits uint) (*Region, error) {
+	if vbits < 1 || vbits > 62 {
+		return nil, fmt.Errorf("reclaim: vbits=%d outside [1,62]", vbits)
+	}
+	return &Region{
+		m:     m,
+		vbits: vbits,
+		vmask: (uint64(1) << vbits) - 1,
+		verA:  m.Alloc(0),
+	}, nil
+}
+
+// Alloc implements mem.Allocator with a logical address.
+func (r *Region) Alloc(init uint64) rmr.Addr {
+	return r.AllocN(1, init)
+}
+
+// AllocN implements mem.Allocator: n adjacent logical words.
+func (r *Region) AllocN(n int, init uint64) rmr.Addr {
+	if r.sealed {
+		panic("reclaim: AllocN on a sealed region")
+	}
+	base := len(r.words)
+	for i := 0; i < n; i++ {
+		r.words = append(r.words, triple{
+			v:    r.m.Alloc(0), // version 0, incarnation 0
+			w0:   r.m.Alloc(init),
+			w1:   r.m.Alloc(init),
+			init: init,
+		})
+	}
+	return rmr.Addr(base)
+}
+
+// Poke implements mem.Allocator: it redefines the word's initial value, so
+// initialization-time Pokes (tree padding, go[0]=1) survive every recycle.
+func (r *Region) Poke(a rmr.Addr, v uint64) {
+	if r.sealed {
+		panic("reclaim: Poke on a sealed region")
+	}
+	t := &r.words[a]
+	t.init = v
+	r.m.Poke(t.w0, v)
+	r.m.Poke(t.w1, v)
+}
+
+// Model implements mem.Allocator.
+func (r *Region) Model() rmr.Model { return r.m.Model() }
+
+// Seal freezes the region's layout. It must be called after the guarded
+// object is constructed and before any Accessor or Recycle call.
+func (r *Region) Seal() { r.sealed = true }
+
+// Words returns the number of logical words in the region (the instance's
+// space complexity s; physical backing is 3s+1 words).
+func (r *Region) Words() int { return len(r.words) }
+
+// Peek returns the current value of logical word a without charging RMRs.
+// Test/harness facility only.
+func (r *Region) Peek(a rmr.Addr) uint64 {
+	t := r.words[a]
+	ver := r.m.Peek(r.verA)
+	vw := r.m.Peek(t.v)
+	if vw>>1 != ver&r.vmask {
+		return t.init
+	}
+	if vw&1 == 0 {
+		return r.m.Peek(t.w0)
+	}
+	return r.m.Peek(t.w1)
+}
+
+// Recycle makes the region read as freshly initialized: it advances the
+// version (lazily invalidating every live copy), eagerly resets a quota of
+// ⌈s/2^vbits⌉ words so that no word can survive an entire version
+// wraparound unreset, and publishes the new version. p is charged the RMRs.
+// The caller must guarantee no process is still using the old incarnation.
+func (r *Region) Recycle(p *rmr.Proc) {
+	ver := (p.Read(r.verA) + 1) & r.vmask
+	quota := (len(r.words) + (1 << r.vbits) - 1) >> r.vbits
+	for i := 0; i < quota; i++ {
+		t := r.words[r.cursor]
+		p.Write(t.v, ver<<1) // version = ver, incarnation 0
+		p.Write(t.w0, t.init)
+		p.Write(t.w1, t.init)
+		r.cursor = (r.cursor + 1) % len(r.words)
+	}
+	p.Write(r.verA, ver)
+}
+
+// Accessor returns the mem.Ops through which process p operates on the
+// region's current incarnation. A fresh accessor must be used for each
+// acquisition (its resolution cache is only valid within one incarnation).
+func (r *Region) Accessor(p *rmr.Proc) *Accessor {
+	return &Accessor{r: r, p: p, resolved: make(map[rmr.Addr]rmr.Addr, 8)}
+}
+
+// Accessor resolves logical addresses to the live incarnation copy,
+// performing the lazy reset protocol on first access to each word. It adds
+// O(1) RMRs to a process's first access to each word (§6.2).
+type Accessor struct {
+	r        *Region
+	p        *rmr.Proc
+	ver      uint64
+	haveVer  bool
+	resolved map[rmr.Addr]rmr.Addr // logical → physical live copy
+}
+
+var _ mem.Ops = (*Accessor)(nil)
+
+// resolve returns the physical address of logical word a's live copy.
+func (c *Accessor) resolve(a rmr.Addr) rmr.Addr {
+	if phys, ok := c.resolved[a]; ok {
+		return phys
+	}
+	if !c.haveVer {
+		c.ver = c.p.Read(c.r.verA)
+		c.haveVer = true
+	}
+	t := c.r.words[a]
+	vw := c.p.Read(t.v)
+	if vw>>1 != c.ver {
+		// Stale: flip to the fresh incarnation (which holds the initial
+		// value) and reset the stale copy for the reuse after this one.
+		b := vw & 1
+		if c.p.CAS(t.v, vw, c.ver<<1|(1-b)) {
+			if b == 0 {
+				c.p.Write(t.w0, t.init)
+			} else {
+				c.p.Write(t.w1, t.init)
+			}
+			vw = c.ver<<1 | (1 - b)
+		} else {
+			// A concurrent first-accessor won the flip; its value is now
+			// current for our version.
+			vw = c.p.Read(t.v)
+		}
+	}
+	phys := t.w0
+	if vw&1 == 1 {
+		phys = t.w1
+	}
+	c.resolved[a] = phys
+	return phys
+}
+
+// Read implements mem.Ops.
+func (c *Accessor) Read(a rmr.Addr) uint64 {
+	return c.p.Read(c.resolve(a))
+}
+
+// Write implements mem.Ops.
+func (c *Accessor) Write(a rmr.Addr, v uint64) {
+	c.p.Write(c.resolve(a), v)
+}
+
+// CAS implements mem.Ops.
+func (c *Accessor) CAS(a rmr.Addr, old, new uint64) bool {
+	return c.p.CAS(c.resolve(a), old, new)
+}
+
+// FAA implements mem.Ops.
+func (c *Accessor) FAA(a rmr.Addr, delta uint64) uint64 {
+	return c.p.FAA(c.resolve(a), delta)
+}

@@ -1,0 +1,261 @@
+package reclaim
+
+import (
+	"testing"
+
+	"sublock/rmr"
+)
+
+func TestValidation(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	if _, err := NewRegion(m, 0); err == nil {
+		t.Error("vbits=0 accepted")
+	}
+	if _, err := NewRegion(m, 63); err == nil {
+		t.Error("vbits=63 accepted")
+	}
+}
+
+func TestBasicReadWrite(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	r, err := NewRegion(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Alloc(7)
+	b := r.AllocN(3, 0)
+	r.Seal()
+
+	acc := r.Accessor(m.Proc(0))
+	if got := acc.Read(a); got != 7 {
+		t.Fatalf("initial read = %d, want 7", got)
+	}
+	acc.Write(b+1, 42)
+	if got := acc.Read(b + 1); got != 42 {
+		t.Fatalf("read-back = %d, want 42", got)
+	}
+	if got := acc.Read(b); got != 0 {
+		t.Fatalf("neighbour = %d, want 0", got)
+	}
+	if got := r.Peek(b + 1); got != 42 {
+		t.Fatalf("Peek = %d, want 42", got)
+	}
+	if !acc.CAS(a, 7, 8) {
+		t.Fatal("CAS(7,8) failed")
+	}
+	if acc.CAS(a, 7, 9) {
+		t.Fatal("stale CAS succeeded")
+	}
+	if got := acc.FAA(a, 5); got != 8 {
+		t.Fatalf("FAA old = %d, want 8", got)
+	}
+	if got := acc.Read(a); got != 13 {
+		t.Fatalf("after FAA = %d, want 13", got)
+	}
+}
+
+func TestPokeRedefinesInitial(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	r, err := NewRegion(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.AllocN(2, 0)
+	r.Poke(a, 99) // like go[0] = 1 in the one-shot lock
+	r.Seal()
+	p := m.Proc(0)
+
+	for cycle := 0; cycle < 5; cycle++ {
+		acc := r.Accessor(p)
+		if got := acc.Read(a); got != 99 {
+			t.Fatalf("cycle %d: word 0 = %d, want 99 (Poked initial)", cycle, got)
+		}
+		if got := acc.Read(a + 1); got != 0 {
+			t.Fatalf("cycle %d: word 1 = %d, want 0", cycle, got)
+		}
+		acc.Write(a, 1)
+		acc.Write(a+1, 2)
+		r.Recycle(p)
+	}
+}
+
+func TestRecycleResetsLazily(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 2, nil)
+	r, err := NewRegion(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := r.AllocN(10, 5)
+	r.Seal()
+	p := m.Proc(0)
+
+	acc := r.Accessor(p)
+	for i := 0; i < 10; i++ {
+		acc.Write(base+rmr.Addr(i), uint64(100+i))
+	}
+	r.Recycle(p)
+	// A fresh accessor (even a different process) must see initial values.
+	acc2 := r.Accessor(m.Proc(1))
+	for i := 0; i < 10; i++ {
+		if got := acc2.Read(base + rmr.Addr(i)); got != 5 {
+			t.Fatalf("word %d after recycle = %d, want 5", i, got)
+		}
+	}
+}
+
+func TestManyRecyclesWithWraparound(t *testing.T) {
+	// vbits=2 wraps the version every 4 recycles; the eager sweep must
+	// prevent a stale value from a previous epoch reappearing. Stress by
+	// writing a distinct value each cycle and touching only a subset of
+	// words (so most resets are lazy or sweep-driven).
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	r, err := NewRegion(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	base := r.AllocN(n, 0)
+	r.Seal()
+	p := m.Proc(0)
+
+	for cycle := 1; cycle <= 40; cycle++ {
+		acc := r.Accessor(p)
+		// Touch a shifting subset of words.
+		for i := 0; i < n; i += 1 + cycle%3 {
+			a := base + rmr.Addr(i)
+			if got := acc.Read(a); got != 0 {
+				t.Fatalf("cycle %d: word %d = %d, want 0 (stale value leaked)", cycle, i, got)
+			}
+			acc.Write(a, uint64(cycle))
+			if got := acc.Read(a); got != uint64(cycle) {
+				t.Fatalf("cycle %d: read-back = %d", cycle, got)
+			}
+		}
+		r.Recycle(p)
+	}
+}
+
+func TestConcurrentFirstAccessRace(t *testing.T) {
+	// Two processes race the incarnation flip on the same stale word; both
+	// must end up using the same physical copy and observe the initial
+	// value followed by each other's updates coherently.
+	m := rmr.NewMemory(rmr.CC, 2, nil)
+	r, err := NewRegion(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Alloc(3)
+	r.Seal()
+
+	// Make the word stale: use + recycle.
+	setup := m.Proc(0)
+	r.Accessor(setup).Write(a, 77)
+	r.Recycle(setup)
+
+	c := rmr.NewController(2)
+	m.SetGate(c)
+	vals := make([]uint64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		p := m.Proc(i)
+		c.Go(i, func() {
+			acc := r.Accessor(p)
+			vals[i] = acc.Read(a)
+			acc.FAA(a, 1)
+		})
+	}
+	// Interleave the two resolutions step by step to hit the CAS race:
+	// each resolve is verA read, V read, CAS, (reset write), value read.
+	for s := 0; s < 3; s++ {
+		c.Step(0)
+		c.Step(1)
+	}
+	c.Wait()
+	m.SetGate(nil)
+
+	for i, v := range vals {
+		if v != 3 && v != 4 {
+			t.Fatalf("proc %d read %d, want 3 or 4 (initial or post-increment)", i, v)
+		}
+	}
+	if got := r.Peek(a); got != 5 {
+		t.Fatalf("final value = %d, want 5 (3 + two increments)", got)
+	}
+}
+
+func TestAccessorRMRCost(t *testing.T) {
+	// §6.2: the scheme adds O(1) RMRs to the first access of each word.
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	r, err := NewRegion(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Alloc(0)
+	r.Seal()
+	p := m.Proc(0)
+
+	// Warm path: version current (no flip): verA read + V read + value op.
+	acc := r.Accessor(p)
+	before := p.RMRs()
+	acc.Read(a)
+	if got := p.RMRs() - before; got > 3 {
+		t.Fatalf("first access (current version) = %d RMRs, want ≤ 3", got)
+	}
+	before = p.RMRs()
+	for i := 0; i < 10; i++ {
+		acc.Read(a)
+	}
+	if got := p.RMRs() - before; got != 0 {
+		t.Fatalf("repeated reads = %d RMRs, want 0 (resolved + cached)", got)
+	}
+
+	// Stale path: flip CAS + reset write on top.
+	acc.Write(a, 9)
+	r.Recycle(p)
+	acc2 := r.Accessor(p)
+	before = p.RMRs()
+	acc2.Read(a)
+	if got := p.RMRs() - before; got > 5 {
+		t.Fatalf("first access (stale) = %d RMRs, want ≤ 5", got)
+	}
+}
+
+func TestSealDiscipline(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	r, err := NewRegion(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Alloc(0)
+	r.Seal()
+	for name, fn := range map[string]func(){
+		"alloc after seal": func() { r.Alloc(0) },
+		"poke after seal":  func() { r.Poke(a, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestSpaceOverhead(t *testing.T) {
+	// Physical cost: 3 words per logical word + 1 version word.
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	r, err := NewRegion(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AllocN(10, 0)
+	r.Seal()
+	if got := r.Words(); got != 10 {
+		t.Fatalf("Words = %d, want 10", got)
+	}
+	if got := m.Size(); got != 31 {
+		t.Fatalf("physical words = %d, want 31", got)
+	}
+}

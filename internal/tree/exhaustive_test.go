@@ -1,0 +1,146 @@
+package tree
+
+// Bounded exhaustive verification of the Tree's concurrent semantics: all
+// interleavings (up to the step bound) of concurrent Remove and FindNext
+// operations on small trees, checked against the §5.1.2 properties. The
+// Tree's operations are wait-free — no spinning — so these configurations
+// exhaust completely with no pruning.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"sublock/rmr"
+)
+
+// removeSearchBody runs one FindNext(from) by a searcher concurrently with
+// Removes of the given leaves (one process per leaf) and validates the
+// §5.1.2 properties that are checkable per run:
+//
+//   - Found q ⇒ q > from, q not a removed leaf whose Remove completed
+//     before the search started, and every leaf strictly between from and
+//     q must be one of the removing leaves (Property 9's sound shadow).
+//   - ⊥ ⇒ every leaf > from is one of the removing leaves.
+//   - ⊤ ⇒ at least one Remove was incomplete when the search started or
+//     running concurrently (always true here; nothing to check).
+func removeSearchBody(w, n, from int, removes []int) (int, rmr.Body) {
+	nprocs := len(removes) + 1
+	body := func(s *rmr.Scheduler, maxSteps int) error {
+		m := rmr.NewMemory(rmr.CC, nprocs, nil)
+		tr, err := New(m, Config{W: w, N: n})
+		if err != nil {
+			return err
+		}
+		m.SetGate(s)
+		removeDone := make([]atomic.Bool, n)
+		for i, leaf := range removes {
+			p := m.Proc(i)
+			leaf := leaf
+			s.Go(func() {
+				tr.Remove(p, leaf)
+				removeDone[leaf].Store(true)
+			})
+		}
+		var q int
+		var out Outcome
+		var preDone []bool
+		searcher := m.Proc(nprocs - 1)
+		s.Go(func() {
+			preDone = make([]bool, n)
+			for leaf := 0; leaf < n; leaf++ {
+				preDone[leaf] = removeDone[leaf].Load()
+			}
+			q, out = tr.AdaptiveFindNext(searcher, from)
+		})
+		if err := s.Run(maxSteps); err != nil {
+			s.Drain() // wait-free ops: everyone finishes once released
+			return err
+		}
+		isRemover := make(map[int]bool, len(removes))
+		for _, leaf := range removes {
+			isRemover[leaf] = true
+		}
+		switch out {
+		case Found:
+			if q <= from {
+				return fmt.Errorf("Found %d ≤ from %d", q, from)
+			}
+			if preDone[q] {
+				return fmt.Errorf("returned %d whose Remove completed before the search", q)
+			}
+			for leaf := from + 1; leaf < q; leaf++ {
+				if !isRemover[leaf] {
+					return fmt.Errorf("skipped live leaf %d to return %d", leaf, q)
+				}
+			}
+		case None:
+			for leaf := from + 1; leaf < n; leaf++ {
+				if !isRemover[leaf] {
+					return fmt.Errorf("⊥ despite live leaf %d", leaf)
+				}
+			}
+		case Crossed:
+			// Legal whenever removers run concurrently.
+		default:
+			return fmt.Errorf("invalid outcome %v", out)
+		}
+		return nil
+	}
+	return nprocs, body
+}
+
+func TestExhaustiveSearchVsOneRemove(t *testing.T) {
+	// W=2, N=4: search from 0 while leaf 1 is removed concurrently.
+	nprocs, body := removeSearchBody(2, 4, 0, []int{1})
+	e := &rmr.Explorer{}
+	res, err := e.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Pruned != 0 {
+		t.Fatalf("res = %+v, want full exhaustion with no pruning", res)
+	}
+	t.Logf("search vs 1 remove: %d schedules", res.Explored)
+}
+
+func TestExhaustiveSearchVsTwoRemoves(t *testing.T) {
+	// W=2, N=4: both leaves of the right subtree removed concurrently with
+	// the search — the configuration that produces ⊤ crossings.
+	nprocs, body := removeSearchBody(2, 4, 0, []int{2, 3})
+	e := &rmr.Explorer{}
+	res, err := e.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted || res.Pruned != 0 {
+		t.Fatalf("res = %+v, want full exhaustion with no pruning", res)
+	}
+	t.Logf("search vs 2 removes: %d schedules", res.Explored)
+}
+
+func TestExhaustiveSearchVsThreeRemoves(t *testing.T) {
+	// Everything right of 0 removed: outcomes can be Found (early search),
+	// ⊤ (crossing), or ⊥ (late search).
+	nprocs, body := removeSearchBody(2, 4, 0, []int{1, 2, 3})
+	e := &rmr.Explorer{MaxSchedules: 200000}
+	res, err := e.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("search vs 3 removes: %d schedules (exhausted=%v)", res.Explored, res.Exhausted)
+	if !res.Exhausted {
+		t.Fatalf("expected exhaustion for wait-free ops, got %+v", res)
+	}
+}
+
+func TestExhaustiveWiderTree(t *testing.T) {
+	// W=3, N=9, search from 1 with removes straddling a subtree boundary.
+	nprocs, body := removeSearchBody(3, 9, 1, []int{2, 3})
+	e := &rmr.Explorer{MaxSchedules: 200000}
+	res, err := e.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("W=3 search vs 2 removes: %d schedules (exhausted=%v)", res.Explored, res.Exhausted)
+}

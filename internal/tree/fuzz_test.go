@@ -1,0 +1,55 @@
+package tree
+
+import (
+	"testing"
+
+	"sublock/rmr"
+)
+
+// FuzzTreeAgainstModel decodes the fuzz input as an operation tape and
+// replays it sequentially against the ordered-set model: byte pairs
+// (op, leaf) where even ops remove and odd ops query, over a tree whose
+// geometry is taken from the first two bytes.
+func FuzzTreeAgainstModel(f *testing.F) {
+	f.Add([]byte{2, 10, 0, 3, 1, 0, 1, 9})
+	f.Add([]byte{64, 200, 0, 0, 1, 100})
+	f.Add([]byte{3, 27, 0, 1, 0, 2, 0, 3, 1, 0})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		if len(tape) < 2 {
+			return
+		}
+		w := 2 + int(tape[0])%63
+		n := 1 + int(tape[1])%150
+		m := rmr.NewMemory(rmr.CC, 1, nil)
+		tr, err := New(m, Config{W: w, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefModel(n)
+		acc := m.Proc(0)
+		removed := make([]bool, n)
+		for i := 2; i+1 < len(tape); i += 2 {
+			leaf := int(tape[i+1]) % n
+			if tape[i]%2 == 0 {
+				if removed[leaf] {
+					continue
+				}
+				removed[leaf] = true
+				tr.Remove(acc, leaf)
+				ref.remove(leaf)
+				continue
+			}
+			q, out := tr.FindNext(acc, leaf)
+			wantQ, wantOut := ref.findNext(leaf)
+			if q != wantQ || out != wantOut {
+				t.Fatalf("W=%d N=%d FindNext(%d) = (%d,%v), want (%d,%v)",
+					w, n, leaf, q, out, wantQ, wantOut)
+			}
+			q, out = tr.AdaptiveFindNext(acc, leaf)
+			if q != wantQ || out != wantOut {
+				t.Fatalf("W=%d N=%d AdaptiveFindNext(%d) = (%d,%v), want (%d,%v)",
+					w, n, leaf, q, out, wantQ, wantOut)
+			}
+		}
+	})
+}

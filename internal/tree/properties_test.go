@@ -1,0 +1,191 @@
+package tree
+
+// Concurrent checks for the §5.1.2 FindNext properties, driven by seeded
+// random schedules. Each property is checked with observations that are
+// sound under the gate's serialization (no false failures):
+//
+//   - Property 6:  a Found result q satisfies q > p.
+//   - Corollary 8: FindNext(p) never returns a q whose Remove completed
+//     before the FindNext was invoked.
+//   - Property 10: ⊥ implies every leaf right of p had started removing.
+//   - Property 11: results of non-overlapping same-p searches by one
+//     process are monotonically non-decreasing.
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"sublock/rmr"
+)
+
+func TestConcurrentProperty6And8And10(t *testing.T) {
+	const n = 24
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nremovers := 1 + rng.Intn(8)
+		nsearchers := 1 + rng.Intn(3)
+		nprocs := nremovers + nsearchers
+		s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+		m := rmr.NewMemory(rmr.CC, nprocs, nil)
+		tr, err := New(m, Config{W: 3, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.SetGate(s)
+
+		// removeDone[q] is set (with release semantics through the atomic)
+		// after Remove(q) returns.
+		var removeDone [n]atomic.Bool
+		var removeStarted [n]atomic.Bool
+		leaves := rng.Perm(n)[:nremovers]
+		for i := 0; i < nremovers; i++ {
+			p := m.Proc(i)
+			leaf := leaves[i]
+			s.Go(func() {
+				removeStarted[leaf].Store(true)
+				tr.Remove(p, leaf)
+				removeDone[leaf].Store(true)
+			})
+		}
+		type result struct {
+			from, q   int
+			out       Outcome
+			doneAtQ   bool // removeDone[q] observed before invocation
+			preStarts [n]bool
+		}
+		results := make([][]result, nsearchers)
+		for i := 0; i < nsearchers; i++ {
+			p := m.Proc(nremovers + i)
+			i := i
+			from := rng.Intn(n)
+			s.Go(func() {
+				for k := 0; k < 3; k++ {
+					var r result
+					r.from = from
+					for leaf := 0; leaf < n; leaf++ {
+						r.preStarts[leaf] = removeStarted[leaf].Load()
+					}
+					// Capture the done-flags snapshot before invoking.
+					var preDone [n]bool
+					for leaf := 0; leaf < n; leaf++ {
+						preDone[leaf] = removeDone[leaf].Load()
+					}
+					r.q, r.out = tr.AdaptiveFindNext(p, from)
+					if r.out == Found {
+						r.doneAtQ = preDone[r.q]
+					}
+					results[i] = append(results[i], r)
+				}
+			})
+		}
+		if err := s.Run(10_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		removerSet := map[int]bool{}
+		for _, l := range leaves {
+			removerSet[l] = true
+		}
+		for i, rs := range results {
+			last := -1
+			for _, r := range rs {
+				switch r.out {
+				case Found:
+					if r.q <= r.from {
+						t.Errorf("seed %d searcher %d: Property 6 violated: FindNext(%d) = %d", seed, i, r.from, r.q)
+					}
+					if r.doneAtQ {
+						t.Errorf("seed %d searcher %d: Corollary 8 violated: returned %d after its Remove completed", seed, i, r.q)
+					}
+					if r.q < last {
+						t.Errorf("seed %d searcher %d: Property 11 violated: %d after %d", seed, i, r.q, last)
+					}
+					last = r.q
+				case None:
+					// Property 10 (sound direction): every leaf right of
+					// `from` must at least be a designated remover; leaves
+					// that are not removers can never be absent.
+					for leaf := r.from + 1; leaf < n; leaf++ {
+						if !removerSet[leaf] {
+							t.Errorf("seed %d searcher %d: Property 10 violated: ⊥ with live leaf %d", seed, i, leaf)
+						}
+					}
+				case Crossed:
+					// Legal while removers run.
+				}
+			}
+		}
+	}
+}
+
+func TestQuickGeneratedOpSequences(t *testing.T) {
+	// testing/quick drives sequential op sequences against the ordered-set
+	// model across random arities and sizes.
+	type opSeq struct {
+		W, N    uint8
+		Removes []uint16
+		Queries []uint16
+	}
+	f := func(s opSeq) bool {
+		w := 2 + int(s.W)%63  // 2..64
+		n := 1 + int(s.N)%120 // 1..120
+		m := rmr.NewMemory(rmr.CC, 1, nil)
+		tr, err := New(m, Config{W: w, N: n})
+		if err != nil {
+			return false
+		}
+		ref := newRefModel(n)
+		acc := m.Proc(0)
+		seen := map[int]bool{}
+		for _, r := range s.Removes {
+			leaf := int(r) % n
+			if seen[leaf] {
+				continue
+			}
+			seen[leaf] = true
+			tr.Remove(acc, leaf)
+			ref.remove(leaf)
+		}
+		for _, qy := range s.Queries {
+			p := int(qy) % n
+			q1, o1 := tr.FindNext(acc, p)
+			q2, o2 := tr.AdaptiveFindNext(acc, p)
+			wantQ, wantO := ref.findNext(p)
+			if q1 != wantQ || o1 != wantO || q2 != wantQ || o2 != wantO {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDSMModelCosts(t *testing.T) {
+	// In the DSM model tree words are global (owned by no process), so
+	// every node access is an RMR; the op-count bounds of §5.4 turn into
+	// exact RMR counts.
+	m := rmr.NewMemory(rmr.DSM, 1, nil)
+	tr, err := New(m, Config{W: 4, N: 64}) // H = 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Proc(0)
+
+	before := p.RMRs()
+	tr.Remove(p, 5) // no full node: single F&A
+	if got := p.RMRs() - before; got != 1 {
+		t.Fatalf("DSM Remove RMRs = %d, want 1", got)
+	}
+	before = p.RMRs()
+	q, out := tr.FindNext(p, 5)
+	if q != 6 || out != Found {
+		t.Fatalf("FindNext(5) = (%d,%v)", q, out)
+	}
+	if got := p.RMRs() - before; got != 1 {
+		t.Fatalf("DSM FindNext RMRs = %d, want 1 (sibling found at level 1)", got)
+	}
+}

@@ -1,0 +1,537 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sublock/rmr"
+)
+
+func newTree(t *testing.T, w, n int) (*rmr.Memory, *Tree) {
+	t.Helper()
+	m := rmr.NewMemory(rmr.CC, n+1, nil) // +1: an extra proc for observer roles
+	tr, err := New(m, Config{W: w, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, tr
+}
+
+// refModel is the sequential specification: the set {0..n-1} minus removals.
+type refModel struct {
+	live []bool
+}
+
+func newRefModel(n int) *refModel {
+	live := make([]bool, n)
+	for i := range live {
+		live[i] = true
+	}
+	return &refModel{live: live}
+}
+
+func (r *refModel) remove(p int) { r.live[p] = false }
+
+func (r *refModel) findNext(p int) (int, Outcome) {
+	for q := p + 1; q < len(r.live); q++ {
+		if r.live[q] {
+			return q, Found
+		}
+	}
+	return 0, None
+}
+
+func TestNewValidation(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 1, nil)
+	if _, err := New(m, Config{W: 1, N: 4}); err == nil {
+		t.Error("W=1 accepted")
+	}
+	if _, err := New(m, Config{W: 65, N: 4}); err == nil {
+		t.Error("W=65 accepted")
+	}
+	if _, err := New(m, Config{W: 2, N: 0}); err == nil {
+		t.Error("N=0 accepted")
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	for _, tt := range []struct {
+		w, n, wantH, wantWords int
+	}{
+		{2, 2, 1, 1},
+		{2, 3, 2, 3},    // 4 leaves, levels of 2 and 1 nodes
+		{2, 8, 3, 7},    // perfect binary tree of 8 leaves
+		{4, 16, 2, 5},   // 4 + 1
+		{8, 8, 1, 1},    // single node
+		{8, 9, 2, 9},    // 64 leaves padded, 8 + 1 nodes
+		{64, 64, 1, 1},  // full word
+		{64, 65, 2, 65}, // 4096 leaves padded
+		{3, 10, 3, 13},  // 27 leaves padded, 9+3+1
+	} {
+		m := rmr.NewMemory(rmr.CC, 1, nil)
+		tr, err := New(m, Config{W: tt.w, N: tt.n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Height() != tt.wantH {
+			t.Errorf("W=%d N=%d: Height = %d, want %d", tt.w, tt.n, tr.Height(), tt.wantH)
+		}
+		if tr.Words() != tt.wantWords {
+			t.Errorf("W=%d N=%d: Words = %d, want %d", tt.w, tt.n, tr.Words(), tt.wantWords)
+		}
+		if got := m.Size(); got != tt.wantWords {
+			t.Errorf("W=%d N=%d: memory Size = %d, want %d", tt.w, tt.n, got, tt.wantWords)
+		}
+	}
+}
+
+func TestFindNextInitial(t *testing.T) {
+	// With nothing removed, FindNext(p) = p+1 for p < n-1, ⊥ for p = n-1.
+	for _, w := range []int{2, 3, 8, 64} {
+		for _, n := range []int{1, 2, 5, 17, 64, 100} {
+			m, tr := newTree(t, w, n)
+			acc := m.Proc(0)
+			for p := 0; p < n; p++ {
+				q, out := tr.FindNext(acc, p)
+				wantQ, wantOut := newRefModel(n).findNext(p)
+				if q != wantQ || out != wantOut {
+					t.Fatalf("W=%d N=%d FindNext(%d) = (%d,%v), want (%d,%v)",
+						w, n, p, q, out, wantQ, wantOut)
+				}
+			}
+		}
+	}
+}
+
+func TestSequentialAgainstModel(t *testing.T) {
+	// Random interleaved Remove/FindNext calls executed sequentially must
+	// match the reference set model exactly; sequentially, Crossed cannot
+	// occur. Exercised across arities including non-power-of-two.
+	for _, w := range []int{2, 3, 5, 8, 16, 64} {
+		for _, n := range []int{1, 2, 7, 33, 100} {
+			rng := rand.New(rand.NewSource(int64(w*1000 + n)))
+			m, tr := newTree(t, w, n)
+			ref := newRefModel(n)
+			acc := m.Proc(0)
+			removed := make([]bool, n)
+			for step := 0; step < 4*n; step++ {
+				p := rng.Intn(n)
+				if rng.Intn(2) == 0 && !removed[p] {
+					removed[p] = true
+					tr.Remove(acc, p)
+					ref.remove(p)
+					continue
+				}
+				q, out := tr.FindNext(acc, p)
+				wantQ, wantOut := ref.findNext(p)
+				if q != wantQ || out != wantOut {
+					t.Fatalf("W=%d N=%d FindNext(%d) = (%d,%v), want (%d,%v)",
+						w, n, p, q, out, wantQ, wantOut)
+				}
+			}
+		}
+	}
+}
+
+func TestAdaptiveEquivalentSequentially(t *testing.T) {
+	// Lemma 1: in any sequential execution AdaptiveFindNext returns exactly
+	// what FindNext returns.
+	for _, w := range []int{2, 3, 8, 64} {
+		for _, n := range []int{1, 2, 9, 50, 128} {
+			rng := rand.New(rand.NewSource(int64(w*7919 + n)))
+			m, tr := newTree(t, w, n)
+			acc := m.Proc(0)
+			removed := make([]bool, n)
+			for step := 0; step < 6*n; step++ {
+				if p := rng.Intn(n); !removed[p] && rng.Intn(3) == 0 {
+					removed[p] = true
+					tr.Remove(acc, p)
+				}
+				p := rng.Intn(n)
+				q1, o1 := tr.FindNext(acc, p)
+				q2, o2 := tr.AdaptiveFindNext(acc, p)
+				if q1 != q2 || o1 != o2 {
+					t.Fatalf("W=%d N=%d p=%d: FindNext=(%d,%v) AdaptiveFindNext=(%d,%v)",
+						w, n, p, q1, o1, q2, o2)
+				}
+			}
+		}
+	}
+}
+
+func TestRemoveAllYieldsBottom(t *testing.T) {
+	m, tr := newTree(t, 4, 20)
+	acc := m.Proc(0)
+	for p := 1; p < 20; p++ {
+		tr.Remove(acc, p)
+	}
+	if _, out := tr.FindNext(acc, 0); out != None {
+		t.Fatalf("FindNext(0) after removing all successors = %v, want ⊥", out)
+	}
+	if _, out := tr.AdaptiveFindNext(acc, 0); out != None {
+		t.Fatalf("AdaptiveFindNext(0) = %v, want ⊥", out)
+	}
+}
+
+func TestLive(t *testing.T) {
+	m, tr := newTree(t, 4, 8)
+	acc := m.Proc(0)
+	if !tr.Live(m, 3) {
+		t.Fatal("leaf 3 should start live")
+	}
+	tr.Remove(acc, 3)
+	if tr.Live(m, 3) {
+		t.Fatal("leaf 3 should be dead after Remove")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Found.String() != "found" || None.String() != "⊥" || Crossed.String() != "⊤" {
+		t.Fatalf("outcome strings: %v %v %v", Found, None, Crossed)
+	}
+	if got := Outcome(42).String(); got != "Outcome(42)" {
+		t.Fatalf("unknown outcome: %q", got)
+	}
+}
+
+// TestCrossedPathsScenario reproduces Figure 2(c)/the ⊤ scenario with a
+// scripted schedule: a FindNext descends toward a subtree while a Remove
+// empties it, and the FindNext must return ⊤ (Crossed).
+func TestCrossedPathsScenario(t *testing.T) {
+	// W=2, N=4: two level-1 nodes (leaves {0,1}, {2,3}), one root.
+	// Searcher runs FindNext(0); leaf 1 is already removed, so the search
+	// ascends to the root, sees the right subtree's bit clear, and descends
+	// into node {2,3}. Before it reads that node, removers empty it.
+	const n = 4
+	c := rmr.NewController(3) // 0: searcher, 1: remover of 2, 2: remover of 3
+	m := rmr.NewMemory(rmr.CC, 3, c)
+	tr, err := New(m, Config{W: 2, N: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-remove leaf 1 sequentially (free-running proc would need gate
+	// steps; use Poke-free path: run it under the controller).
+	var preDone bool
+	c.Go(1, func() {
+		tr.Remove(m.Proc(1), 1)
+		preDone = true
+	})
+	c.Finish(1, 100)
+	if !preDone {
+		t.Fatal("pre-removal did not finish")
+	}
+
+	var q int
+	var out Outcome
+	c.Go(0, func() { q, out = tr.FindNext(m.Proc(0), 0) })
+	// Searcher: reads level-1 node {0,1} (bit of 1 set, no zero right of 0),
+	// then reads root (zero at right subtree) — 2 steps. It is now about to
+	// descend into node {2,3}.
+	c.StepN(0, 2)
+
+	// Remover empties node {2,3}: Remove(2) sets bit, Remove(3) sets bit
+	// and ascends to the root.
+	c.Go(2, func() {
+		p := m.Proc(2)
+		tr.Remove(p, 2)
+		tr.Remove(p, 3) // test-only: same proc removes both leaves
+	})
+	c.Step(2) // Remove(2): F&A on node {2,3}
+	c.Step(2) // Remove(3): F&A on node {2,3} -> EMPTY; remover will ascend
+
+	// Searcher descends into node {2,3}, reads EMPTY, returns ⊤.
+	c.Finish(0, 100)
+	if out != Crossed {
+		t.Fatalf("FindNext outcome = %v (q=%d), want ⊤", out, q)
+	}
+	c.Wait()
+}
+
+// TestDescentNeverCrossesWithoutRemove checks that in the absence of any
+// concurrent Remove, Crossed is impossible even under adversarial
+// scheduling of multiple concurrent FindNext calls.
+func TestConcurrentFindNextsAgree(t *testing.T) {
+	const n = 16
+	for seed := int64(0); seed < 30; seed++ {
+		s := rmr.NewScheduler(4, rmr.RandomPick(seed))
+		m := rmr.NewMemory(rmr.CC, 4, nil)
+		tr, err := New(m, Config{W: 4, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Statically remove some leaves before the concurrency starts,
+		// ungated; then attach the scheduler for the concurrent phase.
+		rng := rand.New(rand.NewSource(seed))
+		ref := newRefModel(n)
+		pre := m.Proc(3)
+		for p := 1; p < n; p++ {
+			if rng.Intn(2) == 0 {
+				ref.remove(p)
+				tr.Remove(pre, p)
+			}
+		}
+		m.SetGate(s)
+		results := make([]int, 3)
+		outs := make([]Outcome, 3)
+		for i := 0; i < 3; i++ {
+			p := m.Proc(i)
+			from := rng.Intn(n)
+			wantQ, wantOut := ref.findNext(from)
+			s.Go(func() { results[i], outs[i] = tr.FindNext(p, from) })
+			// Capture expectations eagerly; no Removes run concurrently, so
+			// every interleaving must agree with the static model.
+			i := i
+			defer func() {
+				if results[i] != wantQ || outs[i] != wantOut {
+					t.Errorf("seed %d: FindNext(%d) = (%d,%v), want (%d,%v)",
+						seed, from, results[i], outs[i], wantQ, wantOut)
+				}
+			}()
+		}
+		if err := s.Run(1_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestConcurrentRemoveFindNextProperties checks the §5.1.2 properties under
+// seeded random schedules: any Found result q satisfies q > p, q was not
+// removed before the FindNext began, and results of non-overlapping calls
+// by the same searcher are monotonically increasing (Property 11).
+func TestConcurrentRemoveFindNextProperties(t *testing.T) {
+	const n = 32
+	for seed := int64(0); seed < 50; seed++ {
+		nprocs := 8
+		s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+		m := rmr.NewMemory(rmr.CC, nprocs, s)
+		tr, err := New(m, Config{W: 4, N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed * 31))
+
+		// Procs 0..5 each remove a distinct random leaf; procs 6,7 run
+		// repeated FindNext(p) for a fixed p and record result sequences.
+		removedLeaves := rng.Perm(n)[:6]
+		for i := 0; i < 6; i++ {
+			p := m.Proc(i)
+			leaf := removedLeaves[i]
+			s.Go(func() { tr.Remove(p, leaf) })
+		}
+		from := rng.Intn(n / 2)
+		type obs struct {
+			q   int
+			out Outcome
+		}
+		seqs := make([][]obs, 2)
+		for i := 0; i < 2; i++ {
+			p := m.Proc(6 + i)
+			i := i
+			s.Go(func() {
+				for k := 0; k < 4; k++ {
+					q, out := tr.FindNext(p, from)
+					seqs[i] = append(seqs[i], obs{q, out})
+				}
+			})
+		}
+		if err := s.Run(10_000_000); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		wasRemoved := make(map[int]bool, 6)
+		for _, l := range removedLeaves {
+			wasRemoved[l] = true
+		}
+		for i, seq := range seqs {
+			last := -1
+			for _, o := range seq {
+				switch o.out {
+				case Found:
+					if o.q <= from {
+						t.Errorf("seed %d searcher %d: Found %d ≤ from %d", seed, i, o.q, from)
+					}
+					if o.q < last {
+						t.Errorf("seed %d searcher %d: non-monotonic %d after %d", seed, i, o.q, last)
+					}
+					last = o.q
+				case None:
+					// ⊥ requires every leaf > from to be removable in this
+					// run; with only 6 removers over 32 leaves and from in
+					// the lower half, that cannot happen.
+					t.Errorf("seed %d searcher %d: impossible ⊥", seed, i)
+				case Crossed:
+					// Legal only while removers are active; always possible
+					// here, nothing to check.
+				}
+			}
+		}
+	}
+}
+
+// TestRemoveRMRCost verifies Claim 20's shape: a Remove ascends only
+// through levels it fills, so its RMR cost is O(log_W A_t), and a single
+// isolated Remove costs exactly 1 update RMR.
+func TestRemoveRMRCost(t *testing.T) {
+	m, tr := newTree(t, 8, 512) // H = 3
+	acc := m.Proc(0)
+	before := acc.RMRs()
+	tr.Remove(acc, 100)
+	if got := acc.RMRs() - before; got != 1 {
+		t.Fatalf("isolated Remove RMRs = %d, want 1", got)
+	}
+	// Remove leaves 0..6 (same level-1 node as 7, which stays); none ascend.
+	for p := 0; p < 7; p++ {
+		before = acc.RMRs()
+		tr.Remove(acc, p)
+		if got := acc.RMRs() - before; got != 1 {
+			t.Fatalf("Remove(%d) RMRs = %d, want 1", p, got)
+		}
+	}
+	// Removing 7 fills the node: ascends exactly one level.
+	before = acc.RMRs()
+	tr.Remove(acc, 7)
+	if got := acc.RMRs() - before; got != 2 {
+		t.Fatalf("filling Remove RMRs = %d, want 2", got)
+	}
+}
+
+// TestAdaptiveFindNextO1AcrossSubtreeBoundary is the §4.1 motivating case
+// (Figure 4): p is the rightmost leaf of its level-1 node and the next live
+// leaf is immediately to its right in the next subtree. Plain FindNext
+// ascends to the lowest common ancestor (here the root); the adaptive
+// variant sidesteps and pays O(1).
+func TestAdaptiveFindNextO1AcrossSubtreeBoundary(t *testing.T) {
+	const w = 8
+	for _, n := range []int{64, 512, 4096} { // H = 2, 3, 4
+		m, tr := newTree(t, w, n)
+		// Rightmost leaf of the leftmost level-(H−1) subtree: the lowest
+		// common ancestor of p and p+1 is the root, forcing plain FindNext
+		// through a full ascent.
+		p := n/w - 1
+
+		// Use distinct processes for the two measurements so the second
+		// search does not benefit from the first one's cached words.
+		plainAcc, adaptiveAcc := m.Proc(0), m.Proc(1)
+
+		beforeP := plainAcc.RMRs()
+		q, out := tr.FindNext(plainAcc, p)
+		plain := plainAcc.RMRs() - beforeP
+		if q != p+1 || out != Found {
+			t.Fatalf("N=%d: FindNext(%d) = (%d,%v)", n, p, q, out)
+		}
+
+		beforeA := adaptiveAcc.RMRs()
+		q, out = tr.AdaptiveFindNext(adaptiveAcc, p)
+		adaptive := adaptiveAcc.RMRs() - beforeA
+		if q != p+1 || out != Found {
+			t.Fatalf("N=%d: AdaptiveFindNext(%d) = (%d,%v)", n, p, q, out)
+		}
+
+		// Plain pays the full ascent (H reads) plus the descent (H−1 reads),
+		// H = log_W N. Adaptive pays exactly 1: the sidestep read of the
+		// right cousin, independent of N.
+		wantPlain := int64(2*tr.Height() - 1)
+		if plain != wantPlain {
+			t.Errorf("N=%d: plain FindNext RMRs = %d, want %d", n, plain, wantPlain)
+		}
+		if adaptive != 1 {
+			t.Errorf("N=%d: adaptive FindNext RMRs = %d, want 1", n, adaptive)
+		}
+	}
+}
+
+// TestAdaptiveBoundedByRemovals verifies the adaptive bound of Claim 21:
+// the loop runs at most 2 + log_W R_p iterations, so RMRs stay bounded by
+// a function of the number of removals to the right of p even as N grows.
+func TestAdaptiveBoundedByRemovals(t *testing.T) {
+	const w = 4
+	for _, n := range []int{64, 1024, 4096} {
+		m, tr := newTree(t, w, n)
+		acc := m.Proc(0)
+		// Remove a fixed small set of leaves right of p=1: R_p = 3.
+		for _, leaf := range []int{2, 3, 4} {
+			tr.Remove(acc, leaf)
+		}
+		before := acc.RMRs()
+		q, out := tr.AdaptiveFindNext(acc, 1)
+		cost := acc.RMRs() - before
+		if q != 5 || out != Found {
+			t.Fatalf("N=%d: AdaptiveFindNext(1) = (%d,%v), want (5,found)", n, q, out)
+		}
+		// Bound: ascent ≤ 2+log_W(R_p) reads plus the same again descending.
+		// With R_p=3, W=4: ≤ 2*(2+1)=6 for every N. The point is that it
+		// must not grow with N.
+		if cost > 6 {
+			t.Errorf("N=%d: adaptive cost = %d RMRs, want ≤ 6 (independent of N)", n, cost)
+		}
+	}
+}
+
+func TestQuickSequentialModel(t *testing.T) {
+	// Randomized model check: larger random workloads, many seeds.
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := []int{2, 3, 4, 8, 16, 32, 64}[rng.Intn(7)]
+		n := 1 + rng.Intn(200)
+		m, tr := newTree(t, w, n)
+		ref := newRefModel(n)
+		acc := m.Proc(0)
+		perm := rng.Perm(n)
+		for _, p := range perm[:rng.Intn(n+1)] {
+			tr.Remove(acc, p)
+			ref.remove(p)
+		}
+		for p := 0; p < n; p++ {
+			q, out := tr.FindNext(acc, p)
+			wantQ, wantOut := ref.findNext(p)
+			if q != wantQ || out != wantOut {
+				t.Fatalf("seed=%d W=%d N=%d FindNext(%d) = (%d,%v), want (%d,%v)",
+					seed, w, n, p, q, out, wantQ, wantOut)
+			}
+			q, out = tr.AdaptiveFindNext(acc, p)
+			if q != wantQ || out != wantOut {
+				t.Fatalf("seed=%d W=%d N=%d AdaptiveFindNext(%d) = (%d,%v), want (%d,%v)",
+					seed, w, n, p, q, out, wantQ, wantOut)
+			}
+		}
+	}
+}
+
+// TestClaim20AggregateRemoveCost drives random removal orders and checks
+// Claim 20's bound per call: the RMR cost of each Remove is at most
+// 1 + ⌈log_W R⌉ where R is the number of Removes invoked so far (each
+// ascent level beyond the first requires an entire W-wide subtree of
+// earlier removers).
+func TestClaim20AggregateRemoveCost(t *testing.T) {
+	logW := func(w, a int) int {
+		h, pow := 0, 1
+		for pow < a {
+			pow *= w
+			h++
+		}
+		return h
+	}
+	for _, w := range []int{2, 4, 8} {
+		for seed := int64(0); seed < 10; seed++ {
+			const n = 256
+			m := rmr.NewMemory(rmr.CC, 1, nil)
+			tr, err := New(m, Config{W: w, N: n})
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc := m.Proc(0)
+			perm := rand.New(rand.NewSource(seed)).Perm(n)
+			for r, leaf := range perm {
+				before := acc.RMRs()
+				tr.Remove(acc, leaf)
+				cost := acc.RMRs() - before
+				bound := int64(1 + logW(w, r+1))
+				if cost > bound {
+					t.Fatalf("W=%d seed=%d: remove #%d cost %d RMRs, Claim 20 bound %d",
+						w, seed, r+1, cost, bound)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package rmr
+
+// bitset is a fixed-capacity set of small non-negative integers, used to
+// track which processes hold a cached copy of a word in the CC model.
+type bitset []uint64
+
+func newBitset(n int) bitset {
+	return make(bitset, (n+63)/64)
+}
+
+func (b bitset) has(i int) bool {
+	return b[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (b bitset) add(i int) {
+	b[i>>6] |= 1 << uint(i&63)
+}
+
+// clearExcept removes every element except keep.
+func (b bitset) clearExcept(keep int) {
+	for i := range b {
+		b[i] = 0
+	}
+	b.add(keep)
+}
+
+func (b bitset) clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -1,0 +1,154 @@
+package rmr
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Controller is a Gate that a test drives by hand, one shared-memory step at
+// a time. Unlike Scheduler, which owns the schedule, Controller lets the
+// test decide exactly which process advances and by how many steps — the
+// tool for reproducing the paper's "crossed paths" (⊤) interleavings.
+//
+//	c := rmr.NewController(2)
+//	m := rmr.NewMemory(rmr.CC, 2, c)
+//	c.Go(0, func() { ... })
+//	c.Go(1, func() { ... })
+//	c.Step(0)     // process 0 performs exactly one shared-memory operation
+//	c.StepN(1, 3) // process 1 performs three
+//	c.Finish(0, 1000) // run process 0 to completion (budget 1000 steps)
+//	c.Wait()          // all processes must be done
+type Controller struct {
+	ready chan int
+	done  chan int
+	grant []chan struct{}
+	open  atomic.Bool
+
+	launched []bool
+	finished []bool
+	waiting  []bool // waiting[pid]: pid is blocked at the gate
+	live     int
+}
+
+var _ Gate = (*Controller)(nil)
+
+// NewController creates a controller for processes with ids in [0, n).
+func NewController(n int) *Controller {
+	c := &Controller{
+		ready:    make(chan int),
+		done:     make(chan int),
+		grant:    make([]chan struct{}, n),
+		launched: make([]bool, n),
+		finished: make([]bool, n),
+		waiting:  make([]bool, n),
+	}
+	for i := range c.grant {
+		c.grant[i] = make(chan struct{})
+	}
+	return c
+}
+
+// Await implements Gate.
+func (c *Controller) Await(pid int) {
+	if c.open.Load() {
+		return
+	}
+	c.ready <- pid
+	<-c.grant[pid]
+}
+
+// Go launches fn as process pid. fn must issue its shared-memory operations
+// as Proc pid of a Memory gated by this controller.
+func (c *Controller) Go(pid int, fn func()) {
+	if c.launched[pid] {
+		panic(fmt.Sprintf("rmr: process %d launched twice", pid))
+	}
+	c.launched[pid] = true
+	c.live++
+	go func() {
+		defer func() { c.done <- pid }()
+		fn()
+	}()
+}
+
+// collect blocks until process pid is either waiting at the gate or
+// finished, absorbing events from other processes along the way.
+func (c *Controller) collect(pid int) {
+	for !c.waiting[pid] && !c.finished[pid] {
+		select {
+		case p := <-c.ready:
+			c.waiting[p] = true
+		case p := <-c.done:
+			c.finished[p] = true
+			c.live--
+		}
+	}
+}
+
+// Step lets process pid perform exactly one shared-memory operation. It
+// returns false if pid had already finished.
+func (c *Controller) Step(pid int) bool {
+	c.collect(pid)
+	if c.finished[pid] {
+		return false
+	}
+	c.waiting[pid] = false
+	c.grant[pid] <- struct{}{}
+	// Wait until the step's effects are visible: pid is back at the gate or
+	// done, so its operation has completed.
+	c.collect(pid)
+	return !c.finished[pid]
+}
+
+// StepN lets process pid perform up to n shared-memory operations,
+// returning how many it performed before finishing.
+func (c *Controller) StepN(pid, n int) int {
+	for i := 0; i < n; i++ {
+		if !c.Step(pid) {
+			return i + 1
+		}
+	}
+	return n
+}
+
+// Finish runs process pid until it returns, then reports the number of
+// shared-memory steps it took. The budget guards against livelock; Finish
+// panics if the process does not return within budget steps.
+func (c *Controller) Finish(pid, budget int) int {
+	for i := 0; i < budget; i++ {
+		if !c.Step(pid) {
+			return i + 1
+		}
+	}
+	if c.finished[pid] {
+		return budget
+	}
+	panic(fmt.Sprintf("rmr: process %d did not finish within %d steps", pid, budget))
+}
+
+// Wait opens the gate and blocks until every launched process has returned.
+// Use it at the end of a scripted test when the remaining interleaving does
+// not matter.
+func (c *Controller) Wait() {
+	c.open.Store(true)
+	for pid, w := range c.waiting {
+		if w {
+			c.waiting[pid] = false
+			c.grant[pid] <- struct{}{}
+		}
+	}
+	for c.live > 0 {
+		select {
+		case pid := <-c.ready:
+			c.grant[pid] <- struct{}{}
+		case pid := <-c.done:
+			c.finished[pid] = true
+			c.live--
+		}
+	}
+}
+
+// Finished reports whether process pid has returned.
+func (c *Controller) Finished(pid int) bool {
+	return c.finished[pid]
+}

@@ -1,0 +1,134 @@
+package rmr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Explorer systematically enumerates schedules of a deterministic
+// concurrent body by depth-first search over the scheduling-choice tree:
+// at every step the set of runnable processes is a choice point, and the
+// explorer replays the body once per distinct sequence of choices. For
+// small configurations this is exhaustive verification of all
+// interleavings — a much stronger statement than sampling seeded schedules.
+//
+// Requirements on the body: it must be deterministic given the schedule
+// (no wall-clock time, no math/rand without a fixed seed, no free-running
+// goroutines besides the scheduled processes), and every process must
+// issue its shared-memory operations through a Memory gated by the
+// scheduler the body receives.
+type Explorer struct {
+	// MaxSchedules caps the number of schedules explored; 0 means no cap.
+	// When the cap stops the search, Run reports exhausted=false.
+	MaxSchedules int
+	// MaxSteps bounds each schedule's length. Busy-wait loops make the
+	// full choice tree infinite (a spinner can be rescheduled forever), so
+	// exploration is exhaustive *up to this length*: schedules that hit
+	// the bound are pruned — counted in Result.Pruned, not treated as
+	// violations — which is the standard bounded-model-checking trade-off.
+	// Choose it comfortably above the longest honest completion so that
+	// only unfair spin-heavy schedules are pruned. 0 selects 512.
+	MaxSteps int
+}
+
+// Result summarizes an exploration.
+type Result struct {
+	// Explored counts completed schedules (each a full run of the body).
+	Explored int
+	// Pruned counts schedules cut off at MaxSteps.
+	Pruned int
+	// Exhausted reports whether the whole (length-bounded) choice tree was
+	// covered; false when MaxSchedules stopped the search early.
+	Exhausted bool
+}
+
+// ErrExplore wraps a property violation with the schedule that produced
+// it, so the failure can be replayed.
+type ErrExplore struct {
+	Schedule []int // the choice indices taken at each step
+	Err      error
+}
+
+// Error implements error.
+func (e *ErrExplore) Error() string {
+	return fmt.Sprintf("schedule %v: %v", e.Schedule, e.Err)
+}
+
+// Unwrap exposes the underlying property violation.
+func (e *ErrExplore) Unwrap() error { return e.Err }
+
+// Body is one deterministic run under exploration: it must construct its
+// state from scratch, gate its Memory with s, launch its processes with
+// s.Go, call s.Run(maxSteps), and return nil iff all properties held. If
+// s.Run returns ErrStepLimit the body must release its processes (deliver
+// abort signals as appropriate and call s.Drain) and return an error
+// wrapping ErrStepLimit, which the explorer prunes rather than reports.
+type Body func(s *Scheduler, maxSteps int) error
+
+// Run explores schedules of body depth-first. The first property violation
+// aborts the search with an *ErrExplore carrying the offending schedule
+// for replay.
+func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
+	maxSteps := e.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 512
+	}
+	var res Result
+	// prefix holds the choice index forced at each step.
+	var prefix []int
+	for {
+		rec := &recorder{prefix: prefix}
+		s := NewScheduler(nprocs, rec.pick)
+		runErr := body(s, maxSteps)
+		switch {
+		case runErr == nil:
+			res.Explored++
+		case errors.Is(runErr, ErrStepLimit):
+			res.Pruned++
+		default:
+			res.Explored++
+			return res, &ErrExplore{Schedule: rec.taken, Err: runErr}
+		}
+		if e.MaxSchedules > 0 && res.Explored+res.Pruned >= e.MaxSchedules {
+			return res, nil
+		}
+		// Backtrack: find the deepest step with an untried alternative.
+		next := rec.taken
+		i := len(next) - 1
+		for ; i >= 0; i-- {
+			if next[i]+1 < rec.width[i] {
+				break
+			}
+		}
+		if i < 0 {
+			res.Exhausted = true
+			return res, nil
+		}
+		prefix = append(next[:i:i], next[i]+1)
+	}
+}
+
+// recorder is a PickFunc that follows a forced prefix of choice indices
+// and then always takes the first alternative, recording the choices made
+// and the branching width at every step.
+type recorder struct {
+	prefix []int
+	taken  []int
+	width  []int
+}
+
+func (r *recorder) pick(step int, waiting []int) int {
+	choice := 0
+	if step < len(r.prefix) {
+		choice = r.prefix[step]
+	}
+	if choice >= len(waiting) {
+		// The tree shifted under a stale prefix — possible only if the
+		// body is nondeterministic, which violates the contract.
+		panic(fmt.Sprintf("rmr: exploration prefix invalid at step %d (choice %d of %d): nondeterministic body?",
+			step, choice, len(waiting)))
+	}
+	r.taken = append(r.taken, choice)
+	r.width = append(r.width, len(waiting))
+	return choice
+}

@@ -1,0 +1,202 @@
+package rmr
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+)
+
+// Gate serializes shared-memory steps. Before every shared-memory operation
+// a process calls Await with its id and blocks until the gate grants it the
+// step. Gates turn concurrent executions into explicit interleavings, making
+// failures reproducible and adversarial schedules expressible.
+type Gate interface {
+	Await(pid int)
+}
+
+// ErrStepLimit is returned by Scheduler.Run when the schedule exceeds the
+// step budget, which usually indicates a liveness bug (or a workload that
+// needs a larger budget).
+var ErrStepLimit = errors.New("rmr: scheduler step limit exceeded")
+
+// PickFunc selects which waiting process takes the next step. It receives
+// the global step number and the ids of all processes currently waiting at
+// the gate — sorted by process id, so that a choice index denotes the same
+// process in every run that made the same prior choices (the property the
+// Explorer's replay soundness rests on) — and returns an index into that
+// slice.
+type PickFunc func(step int, waiting []int) int
+
+// RandomPick returns a PickFunc that chooses uniformly at random with the
+// given seed. The same seed always reproduces the same schedule for the
+// same program.
+func RandomPick(seed int64) PickFunc {
+	rng := rand.New(rand.NewSource(seed))
+	return func(_ int, waiting []int) int {
+		return rng.Intn(len(waiting))
+	}
+}
+
+// RoundRobinPick returns a PickFunc that cycles through process ids,
+// granting the lowest-id waiting process that is strictly greater than the
+// last scheduled id, wrapping around when none is.
+func RoundRobinPick() PickFunc {
+	last := -1
+	return func(_ int, waiting []int) int {
+		best, bestWrap := -1, -1
+		for i, pid := range waiting {
+			if pid > last && (best == -1 || pid < waiting[best]) {
+				best = i
+			}
+			if bestWrap == -1 || pid < waiting[bestWrap] {
+				bestWrap = i
+			}
+		}
+		if best == -1 {
+			best = bestWrap
+		}
+		last = waiting[best]
+		return best
+	}
+}
+
+// PreferPick returns a PickFunc that always grants a process from preferred
+// when one is waiting, falling back to fallback otherwise. It is the
+// building block for adversarial schedules ("run the aborter until it is
+// stuck, then let the exiter proceed").
+func PreferPick(preferred []int, fallback PickFunc) PickFunc {
+	pref := make(map[int]bool, len(preferred))
+	for _, pid := range preferred {
+		pref[pid] = true
+	}
+	return func(step int, waiting []int) int {
+		for i, pid := range waiting {
+			if pref[pid] {
+				return i
+			}
+		}
+		return fallback(step, waiting)
+	}
+}
+
+// Scheduler is a Gate driven by a PickFunc. Typical use:
+//
+//	s := rmr.NewScheduler(n, rmr.RandomPick(seed))
+//	m := rmr.NewMemory(rmr.CC, n, s)
+//	for i := 0; i < n; i++ { s.Go(func() { body(m.Proc(i)) }) }
+//	err := s.Run(maxSteps)
+//
+// Run drives the interleaving until every process launched with Go has
+// returned, or the step budget is exhausted.
+type Scheduler struct {
+	pick  PickFunc
+	ready chan int
+	done  chan struct{}
+	grant []chan struct{}
+	open  atomic.Bool
+	live  int
+	clock atomic.Int64 // steps granted so far; see Steps
+
+	// pending holds the waiting set at the moment Run bailed out with
+	// ErrStepLimit so Drain can release those processes.
+	pending []int
+}
+
+var _ Gate = (*Scheduler)(nil)
+
+// NewScheduler creates a scheduler for processes with ids in [0, n).
+func NewScheduler(n int, pick PickFunc) *Scheduler {
+	s := &Scheduler{
+		pick:  pick,
+		ready: make(chan int),
+		done:  make(chan struct{}),
+		grant: make([]chan struct{}, n),
+	}
+	for i := range s.grant {
+		s.grant[i] = make(chan struct{})
+	}
+	return s
+}
+
+// Await implements Gate.
+func (s *Scheduler) Await(pid int) {
+	if s.open.Load() {
+		return
+	}
+	s.ready <- pid
+	<-s.grant[pid]
+}
+
+// Go launches fn as a scheduled process. It must be called for every
+// process before Run, and fn must issue its shared-memory operations
+// through a Proc of a Memory gated by this scheduler.
+func (s *Scheduler) Go(fn func()) {
+	s.live++
+	go func() {
+		defer func() { s.done <- struct{}{} }()
+		fn()
+	}()
+}
+
+// Run drives the schedule until all processes have returned or maxSteps
+// shared-memory steps have been granted, in which case it returns
+// ErrStepLimit. After ErrStepLimit the caller should resolve the stall
+// (e.g. deliver abort signals) and call Drain to release every process.
+func (s *Scheduler) Run(maxSteps int) error {
+	var waiting []int
+	step := 0
+	for s.live > 0 {
+		for len(waiting) < s.live {
+			select {
+			case pid := <-s.ready:
+				waiting = append(waiting, pid)
+			case <-s.done:
+				s.live--
+			}
+		}
+		if s.live == 0 {
+			break
+		}
+		if step >= maxSteps {
+			s.pending = waiting
+			return ErrStepLimit
+		}
+		// Canonical order: goroutine startup races make arrival order
+		// nondeterministic, but the *set* of waiting processes at each
+		// quiescent point is determined by the choices made so far.
+		sort.Ints(waiting)
+		i := s.pick(step, waiting)
+		pid := waiting[i]
+		waiting[i] = waiting[len(waiting)-1]
+		waiting = waiting[:len(waiting)-1]
+		step++
+		s.clock.Store(int64(step))
+		s.grant[pid] <- struct{}{}
+	}
+	return nil
+}
+
+// Steps returns a logical clock: the number of shared-memory steps granted
+// so far. Processes may read it between their own operations to timestamp
+// events for ordering assertions (the value is monotonic, and a value read
+// by a process after one of its operations is ≥ that operation's step).
+func (s *Scheduler) Steps() int64 { return s.clock.Load() }
+
+// Drain opens the gate and waits for every remaining process to return.
+// It is only needed after Run returned ErrStepLimit.
+func (s *Scheduler) Drain() {
+	s.open.Store(true)
+	for _, pid := range s.pending {
+		s.grant[pid] <- struct{}{}
+	}
+	s.pending = nil
+	for s.live > 0 {
+		select {
+		case pid := <-s.ready:
+			s.grant[pid] <- struct{}{}
+		case <-s.done:
+			s.live--
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package rmr
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Model selects the memory model under which RMRs are counted.
+type Model int
+
+const (
+	// CC is the cache-coherent model: reads of cached words are free;
+	// updates invalidate other processes' copies.
+	CC Model = iota + 1
+	// DSM is the distributed shared-memory model: each word is local to one
+	// process and remote to all others.
+	DSM
+)
+
+// String returns the conventional abbreviation of the model.
+func (m Model) String() string {
+	switch m {
+	case CC:
+		return "CC"
+	case DSM:
+		return "DSM"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// Addr is the address of a shared word within a Memory.
+type Addr int32
+
+// NoOwner marks a word that is remote to every process in the DSM model
+// (e.g. a global variable that lives in "home" memory).
+const NoOwner = -1
+
+// word is a single W-bit shared memory location together with the coherence
+// bookkeeping needed to charge RMRs.
+type word struct {
+	mu     sync.Mutex
+	val    uint64
+	cached bitset // CC: set of processes holding a valid cached copy
+	owner  int32  // DSM: process the word is local to, or NoOwner
+}
+
+// Memory is a simulated shared memory. All words are allocated through it,
+// and all operations on it are linearizable: each operation takes effect
+// atomically at a single instant.
+//
+// The zero value is not usable; construct with NewMemory.
+type Memory struct {
+	model  Model
+	nprocs int
+	gate   Gate
+
+	mu    sync.Mutex
+	words []*word
+
+	procs  []*Proc
+	tracer Tracer
+}
+
+// NewMemory creates a memory for nprocs processes under the given model.
+// gate may be nil, in which case processes run without schedule control.
+func NewMemory(model Model, nprocs int, gate Gate) *Memory {
+	if model != CC && model != DSM {
+		panic(fmt.Sprintf("rmr: invalid model %d", int(model)))
+	}
+	if nprocs <= 0 {
+		panic(fmt.Sprintf("rmr: invalid process count %d", nprocs))
+	}
+	m := &Memory{
+		model:  model,
+		nprocs: nprocs,
+		gate:   gate,
+		procs:  make([]*Proc, nprocs),
+	}
+	for i := range m.procs {
+		m.procs[i] = &Proc{m: m, id: i}
+	}
+	return m
+}
+
+// Model reports the memory model of m.
+func (m *Memory) Model() Model { return m.model }
+
+// SetGate installs (or removes, with nil) the schedule gate. It is intended
+// for test setup: perform initialization ungated, then attach the scheduler
+// before launching the concurrent phase. It must not be called while any
+// process is issuing operations.
+func (m *Memory) SetGate(g Gate) { m.gate = g }
+
+// NumProcs reports the number of processes the memory was created for.
+func (m *Memory) NumProcs() int { return m.nprocs }
+
+// Proc returns the handle for process id (0 <= id < NumProcs).
+func (m *Memory) Proc(id int) *Proc {
+	return m.procs[id]
+}
+
+// Alloc allocates one shared word initialized to init. In the DSM model the
+// word is remote to every process; use AllocLocal for process-local words.
+func (m *Memory) Alloc(init uint64) Addr {
+	return m.AllocLocal(NoOwner, init)
+}
+
+// AllocLocal allocates one shared word initialized to init that is local to
+// process owner in the DSM model. Ownership is ignored under CC.
+func (m *Memory) AllocLocal(owner int, init uint64) Addr {
+	w := &word{val: init, owner: int32(owner)}
+	if m.model == CC {
+		w.cached = newBitset(m.nprocs)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.words = append(m.words, w)
+	return Addr(len(m.words) - 1)
+}
+
+// AllocN allocates n consecutive words, all initialized to init, and returns
+// the address of the first. Words are remote to all processes under DSM.
+func (m *Memory) AllocN(n int, init uint64) Addr {
+	return m.AllocNLocal(NoOwner, n, init)
+}
+
+// AllocNLocal allocates n consecutive words local to process owner in the
+// DSM model, all initialized to init, and returns the address of the first.
+// The words are guaranteed adjacent, so callers may lay out multi-word
+// records and address fields at fixed offsets.
+func (m *Memory) AllocNLocal(owner, n int, init uint64) Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	base := Addr(len(m.words))
+	for i := 0; i < n; i++ {
+		w := &word{val: init, owner: int32(owner)}
+		if m.model == CC {
+			w.cached = newBitset(m.nprocs)
+		}
+		m.words = append(m.words, w)
+	}
+	return base
+}
+
+// Size reports the number of shared words allocated so far. It is the
+// space-complexity measurement used by the Table 1 space experiment.
+func (m *Memory) Size() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.words)
+}
+
+// Peek returns the current value of a word without charging an RMR and
+// without affecting coherence state. It is intended for tests and harness
+// assertions only, never for algorithm code.
+func (m *Memory) Peek(a Addr) uint64 {
+	w := m.word(a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.val
+}
+
+// Poke sets the value of a word without charging an RMR but invalidating all
+// cached copies (so that spinning processes observe it). Like Peek it is a
+// testing/harness facility, not part of the machine model.
+func (m *Memory) Poke(a Addr, v uint64) {
+	w := m.word(a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.val = v
+	if m.model == CC {
+		w.cached.clear()
+	}
+}
+
+func (m *Memory) word(a Addr) *word {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(a) < 0 || int(a) >= len(m.words) {
+		panic(fmt.Sprintf("rmr: address %d out of range [0,%d)", a, len(m.words)))
+	}
+	return m.words[a]
+}

@@ -1,0 +1,132 @@
+package rmr
+
+import (
+	"testing"
+)
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	if b.has(0) || b.has(129) {
+		t.Fatal("fresh bitset not empty")
+	}
+	b.add(0)
+	b.add(63)
+	b.add(64)
+	b.add(129)
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.has(i) {
+			t.Fatalf("bit %d missing", i)
+		}
+	}
+	if b.has(1) || b.has(65) {
+		t.Fatal("unexpected bits set")
+	}
+	b.clearExcept(64)
+	if !b.has(64) || b.has(0) || b.has(63) || b.has(129) {
+		t.Fatal("clearExcept misbehaved")
+	}
+	b.clear()
+	if b.has(64) {
+		t.Fatal("clear missed a bit")
+	}
+}
+
+func TestRoundRobinPickCycles(t *testing.T) {
+	pick := RoundRobinPick()
+	waiting := []int{0, 1, 2}
+	var order []int
+	for i := 0; i < 6; i++ {
+		idx := pick(i, waiting)
+		order = append(order, waiting[idx])
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinPickPartialWaiters(t *testing.T) {
+	pick := RoundRobinPick()
+	// Only process 2 waiting: must be chosen (wrap).
+	if idx := pick(0, []int{2}); idx != 0 {
+		t.Fatalf("idx = %d", idx)
+	}
+	// last=2; processes 0 and 1 waiting: wrap to 0.
+	if got := []int{0, 1}[pick(1, []int{0, 1})]; got != 0 {
+		t.Fatalf("after wrap got %d, want 0", got)
+	}
+}
+
+func TestPreferPickFallsBack(t *testing.T) {
+	calls := 0
+	fallback := func(step int, waiting []int) int {
+		calls++
+		return len(waiting) - 1
+	}
+	pick := PreferPick([]int{7}, fallback)
+	// Preferred process waiting: chosen without fallback.
+	if idx := pick(0, []int{3, 7, 5}); idx != 1 {
+		t.Fatalf("idx = %d, want 1 (pid 7)", idx)
+	}
+	if calls != 0 {
+		t.Fatal("fallback called unnecessarily")
+	}
+	// Preferred absent: fallback decides.
+	if idx := pick(1, []int{3, 5}); idx != 1 {
+		t.Fatalf("fallback idx = %d", idx)
+	}
+	if calls != 1 {
+		t.Fatal("fallback not called")
+	}
+}
+
+func TestSchedulerStepsClock(t *testing.T) {
+	s := NewScheduler(2, RoundRobinPick())
+	m := NewMemory(CC, 2, s)
+	a := m.Alloc(0)
+	stamps := make([]int64, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		p := m.Proc(i)
+		s.Go(func() {
+			p.FAA(a, 1)
+			stamps[i] = s.Steps()
+		})
+	}
+	if err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps() != 2 {
+		t.Fatalf("final clock = %d, want 2", s.Steps())
+	}
+	for i, st := range stamps {
+		if st < 1 || st > 2 {
+			t.Fatalf("stamp[%d] = %d, want within [1,2]", i, st)
+		}
+	}
+}
+
+func TestControllerFinishedBeforeLaunch(t *testing.T) {
+	c := NewController(2)
+	if c.Finished(0) {
+		t.Fatal("unlaunched process reported finished")
+	}
+	c.Go(0, func() {})
+	c.Finish(0, 10)
+	if !c.Finished(0) {
+		t.Fatal("finished process not reported")
+	}
+	c.Wait()
+}
+
+func TestControllerStepFinishedProcess(t *testing.T) {
+	c := NewController(1)
+	c.Go(0, func() {})
+	c.Finish(0, 10)
+	if c.Step(0) {
+		t.Fatal("Step on a finished process returned true")
+	}
+	c.Wait()
+}

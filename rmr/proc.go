@@ -1,0 +1,177 @@
+package rmr
+
+import (
+	"sync/atomic"
+)
+
+// Proc is a process's handle to the shared memory. All shared-memory
+// operations are methods on Proc so that every remote memory reference can
+// be charged to the process that issued it.
+//
+// A Proc must be used by at most one goroutine at a time (a process is a
+// single thread of control); distinct Procs may run concurrently.
+type Proc struct {
+	m  *Memory
+	id int
+
+	rmrs  atomic.Int64 // remote memory references charged so far
+	steps atomic.Int64 // total shared-memory operations issued
+
+	abort atomic.Bool // external abort signal (§2: delivered from outside)
+}
+
+// ID returns the process identifier, in [0, Memory.NumProcs()).
+func (p *Proc) ID() int { return p.id }
+
+// Memory returns the memory this process belongs to.
+func (p *Proc) Memory() *Memory { return p.m }
+
+// RMRs returns the total number of remote memory references this process
+// has incurred. Harnesses snapshot it before and after a passage to obtain
+// the passage's RMR cost.
+func (p *Proc) RMRs() int64 { return p.rmrs.Load() }
+
+// Steps returns the total number of shared-memory operations issued.
+func (p *Proc) Steps() int64 { return p.steps.Load() }
+
+// SignalAbort delivers the external abort signal to the process. The signal
+// is sticky until ClearAbort is called.
+func (p *Proc) SignalAbort() { p.abort.Store(true) }
+
+// ClearAbort resets the abort signal, typically between passages.
+func (p *Proc) ClearAbort() { p.abort.Store(false) }
+
+// AbortSignal reports whether the external abort signal is pending. Reading
+// the signal is not a shared-memory operation and incurs no RMR (the paper
+// models it as an external event, not a shared variable).
+func (p *Proc) AbortSignal() bool { return p.abort.Load() }
+
+// step performs gate arbitration and operation counting common to every
+// shared-memory operation.
+func (p *Proc) step() {
+	if g := p.m.gate; g != nil {
+		g.Await(p.id)
+	}
+	p.steps.Add(1)
+}
+
+// chargeRead charges the RMR cost of a read of w under the memory model and
+// updates coherence state, reporting whether an RMR was charged. The word's
+// mutex must be held.
+func (p *Proc) chargeRead(w *word) bool {
+	switch p.m.model {
+	case CC:
+		if !w.cached.has(p.id) {
+			p.rmrs.Add(1)
+			w.cached.add(p.id)
+			return true
+		}
+		return false
+	case DSM:
+		if int(w.owner) != p.id {
+			p.rmrs.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// chargeUpdate charges the RMR cost of a write/CAS/F&A/SWAP of w and updates
+// coherence state, reporting whether an RMR was charged: under CC every
+// update is an RMR and invalidates all other processes' copies, leaving the
+// updater with a valid copy. The word's mutex must be held.
+func (p *Proc) chargeUpdate(w *word) bool {
+	switch p.m.model {
+	case CC:
+		p.rmrs.Add(1)
+		w.cached.clearExcept(p.id)
+		return true
+	case DSM:
+		if int(w.owner) != p.id {
+			p.rmrs.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Read atomically reads the word at a.
+func (p *Proc) Read(a Addr) uint64 {
+	p.step()
+	w := p.m.word(a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rmr := p.chargeRead(w)
+	p.m.trace(Event{Proc: p.id, Op: OpRead, Addr: a, Old: w.val, New: w.val, OK: true, RMR: rmr})
+	return w.val
+}
+
+// Write atomically writes v to the word at a.
+func (p *Proc) Write(a Addr, v uint64) {
+	p.step()
+	w := p.m.word(a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rmr := p.chargeUpdate(w)
+	old := w.val
+	w.val = v
+	p.m.trace(Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+}
+
+// CAS atomically compares the word at a with old and, if equal, replaces it
+// with new, reporting whether the replacement happened. Both successful and
+// failed CAS operations are charged as updates, per §2 ("each write, CAS, or
+// F&A incurs an RMR").
+func (p *Proc) CAS(a Addr, old, new uint64) bool {
+	p.step()
+	w := p.m.word(a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rmr := p.chargeUpdate(w)
+	if w.val != old {
+		p.m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: w.val, New: w.val, OK: false, RMR: rmr})
+		return false
+	}
+	w.val = new
+	p.m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: old, New: new, OK: true, RMR: rmr})
+	return true
+}
+
+// FAA atomically adds delta to the word at a and returns the previous value
+// (Fetch-And-Add; delta may encode a subtraction in two's complement).
+func (p *Proc) FAA(a Addr, delta uint64) uint64 {
+	p.step()
+	w := p.m.word(a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rmr := p.chargeUpdate(w)
+	old := w.val
+	w.val = old + delta
+	p.m.trace(Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: w.val, OK: true, RMR: rmr})
+	return old
+}
+
+// Swap atomically stores v into the word at a and returns the previous value
+// (Fetch-And-Store). It is not used by the paper's algorithm but is required
+// by the MCS and Scott baselines.
+func (p *Proc) Swap(a Addr, v uint64) uint64 {
+	p.step()
+	w := p.m.word(a)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rmr := p.chargeUpdate(w)
+	old := w.val
+	w.val = v
+	p.m.trace(Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+	return old
+}
+
+// Yield marks a point where the process is willing to let others run, e.g.
+// one iteration of a local spin. Under a gated memory it is a no-op (the
+// gate already serializes steps); in free-running mode it yields the OS
+// thread so single-CPU hosts make progress.
+func (p *Proc) Yield() {
+	if p.m.gate == nil {
+		osyield()
+	}
+}

@@ -1,0 +1,106 @@
+package rmr
+
+import "fmt"
+
+// Op identifies a shared-memory operation kind in a trace.
+type Op int
+
+// Operation kinds.
+const (
+	OpRead Op = iota + 1
+	OpWrite
+	OpCAS
+	OpFAA
+	OpSwap
+)
+
+// String returns the operation mnemonic.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpCAS:
+		return "cas"
+	case OpFAA:
+		return "faa"
+	case OpSwap:
+		return "swap"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Event records one shared-memory operation for offline analysis. Events
+// on the same word are emitted in linearization order; events on different
+// words may invoke the tracer concurrently from different goroutines, so
+// tracers must be safe for concurrent use (under a gated memory, operations
+// are serialized and the global event order is total).
+type Event struct {
+	Proc int
+	Op   Op
+	Addr Addr
+	// Old and New are the word's value before and after the operation
+	// (equal for reads and failed CASes).
+	Old, New uint64
+	// OK is false only for a failed CAS.
+	OK bool
+	// RMR reports whether the operation was charged as remote.
+	RMR bool
+}
+
+// Tracer consumes events. Implementations must not operate on the traced
+// Memory from inside the callback (the word's lock is held) and must be
+// fast; tracing is a debugging/verification facility, not a hot path.
+type Tracer func(Event)
+
+// SetTracer installs (or removes, with nil) a tracer. Like SetGate it must
+// not be called while processes are issuing operations.
+func (m *Memory) SetTracer(t Tracer) { m.tracer = t }
+
+// trace emits an event if a tracer is installed. Called with the word lock
+// held, so events are in linearization order per word and globally
+// consistent with the values recorded.
+func (m *Memory) trace(ev Event) {
+	if m.tracer != nil {
+		m.tracer(ev)
+	}
+}
+
+// CheckTrace validates the internal consistency of a totally-ordered event
+// sequence (as recorded under a gated memory): per address, each event's
+// Old value must equal the previous event's New value, failed CASes must
+// not change the value, and successful operations must transform it as
+// their kind dictates. It is a self-check of the simulator and of
+// hand-built schedules; inits supplies the initial value of any address
+// whose first event should be checked against it.
+func CheckTrace(events []Event, inits map[Addr]uint64) error {
+	last := make(map[Addr]uint64, len(inits))
+	have := make(map[Addr]bool, len(inits))
+	for a, v := range inits {
+		last[a], have[a] = v, true
+	}
+	for i, ev := range events {
+		if have[ev.Addr] && ev.Old != last[ev.Addr] {
+			return fmt.Errorf("event %d (%s on %d by proc %d): Old=%d but previous New=%d",
+				i, ev.Op, ev.Addr, ev.Proc, ev.Old, last[ev.Addr])
+		}
+		switch ev.Op {
+		case OpRead:
+			if ev.New != ev.Old {
+				return fmt.Errorf("event %d: read changed the value", i)
+			}
+		case OpCAS:
+			if !ev.OK && ev.New != ev.Old {
+				return fmt.Errorf("event %d: failed CAS changed the value", i)
+			}
+		case OpFAA, OpWrite, OpSwap:
+			// Any transformation is legal; the chain check above binds it.
+		default:
+			return fmt.Errorf("event %d: unknown op %v", i, ev.Op)
+		}
+		last[ev.Addr], have[ev.Addr] = ev.New, true
+	}
+	return nil
+}

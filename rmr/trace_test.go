@@ -1,0 +1,175 @@
+package rmr
+
+import (
+	"sync"
+	"testing"
+)
+
+// collector is a concurrency-safe tracer for tests.
+type collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (c *collector) trace(ev Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, ev)
+}
+
+func TestTraceRecordsOperations(t *testing.T) {
+	m := NewMemory(CC, 2, nil)
+	c := &collector{}
+	m.SetTracer(c.trace)
+	a := m.Alloc(10)
+	p := m.Proc(0)
+
+	p.Read(a)
+	p.Write(a, 20)
+	p.FAA(a, 5)
+	p.Swap(a, 1)
+	if p.CAS(a, 1, 2) != true {
+		t.Fatal("CAS failed")
+	}
+	p.CAS(a, 99, 0) // fails
+
+	want := []Event{
+		{Proc: 0, Op: OpRead, Addr: a, Old: 10, New: 10, OK: true, RMR: true},
+		{Proc: 0, Op: OpWrite, Addr: a, Old: 10, New: 20, OK: true, RMR: true},
+		{Proc: 0, Op: OpFAA, Addr: a, Old: 20, New: 25, OK: true, RMR: true},
+		{Proc: 0, Op: OpSwap, Addr: a, Old: 25, New: 1, OK: true, RMR: true},
+		{Proc: 0, Op: OpCAS, Addr: a, Old: 1, New: 2, OK: true, RMR: true},
+		{Proc: 0, Op: OpCAS, Addr: a, Old: 2, New: 2, OK: false, RMR: true},
+	}
+	if len(c.events) != len(want) {
+		t.Fatalf("recorded %d events, want %d", len(c.events), len(want))
+	}
+	for i, ev := range c.events {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+// TestTraceRMRConsistency recomputes every process's RMR counter from the
+// trace and checks it matches the live accounting — the tracer and the
+// cost model must agree by construction.
+func TestTraceRMRConsistency(t *testing.T) {
+	for _, model := range []Model{CC, DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			const nprocs = 4
+			s := NewScheduler(nprocs, RandomPick(7))
+			m := NewMemory(model, nprocs, nil)
+			c := &collector{}
+			m.SetTracer(c.trace)
+			shared := m.AllocN(4, 0)
+			locals := make([]Addr, nprocs)
+			for i := range locals {
+				locals[i] = m.AllocLocal(i, 0)
+			}
+			m.SetGate(s)
+			for i := 0; i < nprocs; i++ {
+				p := m.Proc(i)
+				local := locals[i]
+				s.Go(func() {
+					for k := 0; k < 25; k++ {
+						switch k % 5 {
+						case 0:
+							p.FAA(shared+Addr(k%4), 1)
+						case 1:
+							p.Read(shared + Addr(k%4))
+						case 2:
+							p.Write(local, uint64(k))
+						case 3:
+							p.Read(local)
+						case 4:
+							p.CAS(shared, uint64(k), uint64(k+1))
+						}
+					}
+				})
+			}
+			if err := s.Run(1_000_000); err != nil {
+				t.Fatal(err)
+			}
+			counted := make([]int64, nprocs)
+			for _, ev := range c.events {
+				if ev.RMR {
+					counted[ev.Proc]++
+				}
+			}
+			for i := 0; i < nprocs; i++ {
+				if got := m.Proc(i).RMRs(); got != counted[i] {
+					t.Errorf("proc %d: live RMRs = %d, trace says %d", i, got, counted[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTraceOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		OpRead: "read", OpWrite: "write", OpCAS: "cas", OpFAA: "faa", OpSwap: "swap",
+		Op(42): "Op(42)",
+	} {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	m := NewMemory(CC, 1, nil)
+	a := m.Alloc(0)
+	m.Proc(0).Write(a, 1) // must not panic with no tracer
+	m.SetTracer(nil)
+	m.Proc(0).Write(a, 2)
+}
+
+func TestCheckTraceDetectsCorruption(t *testing.T) {
+	a := Addr(0)
+	good := []Event{
+		{Proc: 0, Op: OpWrite, Addr: a, Old: 5, New: 7, OK: true},
+		{Proc: 1, Op: OpRead, Addr: a, Old: 7, New: 7, OK: true},
+		{Proc: 1, Op: OpFAA, Addr: a, Old: 7, New: 9, OK: true},
+	}
+	if err := CheckTrace(good, map[Addr]uint64{a: 5}); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	t.Run("broken chain", func(t *testing.T) {
+		bad := append([]Event{}, good...)
+		bad[1].Old, bad[1].New = 99, 99
+		if CheckTrace(bad, map[Addr]uint64{a: 5}) == nil {
+			t.Fatal("broken value chain accepted")
+		}
+	})
+	t.Run("wrong initial", func(t *testing.T) {
+		if CheckTrace(good, map[Addr]uint64{a: 6}) == nil {
+			t.Fatal("wrong initial value accepted")
+		}
+	})
+	t.Run("mutating read", func(t *testing.T) {
+		bad := []Event{{Proc: 0, Op: OpRead, Addr: a, Old: 5, New: 6, OK: true}}
+		if CheckTrace(bad, map[Addr]uint64{a: 5}) == nil {
+			t.Fatal("mutating read accepted")
+		}
+	})
+	t.Run("mutating failed CAS", func(t *testing.T) {
+		bad := []Event{{Proc: 0, Op: OpCAS, Addr: a, Old: 5, New: 6, OK: false}}
+		if CheckTrace(bad, map[Addr]uint64{a: 5}) == nil {
+			t.Fatal("mutating failed CAS accepted")
+		}
+	})
+	t.Run("unknown op", func(t *testing.T) {
+		bad := []Event{{Proc: 0, Op: Op(42), Addr: a, Old: 5, New: 5, OK: true}}
+		if CheckTrace(bad, map[Addr]uint64{a: 5}) == nil {
+			t.Fatal("unknown op accepted")
+		}
+	})
+	t.Run("unknown address unchecked first event", func(t *testing.T) {
+		// Without an init entry the first event's Old is taken on faith.
+		loose := []Event{{Proc: 0, Op: OpWrite, Addr: Addr(9), Old: 123, New: 1, OK: true}}
+		if err := CheckTrace(loose, nil); err != nil {
+			t.Fatalf("first-event-without-init rejected: %v", err)
+		}
+	})
+}
