@@ -37,6 +37,7 @@ func run(args []string) error {
 	exhaustive := fs.Bool("exhaustive", false, "bounded-exhaustive exploration instead of seeded sampling (use small -n)")
 	exhaustSteps := fs.Int("exhauststeps", 24, "schedule length bound for -exhaustive")
 	exhaustCap := fs.Int("exhaustcap", 200000, "schedule cap for -exhaustive (0 = none)")
+	workers := fs.Int("workers", 1, "parallel exploration workers for -exhaustive")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +55,7 @@ func run(args []string) error {
 	}
 
 	if *exhaustive {
-		return runExhaustive(mdl, harness.Algo(*algo), *w, *n, *aborters, *exhaustSteps, *exhaustCap)
+		return runExhaustive(mdl, harness.Algo(*algo), *w, *n, *aborters, *exhaustSteps, *exhaustCap, *workers)
 	}
 
 	var totalEntered, totalAborted int
@@ -119,65 +120,18 @@ func explore(model rmr.Model, algo harness.Algo, w, n, aborters int, seed int64,
 }
 
 // runExhaustive enumerates every schedule of length ≤ maxSteps (bounded
-// model checking via rmr.Explorer): processes in [0, aborters) receive
-// their abort signal from a dedicated signal process whose single step the
-// explorer places at every possible point.
-func runExhaustive(model rmr.Model, algo harness.Algo, w, n, aborters, maxSteps, cap int) error {
+// model checking via rmr.Explorer over harness.ExhaustiveBody): processes
+// in [0, aborters) receive their abort signal from a dedicated signal
+// process whose single step the explorer places at every possible point.
+// workers > 1 partitions the choice tree across that many goroutines; an
+// uncapped run reports the same counts at any worker count.
+func runExhaustive(model rmr.Model, algo harness.Algo, w, n, aborters, maxSteps, cap, workers int) error {
 	nprocs := n
 	if aborters > 0 {
 		nprocs++
 	}
-	body := func(s *rmr.Scheduler, budget int) error {
-		m := rmr.NewMemory(model, nprocs, nil)
-		fn, err := harness.Build(m, algo, w, n)
-		if err != nil {
-			return err
-		}
-		m.SetGate(s)
-		var inCS, violations atomic.Int32
-		entered := make([]bool, n)
-		for i := 0; i < n; i++ {
-			i := i
-			h := fn(m.Proc(i))
-			s.Go(func() {
-				if h.Enter() {
-					if inCS.Add(1) > 1 {
-						violations.Add(1)
-					}
-					entered[i] = true
-					inCS.Add(-1)
-					h.Exit()
-				}
-			})
-		}
-		if aborters > 0 {
-			p := m.Proc(nprocs - 1)
-			scratch := m.Alloc(0)
-			s.Go(func() {
-				p.Read(scratch)
-				for v := 0; v < aborters; v++ {
-					m.Proc(v).SignalAbort()
-				}
-			})
-		}
-		if err := s.Run(budget); err != nil {
-			for i := 0; i < nprocs; i++ {
-				m.Proc(i).SignalAbort()
-			}
-			s.Drain()
-			return err
-		}
-		if violations.Load() != 0 {
-			return fmt.Errorf("mutual exclusion violated")
-		}
-		for i := aborters; i < n; i++ {
-			if !entered[i] {
-				return fmt.Errorf("process %d starved", i)
-			}
-		}
-		return nil
-	}
-	e := &rmr.Explorer{MaxSteps: maxSteps, MaxSchedules: cap}
+	body := harness.ExhaustiveBody(model, algo, w, n, aborters)
+	e := &rmr.Explorer{MaxSteps: maxSteps, MaxSchedules: cap, Workers: workers}
 	res, err := e.Run(nprocs, body)
 	if err != nil {
 		return err

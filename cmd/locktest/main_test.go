@@ -71,3 +71,9 @@ func TestRunExhaustiveWithAborter(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunExhaustiveParallel(t *testing.T) {
+	if err := run([]string{"-exhaustive", "-n", "2", "-exhauststeps", "18", "-exhaustcap", "30000", "-workers", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sublock/rmr"
+)
+
+// ExhaustiveBody returns an rmr.Body that builds algo fresh, runs one
+// passage per process, and checks the Theorem 2 safety properties (mutual
+// exclusion; every non-aborter completes). Processes in [0, aborters)
+// receive their abort signal from a dedicated signal process — id n, so
+// the body schedules n+1 processes when aborters > 0 — whose single step
+// the explorer places at every possible point in the schedule.
+//
+// The body satisfies the Explorer's determinism contract (all state is
+// rebuilt per run, processes are launched with GoProc) and is safe for
+// Workers > 1: concurrent invocations share nothing.
+func ExhaustiveBody(model rmr.Model, algo Algo, w, n, aborters int) rmr.Body {
+	return func(s *rmr.Scheduler, budget int) error {
+		nprocs := n
+		if aborters > 0 {
+			nprocs++
+		}
+		m := rmr.NewMemory(model, nprocs, nil)
+		fn, err := Build(m, algo, w, n)
+		if err != nil {
+			return err
+		}
+		m.SetGate(s)
+		var inCS, violations atomic.Int32
+		entered := make([]bool, n)
+		for i := 0; i < n; i++ {
+			i := i
+			h := fn(m.Proc(i))
+			s.GoProc(i, func() {
+				if h.Enter() {
+					if inCS.Add(1) > 1 {
+						violations.Add(1)
+					}
+					entered[i] = true
+					inCS.Add(-1)
+					h.Exit()
+				}
+			})
+		}
+		if aborters > 0 {
+			p := m.Proc(nprocs - 1)
+			scratch := m.Alloc(0)
+			s.GoProc(nprocs-1, func() {
+				p.Read(scratch)
+				for v := 0; v < aborters; v++ {
+					m.Proc(v).SignalAbort()
+				}
+			})
+		}
+		if err := s.Run(budget); err != nil {
+			for i := 0; i < nprocs; i++ {
+				m.Proc(i).SignalAbort()
+			}
+			s.Drain()
+			return err
+		}
+		if violations.Load() != 0 {
+			return fmt.Errorf("mutual exclusion violated")
+		}
+		for i := aborters; i < n; i++ {
+			if !entered[i] {
+				return fmt.Errorf("process %d starved", i)
+			}
+		}
+		return nil
+	}
+}

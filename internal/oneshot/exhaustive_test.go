@@ -128,15 +128,53 @@ func TestExhaustiveTwoProcsOneAborter(t *testing.T) {
 
 func TestExhaustiveThreeProcsCapped(t *testing.T) {
 	// Three processes explode combinatorially; cover a 60k-schedule
-	// depth-first prefix (every explored schedule is still a full run).
+	// depth-first prefix (every explored schedule is still a full run),
+	// explored in parallel to exercise the Workers path on a real lock.
 	nprocs, body := passageBody(3, 2, true, nil)
-	e := &rmr.Explorer{MaxSteps: 30, MaxSchedules: 50000}
+	e := &rmr.Explorer{MaxSteps: 30, MaxSchedules: 50000, Workers: 4}
 	res, err := e.Run(nprocs, body)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("3 procs: %d schedules explored, %d pruned (exhausted=%v)",
 		res.Explored, res.Pruned, res.Exhausted)
+}
+
+func TestExhaustiveParallelEquivalence(t *testing.T) {
+	// The Explorer's parallel determinism contract on the real lock: an
+	// uncapped exploration must produce exactly the sequential
+	// Explored/Pruned/Exhausted at every worker count. The bound is kept
+	// below the honest completion length so the tree stays small; pruned
+	// schedules dominate, which stresses the accounting equally.
+	for _, cfg := range []struct {
+		name     string
+		nlock    int
+		aborters []int
+		maxSteps int
+	}{
+		{"2procs", 2, nil, 17},
+		{"2procs+aborter", 2, []int{1}, 14},
+		{"3procs", 3, nil, 10},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			nprocs, body := passageBody(cfg.nlock, 2, true, cfg.aborters)
+			seq := &rmr.Explorer{MaxSteps: cfg.maxSteps}
+			want, err := seq.Run(nprocs, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				par := &rmr.Explorer{MaxSteps: cfg.maxSteps, Workers: workers}
+				got, err := par.Run(nprocs, body)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != want {
+					t.Errorf("workers=%d: Result = %+v, want %+v", workers, got, want)
+				}
+			}
+		})
+	}
 }
 
 func TestExhaustivePlainFindNextVariant(t *testing.T) {

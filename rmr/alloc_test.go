@@ -1,0 +1,58 @@
+package rmr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestOperationsDoNotAllocate asserts the zero-allocation guarantee of the
+// operation path: Read/Write/CAS/FAA/Swap allocate nothing in steady state,
+// with no tracer installed, on every data path — free-running CC (seqlock),
+// free-running DSM (bare atomics), wide CC (mutex + spilled cache set), and
+// gated CC/DSM (lock elision under the scheduler's step token).
+func TestOperationsDoNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		model  Model
+		nprocs int
+	}{
+		{"CC", CC, 2},
+		{"DSM", DSM, 2},
+		{"CC-wide", CC, 65},
+	} {
+		t.Run("free-running/"+tc.name, func(t *testing.T) {
+			m := NewMemory(tc.model, tc.nprocs, nil)
+			own := m.AllocLocal(0, 0)
+			shared := m.Alloc(0)
+			p := m.Proc(0)
+			checkOpsDoNotAllocate(t, p, own, shared)
+		})
+	}
+	for _, model := range []Model{CC, DSM} {
+		t.Run(fmt.Sprintf("gated/%v", model), func(t *testing.T) {
+			s := NewScheduler(1, func(_ int, _ []int) int { return 0 })
+			m := NewMemory(model, 1, s)
+			own := m.AllocLocal(0, 0)
+			shared := m.Alloc(0)
+			p := m.Proc(0)
+			s.Go(func() { checkOpsDoNotAllocate(t, p, own, shared) })
+			if err := s.Run(1 << 30); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func checkOpsDoNotAllocate(t *testing.T, p *Proc, own, shared Addr) {
+	got := testing.AllocsPerRun(100, func() {
+		p.Read(own)
+		p.Write(own, 1)
+		p.CAS(own, 1, 2)
+		p.FAA(shared, 1)
+		p.Swap(shared, 0)
+		p.Read(shared)
+	})
+	if got != 0 {
+		t.Errorf("operations allocate %v objects per run, want 0", got)
+	}
+}

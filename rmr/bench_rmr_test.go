@@ -1,0 +1,110 @@
+package rmr
+
+// Substrate microbenchmarks. Every experiment in the repository is built on
+// two hot paths — Proc's operation path (BenchmarkMemOps) and the
+// Explorer's schedule replay loop (BenchmarkExplorerThroughput) — so their
+// throughput bounds how large a configuration any experiment can afford.
+// scripts/bench.sh runs exactly these and records the results in
+// BENCH_rmr.json so the trajectory is diffable across PRs.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// benchMemOps hammers the operation path with 8 free-running processes:
+// each process mostly spins on its own word (cached under CC, local under
+// DSM) with periodic updates and one shared F&A — the access mix of a queue
+// lock. The reported ops/s metric aggregates all processes.
+func benchMemOps(b *testing.B, model Model) {
+	const procs = 8
+	m := NewMemory(model, procs, nil)
+	shared := m.Alloc(0)
+	var spin [procs]Addr
+	for i := range spin {
+		spin[i] = m.AllocLocal(i, 0)
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			p := m.Proc(id)
+			a := spin[id]
+			for j := 0; j < b.N; j++ {
+				switch j & 7 {
+				case 0:
+					p.FAA(shared, 1)
+				case 1:
+					p.CAS(a, 0, 1)
+				case 2:
+					p.Write(a, uint64(j))
+				default:
+					p.Read(a)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(procs)*float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+}
+
+func BenchmarkMemOps(b *testing.B) {
+	b.Run("CC/procs=8", func(b *testing.B) { benchMemOps(b, CC) })
+	b.Run("DSM/procs=8", func(b *testing.B) { benchMemOps(b, DSM) })
+}
+
+// spinLockBody is a 3-process CAS spin-lock body: each process acquires,
+// bumps a counter, releases. It is the Explorer workload: small enough that
+// a bounded tree is explored in milliseconds, real enough (spin loop +
+// critical section) that replay cost matches the E8 property tests.
+func spinLockBody(s *Scheduler, maxSteps int) error {
+	const procs = 3
+	m := NewMemory(CC, procs, s)
+	lock := m.Alloc(0)
+	count := m.Alloc(0)
+	for i := 0; i < procs; i++ {
+		p := m.Proc(i)
+		s.GoProc(i, func() {
+			for !p.CAS(lock, 0, 1) {
+				if p.AbortSignal() {
+					return
+				}
+			}
+			p.FAA(count, 1)
+			p.Write(lock, 0)
+		})
+	}
+	if err := s.Run(maxSteps); err != nil {
+		for i := 0; i < procs; i++ {
+			m.Proc(i).SignalAbort()
+		}
+		s.Drain()
+		return err
+	}
+	if got := m.Peek(count); got != procs {
+		return fmt.Errorf("count = %d, want %d", got, procs)
+	}
+	return nil
+}
+
+// BenchmarkExplorerThroughput measures bounded-exhaustive exploration in
+// schedules per second on the 3-process lock body, per worker count.
+func BenchmarkExplorerThroughput(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Workers=%d", workers), func(b *testing.B) {
+			var schedules int
+			for i := 0; i < b.N; i++ {
+				e := &Explorer{MaxSteps: 14, MaxSchedules: 2000, Workers: workers}
+				res, err := e.Run(3, spinLockBody)
+				if err != nil {
+					b.Fatal(err)
+				}
+				schedules = res.Explored + res.Pruned
+			}
+			b.ReportMetric(float64(schedules)*float64(b.N)/b.Elapsed().Seconds(), "schedules/s")
+		})
+	}
+}

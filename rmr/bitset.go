@@ -1,7 +1,10 @@
 package rmr
 
+import "sync/atomic"
+
 // bitset is a fixed-capacity set of small non-negative integers, used to
-// track which processes hold a cached copy of a word in the CC model.
+// track which processes hold a cached copy of a word in the CC model when
+// the memory serves more than 64 processes.
 type bitset []uint64
 
 func newBitset(n int) bitset {
@@ -28,4 +31,51 @@ func (b bitset) clear() {
 	for i := range b {
 		b[i] = 0
 	}
+}
+
+// cacheSet is the per-word set of processes holding a valid cached copy
+// (CC model). Memories with nprocs ≤ 64 — every configuration the schedule
+// explorer and most experiments use — store the set inline in a single
+// atomic uint64, so allocating a word allocates nothing and a reader can
+// test its bit lock-free; wider memories spill to a heap bitset chosen
+// once at allocation time (spill == nil selects the inline representation).
+//
+// Mutators require external serialization (the word mutex or the gate's
+// step token); only the inline bit test may race with them, guarded by the
+// word's seqlock.
+type cacheSet struct {
+	inline atomic.Uint64
+	spill  *bitset
+}
+
+func (c *cacheSet) has(i int) bool {
+	if c.spill == nil {
+		return c.inline.Load()&(1<<uint(i)) != 0
+	}
+	return c.spill.has(i)
+}
+
+func (c *cacheSet) add(i int) {
+	if c.spill == nil {
+		c.inline.Store(c.inline.Load() | 1<<uint(i))
+		return
+	}
+	c.spill.add(i)
+}
+
+// clearExcept removes every element except keep.
+func (c *cacheSet) clearExcept(keep int) {
+	if c.spill == nil {
+		c.inline.Store(1 << uint(keep))
+		return
+	}
+	c.spill.clearExcept(keep)
+}
+
+func (c *cacheSet) clear() {
+	if c.spill == nil {
+		c.inline.Store(0)
+		return
+	}
+	c.spill.clear()
 }

@@ -1,0 +1,70 @@
+package rmr
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCacheSetBoundaries exercises the CC coherence bookkeeping at the
+// inline/spill representation boundary: nprocs = 63 and 64 use the inline
+// uint64 cache set (64 occupying the top bit), nprocs = 65 spills to the
+// heap bitset. The charged RMRs must be identical on both representations.
+func TestCacheSetBoundaries(t *testing.T) {
+	for _, n := range []int{63, 64, 65} {
+		t.Run(fmt.Sprintf("nprocs=%d", n), func(t *testing.T) {
+			m := NewMemory(CC, n, nil)
+			a := m.Alloc(0)
+			hi := m.Proc(n - 1) // highest id: the boundary bit
+			lo := m.Proc(0)
+
+			// First read charges and caches; repeat reads are free.
+			for _, p := range []*Proc{lo, hi} {
+				if got := charged(p, func() { p.Read(a) }); got != 1 {
+					t.Fatalf("proc %d first read charged %d RMRs, want 1", p.ID(), got)
+				}
+				if got := charged(p, func() { p.Read(a) }); got != 0 {
+					t.Fatalf("proc %d cached read charged %d RMRs, want 0", p.ID(), got)
+				}
+			}
+
+			// Peek is neutral: it must neither charge nor disturb caches.
+			if got := charged(hi, func() { m.Peek(a) }); got != 0 {
+				t.Fatalf("Peek charged %d RMRs", got)
+			}
+			if got := charged(hi, func() { hi.Read(a) }); got != 0 {
+				t.Fatalf("read after Peek charged %d RMRs, want 0", got)
+			}
+
+			// An update by the highest process clears every other copy
+			// (clearExcept at the boundary bit) but keeps its own.
+			if got := charged(hi, func() { hi.Write(a, 7) }); got != 1 {
+				t.Fatalf("update charged %d RMRs, want 1", got)
+			}
+			if got := charged(hi, func() { hi.Read(a) }); got != 0 {
+				t.Fatalf("updater re-read charged %d RMRs, want 0", got)
+			}
+			if got := charged(lo, func() { lo.Read(a) }); got != 1 {
+				t.Fatalf("invalidated read charged %d RMRs, want 1", got)
+			}
+
+			// Poke invalidates everyone, including the last updater.
+			m.Poke(a, 9)
+			for _, p := range []*Proc{lo, hi} {
+				if got := charged(p, func() {
+					if v := p.Read(a); v != 9 {
+						t.Fatalf("read %d after Poke, want 9", v)
+					}
+				}); got != 1 {
+					t.Fatalf("proc %d read after Poke charged %d RMRs, want 1", p.ID(), got)
+				}
+			}
+		})
+	}
+}
+
+// charged runs fn and returns the RMRs it cost p.
+func charged(p *Proc, fn func()) int64 {
+	before := p.RMRs()
+	fn()
+	return p.RMRs() - before
+}

@@ -3,6 +3,8 @@ package rmr
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Explorer systematically enumerates schedules of a deterministic
@@ -29,6 +31,24 @@ type Explorer struct {
 	// Choose it comfortably above the longest honest completion so that
 	// only unfair spin-heavy schedules are pruned. 0 selects 512.
 	MaxSteps int
+	// Workers is the number of goroutines exploring disjoint prefix
+	// subtrees of the choice tree concurrently; 0 or 1 selects the
+	// sequential depth-first search.
+	//
+	// The parallel search is deterministic where it matters: an uncapped
+	// run (MaxSchedules == 0) produces exactly the sequential
+	// Explored/Pruned/Exhausted counts, and a violating run reports the
+	// lexicographically smallest offending schedule — which is precisely
+	// the schedule the sequential DFS would report first, so replays are
+	// stable across worker counts. Two caveats: when MaxSchedules stops a
+	// parallel search the counts depend on worker timing (up to
+	// Workers−1 schedules beyond the cap may complete), and on a
+	// violating run only the reported schedule — not the counts — is
+	// deterministic. With Workers > 1 the body must additionally be safe
+	// to invoke from several goroutines at once (each invocation already
+	// has to build its state from scratch; it must not write shared
+	// test state outside its own run).
+	Workers int
 }
 
 // Result summarizes an exploration.
@@ -65,21 +85,29 @@ func (e *ErrExplore) Unwrap() error { return e.Err }
 // wrapping ErrStepLimit, which the explorer prunes rather than reports.
 type Body func(s *Scheduler, maxSteps int) error
 
-// Run explores schedules of body depth-first. The first property violation
-// aborts the search with an *ErrExplore carrying the offending schedule
-// for replay.
+// Run explores schedules of body depth-first — in lexicographic order of
+// the choice sequences when sequential, over disjoint prefix subtrees when
+// Workers > 1. A property violation aborts the search with an *ErrExplore
+// carrying the offending schedule for replay; see Workers for what is
+// deterministic in parallel mode.
 func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 	maxSteps := e.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 512
 	}
+	if e.Workers > 1 {
+		return e.runParallel(nprocs, body, maxSteps)
+	}
 	var res Result
-	// prefix holds the choice index forced at each step.
+	rp := newReplayer(nprocs, maxSteps)
+	defer rp.close()
+	// prefix holds the choice index forced at each step. It is a buffer
+	// distinct from the recorder's choice log, so both can be reused
+	// across replays without aliasing.
 	var prefix []int
 	for {
-		rec := &recorder{prefix: prefix}
-		s := NewScheduler(nprocs, rec.pick)
-		runErr := body(s, maxSteps)
+		runErr := rp.run(prefix, body, maxSteps)
+		rec := &rp.rec
 		switch {
 		case runErr == nil:
 			res.Explored++
@@ -87,7 +115,7 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 			res.Pruned++
 		default:
 			res.Explored++
-			return res, &ErrExplore{Schedule: rec.taken, Err: runErr}
+			return res, &ErrExplore{Schedule: append([]int(nil), rec.taken...), Err: runErr}
 		}
 		if e.MaxSchedules > 0 && res.Explored+res.Pruned >= e.MaxSchedules {
 			return res, nil
@@ -104,8 +132,244 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 			res.Exhausted = true
 			return res, nil
 		}
-		prefix = append(next[:i:i], next[i]+1)
+		prefix = append(append(prefix[:0], next[:i]...), next[i]+1)
 	}
+}
+
+// runParallel fans the choice tree out over a pool of workers. Tasks are
+// subtree roots (choice prefixes); replaying a task's leftmost schedule
+// discovers the branching widths along it, and every untried alternative
+// on that path becomes a new task. The subtrees rooted at distinct pending
+// tasks are pairwise disjoint and jointly cover exactly the unexplored
+// remainder of the tree, so the Explored/Pruned sums of an uncapped run
+// are independent of scheduling — they equal the sequential counts.
+//
+// Workers keep the tasks they generate on a private LIFO stack (so the
+// steady state costs no locks, only a handful of atomic operations per
+// replay) and donate the shallower half to the shared pool whenever some
+// worker is starved.
+func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int) (Result, error) {
+	st := &parState{
+		maxSchedules: e.MaxSchedules,
+		workers:      e.Workers,
+		stack:        [][]int{nil}, // the root subtree: no forced choices
+	}
+	st.work = sync.NewCond(&st.mu)
+	var wg sync.WaitGroup
+	for i := 0; i < e.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rp := newReplayer(nprocs, maxSteps)
+			defer rp.close()
+			st.worker(rp, body, maxSteps)
+		}()
+	}
+	wg.Wait()
+
+	res := Result{Explored: int(st.explored.Load()), Pruned: int(st.pruned.Load())}
+	if b := st.best.Load(); b != nil {
+		return res, b
+	}
+	res.Exhausted = !st.capped.Load()
+	return res, nil
+}
+
+// parState is the shared state of a parallel exploration. The hot fields
+// are all atomics; mu guards only the shared task pool and the idle count,
+// which steady-state replays never touch.
+type parState struct {
+	maxSchedules int
+	workers      int
+
+	explored atomic.Int64
+	pruned   atomic.Int64
+	capped   atomic.Bool
+	best     atomic.Pointer[ErrExplore] // lexicographically smallest violation
+
+	mu     sync.Mutex
+	work   *sync.Cond
+	stack  [][]int      // shared pool of pending subtree roots
+	idle   int          // workers parked in steal
+	hungry atomic.Int32 // mirrors idle, read lock-free by producers
+}
+
+// worker is one exploration loop: pop a task (locally when possible),
+// replay it, account for it, and push the sibling subtrees branching off
+// the replayed schedule. Siblings are pushed deepest-last so the local
+// LIFO pop order matches the sequential DFS and stays depth-bounded.
+func (st *parState) worker(rp *replayer, body Body, maxSteps int) {
+	// Task slices are carved with a fixed capacity and recycled through a
+	// worker-local freelist once consumed, so steady-state sibling pushes
+	// allocate nothing. Ownership is transferred by the pop: a donated
+	// task retires into the freelist of the worker that ran it.
+	hint := maxSteps + 1
+	if hint > 4096 {
+		hint = 4096
+	}
+	var local, free [][]int
+	for {
+		if st.capped.Load() {
+			return
+		}
+		var task []int
+		ok := false
+		for n := len(local); n > 0; n = len(local) {
+			t := local[n-1]
+			local = local[:n-1]
+			// Discard subtrees that cannot contain a smaller violation
+			// than the best one found: every schedule in them compares
+			// greater, so exploring them cannot change the result.
+			if b := st.best.Load(); b != nil && lexCompare(t, b.Schedule) > 0 {
+				if cap(t) >= hint {
+					free = append(free, t)
+				}
+				continue
+			}
+			task, ok = t, true
+			break
+		}
+		if !ok {
+			if task, ok = st.steal(); !ok {
+				return
+			}
+		}
+
+		runErr := rp.run(task, body, maxSteps)
+		rec := &rp.rec
+		violation := false
+		switch {
+		case runErr == nil:
+			st.explored.Add(1)
+		case errors.Is(runErr, ErrStepLimit):
+			st.pruned.Add(1)
+		default:
+			st.explored.Add(1)
+			violation = true
+			st.noteViolation(rec.taken, runErr)
+		}
+		if st.maxSchedules > 0 && st.explored.Load()+st.pruned.Load() >= int64(st.maxSchedules) {
+			st.capped.Store(true)
+			st.wakeAll()
+			return
+		}
+		if !violation {
+			// Sibling subtrees of a violating schedule compare greater
+			// than it, so on a violation there is nothing worth pushing.
+			for d := len(task); d < len(rec.taken); d++ {
+				for c := rec.width[d] - 1; c > rec.taken[d]; c-- {
+					var t []int
+					if n := len(free); n > 0 && cap(free[n-1]) > d {
+						t = free[n-1][:d+1]
+						free = free[:n-1]
+					} else {
+						t = make([]int, d+1, max(hint, d+1))
+					}
+					copy(t, rec.taken[:d])
+					t[d] = c
+					local = append(local, t)
+				}
+			}
+			if h := st.hungry.Load(); h > 0 && len(local) > 1 {
+				st.share(&local, int(h))
+			}
+		}
+		// The replayed task is dead: rec.prefix still aliases it, but the
+		// next run overwrites that before any pick reads it.
+		if cap(task) >= hint {
+			free = append(free, task)
+		}
+	}
+}
+
+// share donates the shallowest tasks of a worker's local stack — the
+// larger subtrees, which sit at the bottom of the LIFO — to the shared
+// pool, one per starved worker, and wakes exactly that many.
+func (st *parState) share(local *[][]int, hungry int) {
+	l := *local
+	k := len(l) - 1 // always keep one task to continue on
+	if k > hungry {
+		k = hungry
+	}
+	st.mu.Lock()
+	st.stack = append(st.stack, l[:k]...)
+	st.mu.Unlock()
+	for i := 0; i < k; i++ {
+		st.work.Signal()
+	}
+	n := copy(l, l[k:])
+	*local = l[:n]
+}
+
+// steal pops a task from the shared pool, blocking while other workers may
+// still donate work. It returns false when the search is over: every
+// worker is starved (the tree is fully claimed), or the schedule cap was
+// hit.
+func (st *parState) steal() ([]int, bool) {
+	st.mu.Lock()
+	st.idle++
+	st.hungry.Store(int32(st.idle))
+	for {
+		for n := len(st.stack); n > 0; n = len(st.stack) {
+			t := st.stack[n-1]
+			st.stack = st.stack[:n-1]
+			if b := st.best.Load(); b != nil && lexCompare(t, b.Schedule) > 0 {
+				continue
+			}
+			st.idle--
+			st.hungry.Store(int32(st.idle))
+			st.mu.Unlock()
+			return t, true
+		}
+		if st.idle == st.workers || st.capped.Load() {
+			st.work.Broadcast()
+			st.mu.Unlock()
+			return nil, false
+		}
+		st.work.Wait()
+	}
+}
+
+// noteViolation records a violating schedule, keeping the
+// lexicographically smallest one. The schedule is copied: the worker
+// reuses its choice log on the next replay.
+func (st *parState) noteViolation(schedule []int, err error) {
+	e := &ErrExplore{Schedule: append([]int(nil), schedule...), Err: err}
+	for {
+		cur := st.best.Load()
+		if cur != nil && lexCompare(cur.Schedule, e.Schedule) <= 0 {
+			return
+		}
+		if st.best.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+func (st *parState) wakeAll() {
+	st.mu.Lock()
+	st.work.Broadcast()
+	st.mu.Unlock()
+}
+
+// lexCompare orders choice sequences lexicographically, with a proper
+// prefix ordered before its extensions.
+func lexCompare(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
 }
 
 // recorder is a PickFunc that follows a forced prefix of choice indices
@@ -115,6 +379,106 @@ type recorder struct {
 	prefix []int
 	taken  []int
 	width  []int
+}
+
+// replayer bundles a recorder with a scheduler that is reset and reused
+// across replays, so that a replay allocates nothing beyond what the body
+// itself allocates: the choice log, the grant channels, the waiting buffer
+// and the process goroutines (via the pool) all persist from run to run.
+type replayer struct {
+	rec  recorder
+	s    *Scheduler
+	pool procPool
+}
+
+// newReplayer pre-sizes the choice log to the step bound so that steady
+// replays do not grow slices while holding the scheduler lock. The caller
+// must close() the replayer when the exploration is over to release the
+// pooled goroutines.
+func newReplayer(nprocs, maxSteps int) *replayer {
+	hint := maxSteps + 1
+	if hint > 4096 {
+		hint = 4096
+	}
+	rp := &replayer{rec: recorder{
+		taken: make([]int, 0, hint),
+		width: make([]int, 0, hint),
+	}}
+	rp.s = NewScheduler(nprocs, rp.rec.pick)
+	rp.s.spawn = rp.pool.spawn
+	return rp
+}
+
+// run replays the leftmost schedule of the subtree rooted at prefix.
+func (rp *replayer) run(prefix []int, body Body, maxSteps int) error {
+	rp.rec.prefix = prefix
+	rp.rec.taken = rp.rec.taken[:0]
+	rp.rec.width = rp.rec.width[:0]
+	rp.s.reset()
+	return body(rp.s, maxSteps)
+}
+
+func (rp *replayer) close() { rp.pool.close() }
+
+// procPool reuses goroutines across the thousands of short-lived process
+// launches an exploration performs: spawning and retiring a goroutine per
+// process per replay is a measurable fraction of a replay on small
+// configurations. A pooled goroutine parks on its own channel between
+// launches; dispatching to it costs the same wakeup a fresh goroutine
+// would, minus the creation and teardown.
+type procPool struct {
+	mu   sync.Mutex
+	free []chan procTask
+	all  []chan procTask
+}
+
+// procTask is a pooled launch: the goroutine runs s.runProc(fn). Shipping
+// the pair instead of a closure keeps the dispatch path allocation-free.
+type procTask struct {
+	s  *Scheduler
+	fn func()
+}
+
+func (pp *procPool) spawn(s *Scheduler, fn func()) {
+	pp.mu.Lock()
+	var c chan procTask
+	if n := len(pp.free); n > 0 {
+		c = pp.free[n-1]
+		pp.free = pp.free[:n-1]
+		pp.mu.Unlock()
+	} else {
+		c = make(chan procTask, 1)
+		pp.all = append(pp.all, c)
+		pp.mu.Unlock()
+		go pp.loop(c)
+	}
+	c <- procTask{s, fn}
+}
+
+// loop runs dispatched tasks, re-enlisting in the free list after each.
+// The pool may briefly over-provision when a launch races a goroutine's
+// re-enlistment; growth is bounded by the processes in flight.
+func (pp *procPool) loop(c chan procTask) {
+	for t := range c {
+		t.s.runProc(t.fn)
+		pp.mu.Lock()
+		pp.free = append(pp.free, c)
+		pp.mu.Unlock()
+	}
+}
+
+// close retires the pooled goroutines. Pending launches have all returned
+// by the time the explorer calls it, so every loop is parked (or about to
+// park) on its channel receive.
+func (pp *procPool) close() {
+	pp.mu.Lock()
+	all := pp.all
+	pp.all = nil
+	pp.free = nil
+	pp.mu.Unlock()
+	for _, c := range all {
+		close(c)
+	}
 }
 
 func (r *recorder) pick(step int, waiting []int) int {

@@ -3,7 +3,7 @@ package rmr
 import (
 	"errors"
 	"math/rand"
-	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -89,18 +89,45 @@ func PreferPick(preferred []int, fallback PickFunc) PickFunc {
 //
 // Run drives the interleaving until every process launched with Go has
 // returned, or the step budget is exhausted.
+//
+// Steps are granted by direct handoff: a process that blocks at the gate
+// (or returns) observes that it was the last one running, consults the
+// PickFunc, and wakes the chosen process itself — one goroutine switch per
+// step, and none at all when a process grants itself the next step. The
+// schedule is identical to a central-arbiter implementation: a pick happens
+// exactly at the quiescent points where every live process is blocked, over
+// the id-sorted waiting set.
 type Scheduler struct {
 	pick  PickFunc
-	ready chan int
-	done  chan struct{}
 	grant []chan struct{}
 	open  atomic.Bool
-	live  int
 	clock atomic.Int64 // steps granted so far; see Steps
 
-	// pending holds the waiting set at the moment Run bailed out with
-	// ErrStepLimit so Drain can release those processes.
-	pending []int
+	// spawn, when non-nil, launches process functions instead of the go
+	// statement. The Explorer points it at a goroutine pool so that replays
+	// reuse process goroutines instead of spawning fresh ones. The launched
+	// goroutine must call s.runProc(fn); passing the pair instead of a
+	// prebuilt closure keeps dispatch allocation-free.
+	spawn func(s *Scheduler, fn func())
+
+	mu       sync.Mutex
+	waiting  []int // pids blocked at the gate, sorted ascending
+	launched int   // processes started with Go or GoProc
+	live     int   // launched minus returned
+	started  bool  // Run has been called
+	step     int
+	maxSteps int
+
+	// Deferred starts (GoProc): a process launched with GoProc joins the
+	// waiting set immediately but its goroutine is only dispatched when the
+	// schedule first grants it a step, carrying that grant as a token its
+	// first Await consumes — one wakeup instead of two.
+	deferred []func() // per-pid function not yet dispatched, or nil
+	token    []bool   // per-pid: first step already granted at dispatch
+
+	// sig carries the run's outcome to Run (and Drain): nil when the last
+	// live process returns, ErrStepLimit when the step budget runs out.
+	sig chan error
 }
 
 var _ Gate = (*Scheduler)(nil)
@@ -108,10 +135,14 @@ var _ Gate = (*Scheduler)(nil)
 // NewScheduler creates a scheduler for processes with ids in [0, n).
 func NewScheduler(n int, pick PickFunc) *Scheduler {
 	s := &Scheduler{
-		pick:  pick,
-		ready: make(chan int),
-		done:  make(chan struct{}),
-		grant: make([]chan struct{}, n),
+		pick:     pick,
+		grant:    make([]chan struct{}, n),
+		waiting:  make([]int, 0, n),
+		deferred: make([]func(), n),
+		token:    make([]bool, n),
+		// Capacity 2: a stalling run signals ErrStepLimit and then, once
+		// drained, the final exit's nil — neither sender may block.
+		sig: make(chan error, 2),
 	}
 	for i := range s.grant {
 		s.grant[i] = make(chan struct{})
@@ -124,19 +155,158 @@ func (s *Scheduler) Await(pid int) {
 	if s.open.Load() {
 		return
 	}
-	s.ready <- pid
+	if s.token[pid] {
+		// First operation of a GoProc process: the grant that dispatched
+		// it doubles as its first step.
+		s.token[pid] = false
+		return
+	}
+	s.mu.Lock()
+	// Insert pid keeping waiting sorted by id (it is almost always the
+	// largest-gap insertion of a handful of elements).
+	w := append(s.waiting, pid)
+	i := len(w) - 1
+	for ; i > 0 && w[i-1] > pid; i-- {
+		w[i] = w[i-1]
+	}
+	w[i] = pid
+	s.waiting = w
+	if s.started && len(s.waiting) == s.live {
+		// Quiescent point: this process was the only one running, so it
+		// arbitrates the next step itself.
+		if next := s.grantNext(); next == pid {
+			return // self-grant: keep running, no handoff
+		} else if next >= 0 {
+			s.deliver(next)
+		}
+	} else {
+		s.mu.Unlock()
+	}
 	<-s.grant[pid]
+}
+
+// deliver hands the step token to pid: a wakeup through its grant channel,
+// or — for a GoProc process not yet dispatched — the dispatch of its
+// goroutine with the token attached. Delivery is serialized by the token
+// discipline (only the current token holder delivers), so the deferred
+// slots need no lock here.
+func (s *Scheduler) deliver(pid int) {
+	if fn := s.deferred[pid]; fn != nil {
+		s.deferred[pid] = nil
+		s.token[pid] = true
+		s.dispatch(fn)
+		return
+	}
+	s.grant[pid] <- struct{}{}
+}
+
+// dispatch launches a process body on a fresh or pooled goroutine, wrapped
+// in the runProc exit protocol.
+func (s *Scheduler) dispatch(fn func()) {
+	if s.spawn != nil {
+		s.spawn(s, fn)
+		return
+	}
+	go s.runProc(fn)
+}
+
+// grantNext picks the next process to run at a quiescent point. Called with
+// s.mu held and releases it. It returns the chosen pid after removing it
+// from the waiting set, or -1 if the step budget ran out (in which case the
+// stall has been signaled to Run and the waiting set is left intact for
+// Drain).
+func (s *Scheduler) grantNext() int {
+	if s.step >= s.maxSteps {
+		s.mu.Unlock()
+		select {
+		case s.sig <- ErrStepLimit:
+		default:
+		}
+		return -1
+	}
+	i := s.pick(s.step, s.waiting)
+	pid := s.waiting[i]
+	s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+	s.step++
+	s.clock.Store(int64(s.step))
+	s.mu.Unlock()
+	return pid
 }
 
 // Go launches fn as a scheduled process. It must be called for every
 // process before Run, and fn must issue its shared-memory operations
 // through a Proc of a Memory gated by this scheduler.
 func (s *Scheduler) Go(fn func()) {
+	s.mu.Lock()
+	s.launched++
 	s.live++
-	go func() {
-		defer func() { s.done <- struct{}{} }()
+	s.mu.Unlock()
+	s.dispatch(fn)
+}
+
+// runProc runs a process body to completion and then retires it — and keeps
+// going: when the exiting process's pick lands on a process whose goroutine
+// was never dispatched (GoProc), this goroutine runs that body itself
+// instead of waking another one. A replay whose schedule runs processes
+// back-to-back thus executes entirely on one goroutine, with no handoff at
+// all between the processes.
+func (s *Scheduler) runProc(fn func()) {
+	for fn != nil {
 		fn()
-	}()
+		fn = s.exitNext()
+	}
+}
+
+// GoProc launches fn as the process with id pid, deferring the goroutine
+// start until the scheduler first grants pid a step: the process joins the
+// waiting set immediately, so launching costs no wakeup and the dispatch
+// wakeup doubles as the first grant. It explores the exact same schedule
+// tree as Go for any body whose processes touch nothing shared before
+// their first gated operation — the only observable difference is that
+// fn's code before its first operation runs after the first grant instead
+// of before Run. pid must match the Proc the function drives and must not
+// be launched twice.
+func (s *Scheduler) GoProc(pid int, fn func()) {
+	s.mu.Lock()
+	s.launched++
+	s.live++
+	s.deferred[pid] = fn
+	w := append(s.waiting, pid)
+	i := len(w) - 1
+	for ; i > 0 && w[i-1] > pid; i-- {
+		w[i] = w[i-1]
+	}
+	w[i] = pid
+	s.waiting = w
+	s.mu.Unlock()
+}
+
+// exitNext retires a returning process. If it was the last one running
+// while others wait at the gate, it passes the step token on; if it was the
+// last one alive, it releases Run (and Drain). When the token goes to a
+// never-dispatched process, exitNext returns that process's body for the
+// caller (runProc) to run in place, saving the dispatch wakeup.
+func (s *Scheduler) exitNext() func() {
+	s.mu.Lock()
+	s.live--
+	if s.live == 0 {
+		s.mu.Unlock()
+		s.sig <- nil
+		return nil
+	}
+	if s.started && !s.open.Load() && len(s.waiting) == s.live {
+		if next := s.grantNext(); next >= 0 { // releases s.mu
+			if fn := s.deferred[next]; fn != nil {
+				s.deferred[next] = nil
+				s.token[next] = true
+				return fn
+			}
+			s.grant[next] <- struct{}{}
+		}
+		return nil
+	}
+	s.mu.Unlock()
+	return nil
 }
 
 // Run drives the schedule until all processes have returned or maxSteps
@@ -144,37 +314,55 @@ func (s *Scheduler) Go(fn func()) {
 // ErrStepLimit. After ErrStepLimit the caller should resolve the stall
 // (e.g. deliver abort signals) and call Drain to release every process.
 func (s *Scheduler) Run(maxSteps int) error {
-	var waiting []int
-	step := 0
-	for s.live > 0 {
-		for len(waiting) < s.live {
-			select {
-			case pid := <-s.ready:
-				waiting = append(waiting, pid)
-			case <-s.done:
-				s.live--
-			}
-		}
-		if s.live == 0 {
-			break
-		}
-		if step >= maxSteps {
-			s.pending = waiting
+	s.mu.Lock()
+	if s.launched == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	s.maxSteps = maxSteps
+	s.started = true
+	if s.live > 0 && len(s.waiting) == s.live {
+		// Every process already reached the gate: grant the first step.
+		if next := s.grantNext(); next >= 0 { // releases s.mu
+			s.deliver(next)
+		} else {
+			<-s.sig // consume the stall grantNext just signaled
 			return ErrStepLimit
 		}
-		// Canonical order: goroutine startup races make arrival order
-		// nondeterministic, but the *set* of waiting processes at each
-		// quiescent point is determined by the choices made so far.
-		sort.Ints(waiting)
-		i := s.pick(step, waiting)
-		pid := waiting[i]
-		waiting[i] = waiting[len(waiting)-1]
-		waiting = waiting[:len(waiting)-1]
-		step++
-		s.clock.Store(int64(step))
-		s.grant[pid] <- struct{}{}
+	} else {
+		s.mu.Unlock()
 	}
-	return nil
+	return <-s.sig
+}
+
+// reset returns the scheduler to its initial state so a driver (the
+// Explorer) can reuse one scheduler — and its grant channels — across many
+// short runs instead of allocating a fresh one per run. It must only be
+// called after Run (and Drain, if Run stalled) has returned, when no
+// process from the previous run is live. The defensive drains clear a
+// completion or stall token that the previous run signaled but never
+// consumed (possible when a stall and the final exit race).
+func (s *Scheduler) reset() {
+	s.open.Store(false)
+	s.clock.Store(0)
+	s.waiting = s.waiting[:0]
+	s.launched = 0
+	s.live = 0
+	s.started = false
+	s.step = 0
+	s.maxSteps = 0
+	for i := range s.deferred {
+		s.deferred[i] = nil
+		s.token[i] = false
+	}
+	for {
+		select {
+		case <-s.sig:
+			continue
+		default:
+		}
+		break
+	}
 }
 
 // Steps returns a logical clock: the number of shared-memory steps granted
@@ -187,16 +375,22 @@ func (s *Scheduler) Steps() int64 { return s.clock.Load() }
 // It is only needed after Run returned ErrStepLimit.
 func (s *Scheduler) Drain() {
 	s.open.Store(true)
-	for _, pid := range s.pending {
+	s.mu.Lock()
+	release := append([]int(nil), s.waiting...)
+	s.waiting = s.waiting[:0]
+	done := s.live == 0
+	s.mu.Unlock()
+	for _, pid := range release {
+		if fn := s.deferred[pid]; fn != nil {
+			// Never dispatched: start it now; it runs through the open
+			// gate to completion.
+			s.deferred[pid] = nil
+			s.dispatch(fn)
+			continue
+		}
 		s.grant[pid] <- struct{}{}
 	}
-	s.pending = nil
-	for s.live > 0 {
-		select {
-		case pid := <-s.ready:
-			s.grant[pid] <- struct{}{}
-		case <-s.done:
-			s.live--
-		}
+	if !done {
+		<-s.sig
 	}
 }

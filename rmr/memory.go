@@ -2,7 +2,9 @@ package rmr
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Model selects the memory model under which RMRs are counted.
@@ -38,11 +40,67 @@ const NoOwner = -1
 
 // word is a single W-bit shared memory location together with the coherence
 // bookkeeping needed to charge RMRs.
+//
+// Locking discipline: val is atomic, so single-value accesses (Peek, the
+// DSM data path) never lock. Free-running CC operations that must mutate
+// the value and the (inline) coherence set together serialize on the
+// word's seqlock — claim flips seq odd, release flips it back even — while
+// a cached read, which mutates nothing, validates a lock-free
+// (inline, val) snapshot against seq. The mutex serves only the cold
+// paths that need a critical section wider than the seqlock allows:
+// traced operations (the event must be ordered with the mutation) and
+// wide (nprocs > 64) memories, whose spilled cache sets are multi-word.
+// Operations on a memory gated by an undrained Scheduler skip all of it:
+// the step token already serializes them.
 type word struct {
 	mu     sync.Mutex
-	val    uint64
-	cached bitset // CC: set of processes holding a valid cached copy
-	owner  int32  // DSM: process the word is local to, or NoOwner
+	seq    atomic.Uint32 // odd while an update is in flight
+	val    atomic.Uint64
+	cached cacheSet // CC: set of processes holding a valid cached copy
+	owner  int32    // DSM: process the word is local to, or NoOwner
+}
+
+// claim acquires the word's seqlock for mutation, leaving seq odd. Paired
+// with release. Callers on the mutex paths bump seq inside mu instead; the
+// two disciplines never contend for the same word (the mutex paths belong
+// to whole-memory modes — tracing, wide cache sets — under which the
+// seqlock paths are not taken).
+func (w *word) claim() uint32 {
+	for {
+		s := w.seq.Load()
+		if s&1 == 0 && w.seq.CompareAndSwap(s, s+1) {
+			return s
+		}
+		osyield()
+	}
+}
+
+// release ends a claim, making the mutation visible to snapshot readers.
+func (w *word) release(s uint32) {
+	w.seq.Store(s + 2)
+}
+
+// Words are stored in geometrically growing segments (8, 16, 32, … words)
+// published through atomic pointers: allocation is append-only, so a reader
+// that observes the published size is guaranteed to observe the segment and
+// the word's initialization without taking any lock. Segment k holds
+// segMin<<k words; numSegs segments cover the whole int32 address space.
+// segMin is kept small because the schedule explorer constructs a fresh
+// Memory per replay: the first segment is the dominant allocation of a
+// small configuration.
+const (
+	segMinShift = 3
+	segMin      = 1 << segMinShift
+	numSegs     = 29
+)
+
+// locate maps an address to its segment index and offset within it.
+// Segment k starts at address segMin·(2^k − 1), so the segment index is
+// derived from the position of the top bit of a/segMin + 1.
+func locate(a int64) (seg, off int) {
+	q := uint64(a)>>segMinShift + 1
+	k := bits.Len64(q) - 1
+	return k, int(a) - (segMin<<k - segMin)
 }
 
 // Memory is a simulated shared memory. All words are allocated through it,
@@ -54,11 +112,14 @@ type Memory struct {
 	model  Model
 	nprocs int
 	gate   Gate
+	sched  *Scheduler // gate when it is a Scheduler; enables lock elision
+	wide   bool       // nprocs > 64: cached sets spill to heap bitsets
 
-	mu    sync.Mutex
-	words []*word
+	mu   sync.Mutex                      // serializes allocation only
+	segs [numSegs]atomic.Pointer[[]word] // append-only word segments
+	size atomic.Int64                    // published number of allocated words
 
-	procs  []*Proc
+	procs  []Proc
 	tracer Tracer
 }
 
@@ -74,11 +135,13 @@ func NewMemory(model Model, nprocs int, gate Gate) *Memory {
 	m := &Memory{
 		model:  model,
 		nprocs: nprocs,
-		gate:   gate,
-		procs:  make([]*Proc, nprocs),
+		wide:   nprocs > 64,
+		procs:  make([]Proc, nprocs),
 	}
+	m.SetGate(gate)
 	for i := range m.procs {
-		m.procs[i] = &Proc{m: m, id: i}
+		m.procs[i].m = m
+		m.procs[i].id = i
 	}
 	return m
 }
@@ -90,14 +153,27 @@ func (m *Memory) Model() Model { return m.model }
 // for test setup: perform initialization ungated, then attach the scheduler
 // before launching the concurrent phase. It must not be called while any
 // process is issuing operations.
-func (m *Memory) SetGate(g Gate) { m.gate = g }
+func (m *Memory) SetGate(g Gate) {
+	m.gate = g
+	m.sched, _ = g.(*Scheduler)
+}
+
+// exclusive reports whether the issuing process holds exclusive access to
+// the memory: a Scheduler gate serializes operations through its step
+// token until it is drained open, so the operation needs no per-word lock
+// and no seqlock handshake. (Draining opens the gate strictly before any
+// released process runs, so a drained process always observes open and
+// falls back to the locked paths.)
+func (m *Memory) exclusive() bool {
+	return m.sched != nil && !m.sched.open.Load()
+}
 
 // NumProcs reports the number of processes the memory was created for.
 func (m *Memory) NumProcs() int { return m.nprocs }
 
 // Proc returns the handle for process id (0 <= id < NumProcs).
 func (m *Memory) Proc(id int) *Proc {
-	return m.procs[id]
+	return &m.procs[id]
 }
 
 // Alloc allocates one shared word initialized to init. In the DSM model the
@@ -109,14 +185,7 @@ func (m *Memory) Alloc(init uint64) Addr {
 // AllocLocal allocates one shared word initialized to init that is local to
 // process owner in the DSM model. Ownership is ignored under CC.
 func (m *Memory) AllocLocal(owner int, init uint64) Addr {
-	w := &word{val: init, owner: int32(owner)}
-	if m.model == CC {
-		w.cached = newBitset(m.nprocs)
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.words = append(m.words, w)
-	return Addr(len(m.words) - 1)
+	return m.AllocNLocal(owner, 1, init)
 }
 
 // AllocN allocates n consecutive words, all initialized to init, and returns
@@ -129,56 +198,78 @@ func (m *Memory) AllocN(n int, init uint64) Addr {
 // DSM model, all initialized to init, and returns the address of the first.
 // The words are guaranteed adjacent, so callers may lay out multi-word
 // records and address fields at fixed offsets.
+//
+// Allocation may run concurrently with operations on already-allocated
+// words: each word is fully initialized before the new size is published,
+// so lock-free readers never observe a partially constructed word.
 func (m *Memory) AllocNLocal(owner, n int, init uint64) Addr {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	base := Addr(len(m.words))
-	for i := 0; i < n; i++ {
-		w := &word{val: init, owner: int32(owner)}
-		if m.model == CC {
-			w.cached = newBitset(m.nprocs)
-		}
-		m.words = append(m.words, w)
+	base := m.size.Load()
+	if base+int64(n) > int64(1)<<31 {
+		m.mu.Unlock()
+		panic(fmt.Sprintf("rmr: address space exhausted allocating %d words at %d", n, base))
 	}
-	return base
+	for i := int64(0); i < int64(n); i++ {
+		k, off := locate(base + i)
+		sp := m.segs[k].Load()
+		if sp == nil {
+			s := make([]word, segMin<<k)
+			sp = &s
+			m.segs[k].Store(sp)
+		}
+		w := &(*sp)[off]
+		w.val.Store(init)
+		w.owner = int32(owner)
+		if m.model == CC && m.wide {
+			b := newBitset(m.nprocs)
+			w.cached.spill = &b
+		}
+	}
+	m.size.Store(base + int64(n))
+	m.mu.Unlock()
+	return Addr(base)
 }
 
 // Size reports the number of shared words allocated so far. It is the
 // space-complexity measurement used by the Table 1 space experiment.
 func (m *Memory) Size() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.words)
+	return int(m.size.Load())
 }
 
 // Peek returns the current value of a word without charging an RMR and
 // without affecting coherence state. It is intended for tests and harness
-// assertions only, never for algorithm code.
+// assertions only, never for algorithm code. The value is a single atomic
+// load, so Peek linearizes with concurrent operations without locking.
 func (m *Memory) Peek(a Addr) uint64 {
-	w := m.word(a)
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.val
+	return m.word(a).val.Load()
 }
 
 // Poke sets the value of a word without charging an RMR but invalidating all
 // cached copies (so that spinning processes observe it). Like Peek it is a
-// testing/harness facility, not part of the machine model.
+// testing/harness facility, not part of the machine model. It must not run
+// concurrently with operations of a gated memory's processes (in practice
+// every Poke is initialization-time, before the run starts).
 func (m *Memory) Poke(a Addr, v uint64) {
 	w := m.word(a)
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.val = v
+	s := w.claim()
+	w.val.Store(v)
 	if m.model == CC {
 		w.cached.clear()
 	}
+	w.release(s)
+	w.mu.Unlock()
 }
 
+// word resolves an address without locking: the size check (an atomic load
+// that acquires the allocating publication) and two dependent loads. This
+// is the per-operation translation path, so it must never contend — N
+// simulated processes touching N distinct words must not serialize on the
+// host.
 func (m *Memory) word(a Addr) *word {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if int(a) < 0 || int(a) >= len(m.words) {
-		panic(fmt.Sprintf("rmr: address %d out of range [0,%d)", a, len(m.words)))
+	if int64(a) < 0 || int64(a) >= m.size.Load() {
+		panic(fmt.Sprintf("rmr: address %d out of range [0,%d)", a, m.size.Load()))
 	}
-	return m.words[a]
+	k, off := locate(int64(a))
+	return &(*m.segs[k].Load())[off]
 }

@@ -10,6 +10,11 @@ import (
 //
 // A Proc must be used by at most one goroutine at a time (a process is a
 // single thread of control); distinct Procs may run concurrently.
+//
+// The operation methods perform no heap allocation in steady state: trace
+// events are only materialized when a tracer is installed, which keeps the
+// simulation hot path allocation- and contention-free (asserted by
+// TestOperationsDoNotAllocate).
 type Proc struct {
 	m  *Memory
 	id int
@@ -47,9 +52,13 @@ func (p *Proc) ClearAbort() { p.abort.Store(false) }
 func (p *Proc) AbortSignal() bool { return p.abort.Load() }
 
 // step performs gate arbitration and operation counting common to every
-// shared-memory operation.
+// shared-memory operation. The Scheduler gate is called directly rather
+// than through the interface: the per-step call is the hottest edge in an
+// exploration.
 func (p *Proc) step() {
-	if g := p.m.gate; g != nil {
+	if s := p.m.sched; s != nil {
+		s.Await(p.id)
+	} else if g := p.m.gate; g != nil {
 		g.Await(p.id)
 	}
 	p.steps.Add(1)
@@ -98,24 +107,89 @@ func (p *Proc) chargeUpdate(w *word) bool {
 // Read atomically reads the word at a.
 func (p *Proc) Read(a Addr) uint64 {
 	p.step()
-	w := p.m.word(a)
+	m := p.m
+	w := m.word(a)
+	if m.tracer == nil {
+		if m.exclusive() {
+			p.chargeRead(w)
+			return w.val.Load()
+		}
+		switch m.model {
+		case DSM:
+			// A DSM read changes no coherence state — the word's home is
+			// fixed — so it is a single atomic load.
+			if int(w.owner) != p.id {
+				p.rmrs.Add(1)
+			}
+			return w.val.Load()
+		case CC:
+			if !m.wide {
+				// Seqlock fast path: a cached read mutates nothing, so it
+				// is free to run lock-free when no update overlapped the
+				// (cached, val) snapshot.
+				s := w.seq.Load()
+				if s&1 == 0 && w.cached.inline.Load()&(1<<uint(p.id)) != 0 {
+					v := w.val.Load()
+					if w.seq.Load() == s {
+						return v
+					}
+				}
+				// Uncached: charging mutates the cache set, so take the
+				// seqlock like an update.
+				s = w.claim()
+				p.chargeRead(w)
+				v := w.val.Load()
+				w.release(s)
+				return v
+			}
+		}
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	rmr := p.chargeRead(w)
-	p.m.trace(Event{Proc: p.id, Op: OpRead, Addr: a, Old: w.val, New: w.val, OK: true, RMR: rmr})
-	return w.val
+	v := w.val.Load()
+	if m.tracer != nil {
+		m.trace(Event{Proc: p.id, Op: OpRead, Addr: a, Old: v, New: v, OK: true, RMR: rmr})
+	}
+	w.mu.Unlock()
+	return v
 }
 
 // Write atomically writes v to the word at a.
 func (p *Proc) Write(a Addr, v uint64) {
 	p.step()
-	w := p.m.word(a)
+	m := p.m
+	w := m.word(a)
+	if m.tracer == nil {
+		if m.exclusive() {
+			p.chargeUpdate(w)
+			w.val.Store(v)
+			return
+		}
+		if m.model == DSM {
+			if int(w.owner) != p.id {
+				p.rmrs.Add(1)
+			}
+			w.val.Store(v)
+			return
+		}
+		if !m.wide {
+			s := w.claim()
+			p.chargeUpdate(w)
+			w.val.Store(v)
+			w.release(s)
+			return
+		}
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.seq.Add(1)
 	rmr := p.chargeUpdate(w)
-	old := w.val
-	w.val = v
-	p.m.trace(Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+	old := w.val.Load()
+	w.val.Store(v)
+	w.seq.Add(1)
+	if m.tracer != nil {
+		m.trace(Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+	}
+	w.mu.Unlock()
 }
 
 // CAS atomically compares the word at a with old and, if equal, replaces it
@@ -124,30 +198,89 @@ func (p *Proc) Write(a Addr, v uint64) {
 // F&A incurs an RMR").
 func (p *Proc) CAS(a Addr, old, new uint64) bool {
 	p.step()
-	w := p.m.word(a)
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	rmr := p.chargeUpdate(w)
-	if w.val != old {
-		p.m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: w.val, New: w.val, OK: false, RMR: rmr})
-		return false
+	m := p.m
+	w := m.word(a)
+	if m.tracer == nil {
+		if m.exclusive() {
+			p.chargeUpdate(w)
+			if w.val.Load() != old {
+				return false
+			}
+			w.val.Store(new)
+			return true
+		}
+		if m.model == DSM {
+			if int(w.owner) != p.id {
+				p.rmrs.Add(1)
+			}
+			return w.val.CompareAndSwap(old, new)
+		}
+		if !m.wide {
+			s := w.claim()
+			p.chargeUpdate(w)
+			ok := w.val.Load() == old
+			if ok {
+				w.val.Store(new)
+			}
+			w.release(s)
+			return ok
+		}
 	}
-	w.val = new
-	p.m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: old, New: new, OK: true, RMR: rmr})
-	return true
+	w.mu.Lock()
+	w.seq.Add(1)
+	rmr := p.chargeUpdate(w)
+	ok := w.val.CompareAndSwap(old, new)
+	w.seq.Add(1)
+	if m.tracer != nil {
+		if ok {
+			m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: old, New: new, OK: true, RMR: rmr})
+		} else {
+			cur := w.val.Load()
+			m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: cur, New: cur, OK: false, RMR: rmr})
+		}
+	}
+	w.mu.Unlock()
+	return ok
 }
 
 // FAA atomically adds delta to the word at a and returns the previous value
 // (Fetch-And-Add; delta may encode a subtraction in two's complement).
 func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 	p.step()
-	w := p.m.word(a)
+	m := p.m
+	w := m.word(a)
+	if m.tracer == nil {
+		if m.exclusive() {
+			p.chargeUpdate(w)
+			old := w.val.Load()
+			w.val.Store(old + delta)
+			return old
+		}
+		if m.model == DSM {
+			if int(w.owner) != p.id {
+				p.rmrs.Add(1)
+			}
+			return w.val.Add(delta) - delta
+		}
+		if !m.wide {
+			s := w.claim()
+			p.chargeUpdate(w)
+			old := w.val.Load()
+			w.val.Store(old + delta)
+			w.release(s)
+			return old
+		}
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.seq.Add(1)
 	rmr := p.chargeUpdate(w)
-	old := w.val
-	w.val = old + delta
-	p.m.trace(Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: w.val, OK: true, RMR: rmr})
+	old := w.val.Load()
+	w.val.Store(old + delta)
+	w.seq.Add(1)
+	if m.tracer != nil {
+		m.trace(Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: old + delta, OK: true, RMR: rmr})
+	}
+	w.mu.Unlock()
 	return old
 }
 
@@ -156,13 +289,40 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 // by the MCS and Scott baselines.
 func (p *Proc) Swap(a Addr, v uint64) uint64 {
 	p.step()
-	w := p.m.word(a)
+	m := p.m
+	w := m.word(a)
+	if m.tracer == nil {
+		if m.exclusive() {
+			p.chargeUpdate(w)
+			old := w.val.Load()
+			w.val.Store(v)
+			return old
+		}
+		if m.model == DSM {
+			if int(w.owner) != p.id {
+				p.rmrs.Add(1)
+			}
+			return w.val.Swap(v)
+		}
+		if !m.wide {
+			s := w.claim()
+			p.chargeUpdate(w)
+			old := w.val.Load()
+			w.val.Store(v)
+			w.release(s)
+			return old
+		}
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.seq.Add(1)
 	rmr := p.chargeUpdate(w)
-	old := w.val
-	w.val = v
-	p.m.trace(Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+	old := w.val.Load()
+	w.val.Store(v)
+	w.seq.Add(1)
+	if m.tracer != nil {
+		m.trace(Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+	}
+	w.mu.Unlock()
 	return old
 }
 

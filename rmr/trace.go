@@ -59,9 +59,11 @@ type Tracer func(Event)
 // not be called while processes are issuing operations.
 func (m *Memory) SetTracer(t Tracer) { m.tracer = t }
 
-// trace emits an event if a tracer is installed. Called with the word lock
-// held, so events are in linearization order per word and globally
-// consistent with the values recorded.
+// trace emits an event. The operation path only constructs an Event — and
+// only calls trace — when a tracer is installed, so the untraced hot path
+// pays a single nil check per operation and allocates nothing. Called with
+// the word lock held, so events are in linearization order per word and
+// globally consistent with the values recorded.
 func (m *Memory) trace(ev Event) {
 	if m.tracer != nil {
 		m.tracer(ev)

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the rmr simulator microbenchmarks and emit BENCH_rmr.json.
+#
+# Usage:  scripts/bench.sh [output.json]
+#
+# Runs BenchmarkMemOps (operation-path throughput, CC and DSM) and
+# BenchmarkExplorerThroughput (bounded-exhaustive schedules/s at worker
+# counts 1/2/4/8) with -benchmem, then converts the Go benchmark output to
+# a JSON report. BENCHTIME overrides -benchtime (CI uses 1x for a smoke
+# run; the default 1s gives stable numbers).
+#
+# The "baseline" block records the pre-optimization seed numbers measured
+# on the reference 1-CPU container, so a report is self-describing: the
+# acceptance targets were >=2x baseline ops/s for MemOps and >=3x baseline
+# schedules/s for the explorer.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_rmr.json}"
+benchtime="${BENCHTIME:-1s}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkMemOps|BenchmarkExplorerThroughput' \
+	-benchtime "$benchtime" -benchmem -timeout 20m ./rmr/ | tee "$raw"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "baseline": {\n'
+	printf '    "MemOps/CC ops/s": 17583938,\n'
+	printf '    "MemOps/DSM ops/s": 18193806,\n'
+	printf '    "ExplorerThroughput schedules/s": 67822\n'
+	printf '  },\n'
+	printf '  "benchmarks": [\n'
+	awk '
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)
+		if (n++) printf ",\n"
+		printf "    {\"name\": \"%s\", \"iterations\": %s", name, $2
+		for (i = 3; i + 1 <= NF; i += 2) {
+			unit = $(i + 1)
+			gsub(/[^A-Za-z0-9_\/]/, "_", unit)
+			printf ", \"%s\": %s", unit, $i
+		}
+		printf "}"
+	}
+	END { print "" }
+	' "$raw"
+	printf '  ]\n'
+	printf '}\n'
+} >"$out"
+
+echo "wrote $out"
