@@ -29,8 +29,9 @@ type Lock struct {
 	handles atomic.Int64
 	desc    atomic.Pointer[instance] // the paper's LockDesc
 
-	switches atomic.Int64 // completed instance switches (observability)
-	aborts   atomic.Int64 // attempts abandoned via the abort path
+	switches    atomic.Int64 // completed instance switches (observability)
+	aborts      atomic.Int64 // attempts abandoned via the abort path
+	switchWaits atomic.Int64 // Enter calls that blocked on an instance switch
 }
 
 // Stats is a point-in-time observability snapshot of a Lock.
@@ -44,15 +45,21 @@ type Stats struct {
 	Switches int64
 	// Aborts counts Enter attempts that returned unacquired.
 	Aborts int64
+	// SwitchWaits counts Enter attempts that found their previous one-shot
+	// instance still installed and had to wait for it to be switched out
+	// (the paper's lines 57–61). A high ratio of SwitchWaits to Switches
+	// means handles re-enter faster than the lock quiesces.
+	SwitchWaits int64
 }
 
 // Stats returns current counters. Values are individually atomic snapshots
 // and may be mutually skewed while the lock is in active use.
 func (l *Lock) Stats() Stats {
 	return Stats{
-		Handles:  int(l.handles.Load()),
-		Switches: l.switches.Load(),
-		Aborts:   l.aborts.Load(),
+		Handles:     int(l.handles.Load()),
+		Switches:    l.switches.Load(),
+		Aborts:      l.aborts.Load(),
+		SwitchWaits: l.switchWaits.Load(),
 	}
 }
 
@@ -132,7 +139,10 @@ func (h *Handle) Enter() bool {
 		ins := h.lk.desc.Load()
 		if ins == h.oldInst {
 			// Lines 57–61: we already used this instance; wait until it is
-			// switched out (O(1) RMRs: one flag, set once).
+			// switched out (O(1) RMRs: one flag, set once). Counting here is
+			// off the hot path: a granted re-enter normally finds a fresh
+			// instance already installed and never takes this branch.
+			h.lk.switchWaits.Add(1)
 			for !ins.switched.Load() {
 				if h.abortPending() {
 					return false

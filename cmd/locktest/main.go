@@ -6,13 +6,22 @@
 // Usage:
 //
 //	locktest [-algo paper] [-n 16] [-w 8] [-seeds 100] [-aborters 0] [-model cc]
+//
+// With -exhaustive, -progress prints live explored/pruned schedule counts
+// and throughput to stderr, and the final report includes the depth
+// histogram of explored choice sequences. When the exploration finds a
+// property violation, the offending schedule is replayed with a
+// flight-recorder tracer and the last events before the violation are
+// dumped alongside the schedule.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sync/atomic"
+	"time"
 
 	"sublock/internal/harness"
 	"sublock/rmr"
@@ -38,6 +47,8 @@ func run(args []string) error {
 	exhaustSteps := fs.Int("exhauststeps", 24, "schedule length bound for -exhaustive")
 	exhaustCap := fs.Int("exhaustcap", 200000, "schedule cap for -exhaustive (0 = none)")
 	workers := fs.Int("workers", 1, "parallel exploration workers for -exhaustive")
+	progress := fs.Bool("progress", false, "print live exploration counters to stderr (-exhaustive)")
+	ringSize := fs.Int("ring", 64, "flight-recorder size for violation dumps (-exhaustive)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,7 +66,11 @@ func run(args []string) error {
 	}
 
 	if *exhaustive {
-		return runExhaustive(mdl, harness.Algo(*algo), *w, *n, *aborters, *exhaustSteps, *exhaustCap, *workers)
+		return runExhaustive(exhaustiveConfig{
+			model: mdl, algo: harness.Algo(*algo), w: *w, n: *n, aborters: *aborters,
+			maxSteps: *exhaustSteps, cap: *exhaustCap, workers: *workers,
+			progress: *progress, ringSize: *ringSize,
+		})
 	}
 
 	var totalEntered, totalAborted int
@@ -119,25 +134,136 @@ func explore(model rmr.Model, algo harness.Algo, w, n, aborters int, seed int64,
 	return int(entered.Load()), int(aborted.Load()), nil
 }
 
+type exhaustiveConfig struct {
+	model    rmr.Model
+	algo     harness.Algo
+	w        int
+	n        int
+	aborters int
+	maxSteps int
+	cap      int
+	workers  int
+	progress bool
+	ringSize int
+}
+
 // runExhaustive enumerates every schedule of length ≤ maxSteps (bounded
 // model checking via rmr.Explorer over harness.ExhaustiveBody): processes
 // in [0, aborters) receive their abort signal from a dedicated signal
 // process whose single step the explorer places at every possible point.
 // workers > 1 partitions the choice tree across that many goroutines; an
 // uncapped run reports the same counts at any worker count.
-func runExhaustive(model rmr.Model, algo harness.Algo, w, n, aborters, maxSteps, cap, workers int) error {
-	nprocs := n
-	if aborters > 0 {
+func runExhaustive(cfg exhaustiveConfig) error {
+	nprocs := cfg.n
+	if cfg.aborters > 0 {
 		nprocs++
 	}
-	body := harness.ExhaustiveBody(model, algo, w, n, aborters)
-	e := &rmr.Explorer{MaxSteps: maxSteps, MaxSchedules: cap, Workers: workers}
+	body := harness.ExhaustiveBody(cfg.model, cfg.algo, cfg.w, cfg.n, cfg.aborters)
+	e := &rmr.Explorer{MaxSteps: cfg.maxSteps, MaxSchedules: cfg.cap, Workers: cfg.workers}
+	var stopProgress func()
+	if cfg.progress {
+		e.Monitor = &rmr.Monitor{}
+		stopProgress = startProgress(e.Monitor)
+	}
+	start := time.Now()
 	res, err := e.Run(nprocs, body)
+	elapsed := time.Since(start)
+	if stopProgress != nil {
+		stopProgress()
+	}
+	var ee *rmr.ErrExplore
+	if errors.As(err, &ee) {
+		dumpViolation(cfg, ee)
+		return err
+	}
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%s: bounded-exhaustive exploration (≤%d steps): %d schedules explored, %d pruned, exhausted=%v\n",
-		algo, maxSteps, res.Explored, res.Pruned, res.Exhausted)
+		cfg.algo, cfg.maxSteps, res.Explored, res.Pruned, res.Exhausted)
+	if secs := elapsed.Seconds(); secs > 0 {
+		fmt.Printf("  throughput: %.0f schedules/s over %v\n",
+			float64(res.Explored+res.Pruned)/secs, elapsed.Round(time.Millisecond))
+	}
+	printDepths(res.Depths)
 	fmt.Println("  mutual exclusion and non-aborter completion held in every explored schedule")
 	return nil
+}
+
+// startProgress prints live explored/pruned counters and throughput to
+// stderr twice a second until the returned stop function is called.
+func startProgress(mon *rmr.Monitor) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(500 * time.Millisecond)
+		defer t.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				explored, pruned := mon.Counts()
+				secs := time.Since(start).Seconds()
+				fmt.Fprintf(os.Stderr, "\rexplored %d, pruned %d (%.0f schedules/s)   ",
+					explored, pruned, float64(explored+pruned)/secs)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		fmt.Fprint(os.Stderr, "\r\033[K")
+	}
+}
+
+// printDepths renders the explored-schedule depth histogram, coalescing
+// empty leading buckets.
+func printDepths(depths []int64) {
+	var max int64
+	for _, c := range depths {
+		if c > max {
+			max = c
+		}
+	}
+	if max == 0 {
+		return
+	}
+	fmt.Println("  schedule depth histogram (choice-sequence length → count):")
+	for d, c := range depths {
+		if c == 0 {
+			continue
+		}
+		bar := int(c * 40 / max)
+		fmt.Printf("    %3d %8d %s\n", d, c, bars(bar))
+	}
+}
+
+func bars(n int) string {
+	const full = "████████████████████████████████████████"
+	if n < 1 {
+		return "▏"
+	}
+	return full[:3*n] // runes are 3 bytes each
+}
+
+// dumpViolation replays the violating schedule with a flight-recorder
+// tracer and prints the last events leading up to the violation.
+func dumpViolation(cfg exhaustiveConfig, ee *rmr.ErrExplore) {
+	fmt.Fprintf(os.Stderr, "locktest: property violation on schedule %v\n", ee.Schedule)
+	ring, replayErr := harness.ReplayTraced(cfg.model, cfg.algo, cfg.w, cfg.n, cfg.aborters,
+		ee.Schedule, cfg.maxSteps, cfg.ringSize)
+	if replayErr == nil {
+		fmt.Fprintln(os.Stderr, "locktest: replay did not reproduce the violation (nondeterministic body?)")
+		return
+	}
+	events := ring.Events()
+	fmt.Fprintf(os.Stderr, "locktest: flight recorder — last %d of %d events before the violation:\n",
+		len(events), ring.Total())
+	for _, ev := range events {
+		fmt.Fprintf(os.Stderr, "  %s\n", ev)
+	}
+	fmt.Fprintf(os.Stderr, "locktest: replayed violation: %v\n", replayErr)
 }

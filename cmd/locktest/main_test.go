@@ -77,3 +77,18 @@ func TestRunExhaustiveParallel(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunExhaustiveProgress(t *testing.T) {
+	if err := run([]string{"-exhaustive", "-n", "2", "-exhauststeps", "16", "-progress"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	if got := bars(0); got != "▏" {
+		t.Errorf("bars(0) = %q", got)
+	}
+	if got := bars(40); got != strings.Repeat("█", 40) {
+		t.Errorf("bars(40) = %q", got)
+	}
+}

@@ -9,8 +9,10 @@
 // With no arguments every experiment runs (-list enumerates: e1–e7 and
 // e9–e16; e8, the Theorem 2 property checking, lives in cmd/locktest and
 // the test suite). -quick shrinks the sweeps for a fast smoke run, -csv
-// emits machine-readable series, and -chart N renders column N as an
-// ASCII bar chart.
+// emits machine-readable series, -chart N renders column N as an ASCII bar
+// chart, -seed feeds the randomized workloads (e14), and -prom FILE
+// additionally writes a stats-instrumented abort storm's counters in the
+// Prometheus text exposition format.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"strings"
 
 	"sublock/internal/harness"
+	"sublock/rmr"
 )
 
 func main() {
@@ -36,7 +39,7 @@ type experiment struct {
 	fast func() (*harness.Table, error)
 }
 
-func experiments() []experiment {
+func experiments(seed int64) []experiment {
 	const w = harness.DefaultW
 	return []experiment{
 		{
@@ -100,10 +103,10 @@ func experiments() []experiment {
 			id: "e14", desc: "dynamic churn: long-lived lock under abort-probability sweep",
 			full: func() (*harness.Table, error) {
 				return harness.ChurnSweep(harness.AlgoPaperLLBounded, w, 16, 64,
-					[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.95})
+					[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.95}, seed)
 			},
 			fast: func() (*harness.Table, error) {
-				return harness.ChurnSweep(harness.AlgoPaperLLBounded, w, 6, 16, []float64{0, 0.5})
+				return harness.ChurnSweep(harness.AlgoPaperLLBounded, w, 6, 16, []float64{0, 0.5}, seed)
 			},
 		},
 		{
@@ -129,16 +132,23 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	csvOut := fs.Bool("csv", false, "emit CSV instead of formatted tables")
 	chartCol := fs.Int("chart", 0, "also render the given column index as an ASCII bar chart")
+	seed := fs.Int64("seed", 42, "seed for the randomized workloads (e14)")
+	promFile := fs.String("prom", "", "also write abort-storm counters to `file` in Prometheus text format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	exps := experiments()
+	exps := experiments(*seed)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("  %-4s %s\n", e.id, e.desc)
 		}
 		return nil
 	}
+	known := map[string]bool{}
+	for _, e := range exps {
+		known[e.id] = true
+	}
+	// Validate in argument order so the reported error is deterministic.
 	want := map[string]bool{}
 	for _, a := range fs.Args() {
 		a = strings.ToLower(a)
@@ -146,16 +156,10 @@ func run(args []string) error {
 			want = map[string]bool{}
 			break
 		}
-		want[a] = true
-	}
-	known := map[string]bool{}
-	for _, e := range exps {
-		known[e.id] = true
-	}
-	for id := range want {
-		if !known[id] {
-			return fmt.Errorf("unknown experiment %q (use -list)", id)
+		if !known[a] {
+			return fmt.Errorf("unknown experiment %q (use -list)", a)
 		}
+		want[a] = true
 	}
 	for _, e := range exps {
 		if len(want) > 0 && !want[e.id] {
@@ -184,5 +188,33 @@ func run(args []string) error {
 			}
 		}
 	}
+	if *promFile != "" {
+		if err := writeProm(*promFile, *quick); err != nil {
+			return fmt.Errorf("prom: %w", err)
+		}
+	}
 	return nil
+}
+
+// writeProm runs a stats-instrumented abort storm on the paper's lock and
+// writes the resulting counter matrix in the Prometheus text exposition
+// format (version 0.0.4).
+func writeProm(path string, quick bool) error {
+	aborters := 64
+	if quick {
+		aborters = 8
+	}
+	_, snap, err := harness.AbortStormStats(rmr.CC, harness.AlgoPaper, harness.DefaultW, aborters, false)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

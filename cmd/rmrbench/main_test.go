@@ -32,7 +32,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
-	for _, e := range experiments() {
+	for _, e := range experiments(42) {
 		if seen[e.id] {
 			t.Fatalf("duplicate experiment id %q", e.id)
 		}
@@ -44,7 +44,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 }
 
 func TestEveryFastExperimentRuns(t *testing.T) {
-	for _, e := range experiments() {
+	for _, e := range experiments(42) {
 		e := e
 		t.Run(e.id, func(t *testing.T) {
 			tbl, err := e.fast()

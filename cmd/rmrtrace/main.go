@@ -1,18 +1,29 @@
-// Command rmrtrace records and prints a shared-memory execution trace of a
+// Command rmrtrace records and exports a shared-memory execution trace of a
 // lock algorithm under a seeded deterministic schedule: every read, write,
-// CAS, F&A and SWAP in linearization order, annotated with the RMR charge.
-// It also validates the trace's per-word value chains (rmr.CheckTrace) and
-// prints a per-process RMR summary — a debugging lens into exactly where
-// an algorithm's remote references go.
+// CAS, F&A and SWAP in linearization order, annotated with the RMR charge,
+// the issuing process's passage phase, and the address's region label.
+//
+// Three output formats are supported. The default text format prints the
+// events, validates the trace's per-word value chains (rmr.CheckTrace), and
+// ends with the per-process RMR summary and the phase/label counter report.
+// -format=jsonl emits one JSON object per event for offline analysis, and
+// -format=chrome emits a Chrome trace-event file that loads into
+// https://ui.perfetto.dev or chrome://tracing, with one track per process
+// showing passage phases as spans and memory operations nested inside them.
+//
+// -ring N keeps only the last N events (a flight recorder), which bounds
+// memory for long schedules at the price of the value-chain check.
 //
 // Usage:
 //
 //	rmrtrace [-algo paper] [-n 4] [-w 8] [-seed 1] [-aborters 0] [-max 200]
+//	         [-format text|jsonl|chrome] [-o file] [-ring N]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -28,7 +39,7 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmrtrace", flag.ContinueOnError)
 	algo := fs.String("algo", "paper", "algorithm (see locktest -h for the list)")
 	n := fs.Int("n", 4, "number of processes")
@@ -36,6 +47,9 @@ func run(args []string, out *os.File) error {
 	seed := fs.Int64("seed", 1, "schedule seed")
 	aborters := fs.Int("aborters", 0, "processes signalled to abort before starting")
 	maxPrint := fs.Int("max", 200, "maximum events to print (the summary always covers all)")
+	format := fs.String("format", "text", "output format: text, jsonl, or chrome")
+	outFile := fs.String("o", "", "write output to `file` instead of stdout")
+	ringSize := fs.Int("ring", 0, "keep only the last N events (0 = keep all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,20 +59,45 @@ func run(args []string, out *os.File) error {
 	if *aborters > 0 && !harness.Algo(*algo).Abortable() {
 		return fmt.Errorf("%s is not abortable", *algo)
 	}
+	switch *format {
+	case "text", "jsonl", "chrome":
+	default:
+		return fmt.Errorf("unknown format %q (want text, jsonl, or chrome)", *format)
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
 
 	s := rmr.NewScheduler(*n, rmr.RandomPick(*seed))
 	m := rmr.NewMemory(rmr.CC, *n, nil)
+	// -ring bounds memory with a flight recorder; otherwise keep the whole
+	// trace so the value-chain check can run.
+	var ring *rmr.Ring
+	var all []rmr.Event
 	var mu sync.Mutex
-	var events []rmr.Event
-	m.SetTracer(func(ev rmr.Event) {
-		mu.Lock()
-		defer mu.Unlock()
-		events = append(events, ev)
-	})
+	if *ringSize > 0 {
+		ring = rmr.NewRing(*ringSize)
+		m.SetTracer(ring.Record)
+	} else {
+		m.SetTracer(func(ev rmr.Event) {
+			mu.Lock()
+			all = append(all, ev)
+			mu.Unlock()
+		})
+	}
 	fn, err := harness.Build(m, harness.Algo(*algo), *w, *n)
 	if err != nil {
 		return err
 	}
+	// The stats matrix is sized to the labels the lock interned during
+	// construction, so it is built after Build.
+	st := rmr.NewStats(m)
+	m.SetStats(st)
 	// Snapshot initial values of everything allocated during construction
 	// so CheckTrace can bind the first event of every address.
 	inits := make(map[rmr.Addr]uint64, m.Size())
@@ -67,11 +106,38 @@ func run(args []string, out *os.File) error {
 	}
 	m.SetGate(s)
 
-	var violations atomic.Int32
-	var inCS atomic.Int32
-	for i := 0; i < *n; i++ {
+	violations, err := drive(s, m, fn, *n, *aborters)
+	if err != nil {
+		return err
+	}
+	if violations != 0 {
+		return fmt.Errorf("mutual exclusion violated")
+	}
+
+	events, truncated := all, false
+	if ring != nil {
+		events = ring.Events()
+		truncated = ring.Total() > int64(len(events))
+	}
+	switch *format {
+	case "jsonl":
+		return rmr.WriteJSONL(out, events, m.Labels())
+	case "chrome":
+		return rmr.WriteChromeTrace(out, events, m.Labels())
+	}
+	return report(out, m, st, events, inits, reportConfig{
+		algo: *algo, n: *n, seed: *seed, aborters: *aborters,
+		maxPrint: *maxPrint, truncated: truncated,
+	})
+}
+
+// drive runs one passage per process under the schedule and reports the
+// number of mutual-exclusion violations observed.
+func drive(s *rmr.Scheduler, m *rmr.Memory, fn harness.HandleFn, n, aborters int) (int, error) {
+	var violations, inCS atomic.Int32
+	for i := 0; i < n; i++ {
 		p := m.Proc(i)
-		if i < *aborters {
+		if i < aborters {
 			p.SignalAbort()
 		}
 		h := fn(p)
@@ -86,37 +152,41 @@ func run(args []string, out *os.File) error {
 		})
 	}
 	if err := s.Run(100_000_000); err != nil {
-		return fmt.Errorf("schedule stalled: %w", err)
+		return 0, fmt.Errorf("schedule stalled: %w", err)
 	}
-	if violations.Load() != 0 {
-		return fmt.Errorf("mutual exclusion violated")
-	}
+	return int(violations.Load()), nil
+}
 
+type reportConfig struct {
+	algo      string
+	n         int
+	seed      int64
+	aborters  int
+	maxPrint  int
+	truncated bool
+}
+
+func report(out io.Writer, m *rmr.Memory, st *rmr.Stats, events []rmr.Event, inits map[rmr.Addr]uint64, cfg reportConfig) error {
 	fmt.Fprintf(out, "%s, N=%d, seed=%d, aborters=%d: %d events\n\n",
-		*algo, *n, *seed, *aborters, len(events))
+		cfg.algo, cfg.n, cfg.seed, cfg.aborters, len(events))
 	for i, ev := range events {
-		if i >= *maxPrint {
+		if cfg.maxPrint >= 0 && i >= cfg.maxPrint {
 			fmt.Fprintf(out, "  … %d more events (raise -max)\n", len(events)-i)
 			break
 		}
-		charge := " "
-		if ev.RMR {
-			charge = "*"
-		}
-		status := ""
-		if !ev.OK {
-			status = " (failed)"
-		}
-		fmt.Fprintf(out, "  %s p%-2d %-5s @%-4d %d → %d%s\n",
-			charge, ev.Proc, ev.Op, ev.Addr, ev.Old, ev.New, status)
+		fmt.Fprintf(out, "  %s\n", ev)
 	}
 
-	if err := rmr.CheckTrace(events, inits); err != nil {
-		return fmt.Errorf("trace inconsistent: %w", err)
+	if cfg.truncated {
+		fmt.Fprintf(out, "\ntrace consistency: skipped (ring dropped early events)\n")
+	} else {
+		if err := rmr.CheckTrace(events, inits); err != nil {
+			return fmt.Errorf("trace inconsistent: %w", err)
+		}
+		fmt.Fprintf(out, "\ntrace consistency: OK (per-word value chains verified)\n")
 	}
-	fmt.Fprintf(out, "\ntrace consistency: OK (per-word value chains verified)\n")
 	fmt.Fprintf(out, "per-process RMRs (* = charged events):\n")
-	for i := 0; i < *n; i++ {
+	for i := 0; i < cfg.n; i++ {
 		var reads, updates int64
 		for _, ev := range events {
 			if ev.Proc == i && ev.RMR {
@@ -130,5 +200,6 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "  p%-2d total=%-4d reads=%-4d updates=%d\n",
 			i, m.Proc(i).RMRs(), reads, updates)
 	}
-	return nil
+	fmt.Fprintf(out, "\n")
+	return st.Snapshot().WriteText(out)
 }

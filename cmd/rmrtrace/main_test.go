@@ -1,7 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 )
 
@@ -31,5 +34,125 @@ func TestRunTraceRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-algo", "mcs", "-aborters", "1", "-n", "3"}, os.Stdout); err == nil {
 		t.Fatal("aborting MCS accepted")
+	}
+	if err := run([]string{"-format", "xml"}, os.Stdout); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestRunTraceTextReportsStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-seed", "3", "-max", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace consistency: OK",
+		"rmr stats:",
+		"per-phase RMRs",
+		"oneshot/head", // the paper lock's labeled regions show up
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q", want)
+		}
+	}
+}
+
+// TestRunTraceChromeFormat: -format=chrome must emit valid Chrome
+// trace-event JSON with phase spans, operation spans, and thread names.
+func TestRunTraceChromeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-seed", "2", "-format", "chrome"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			TS   *int64 `json:"ts"`
+			PID  int    `json:"pid"`
+			TID  int    `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	var spans, meta int
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.TS == nil {
+				t.Fatalf("complete event %q missing ts", ev.Name)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if spans == 0 {
+		t.Error("no complete (X) events")
+	}
+	if meta == 0 {
+		t.Error("no thread-name metadata events")
+	}
+}
+
+// TestRunTraceJSONLFormat: every line must parse as a JSON object with the
+// event schema's core fields.
+func TestRunTraceJSONLFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-seed", "2", "-format", "jsonl"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSONL output")
+	}
+	sawPhase, sawLabel := false, false
+	for i, line := range lines {
+		var ev struct {
+			T     int64  `json:"t"`
+			Proc  *int   `json:"proc"`
+			Op    string `json:"op"`
+			Phase string `json:"phase"`
+			Label string `json:"label"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i+1, err, line)
+		}
+		if ev.Proc == nil || ev.Op == "" {
+			t.Fatalf("line %d missing proc/op: %s", i+1, line)
+		}
+		if ev.Phase != "" {
+			sawPhase = true
+		}
+		if ev.Label != "" {
+			sawLabel = true
+		}
+	}
+	if !sawPhase {
+		t.Error("no event carried a phase")
+	}
+	if !sawLabel {
+		t.Error("no event carried a label")
+	}
+}
+
+// TestRunTraceRing: a bounded flight recorder truncates the trace and the
+// report must say the value-chain check was skipped.
+func TestRunTraceRing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "4", "-seed", "1", "-ring", "8", "-max", "100"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace consistency: skipped") {
+		t.Errorf("ring-truncated run did not skip the consistency check:\n%s", out)
 	}
 }

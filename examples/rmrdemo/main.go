@@ -1,7 +1,9 @@
 // RMR demo: using the public rmr package to see the paper's cost model in
 // action. Builds a two-process handoff on simulated cache-coherent memory,
-// counts remote memory references for a spin-wait under CC and DSM, and
-// replays one adversarial interleaving deterministically.
+// counts remote memory references for a spin-wait under CC and DSM, replays
+// one adversarial interleaving deterministically, and attributes the RMRs of
+// an abort storm to passage phases and memory regions — contrasting the
+// paper's lock with MCS.
 //
 //	go run ./examples/rmrdemo
 package main
@@ -9,7 +11,9 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
+	"sublock/internal/harness"
 	"sublock/rmr"
 )
 
@@ -22,7 +26,10 @@ func main() {
 func run() error {
 	ccSpinDemo()
 	dsmSpinDemo()
-	return scheduleDemo()
+	if err := scheduleDemo(); err != nil {
+		return err
+	}
+	return phaseDemo()
 }
 
 // ccSpinDemo shows why spinning is cheap under cache coherence: re-reads of
@@ -96,4 +103,35 @@ func scheduleDemo() error {
 		}
 	}
 	return nil
+}
+
+// phaseDemo attributes RMRs to passage phases and labeled memory regions:
+// the paper's lock under an abort storm (where its O(log_W A) exit-phase
+// tree traversal shows up under the "tree/" labels), then MCS under the
+// plain queue workload (O(1) per passage, no abort machinery at all).
+func phaseDemo() error {
+	const aborters = 24
+	fmt.Printf("\n--- paper lock, abort storm (%d aborters): phase/label attribution ---\n", aborters)
+	_, snap, err := harness.AbortStormStats(rmr.CC, harness.AlgoPaper, harness.DefaultW, aborters, false)
+	if err != nil {
+		return err
+	}
+	holderExitTree := snap.ProcPhaseLabelRMRs(0, rmr.PhaseExit, "tree/")
+	holderDoorway := snap.ProcPhaseRMRs(0, rmr.PhaseDoorway)
+	fmt.Printf("holder (p0): doorway=%d RMRs, exit-phase tree traversal=%d RMRs — the\n",
+		holderDoorway, holderExitTree)
+	fmt.Printf("O(log_W A) handoff ascent, with W=%d and A=%d aborters\n\n", harness.DefaultW, aborters)
+	if err := snap.WriteText(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n--- MCS, queue workload: phase/label attribution ---\n")
+	_, snap, err = harness.QueueWorkloadStats(rmr.CC, harness.AlgoMCS, harness.DefaultW, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("per-passage cost stays O(1): total RMRs %d over %d passages, all on\n",
+		snap.TotalRMRs(), snap.Passages)
+	fmt.Printf("the %q and %q regions\n\n", "mcs/tail", "mcs/qnode")
+	return snap.WriteText(os.Stdout)
 }

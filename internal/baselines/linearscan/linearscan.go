@@ -38,6 +38,8 @@ func New(m *rmr.Memory, n int) (*Lock, error) {
 		return nil, fmt.Errorf("linearscan: n=%d must be positive", n)
 	}
 	l := &Lock{n: n, tail: m.Alloc(0), slots: m.AllocN(n, waiting)}
+	m.Label(l.tail, 1, "linearscan/tail")
+	m.Label(l.slots, n, "linearscan/slots")
 	m.Poke(l.slots, granted) // slot 0 holds the lock initially
 	return l, nil
 }
@@ -62,22 +64,28 @@ func (h *Handle) Slot() int { return h.slot }
 // lock on itself and still returns false.
 func (h *Handle) Enter() bool {
 	p := h.p
+	p.EnterPhase(rmr.PhaseDoorway)
 	i := int(p.FAA(h.l.tail, 1))
 	if i >= h.l.n {
 		panic(fmt.Sprintf("linearscan: %d processes entered a lock configured for n=%d", i+1, h.l.n))
 	}
 	h.slot = i
 	a := h.l.slots + rmr.Addr(i)
+	p.EnterPhase(rmr.PhaseWaiting)
 	for {
 		if p.Read(a) == granted {
+			p.EnterPhase(rmr.PhaseCS)
 			return true
 		}
 		if p.AbortSignal() {
+			p.EnterPhase(rmr.PhaseAbort)
 			if p.CAS(a, waiting, abandoned) {
+				p.EnterPhase(rmr.PhaseIdle)
 				return false
 			}
 			// The grant landed first: we own the lock; hand it off.
 			h.grantNext(i)
+			p.EnterPhase(rmr.PhaseIdle)
 			return false
 		}
 		p.Yield()
@@ -86,7 +94,9 @@ func (h *Handle) Enter() bool {
 
 // Exit releases the lock, granting the next non-abandoned slot.
 func (h *Handle) Exit() {
+	h.p.EnterPhase(rmr.PhaseExit)
 	h.grantNext(h.slot)
+	h.p.EnterPhase(rmr.PhaseIdle)
 }
 
 // grantNext scans forward from slot i, skipping abandoned slots. Granting a

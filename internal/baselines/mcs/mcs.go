@@ -19,7 +19,9 @@ type Lock struct {
 
 // New allocates an MCS lock in m.
 func New(m *rmr.Memory) *Lock {
-	return &Lock{tail: m.Alloc(0)}
+	l := &Lock{tail: m.Alloc(0)}
+	m.Label(l.tail, 1, "mcs/tail")
+	return l
 }
 
 // Handle returns process p's handle. Each process reuses a single queue
@@ -27,6 +29,7 @@ func New(m *rmr.Memory) *Lock {
 // two-word record: next at the base address, locked at base+1.
 func (l *Lock) Handle(p *rmr.Proc) *Handle {
 	base := p.Memory().AllocNLocal(p.ID(), 2, 0)
+	p.Memory().Label(base, 2, "mcs/qnode")
 	return &Handle{
 		l:      l,
 		p:      p,
@@ -49,11 +52,14 @@ type Handle struct {
 // experiment harness.
 func (h *Handle) Enter() bool {
 	p := h.p
+	p.EnterPhase(rmr.PhaseDoorway)
 	p.Write(h.next, 0)
 	pred := p.Swap(h.l.tail, uint64(h.locked)+1)
 	if pred == 0 {
+		p.EnterPhase(rmr.PhaseCS)
 		return true
 	}
+	p.EnterPhase(rmr.PhaseWaiting)
 	p.Write(h.locked, 1)
 	// Publish ourselves as the predecessor's successor. The predecessor's
 	// next word is adjacent to its locked word (allocated consecutively by
@@ -64,12 +70,15 @@ func (h *Handle) Enter() bool {
 	for p.Read(h.locked) != 0 {
 		p.Yield()
 	}
+	p.EnterPhase(rmr.PhaseCS)
 	return true
 }
 
 // Exit releases the lock, handing it to the queued successor if any.
 func (h *Handle) Exit() {
 	p := h.p
+	p.EnterPhase(rmr.PhaseExit)
+	defer p.EnterPhase(rmr.PhaseIdle)
 	if p.Read(h.next) == 0 {
 		if p.CAS(h.l.tail, uint64(h.locked)+1, 0) {
 			return

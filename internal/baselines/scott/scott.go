@@ -33,6 +33,8 @@ type Lock struct {
 func New(m *rmr.Memory) *Lock {
 	dummy := m.Alloc(available)
 	l := &Lock{tail: m.Alloc(uint64(dummy) + 1)}
+	m.Label(dummy, 1, "scott/qnode")
+	m.Label(l.tail, 1, "scott/tail")
 	return l
 }
 
@@ -54,18 +56,24 @@ type Handle struct {
 // is needed, hence bounded abort.
 func (h *Handle) Enter() bool {
 	p := h.p
+	p.EnterPhase(rmr.PhaseDoorway)
 	node := p.Memory().Alloc(waiting)
+	p.Memory().Label(node, 1, "scott/qnode")
 	h.node = node
 	pred := rmr.Addr(p.Swap(h.l.tail, uint64(node)+1) - 1)
+	p.EnterPhase(rmr.PhaseWaiting)
 	for {
 		switch s := p.Read(pred); {
 		case s == available:
+			p.EnterPhase(rmr.PhaseCS)
 			return true
 		case s >= abortedBase:
 			pred = rmr.Addr(s - abortedBase) // adopt the aborter's predecessor
 		default: // predecessor still waiting
 			if p.AbortSignal() {
+				p.EnterPhase(rmr.PhaseAbort)
 				p.Write(node, uint64(pred)+abortedBase)
+				p.EnterPhase(rmr.PhaseIdle)
 				return false
 			}
 			p.Yield()
@@ -75,5 +83,7 @@ func (h *Handle) Enter() bool {
 
 // Exit releases the lock by marking this acquisition's node available.
 func (h *Handle) Exit() {
+	h.p.EnterPhase(rmr.PhaseExit)
 	h.p.Write(h.node, available)
+	h.p.EnterPhase(rmr.PhaseIdle)
 }

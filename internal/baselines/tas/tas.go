@@ -15,7 +15,9 @@ type Lock struct {
 
 // New allocates a TAS lock in m.
 func New(m *rmr.Memory) *Lock {
-	return &Lock{word: m.Alloc(0)}
+	l := &Lock{word: m.Alloc(0)}
+	m.Label(l.word, 1, "tas/word")
+	return l
 }
 
 // Handle returns process p's handle to the lock.
@@ -32,11 +34,16 @@ type Handle struct {
 // Enter acquires the lock, or returns false if the abort signal arrives
 // while waiting.
 func (h *Handle) Enter() bool {
+	// TAS has no doorway: the passage is one long contended wait.
+	h.p.EnterPhase(rmr.PhaseWaiting)
 	for {
 		if h.p.Read(h.l.word) == 0 && h.p.CAS(h.l.word, 0, 1) {
+			h.p.EnterPhase(rmr.PhaseCS)
 			return true
 		}
 		if h.p.AbortSignal() {
+			h.p.EnterPhase(rmr.PhaseAbort)
+			h.p.EnterPhase(rmr.PhaseIdle)
 			return false
 		}
 		h.p.Yield()
@@ -45,5 +52,7 @@ func (h *Handle) Enter() bool {
 
 // Exit releases the lock.
 func (h *Handle) Exit() {
+	h.p.EnterPhase(rmr.PhaseExit)
 	h.p.Write(h.l.word, 0)
+	h.p.EnterPhase(rmr.PhaseIdle)
 }

@@ -38,6 +38,7 @@ func New(m *rmr.Memory, n int) (*Lock, error) {
 	width := 1 << (l.height - 1)
 	for lvl := 1; lvl <= l.height; lvl++ {
 		l.levels[lvl] = m.AllocN(width, 0)
+		m.Label(l.levels[lvl], width, fmt.Sprintf("tournament/level%d", lvl))
 		width /= 2
 	}
 	return l, nil
@@ -72,6 +73,8 @@ func (h *Handle) node(lvl int) rmr.Addr {
 func (h *Handle) Enter() bool {
 	p := h.p
 	me := uint64(p.ID()) + 1
+	// The tournament has no doorway: the whole climb is contended waiting.
+	p.EnterPhase(rmr.PhaseWaiting)
 	for lvl := 1; lvl <= h.l.height; lvl++ {
 		a := h.node(lvl)
 		for {
@@ -79,20 +82,25 @@ func (h *Handle) Enter() bool {
 				break
 			}
 			if p.AbortSignal() {
+				p.EnterPhase(rmr.PhaseAbort)
 				h.releaseHeld()
+				p.EnterPhase(rmr.PhaseIdle)
 				return false
 			}
 			p.Yield()
 		}
 		h.held = lvl
 	}
+	p.EnterPhase(rmr.PhaseCS)
 	return true
 }
 
 // Exit releases the lock: every node on the path, root first so the next
 // winner reaches the critical section as early as possible.
 func (h *Handle) Exit() {
+	h.p.EnterPhase(rmr.PhaseExit)
 	h.releaseHeld()
+	h.p.EnterPhase(rmr.PhaseIdle)
 }
 
 func (h *Handle) releaseHeld() {

@@ -86,8 +86,10 @@ func Churn(algo Algo, w, nprocs, attempts int, pAbort float64, seed int64) (*Chu
 
 // ChurnSweep regenerates experiment E14: the long-lived lock under abort
 // probabilities from calm to storm, reporting completion mix and RMR
-// distributions.
-func ChurnSweep(algo Algo, w, nprocs, attempts int, probs []float64) (*Table, error) {
+// distributions. seed feeds the per-process coin-flip streams, so two runs
+// with the same seed deliver the same abort signals (the interleavings the
+// signals catch still vary with the host scheduler).
+func ChurnSweep(algo Algo, w, nprocs, attempts int, probs []float64, seed int64) (*Table, error) {
 	t := &Table{
 		Title: fmt.Sprintf("E14 — dynamic churn: %s, N=%d, %d attempts/process", algo, nprocs, attempts),
 		Note: "p = probability an attempt carries a pre-delivered abort signal;\n" +
@@ -95,7 +97,7 @@ func ChurnSweep(algo Algo, w, nprocs, attempts int, probs []float64) (*Table, er
 		Columns: []string{"p(abort)", "completed", "aborted", "passage RMRs", "abort RMRs"},
 	}
 	for _, p := range probs {
-		res, err := Churn(algo, w, nprocs, attempts, p, 42)
+		res, err := Churn(algo, w, nprocs, attempts, p, seed)
 		if err != nil {
 			return nil, err
 		}

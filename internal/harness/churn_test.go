@@ -41,7 +41,7 @@ func TestChurnRejectsMCSWithAborts(t *testing.T) {
 }
 
 func TestChurnSweepTable(t *testing.T) {
-	tbl, err := ChurnSweep(AlgoPaperLLBounded, 8, 4, 10, []float64{0, 0.5})
+	tbl, err := ChurnSweep(AlgoPaperLLBounded, 8, 4, 10, []float64{0, 0.5}, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

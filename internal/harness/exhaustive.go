@@ -18,6 +18,14 @@ import (
 // rebuilt per run, processes are launched with GoProc) and is safe for
 // Workers > 1: concurrent invocations share nothing.
 func ExhaustiveBody(model rmr.Model, algo Algo, w, n, aborters int) rmr.Body {
+	return exhaustiveBody(model, algo, w, n, aborters, nil)
+}
+
+// exhaustiveBody is ExhaustiveBody with an optional tracer installed on each
+// run's memory before the schedule starts — the hook ReplayTraced uses to
+// flight-record a violating schedule. The tracer must not change behavior,
+// or the replayed run diverges from the explored one.
+func exhaustiveBody(model rmr.Model, algo Algo, w, n, aborters int, tracer rmr.Tracer) rmr.Body {
 	return func(s *rmr.Scheduler, budget int) error {
 		nprocs := n
 		if aborters > 0 {
@@ -27,6 +35,9 @@ func ExhaustiveBody(model rmr.Model, algo Algo, w, n, aborters int) rmr.Body {
 		fn, err := Build(m, algo, w, n)
 		if err != nil {
 			return err
+		}
+		if tracer != nil {
+			m.SetTracer(tracer)
 		}
 		m.SetGate(s)
 		var inCS, violations atomic.Int32
@@ -72,4 +83,21 @@ func ExhaustiveBody(model rmr.Model, algo Algo, w, n, aborters int) rmr.Body {
 		}
 		return nil
 	}
+}
+
+// ReplayTraced re-runs one schedule of the exhaustive body — as reported by
+// a *rmr.ErrExplore from an exploration over ExhaustiveBody with the same
+// parameters — with a flight-recorder ring tracer installed. It returns the
+// ring holding the schedule's last ringSize events and the property
+// violation the replay reproduced (nil if the run unexpectedly passes,
+// which indicates mismatched parameters).
+func ReplayTraced(model rmr.Model, algo Algo, w, n, aborters int, schedule []int, maxSteps, ringSize int) (*rmr.Ring, error) {
+	ring := rmr.NewRing(ringSize)
+	body := exhaustiveBody(model, algo, w, n, aborters, ring.Record)
+	nprocs := n
+	if aborters > 0 {
+		nprocs++
+	}
+	s := rmr.NewScheduler(nprocs, rmr.ReplayPick(schedule))
+	return ring, body(s, maxSteps)
 }

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sublock/rmr"
+)
+
+// TestReplayTracedRecordsEvents: replaying a (non-violating) schedule of
+// the exhaustive body must flight-record its events — phases included —
+// and complete without a property violation.
+func TestReplayTracedRecordsEvents(t *testing.T) {
+	// An empty schedule makes ReplayPick take the first alternative at
+	// every step: the leftmost schedule of the exploration tree.
+	ring, err := ReplayTraced(rmr.CC, AlgoPaper, 4, 2, 0, nil, 4096, 32)
+	if err != nil {
+		t.Fatalf("leftmost schedule violated a property: %v", err)
+	}
+	events := ring.Events()
+	if len(events) == 0 {
+		t.Fatal("flight recorder captured no events")
+	}
+	if ring.Total() <= int64(len(events)) && len(events) == 32 {
+		t.Fatal("ring reports no overflow yet is full") // impossible: Total ≥ len
+	}
+	sawPhase, sawLabel := false, false
+	for _, ev := range events {
+		if ev.Op == rmr.OpPhase {
+			sawPhase = true
+		}
+		if ev.Label != 0 {
+			sawLabel = true
+		}
+	}
+	if !sawPhase {
+		t.Error("no phase-transition events in the flight recording")
+	}
+	if !sawLabel {
+		t.Error("no labeled addresses in the flight recording")
+	}
+}
+
+// TestReplayTracedStall: a replay that runs out of budget surfaces the
+// step-limit error the exploration would have pruned.
+func TestReplayTracedStall(t *testing.T) {
+	_, err := ReplayTraced(rmr.CC, AlgoPaper, 4, 2, 0, nil, 3, 16)
+	if err == nil || !errors.Is(err, rmr.ErrStepLimit) && !strings.Contains(err.Error(), "step limit") {
+		t.Fatalf("err = %v, want step-limit error", err)
+	}
+}

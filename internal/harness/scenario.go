@@ -99,21 +99,42 @@ func AbortStorm(algo Algo, w, aborters int, reverse bool) (*StormResult, error) 
 //
 // The total process count is aborters+2. MCS is rejected (not abortable).
 func AbortStormModel(model rmr.Model, algo Algo, w, aborters int, reverse bool) (*StormResult, error) {
+	res, _, err := abortStorm(model, algo, w, aborters, reverse, false)
+	return res, err
+}
+
+// AbortStormStats is AbortStormModel with an rmr.Stats collector installed
+// for the whole run, returning the per-process × per-phase × per-label
+// counter snapshot alongside the RMR result. The Stats observation path
+// perturbs no RMR counts, so the StormResult matches the uninstrumented
+// run's.
+func AbortStormStats(model rmr.Model, algo Algo, w, aborters int, reverse bool) (*StormResult, *rmr.Snapshot, error) {
+	return abortStorm(model, algo, w, aborters, reverse, true)
+}
+
+func abortStorm(model rmr.Model, algo Algo, w, aborters int, reverse, withStats bool) (*StormResult, *rmr.Snapshot, error) {
 	if !algo.Abortable() {
-		return nil, fmt.Errorf("harness: %s cannot run an abort storm", algo)
+		return nil, nil, fmt.Errorf("harness: %s cannot run an abort storm", algo)
 	}
 	nprocs := aborters + 2
 	m := rmr.NewMemory(model, nprocs, nil)
 	fn, err := Build(m, algo, w, nprocs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	// Install stats after Build so every label the lock interned at
+	// construction is a column of the matrix, and before any passage runs.
+	var st *rmr.Stats
+	if withStats {
+		st = rmr.NewStats(m)
+		m.SetStats(st)
 	}
 
 	holderProc := m.Proc(0)
 	holder := fn(holderProc)
 	holderBefore := holderProc.RMRs()
 	if !holder.Enter() {
-		return nil, fmt.Errorf("harness: %s holder failed to acquire", algo)
+		return nil, nil, fmt.Errorf("harness: %s holder failed to acquire", algo)
 	}
 
 	// Enqueue the aborters one at a time so queue slots are deterministic.
@@ -155,11 +176,15 @@ func AbortStormModel(model rmr.Model, algo Algo, w, aborters int, reverse bool) 
 	res.HolderPassage = holderProc.RMRs() - holderBefore
 	<-waiter.done
 	if !waiter.ok {
-		return nil, fmt.Errorf("harness: %s waiter failed to acquire", algo)
+		return nil, nil, fmt.Errorf("harness: %s waiter failed to acquire", algo)
 	}
 	res.WaiterPassage = waiter.rmrs
 	res.Words = m.Size()
-	return res, nil
+	var snap *rmr.Snapshot
+	if st != nil {
+		snap = st.Snapshot()
+	}
+	return res, snap, nil
 }
 
 // QueueResult reports a QueueWorkload run.
@@ -180,10 +205,27 @@ func QueueWorkload(algo Algo, w, nprocs int) (*QueueResult, error) {
 // drains through successive handoffs; every process performs one complete
 // passage. The per-passage RMR cost is the "No aborts" column.
 func QueueWorkloadModel(model rmr.Model, algo Algo, w, nprocs int) (*QueueResult, error) {
+	res, _, err := queueWorkload(model, algo, w, nprocs, false)
+	return res, err
+}
+
+// QueueWorkloadStats is QueueWorkloadModel with an rmr.Stats collector
+// installed for the whole run, returning the counter snapshot alongside the
+// RMR result.
+func QueueWorkloadStats(model rmr.Model, algo Algo, w, nprocs int) (*QueueResult, *rmr.Snapshot, error) {
+	return queueWorkload(model, algo, w, nprocs, true)
+}
+
+func queueWorkload(model rmr.Model, algo Algo, w, nprocs int, withStats bool) (*QueueResult, *rmr.Snapshot, error) {
 	m := rmr.NewMemory(model, nprocs, nil)
 	fn, err := Build(m, algo, w, nprocs)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var st *rmr.Stats
+	if withStats {
+		st = rmr.NewStats(m)
+		m.SetStats(st)
 	}
 	release := make(chan struct{})
 	passages := make([]*passage, nprocs)
@@ -197,12 +239,16 @@ func QueueWorkloadModel(model rmr.Model, algo Algo, w, nprocs int) (*QueueResult
 	for i, ps := range passages {
 		<-ps.done
 		if !ps.ok {
-			return nil, fmt.Errorf("harness: %s process %d failed its passage", algo, i)
+			return nil, nil, fmt.Errorf("harness: %s process %d failed its passage", algo, i)
 		}
 		res.Passages = append(res.Passages, ps.rmrs)
 	}
 	res.Words = m.Size()
-	return res, nil
+	var snap *rmr.Snapshot
+	if st != nil {
+		snap = st.Snapshot()
+	}
+	return res, snap, nil
 }
 
 // MultiPassageResult reports a MultiPassage run.

@@ -150,6 +150,8 @@ func New(m *rmr.Memory, cfg Config) (*Lock, error) {
 		l.instances = []*instance{ins}
 		l.spins = []rmr.Addr{m.Alloc(0)}
 		l.desc = m.Alloc(pack(0, 0, 0))
+		m.Label(l.spins[0], 1, "longlived/spinnode")
+		m.Label(l.desc, 1, "longlived/lockdesc")
 		return l, nil
 	}
 
@@ -177,6 +179,9 @@ func New(m *rmr.Memory, cfg Config) (*Lock, error) {
 		l.freeSpins = append(l.freeSpins, i)
 	}
 	l.desc = m.Alloc(pack(0, 0, 0))
+	m.Label(l.hazards, cfg.N, "longlived/hazard")
+	m.Label(spinBase, nspins, "longlived/spinnode")
+	m.Label(l.desc, 1, "longlived/lockdesc")
 	return l, nil
 }
 
@@ -229,10 +234,12 @@ func (h *Handle) Enter() bool {
 	if h.cur != nil {
 		panic("longlived: Enter while holding the lock")
 	}
+	h.p.EnterPhase(rmr.PhaseDoorway)
 	// Lines 57–61: if the current instance is the one we used last, wait
 	// for the switch (signalled through its spin node).
 	lck, spn, _ := unpack(h.p.Read(h.l.desc))
 	if int(spn) == h.oldSpn {
+		h.p.EnterPhase(rmr.PhaseWaiting)
 		if h.l.cfg.NoSpinNodes {
 			// Ablation: poll the descriptor itself. Every concurrent
 			// Refcnt F&A invalidates our copy, so this wait can cost up to
@@ -243,6 +250,8 @@ func (h *Handle) Enter() bool {
 					break
 				}
 				if h.p.AbortSignal() {
+					h.p.EnterPhase(rmr.PhaseAbort)
+					h.p.EnterPhase(rmr.PhaseIdle)
 					return false
 				}
 				h.p.Yield()
@@ -251,11 +260,14 @@ func (h *Handle) Enter() bool {
 			spinAddr := h.l.spinAddr(int(spn))
 			for h.p.Read(spinAddr) == 0 {
 				if h.p.AbortSignal() {
+					h.p.EnterPhase(rmr.PhaseAbort)
+					h.p.EnterPhase(rmr.PhaseIdle)
 					return false
 				}
 				h.p.Yield()
 			}
 		}
+		h.p.EnterPhase(rmr.PhaseDoorway)
 	}
 	// Line 62: increment Refcnt, atomically obtaining Lock and Spn.
 	lockIdx, spnIdx, _ := unpack(h.p.FAA(h.l.desc, 1))
@@ -266,8 +278,10 @@ func (h *Handle) Enter() bool {
 		h.p.Write(h.l.hazards+rmr.Addr(h.p.ID()), spnIdx+1)
 	}
 	osh := h.l.instance(int(lockIdx)).handle(h.p)
+	osh.SetNested()   // this passage ends at the wrapper's boundaries, not the instance's
 	if !osh.Enter() { // line 63
-		h.cleanup()
+		h.cleanup() // runs in PhaseAbort, where the instance's abort left us
+		h.p.EnterPhase(rmr.PhaseIdle)
 		return false
 	}
 	h.cur = osh
@@ -280,9 +294,10 @@ func (h *Handle) Exit() {
 	if h.cur == nil {
 		panic("longlived: Exit without holding the lock")
 	}
-	h.cur.Exit()
+	h.cur.Exit() // leaves us in PhaseExit (nested handle), so cleanup is attributed there
 	h.cur = nil
 	h.cleanup()
+	h.p.EnterPhase(rmr.PhaseIdle)
 }
 
 // cleanup is Algorithm 6.3: drop our reference and, if we were the last
@@ -352,6 +367,7 @@ func (l *Lock) allocLock(p *rmr.Proc) int {
 func (l *Lock) allocSpn(p *rmr.Proc) int {
 	if !l.cfg.Bounded {
 		a := l.m.Alloc(0)
+		l.m.Label(a, 1, "longlived/spinnode")
 		l.mu.Lock()
 		defer l.mu.Unlock()
 		l.spins = append(l.spins, a)

@@ -35,3 +35,19 @@ type Allocator interface {
 }
 
 var _ Allocator = (*rmr.Memory)(nil)
+
+// Labeler is optionally implemented by an Allocator that supports RMR
+// attribution labels (rmr.Memory does; reclaim.Region does not — words of
+// recycled bounded-space instances stay unlabeled). Lock constructors
+// type-assert for it and label their structures when available:
+//
+//	if lb, ok := a.(mem.Labeler); ok { lb.Label(base, n, "mcs/qnode") }
+//
+// Label(base, 0, name) registers the name without labeling any words, so
+// a structure that allocates mid-run can still reserve its column in a
+// Stats collector created before the run.
+type Labeler interface {
+	Label(base rmr.Addr, n int, name string)
+}
+
+var _ Labeler = (*rmr.Memory)(nil)

@@ -78,6 +78,16 @@ func New(a mem.Allocator, cfg Config) (*Lock, error) {
 	if l.dsm {
 		l.annB = a.AllocN(cfg.N, 0)
 	}
+	if lb, ok := a.(mem.Labeler); ok {
+		lb.Label(l.head, 1, "oneshot/head")
+		lb.Label(l.tail, 1, "oneshot/tail")
+		lb.Label(l.last, 1, "oneshot/last")
+		lb.Label(l.goB, cfg.N, "oneshot/go")
+		if l.dsm {
+			lb.Label(l.annB, cfg.N, "oneshot/announce")
+			lb.Label(0, 0, "oneshot/spin") // interned now; spin words are per-handle
+		}
+	}
 	return l, nil
 }
 
@@ -99,9 +109,16 @@ func (l *Lock) HandleWith(p *rmr.Proc, acc mem.Ops) *Handle {
 		// The spin word is local to the process in the DSM model; it is
 		// allocated per handle because a one-shot lock is used once.
 		h.spin = p.Memory().AllocLocal(p.ID(), 0)
+		p.Memory().Label(h.spin, 1, "oneshot/spin")
 	}
 	return h
 }
+
+// SetNested marks the handle as wrapped by an outer lock (the long-lived
+// transformation): the handle still declares the doorway/waiting/CS/exit/
+// abort phases, but leaves the closing transition to rmr.PhaseIdle to the
+// wrapper, whose passage extends beyond the inner lock's protocol.
+func (h *Handle) SetNested() { h.nested = true }
 
 // Handle is a single process's interface to the one-shot lock. A Handle is
 // not safe for concurrent use: it represents one process's program order.
@@ -114,6 +131,7 @@ type Handle struct {
 	spin    rmr.Addr // DSM: local spin word
 	entered bool     // between successful Enter and Exit
 	done    bool     // Enter has returned (the one shot is spent)
+	nested  bool     // wrapped by longlived: the wrapper owns the idle transition
 }
 
 // Slot returns the queue slot the doorway assigned, or -1 before Enter.
@@ -129,16 +147,23 @@ func (h *Handle) Enter() bool {
 	if h.done || h.entered {
 		panic("oneshot: Enter called twice on a one-shot handle")
 	}
+	h.p.EnterPhase(rmr.PhaseDoorway)
 	i := int(h.acc.FAA(h.l.tail, 1)) // doorway
 	if i >= h.l.cfg.N {
 		panic(fmt.Sprintf("oneshot: %d processes entered a lock configured for N=%d", i+1, h.l.cfg.N))
 	}
 	h.slot = i
+	h.p.EnterPhase(rmr.PhaseWaiting)
 	if !h.await(i) {
+		h.p.EnterPhase(rmr.PhaseAbort)
 		h.abort(i)
 		h.done = true
+		if !h.nested {
+			h.p.EnterPhase(rmr.PhaseIdle)
+		}
 		return false
 	}
+	h.p.EnterPhase(rmr.PhaseCS)
 	h.acc.Write(h.l.head, uint64(i))
 	h.entered = true
 	return true
@@ -179,11 +204,15 @@ func (h *Handle) Exit() {
 	if !h.entered {
 		panic("oneshot: Exit without a successful Enter")
 	}
+	h.p.EnterPhase(rmr.PhaseExit)
 	head := h.acc.Read(h.l.head)
 	h.acc.Write(h.l.last, head)
 	h.signalNext(head)
 	h.entered = false
 	h.done = true
+	if !h.nested {
+		h.p.EnterPhase(rmr.PhaseIdle)
+	}
 }
 
 // abort abandons queue slot i (Algorithm 3.3). If the process that last

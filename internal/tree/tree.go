@@ -101,6 +101,11 @@ func New(a mem.Allocator, cfg Config) (*Tree, error) {
 	for l := 1; l <= t.h; l++ {
 		t.base[l] = a.AllocN(t.nodesAt(l), 0)
 	}
+	if lb, ok := a.(mem.Labeler); ok {
+		for l := 1; l <= t.h; l++ {
+			lb.Label(t.base[l], t.nodesAt(l), fmt.Sprintf("tree/level%d", l))
+		}
+	}
 	t.initPadding(a)
 	return t, nil
 }

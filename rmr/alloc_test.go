@@ -56,3 +56,37 @@ func checkOpsDoNotAllocate(t *testing.T, p *Proc, own, shared Addr) {
 		t.Errorf("operations allocate %v objects per run, want 0", got)
 	}
 }
+
+// TestEnterPhaseDoesNotAllocate: phase transitions are part of every lock's
+// operation path, so they share the zero-allocation guarantee — with no
+// observer, and with a Stats collector installed (Stats records into
+// preallocated atomic cells).
+func TestEnterPhaseDoesNotAllocate(t *testing.T) {
+	m := NewMemory(CC, 1, nil)
+	p := m.Proc(0)
+	phases := []Phase{PhaseDoorway, PhaseWaiting, PhaseCS, PhaseExit, PhaseIdle}
+	check := func(name string) {
+		got := testing.AllocsPerRun(100, func() {
+			for _, ph := range phases {
+				p.EnterPhase(ph)
+			}
+		})
+		if got != 0 {
+			t.Errorf("%s: EnterPhase allocates %v objects per run, want 0", name, got)
+		}
+	}
+	check("no observer")
+	m.SetStats(NewStats(m))
+	check("stats installed")
+}
+
+// TestStatsPathDoesNotAllocate: the observed operation path with only a
+// Stats collector installed (no tracer) stays allocation-free — counters
+// are preallocated and recording passes no events around.
+func TestStatsPathDoesNotAllocate(t *testing.T) {
+	m := NewMemory(CC, 2, nil)
+	own := m.AllocLocal(0, 0)
+	shared := m.Alloc(0)
+	m.SetStats(NewStats(m))
+	checkOpsDoNotAllocate(t, m.Proc(0), own, shared)
+}

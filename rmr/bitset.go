@@ -1,6 +1,9 @@
 package rmr
 
-import "sync/atomic"
+import (
+	"math/bits"
+	"sync/atomic"
+)
 
 // bitset is a fixed-capacity set of small non-negative integers, used to
 // track which processes hold a cached copy of a word in the CC model when
@@ -31,6 +34,14 @@ func (b bitset) clear() {
 	for i := range b {
 		b[i] = 0
 	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
 }
 
 // cacheSet is the per-word set of processes holding a valid cached copy
@@ -78,4 +89,13 @@ func (c *cacheSet) clear() {
 		return
 	}
 	c.spill.clear()
+}
+
+// count returns the number of processes holding a cached copy. Like the
+// other accessors it requires external serialization against mutators.
+func (c *cacheSet) count() int {
+	if c.spill == nil {
+		return bits.OnesCount64(c.inline.Load())
+	}
+	return c.spill.count()
 }

@@ -49,6 +49,21 @@ type Explorer struct {
 	// has to build its state from scratch; it must not write shared
 	// test state outside its own run).
 	Workers int
+	// Monitor, when non-nil, receives live progress counts so a driver
+	// can report throughput while a long exploration runs.
+	Monitor *Monitor
+}
+
+// Monitor exposes an exploration's progress counters for concurrent
+// readers (progress printers); the Explorer updates it after every replay.
+type Monitor struct {
+	explored atomic.Int64
+	pruned   atomic.Int64
+}
+
+// Counts returns the schedules explored and pruned so far.
+func (mn *Monitor) Counts() (explored, pruned int64) {
+	return mn.explored.Load(), mn.pruned.Load()
 }
 
 // Result summarizes an exploration.
@@ -60,6 +75,19 @@ type Result struct {
 	// Exhausted reports whether the whole (length-bounded) choice tree was
 	// covered; false when MaxSchedules stopped the search early.
 	Exhausted bool
+	// Depths is the schedule-length histogram: Depths[d] counts replays
+	// whose choice sequence had length d (pruned replays count at the
+	// step bound they were cut at). Like Explored/Pruned it is
+	// deterministic for uncapped runs at any worker count.
+	Depths []int64
+}
+
+// noteDepth bumps the length-d bucket, growing the histogram as needed.
+func noteDepth(depths *[]int64, d int) {
+	for len(*depths) <= d {
+		*depths = append(*depths, 0)
+	}
+	(*depths)[d]++
 }
 
 // ErrExplore wraps a property violation with the schedule that produced
@@ -76,6 +104,27 @@ func (e *ErrExplore) Error() string {
 
 // Unwrap exposes the underlying property violation.
 func (e *ErrExplore) Unwrap() error { return e.Err }
+
+// ReplayPick returns a PickFunc that follows the choice indices of a
+// schedule reported by ErrExplore, taking the first alternative once the
+// schedule is exhausted. It reproduces a violating run outside the Explorer
+// — for example with a tracer installed to capture the events leading up to
+// the violation. It panics if a choice index exceeds the branching width,
+// which can only happen when the body is nondeterministic or differs from
+// the one explored.
+func ReplayPick(schedule []int) PickFunc {
+	return func(step int, waiting []int) int {
+		choice := 0
+		if step < len(schedule) {
+			choice = schedule[step]
+		}
+		if choice >= len(waiting) {
+			panic(fmt.Sprintf("rmr: replay schedule invalid at step %d (choice %d of %d): nondeterministic body?",
+				step, choice, len(waiting)))
+		}
+		return choice
+	}
+}
 
 // Body is one deterministic run under exploration: it must construct its
 // state from scratch, gate its Memory with s, launch its processes with
@@ -108,13 +157,23 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 	for {
 		runErr := rp.run(prefix, body, maxSteps)
 		rec := &rp.rec
+		noteDepth(&res.Depths, len(rec.taken))
 		switch {
 		case runErr == nil:
 			res.Explored++
+			if mn := e.Monitor; mn != nil {
+				mn.explored.Add(1)
+			}
 		case errors.Is(runErr, ErrStepLimit):
 			res.Pruned++
+			if mn := e.Monitor; mn != nil {
+				mn.pruned.Add(1)
+			}
 		default:
 			res.Explored++
+			if mn := e.Monitor; mn != nil {
+				mn.explored.Add(1)
+			}
 			return res, &ErrExplore{Schedule: append([]int(nil), rec.taken...), Err: runErr}
 		}
 		if e.MaxSchedules > 0 && res.Explored+res.Pruned >= e.MaxSchedules {
@@ -152,6 +211,7 @@ func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int) (Result, err
 	st := &parState{
 		maxSchedules: e.MaxSchedules,
 		workers:      e.Workers,
+		mon:          e.Monitor,
 		stack:        [][]int{nil}, // the root subtree: no forced choices
 	}
 	st.work = sync.NewCond(&st.mu)
@@ -162,12 +222,20 @@ func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int) (Result, err
 			defer wg.Done()
 			rp := newReplayer(nprocs, maxSteps)
 			defer rp.close()
-			st.worker(rp, body, maxSteps)
+			depths := st.worker(rp, body, maxSteps)
+			st.mu.Lock()
+			for d, n := range depths {
+				for len(st.depths) <= d {
+					st.depths = append(st.depths, 0)
+				}
+				st.depths[d] += n
+			}
+			st.mu.Unlock()
 		}()
 	}
 	wg.Wait()
 
-	res := Result{Explored: int(st.explored.Load()), Pruned: int(st.pruned.Load())}
+	res := Result{Explored: int(st.explored.Load()), Pruned: int(st.pruned.Load()), Depths: st.depths}
 	if b := st.best.Load(); b != nil {
 		return res, b
 	}
@@ -181,6 +249,7 @@ func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int) (Result, err
 type parState struct {
 	maxSchedules int
 	workers      int
+	mon          *Monitor
 
 	explored atomic.Int64
 	pruned   atomic.Int64
@@ -192,13 +261,14 @@ type parState struct {
 	stack  [][]int      // shared pool of pending subtree roots
 	idle   int          // workers parked in steal
 	hungry atomic.Int32 // mirrors idle, read lock-free by producers
+	depths []int64      // merged per-worker depth histograms
 }
 
 // worker is one exploration loop: pop a task (locally when possible),
 // replay it, account for it, and push the sibling subtrees branching off
 // the replayed schedule. Siblings are pushed deepest-last so the local
 // LIFO pop order matches the sequential DFS and stays depth-bounded.
-func (st *parState) worker(rp *replayer, body Body, maxSteps int) {
+func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 	// Task slices are carved with a fixed capacity and recycled through a
 	// worker-local freelist once consumed, so steady-state sibling pushes
 	// allocate nothing. Ownership is transferred by the pop: a donated
@@ -208,9 +278,10 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) {
 		hint = 4096
 	}
 	var local, free [][]int
+	var depths []int64
 	for {
 		if st.capped.Load() {
-			return
+			return depths
 		}
 		var task []int
 		ok := false
@@ -231,27 +302,37 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) {
 		}
 		if !ok {
 			if task, ok = st.steal(); !ok {
-				return
+				return depths
 			}
 		}
 
 		runErr := rp.run(task, body, maxSteps)
 		rec := &rp.rec
+		noteDepth(&depths, len(rec.taken))
 		violation := false
 		switch {
 		case runErr == nil:
 			st.explored.Add(1)
+			if st.mon != nil {
+				st.mon.explored.Add(1)
+			}
 		case errors.Is(runErr, ErrStepLimit):
 			st.pruned.Add(1)
+			if st.mon != nil {
+				st.mon.pruned.Add(1)
+			}
 		default:
 			st.explored.Add(1)
+			if st.mon != nil {
+				st.mon.explored.Add(1)
+			}
 			violation = true
 			st.noteViolation(rec.taken, runErr)
 		}
 		if st.maxSchedules > 0 && st.explored.Load()+st.pruned.Load() >= int64(st.maxSchedules) {
 			st.capped.Store(true)
 			st.wakeAll()
-			return
+			return depths
 		}
 		if !violation {
 			// Sibling subtrees of a violating schedule compare greater

@@ -1,0 +1,149 @@
+package rmr
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// exported event formats. Both exporters take the label table (Memory.Labels)
+// so that events carry resolved label names rather than bare ids.
+
+func labelName(labels []string, id int32) string {
+	if id <= 0 || int(id) >= len(labels) {
+		return ""
+	}
+	return labels[id]
+}
+
+// jsonlEvent is the JSONL export schema: one object per line, stable field
+// names, phase and label resolved to strings.
+type jsonlEvent struct {
+	Time  int64  `json:"t"`
+	Proc  int    `json:"proc"`
+	Op    string `json:"op"`
+	Addr  int32  `json:"addr"`
+	Old   uint64 `json:"old"`
+	New   uint64 `json:"new"`
+	OK    bool   `json:"ok"`
+	RMR   bool   `json:"rmr"`
+	Phase string `json:"phase,omitempty"`
+	Label string `json:"label,omitempty"`
+}
+
+// WriteJSONL writes events as JSON Lines: one self-describing object per
+// event, suitable for jq/pandas-style offline analysis. OpPhase events
+// carry the previous and new phase in old/new and the new phase name in
+// the phase field.
+func WriteJSONL(w io.Writer, events []Event, labels []string) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		je := jsonlEvent{
+			Time: ev.Time, Proc: ev.Proc, Op: ev.Op.String(), Addr: int32(ev.Addr),
+			Old: ev.Old, New: ev.New, OK: ev.OK, RMR: ev.RMR,
+			Phase: ev.Phase.String(), Label: labelName(labels, ev.Label),
+		}
+		if ev.Phase == PhaseIdle {
+			je.Phase = ""
+		}
+		if ev.Op == OpPhase {
+			je.Phase = Phase(ev.New).String()
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Object
+// Format"), loadable by Perfetto and chrome://tracing. Only the fields the
+// exporter uses are declared.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes events in the Chrome trace-event JSON format:
+// each process is a thread (tid) of one synthetic pid, passage phases
+// become complete ("X") spans named after the phase, and every memory
+// operation becomes a unit-duration span nested inside its phase, with
+// address, values, RMR charge, and label in args. Timestamps are the
+// events' logical Times (the viewer's microseconds are simulation steps).
+// Load the output at https://ui.perfetto.dev or chrome://tracing.
+func WriteChromeTrace(w io.Writer, events []Event, labels []string) error {
+	type open struct {
+		phase Phase
+		since int64
+	}
+	spans := map[int]open{}
+	procs := map[int]bool{}
+	var out []chromeEvent
+	var last int64
+	for _, ev := range events {
+		if ev.Time > last {
+			last = ev.Time
+		}
+		procs[ev.Proc] = true
+		if ev.Op == OpPhase {
+			if o, ok := spans[ev.Proc]; ok && o.phase != PhaseIdle {
+				out = append(out, chromeEvent{
+					Name: o.phase.String(), Cat: "phase", Ph: "X",
+					TS: o.since, Dur: ev.Time - o.since, PID: 0, TID: ev.Proc,
+				})
+			}
+			spans[ev.Proc] = open{phase: Phase(ev.New), since: ev.Time}
+			continue
+		}
+		name := ev.Op.String()
+		if l := labelName(labels, ev.Label); l != "" {
+			name += " " + l
+		}
+		args := map[string]any{
+			"addr": int32(ev.Addr), "old": ev.Old, "new": ev.New, "rmr": ev.RMR,
+		}
+		if !ev.OK {
+			args["failed"] = true
+		}
+		out = append(out, chromeEvent{
+			Name: name, Cat: "op", Ph: "X",
+			TS: ev.Time, Dur: 1, PID: 0, TID: ev.Proc, Args: args,
+		})
+	}
+	// Close spans still open at the end of the trace, then name the
+	// threads after the simulated processes — both in proc order so the
+	// output is deterministic.
+	ids := make([]int, 0, len(procs))
+	for proc := range procs {
+		ids = append(ids, proc)
+	}
+	sort.Ints(ids)
+	for _, proc := range ids {
+		if o, ok := spans[proc]; ok && o.phase != PhaseIdle {
+			out = append(out, chromeEvent{
+				Name: o.phase.String(), Cat: "phase", Ph: "X",
+				TS: o.since, Dur: last + 1 - o.since, PID: 0, TID: proc,
+			})
+		}
+	}
+	for _, proc := range ids {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: proc,
+			Args: map[string]any{"name": "proc " + strconv.Itoa(proc)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -365,6 +365,18 @@ func (s *Scheduler) reset() {
 	}
 }
 
+// active reports whether a schedule is in progress: Run has been called,
+// live processes remain, and the gate has not been drained open. Memory
+// uses it to reject gate or observer swaps that would race the step token.
+func (s *Scheduler) active() bool {
+	if s.open.Load() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.started && s.live > 0
+}
+
 // Steps returns a logical clock: the number of shared-memory steps granted
 // so far. Processes may read it between their own operations to timestamp
 // events for ordering assertions (the value is monotonic, and a value read

@@ -56,8 +56,9 @@ type word struct {
 	mu     sync.Mutex
 	seq    atomic.Uint32 // odd while an update is in flight
 	val    atomic.Uint64
-	cached cacheSet // CC: set of processes holding a valid cached copy
-	owner  int32    // DSM: process the word is local to, or NoOwner
+	cached cacheSet     // CC: set of processes holding a valid cached copy
+	owner  int32        // DSM: process the word is local to, or NoOwner
+	label  atomic.Int32 // label id for RMR attribution, 0 = unlabeled
 }
 
 // claim acquires the word's seqlock for mutation, leaving seq odd. Paired
@@ -115,12 +116,19 @@ type Memory struct {
 	sched  *Scheduler // gate when it is a Scheduler; enables lock elision
 	wide   bool       // nprocs > 64: cached sets spill to heap bitsets
 
-	mu   sync.Mutex                      // serializes allocation only
-	segs [numSegs]atomic.Pointer[[]word] // append-only word segments
-	size atomic.Int64                    // published number of allocated words
+	mu       sync.Mutex                      // serializes allocation, labels, observer install
+	segs     [numSegs]atomic.Pointer[[]word] // append-only word segments
+	size     atomic.Int64                    // published number of allocated words
+	labels   []string                        // label id → name; labels[0] = "" (unlabeled)
+	labelIDs map[string]int32                // label name → id
 
-	procs  []Proc
-	tracer Tracer
+	procs []Proc
+
+	// obs is nil unless a tracer or a Stats collector is installed; the
+	// operation fast paths check only this pointer. clock timestamps
+	// observed events.
+	obs   atomic.Pointer[observer]
+	clock atomic.Int64
 }
 
 // NewMemory creates a memory for nprocs processes under the given model.
@@ -133,10 +141,12 @@ func NewMemory(model Model, nprocs int, gate Gate) *Memory {
 		panic(fmt.Sprintf("rmr: invalid process count %d", nprocs))
 	}
 	m := &Memory{
-		model:  model,
-		nprocs: nprocs,
-		wide:   nprocs > 64,
-		procs:  make([]Proc, nprocs),
+		model:    model,
+		nprocs:   nprocs,
+		wide:     nprocs > 64,
+		procs:    make([]Proc, nprocs),
+		labels:   []string{""},
+		labelIDs: map[string]int32{"": 0},
 	}
 	m.SetGate(gate)
 	for i := range m.procs {
@@ -152,8 +162,15 @@ func (m *Memory) Model() Model { return m.model }
 // SetGate installs (or removes, with nil) the schedule gate. It is intended
 // for test setup: perform initialization ungated, then attach the scheduler
 // before launching the concurrent phase. It must not be called while any
-// process is issuing operations.
+// process is issuing operations; as a guard against the most damaging form
+// of that misuse — swapping gates while the current scheduler is
+// mid-schedule, which silently invalidates the step-token exclusivity the
+// lock-elision paths rely on — SetGate panics when the installed gate is a
+// Scheduler with an undrained schedule in progress.
 func (m *Memory) SetGate(g Gate) {
+	if s := m.sched; s != nil && s.active() {
+		panic("rmr: SetGate while the current scheduler is mid-schedule")
+	}
 	m.gate = g
 	m.sched, _ = g.(*Scheduler)
 }
@@ -234,6 +251,54 @@ func (m *Memory) AllocNLocal(owner, n int, init uint64) Addr {
 // space-complexity measurement used by the Table 1 space experiment.
 func (m *Memory) Size() int {
 	return int(m.size.Load())
+}
+
+// Label attributes the n consecutive words starting at base to the named
+// region (e.g. "tree/level2", "mcs/qnode"): trace events and Stats charge
+// the words' RMRs to that label. n == 0 registers the name without labeling
+// anything, which lets a structure pre-intern labels for words it will only
+// allocate mid-run (so a Stats collector created before the run still has
+// a column for them). Label the words right after allocating them, before
+// they are shared; relabeling a word that other processes are operating on
+// is atomic per word but attributes in-flight events arbitrarily.
+func (m *Memory) Label(base Addr, n int, name string) {
+	id := m.LabelID(name)
+	for i := 0; i < n; i++ {
+		m.word(base + Addr(i)).label.Store(id)
+	}
+}
+
+// LabelID interns name and returns its label id (stable for the lifetime
+// of the memory, assigned in first-use order starting at 1; "" is 0).
+func (m *Memory) LabelID(name string) int32 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id, ok := m.labelIDs[name]; ok {
+		return id
+	}
+	id := int32(len(m.labels))
+	m.labels = append(m.labels, name)
+	m.labelIDs[name] = id
+	return id
+}
+
+// LabelName resolves a label id from an Event or a Stats snapshot; unknown
+// ids and 0 resolve to "".
+func (m *Memory) LabelName(id int32) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || int(id) >= len(m.labels) {
+		return ""
+	}
+	return m.labels[id]
+}
+
+// Labels returns a copy of the label table, indexed by label id; index 0 is
+// the unlabeled region "".
+func (m *Memory) Labels() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.labels...)
 }
 
 // Peek returns the current value of a word without charging an RMR and

@@ -12,9 +12,9 @@ import (
 // single thread of control); distinct Procs may run concurrently.
 //
 // The operation methods perform no heap allocation in steady state: trace
-// events are only materialized when a tracer is installed, which keeps the
-// simulation hot path allocation- and contention-free (asserted by
-// TestOperationsDoNotAllocate).
+// events are only materialized when an observer (tracer or Stats) is
+// installed, which keeps the simulation hot path allocation- and
+// contention-free (asserted by TestOperationsDoNotAllocate).
 type Proc struct {
 	m  *Memory
 	id int
@@ -23,6 +23,11 @@ type Proc struct {
 	steps atomic.Int64 // total shared-memory operations issued
 
 	abort atomic.Bool // external abort signal (§2: delivered from outside)
+
+	// phase is the passage phase declared via EnterPhase. Only the owning
+	// goroutine writes it; observers read it while holding the word lock
+	// of an operation the owner itself issued, so a plain field suffices.
+	phase Phase
 }
 
 // ID returns the process identifier, in [0, Memory.NumProcs()).
@@ -50,6 +55,41 @@ func (p *Proc) ClearAbort() { p.abort.Store(false) }
 // the signal is not a shared-memory operation and incurs no RMR (the paper
 // models it as an external event, not a shared variable).
 func (p *Proc) AbortSignal() bool { return p.abort.Load() }
+
+// EnterPhase declares that the process is now in the given passage phase.
+// Locks call it at their phase boundaries (doorway entry, the start of the
+// waiting loop, critical-section entry, exit protocol, abort path, and
+// PhaseIdle when the passage is over); subsequent operations are attributed
+// to the phase in trace events and Stats. Entering the current phase again
+// is a no-op. EnterPhase is not a shared-memory operation: it incurs no
+// RMR, takes no schedule step, and — with no observer installed — performs
+// a single plain store, so instrumented locks explore the exact same
+// schedule tree and report the exact same RMR counts as uninstrumented
+// ones.
+func (p *Proc) EnterPhase(ph Phase) {
+	old := p.phase
+	if ph == old {
+		return
+	}
+	p.phase = ph
+	o := p.m.obs.Load()
+	if o == nil {
+		return
+	}
+	if o.stats != nil {
+		o.stats.phaseChange(p, old, ph)
+	}
+	if o.tracer != nil {
+		o.tracer(Event{
+			Proc: p.id, Op: OpPhase, Addr: -1,
+			Old: uint64(old), New: uint64(ph), OK: true,
+			Time: p.m.clock.Add(1), Phase: ph,
+		})
+	}
+}
+
+// Phase returns the passage phase last declared with EnterPhase.
+func (p *Proc) Phase() Phase { return p.phase }
 
 // step performs gate arbitration and operation counting common to every
 // shared-memory operation. The Scheduler gate is called directly rather
@@ -109,7 +149,8 @@ func (p *Proc) Read(a Addr) uint64 {
 	p.step()
 	m := p.m
 	w := m.word(a)
-	if m.tracer == nil {
+	o := m.obs.Load()
+	if o == nil {
 		if m.exclusive() {
 			p.chargeRead(w)
 			return w.val.Load()
@@ -145,10 +186,14 @@ func (p *Proc) Read(a Addr) uint64 {
 		}
 	}
 	w.mu.Lock()
+	var hit bool
+	if o != nil {
+		hit, _ = p.cacheState(w, false)
+	}
 	rmr := p.chargeRead(w)
 	v := w.val.Load()
-	if m.tracer != nil {
-		m.trace(Event{Proc: p.id, Op: OpRead, Addr: a, Old: v, New: v, OK: true, RMR: rmr})
+	if o != nil {
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpRead, Addr: a, Old: v, New: v, OK: true, RMR: rmr}, hit, 0)
 	}
 	w.mu.Unlock()
 	return v
@@ -159,7 +204,8 @@ func (p *Proc) Write(a Addr, v uint64) {
 	p.step()
 	m := p.m
 	w := m.word(a)
-	if m.tracer == nil {
+	o := m.obs.Load()
+	if o == nil {
 		if m.exclusive() {
 			p.chargeUpdate(w)
 			w.val.Store(v)
@@ -181,13 +227,18 @@ func (p *Proc) Write(a Addr, v uint64) {
 		}
 	}
 	w.mu.Lock()
+	var hit bool
+	var invals int
+	if o != nil {
+		hit, invals = p.cacheState(w, true)
+	}
 	w.seq.Add(1)
 	rmr := p.chargeUpdate(w)
 	old := w.val.Load()
 	w.val.Store(v)
 	w.seq.Add(1)
-	if m.tracer != nil {
-		m.trace(Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+	if o != nil {
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr}, hit, invals)
 	}
 	w.mu.Unlock()
 }
@@ -200,7 +251,8 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 	p.step()
 	m := p.m
 	w := m.word(a)
-	if m.tracer == nil {
+	o := m.obs.Load()
+	if o == nil {
 		if m.exclusive() {
 			p.chargeUpdate(w)
 			if w.val.Load() != old {
@@ -227,16 +279,21 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 		}
 	}
 	w.mu.Lock()
+	var hit bool
+	var invals int
+	if o != nil {
+		hit, invals = p.cacheState(w, true)
+	}
 	w.seq.Add(1)
 	rmr := p.chargeUpdate(w)
 	ok := w.val.CompareAndSwap(old, new)
 	w.seq.Add(1)
-	if m.tracer != nil {
+	if o != nil {
 		if ok {
-			m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: old, New: new, OK: true, RMR: rmr})
+			m.observe(o, p, w, Event{Proc: p.id, Op: OpCAS, Addr: a, Old: old, New: new, OK: true, RMR: rmr}, hit, invals)
 		} else {
 			cur := w.val.Load()
-			m.trace(Event{Proc: p.id, Op: OpCAS, Addr: a, Old: cur, New: cur, OK: false, RMR: rmr})
+			m.observe(o, p, w, Event{Proc: p.id, Op: OpCAS, Addr: a, Old: cur, New: cur, OK: false, RMR: rmr}, hit, invals)
 		}
 	}
 	w.mu.Unlock()
@@ -249,7 +306,8 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 	p.step()
 	m := p.m
 	w := m.word(a)
-	if m.tracer == nil {
+	o := m.obs.Load()
+	if o == nil {
 		if m.exclusive() {
 			p.chargeUpdate(w)
 			old := w.val.Load()
@@ -272,13 +330,18 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 		}
 	}
 	w.mu.Lock()
+	var hit bool
+	var invals int
+	if o != nil {
+		hit, invals = p.cacheState(w, true)
+	}
 	w.seq.Add(1)
 	rmr := p.chargeUpdate(w)
 	old := w.val.Load()
 	w.val.Store(old + delta)
 	w.seq.Add(1)
-	if m.tracer != nil {
-		m.trace(Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: old + delta, OK: true, RMR: rmr})
+	if o != nil {
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: old + delta, OK: true, RMR: rmr}, hit, invals)
 	}
 	w.mu.Unlock()
 	return old
@@ -291,7 +354,8 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 	p.step()
 	m := p.m
 	w := m.word(a)
-	if m.tracer == nil {
+	o := m.obs.Load()
+	if o == nil {
 		if m.exclusive() {
 			p.chargeUpdate(w)
 			old := w.val.Load()
@@ -314,13 +378,18 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 		}
 	}
 	w.mu.Lock()
+	var hit bool
+	var invals int
+	if o != nil {
+		hit, invals = p.cacheState(w, true)
+	}
 	w.seq.Add(1)
 	rmr := p.chargeUpdate(w)
 	old := w.val.Load()
 	w.val.Store(v)
 	w.seq.Add(1)
-	if m.tracer != nil {
-		m.trace(Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr})
+	if o != nil {
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr}, hit, invals)
 	}
 	w.mu.Unlock()
 	return old

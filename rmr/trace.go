@@ -12,6 +12,10 @@ const (
 	OpCAS
 	OpFAA
 	OpSwap
+	// OpPhase marks a passage-phase transition (Proc.EnterPhase), not a
+	// shared-memory operation: Old and New carry the previous and the new
+	// Phase, Addr is -1, and no RMR is charged. CheckTrace skips it.
+	OpPhase
 )
 
 // String returns the operation mnemonic.
@@ -27,8 +31,50 @@ func (o Op) String() string {
 		return "faa"
 	case OpSwap:
 		return "swap"
+	case OpPhase:
+		return "phase"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Phase classifies where in a lock passage a process currently is. Locks
+// declare their position with Proc.EnterPhase so that traces and Stats can
+// attribute RMRs to the doorway, the waiting room, the critical section,
+// the exit protocol, or the abort path. PhaseIdle (the zero value) means
+// "not in a passage".
+type Phase int32
+
+// Passage phases, in the order a normal passage visits them.
+const (
+	PhaseIdle Phase = iota
+	PhaseDoorway
+	PhaseWaiting
+	PhaseCS
+	PhaseExit
+	PhaseAbort
+
+	// NumPhases is the number of distinct Phase values.
+	NumPhases = 6
+)
+
+// String returns the phase name.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseIdle:
+		return "idle"
+	case PhaseDoorway:
+		return "doorway"
+	case PhaseWaiting:
+		return "waiting"
+	case PhaseCS:
+		return "cs"
+	case PhaseExit:
+		return "exit"
+	case PhaseAbort:
+		return "abort"
+	default:
+		return fmt.Sprintf("Phase(%d)", int32(ph))
 	}
 }
 
@@ -42,12 +88,42 @@ type Event struct {
 	Op   Op
 	Addr Addr
 	// Old and New are the word's value before and after the operation
-	// (equal for reads and failed CASes).
+	// (equal for reads and failed CASes). For OpPhase they carry the
+	// previous and the new Phase.
 	Old, New uint64
 	// OK is false only for a failed CAS.
 	OK bool
 	// RMR reports whether the operation was charged as remote.
 	RMR bool
+	// Time is a global logical timestamp: each observed event increments
+	// the memory's event clock. Timestamps of events on the same word are
+	// strictly increasing; across words they form a total order consistent
+	// with each word's linearization.
+	Time int64
+	// Phase is the issuing process's passage phase at the operation.
+	Phase Phase
+	// Label is the label id of the addressed word (see Memory.Label);
+	// 0 means unlabeled. Resolve names with Memory.LabelName.
+	Label int32
+}
+
+// String formats the event on one line, e.g.
+//
+//	"[   12] p3  faa   @7    5 → 6 (rmr, doorway)".
+func (ev Event) String() string {
+	rmr := ""
+	if ev.RMR {
+		rmr = "rmr, "
+	}
+	if ev.Op == OpPhase {
+		return fmt.Sprintf("[%5d] p%-2d phase %v → %v", ev.Time, ev.Proc, Phase(ev.Old), Phase(ev.New))
+	}
+	fail := ""
+	if !ev.OK {
+		fail = " (failed)"
+	}
+	return fmt.Sprintf("[%5d] p%-2d %-5s @%-4d %d → %d%s (%s%v)",
+		ev.Time, ev.Proc, ev.Op, ev.Addr, ev.Old, ev.New, fail, rmr, ev.Phase)
 }
 
 // Tracer consumes events. Implementations must not operate on the traced
@@ -55,28 +131,98 @@ type Event struct {
 // fast; tracing is a debugging/verification facility, not a hot path.
 type Tracer func(Event)
 
-// SetTracer installs (or removes, with nil) a tracer. Like SetGate it must
-// not be called while processes are issuing operations.
-func (m *Memory) SetTracer(t Tracer) { m.tracer = t }
+// observer bundles everything the operation slow path consults: the
+// installed tracer and/or stats collector. A single atomic pointer on the
+// Memory is nil when neither is installed, so the untraced hot path pays
+// one pointer load per operation and allocates nothing.
+type observer struct {
+	tracer Tracer
+	stats  *Stats
+}
 
-// trace emits an event. The operation path only constructs an Event — and
-// only calls trace — when a tracer is installed, so the untraced hot path
-// pays a single nil check per operation and allocates nothing. Called with
-// the word lock held, so events are in linearization order per word and
-// globally consistent with the values recorded.
-func (m *Memory) trace(ev Event) {
-	if m.tracer != nil {
-		m.tracer(ev)
+// SetTracer installs (or removes, with nil) a tracer. The installation
+// itself is atomic — a concurrent operation observes either the old or the
+// new observer, never a torn mix — but events in flight on other processes
+// may still reach the old tracer; install tracers before launching the
+// concurrent phase when a complete trace is required. SetTracer panics if
+// the memory is gated by a scheduler that is mid-schedule, since a trace
+// that starts at an uncontrolled point cannot be replayed.
+func (m *Memory) SetTracer(t Tracer) {
+	m.install(func(o *observer) { o.tracer = t })
+}
+
+// SetStats installs (or removes, with nil) a Stats collector, with the same
+// atomicity and mid-schedule restrictions as SetTracer. The collector must
+// have been built for this memory by NewStats.
+func (m *Memory) SetStats(st *Stats) {
+	if st != nil && st.m != m {
+		panic("rmr: SetStats with a Stats built for a different Memory")
 	}
+	m.install(func(o *observer) { o.stats = st })
+}
+
+// install atomically swaps in a new observer derived from the current one.
+func (m *Memory) install(mut func(o *observer)) {
+	if s := m.sched; s != nil && s.active() {
+		panic("rmr: observer installed mid-schedule (install tracers and stats before Scheduler.Run)")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var o observer
+	if old := m.obs.Load(); old != nil {
+		o = *old
+	}
+	mut(&o)
+	if o.tracer == nil && o.stats == nil {
+		m.obs.Store(nil)
+		return
+	}
+	m.obs.Store(&o)
+}
+
+// observe timestamps, attributes, and dispatches an operation event. Called
+// with the word lock held, so events are in linearization order per word
+// and globally consistent with the values recorded.
+func (m *Memory) observe(o *observer, p *Proc, w *word, ev Event, hit bool, invals int) {
+	ev.Time = m.clock.Add(1)
+	ev.Phase = p.phase
+	ev.Label = w.label.Load()
+	if o.stats != nil {
+		o.stats.record(ev.Proc, ev.Phase, ev.Label, ev.Op, ev.RMR, hit, invals)
+	}
+	if o.tracer != nil {
+		o.tracer(ev)
+	}
+}
+
+// cacheState reports observability detail about the addressed word from the
+// issuing process's viewpoint, before coherence state is mutated: whether
+// the access hits (CC: a valid cached copy; DSM: the word is local) and,
+// for updates under CC, how many other processes' copies it invalidates.
+func (p *Proc) cacheState(w *word, update bool) (hit bool, invals int) {
+	switch p.m.model {
+	case CC:
+		hit = w.cached.has(p.id)
+		if update {
+			invals = w.cached.count()
+			if hit {
+				invals--
+			}
+		}
+	case DSM:
+		hit = int(w.owner) == p.id
+	}
+	return hit, invals
 }
 
 // CheckTrace validates the internal consistency of a totally-ordered event
 // sequence (as recorded under a gated memory): per address, each event's
 // Old value must equal the previous event's New value, failed CASes must
 // not change the value, and successful operations must transform it as
-// their kind dictates. It is a self-check of the simulator and of
-// hand-built schedules; inits supplies the initial value of any address
-// whose first event should be checked against it.
+// their kind dictates. OpPhase events are skipped: they mark passage-phase
+// transitions, not memory operations. It is a self-check of the simulator
+// and of hand-built schedules; inits supplies the initial value of any
+// address whose first event should be checked against it.
 func CheckTrace(events []Event, inits map[Addr]uint64) error {
 	last := make(map[Addr]uint64, len(inits))
 	have := make(map[Addr]bool, len(inits))
@@ -84,6 +230,9 @@ func CheckTrace(events []Event, inits map[Addr]uint64) error {
 		last[a], have[a] = v, true
 	}
 	for i, ev := range events {
+		if ev.Op == OpPhase {
+			continue
+		}
 		if have[ev.Addr] && ev.Old != last[ev.Addr] {
 			return fmt.Errorf("event %d (%s on %d by proc %d): Old=%d but previous New=%d",
 				i, ev.Op, ev.Addr, ev.Proc, ev.Old, last[ev.Addr])

@@ -33,13 +33,16 @@ func TestTraceRecordsOperations(t *testing.T) {
 	}
 	p.CAS(a, 99, 0) // fails
 
+	// Sequential operations get consecutive timestamps starting at 1, and
+	// with no EnterPhase call every event is attributed to PhaseIdle and
+	// the unlabeled region.
 	want := []Event{
-		{Proc: 0, Op: OpRead, Addr: a, Old: 10, New: 10, OK: true, RMR: true},
-		{Proc: 0, Op: OpWrite, Addr: a, Old: 10, New: 20, OK: true, RMR: true},
-		{Proc: 0, Op: OpFAA, Addr: a, Old: 20, New: 25, OK: true, RMR: true},
-		{Proc: 0, Op: OpSwap, Addr: a, Old: 25, New: 1, OK: true, RMR: true},
-		{Proc: 0, Op: OpCAS, Addr: a, Old: 1, New: 2, OK: true, RMR: true},
-		{Proc: 0, Op: OpCAS, Addr: a, Old: 2, New: 2, OK: false, RMR: true},
+		{Proc: 0, Op: OpRead, Addr: a, Old: 10, New: 10, OK: true, RMR: true, Time: 1},
+		{Proc: 0, Op: OpWrite, Addr: a, Old: 10, New: 20, OK: true, RMR: true, Time: 2},
+		{Proc: 0, Op: OpFAA, Addr: a, Old: 20, New: 25, OK: true, RMR: true, Time: 3},
+		{Proc: 0, Op: OpSwap, Addr: a, Old: 25, New: 1, OK: true, RMR: true, Time: 4},
+		{Proc: 0, Op: OpCAS, Addr: a, Old: 1, New: 2, OK: true, RMR: true, Time: 5},
+		{Proc: 0, Op: OpCAS, Addr: a, Old: 2, New: 2, OK: false, RMR: true, Time: 6},
 	}
 	if len(c.events) != len(want) {
 		t.Fatalf("recorded %d events, want %d", len(c.events), len(want))
