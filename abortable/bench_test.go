@@ -1,9 +1,10 @@
 package abortable
 
 // Experiment E12: wall-clock throughput of the native lock against
-// sync.Mutex, MCS, and a test-and-set spin lock. These benches measure the
-// Go library deliverable on real hardware, complementing the RMR-model
-// benches at the repository root.
+// sync.Mutex and a test-and-set spin lock. These benches measure the Go
+// library deliverable on real hardware, complementing the RMR-model benches
+// at the repository root. (The MCS anchor lives in the simulator, under
+// locks/mcs, and is benchmarked by experiment E11.)
 
 import (
 	"context"
@@ -47,16 +48,6 @@ func BenchmarkSyncMutexUncontended(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		mu.Lock()
 		mu.Unlock() //nolint:staticcheck // benchmark measures the pair
-	}
-}
-
-func BenchmarkMCSUncontended(b *testing.B) {
-	var l MCS
-	h := l.NewHandle()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		h.Enter()
-		h.Exit()
 	}
 }
 
@@ -112,17 +103,6 @@ func BenchmarkSyncMutexContended(b *testing.B) {
 		return func() {
 			mu.Lock()
 			mu.Unlock() //nolint:staticcheck
-		}
-	})
-}
-
-func BenchmarkMCSContended(b *testing.B) {
-	var l MCS
-	contended(b, func(int) func() {
-		h := l.NewHandle()
-		return func() {
-			h.Enter()
-			h.Exit()
 		}
 	})
 }

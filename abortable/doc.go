@@ -45,6 +45,7 @@
 // timeout — via h.Abort(), which makes the pending (or next) Enter return
 // false in a bounded number of steps.
 //
-// The package also ships reference locks used by the benchmark suite: MCS
-// (non-abortable queue lock) and SpinTry (test-and-test-and-set).
+// The package also ships SpinTry, the test-and-test-and-set reference lock
+// its benchmark suite compares against. (The MCS queue-lock anchor lives in
+// the simulator, as the registered "mcs" lock under locks/mcs.)
 package abortable

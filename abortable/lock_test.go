@@ -289,32 +289,6 @@ func TestInstanceSwitchReuse(t *testing.T) {
 	}
 }
 
-func TestMCS(t *testing.T) {
-	var l MCS
-	const goroutines, passages = 8, 400
-	var inCS, violations atomic.Int32
-	var wg sync.WaitGroup
-	for g := 0; g < goroutines; g++ {
-		h := l.NewHandle()
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := 0; i < passages; i++ {
-				h.Enter()
-				if inCS.Add(1) > 1 {
-					violations.Add(1)
-				}
-				inCS.Add(-1)
-				h.Exit()
-			}
-		}()
-	}
-	wg.Wait()
-	if v := violations.Load(); v != 0 {
-		t.Fatalf("%d mutual exclusion violations", v)
-	}
-}
-
 func TestSpinTry(t *testing.T) {
 	var l SpinTry
 	if !l.TryEnter() {

@@ -1,0 +1,39 @@
+package abortable
+
+import "sync/atomic"
+
+// SpinTry is a test-and-test-and-set spin lock with abortable acquisition:
+// the simplest abortable lock, unfair and RMR-unbounded under contention.
+// The zero value is ready to use.
+//
+// The MCS queue lock that once lived beside it moved to the simulator-side
+// locks/mcs package, the single MCS implementation in the repository; this
+// package keeps only the native-runtime locks its benchmarks compare.
+type SpinTry struct {
+	word atomic.Uint32
+}
+
+// Enter acquires the lock, returning false if abort() reports true first.
+// abort may be nil for an unbounded wait.
+func (l *SpinTry) Enter(abort func() bool) bool {
+	var spin spinner
+	for {
+		if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
+			return true
+		}
+		if abort != nil && abort() {
+			return false
+		}
+		spin.wait()
+	}
+}
+
+// TryEnter acquires the lock only if it is immediately free.
+func (l *SpinTry) TryEnter() bool {
+	return l.word.Load() == 0 && l.word.CompareAndSwap(0, 1)
+}
+
+// Exit releases the lock.
+func (l *SpinTry) Exit() {
+	l.word.Store(0)
+}

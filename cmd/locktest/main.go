@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	locktest [-algo paper] [-n 16] [-w 8] [-seeds 100] [-aborters 0] [-model cc]
+//	locktest [-lock paper] [-n 16] [-w 8] [-seeds 100] [-aborters 0] [-model cc]
+//
+// The lock is any name in the locks registry (-list-locks enumerates them;
+// -algo is a deprecated alias for -lock).
 //
 // With -exhaustive, -progress prints live explored/pruned schedule counts
 // and throughput to stderr, and the final report includes the depth
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"sublock/internal/harness"
+	"sublock/locks"
 	"sublock/rmr"
 )
 
@@ -36,7 +40,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("locktest", flag.ContinueOnError)
-	algo := fs.String("algo", "paper", "algorithm: paper, paper-plain, paper-longlived, paper-longlived-bounded, scott, tournament, linearscan, mcs, tas")
+	var lock string
+	fs.StringVar(&lock, "lock", "paper", "lock to test: any registered name (see -list-locks)")
+	fs.StringVar(&lock, "algo", "paper", "deprecated alias for -lock")
+	listLocks := fs.Bool("list-locks", false, "list the registered locks and exit")
 	n := fs.Int("n", 16, "number of processes")
 	w := fs.Int("w", 8, "tree arity for the paper's algorithms")
 	seeds := fs.Int("seeds", 100, "number of seeded schedules to explore")
@@ -52,22 +59,35 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *listLocks {
+		for _, info := range locks.Infos() {
+			fmt.Printf("  %-24s %s\n", info.Name, info.Summary)
+		}
+		return nil
+	}
+	info, ok := locks.Lookup(lock)
+	if !ok {
+		return &locks.ErrUnknown{Name: lock, Registered: locks.Names()}
+	}
 	mdl := rmr.CC
 	if *model == "dsm" {
 		mdl = rmr.DSM
 	} else if *model != "cc" {
 		return fmt.Errorf("unknown model %q", *model)
 	}
+	if mdl == rmr.DSM && info.CCOnly {
+		return fmt.Errorf("%s requires the CC memory model", lock)
+	}
 	if *aborters >= *n {
 		return fmt.Errorf("aborters (%d) must be < n (%d)", *aborters, *n)
 	}
-	if *aborters > 0 && !harness.Algo(*algo).Abortable() {
-		return fmt.Errorf("%s is not abortable", *algo)
+	if *aborters > 0 && !info.Abortable {
+		return fmt.Errorf("%s is not abortable", lock)
 	}
 
 	if *exhaustive {
 		return runExhaustive(exhaustiveConfig{
-			model: mdl, algo: harness.Algo(*algo), w: *w, n: *n, aborters: *aborters,
+			model: mdl, algo: harness.Algo(lock), w: *w, n: *n, aborters: *aborters,
 			maxSteps: *exhaustSteps, cap: *exhaustCap, workers: *workers,
 			progress: *progress, ringSize: *ringSize,
 		})
@@ -75,14 +95,14 @@ func run(args []string) error {
 
 	var totalEntered, totalAborted int
 	for seed := int64(0); seed < int64(*seeds); seed++ {
-		entered, aborted, err := explore(mdl, harness.Algo(*algo), *w, *n, *aborters, seed, *maxSteps)
+		entered, aborted, err := explore(mdl, harness.Algo(lock), *w, *n, *aborters, seed, *maxSteps)
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		totalEntered += entered
 		totalAborted += aborted
 	}
-	fmt.Printf("%s: %d seeds × %d processes (%d aborters): OK\n", *algo, *seeds, *n, *aborters)
+	fmt.Printf("%s: %d seeds × %d processes (%d aborters): OK\n", lock, *seeds, *n, *aborters)
 	fmt.Printf("  passages completed: %d, attempts aborted: %d\n", totalEntered, totalAborted)
 	fmt.Println("  mutual exclusion held in every explored schedule; every schedule terminated")
 	return nil

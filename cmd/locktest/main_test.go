@@ -1,10 +1,13 @@
 package main
 
 import (
+	"errors"
+	"sort"
 	"strings"
 	"testing"
 
 	"sublock/internal/harness"
+	"sublock/locks"
 	"sublock/rmr"
 )
 
@@ -29,6 +32,47 @@ func TestRunDSM(t *testing.T) {
 func TestRunLongLived(t *testing.T) {
 	if err := run([]string{"-algo", "paper-longlived-bounded", "-n", "6", "-seeds", "3"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunRejectsUnknownLock: -lock bogus must fail (the CLI exits non-zero
+// on any run error) with the registry's sorted name list in the message —
+// never a nil-factory panic.
+func TestRunRejectsUnknownLock(t *testing.T) {
+	err := run([]string{"-lock", "bogus"})
+	if err == nil {
+		t.Fatal("unknown lock accepted")
+	}
+	var eu *locks.ErrUnknown
+	if !errors.As(err, &eu) {
+		t.Fatalf("err = %T (%v), want *locks.ErrUnknown", err, err)
+	}
+	if !sort.StringsAreSorted(eu.Registered) {
+		t.Errorf("registered list not sorted: %v", eu.Registered)
+	}
+	for _, name := range locks.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered lock %q", err, name)
+		}
+	}
+}
+
+func TestRunLockFlag(t *testing.T) {
+	if err := run([]string{"-lock", "scott", "-n", "6", "-seeds", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunListLocks(t *testing.T) {
+	if err := run([]string{"-list-locks"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsDSMForCCOnlyLock(t *testing.T) {
+	err := run([]string{"-lock", "paper-longlived", "-model", "dsm", "-n", "4", "-seeds", "1"})
+	if err == nil || !strings.Contains(err.Error(), "CC memory model") {
+		t.Fatalf("err = %v, want CC-only error", err)
 	}
 }
 

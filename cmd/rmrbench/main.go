@@ -13,15 +13,23 @@
 // chart, -seed feeds the randomized workloads (e14), and -prom FILE
 // additionally writes a stats-instrumented abort storm's counters in the
 // Prometheus text exposition format.
+//
+// -matrix FILE writes a per-lock × per-model (CC/DSM) benchmark matrix as
+// JSON, iterating the locks registry instead of any hand-listed lock set
+// (-list-locks enumerates the registry). With -matrix and no experiment
+// arguments, only the matrix is produced; scripts/bench.sh embeds it in
+// BENCH_rmr.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"sublock/internal/harness"
+	"sublock/locks"
 	"sublock/rmr"
 )
 
@@ -134,8 +142,16 @@ func run(args []string) error {
 	chartCol := fs.Int("chart", 0, "also render the given column index as an ASCII bar chart")
 	seed := fs.Int64("seed", 42, "seed for the randomized workloads (e14)")
 	promFile := fs.String("prom", "", "also write abort-storm counters to `file` in Prometheus text format")
+	matrixFile := fs.String("matrix", "", "write the per-lock × per-model benchmark matrix to `file` as JSON")
+	listLocks := fs.Bool("list-locks", false, "list the registered locks and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *listLocks {
+		for _, info := range locks.Infos() {
+			fmt.Printf("  %-24s %s\n", info.Name, info.Summary)
+		}
+		return nil
 	}
 	exps := experiments(*seed)
 	if *list {
@@ -143,6 +159,15 @@ func run(args []string) error {
 			fmt.Printf("  %-4s %s\n", e.id, e.desc)
 		}
 		return nil
+	}
+	if *matrixFile != "" {
+		if err := writeMatrix(*matrixFile, *quick); err != nil {
+			return fmt.Errorf("matrix: %w", err)
+		}
+		// A matrix-only invocation skips the experiments.
+		if fs.NArg() == 0 && *promFile == "" {
+			return nil
+		}
 	}
 	known := map[string]bool{}
 	for _, e := range exps {
@@ -194,6 +219,74 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// matrixEntry is one (lock, model) cell of the benchmark matrix.
+type matrixEntry struct {
+	Lock  string `json:"lock"`
+	Model string `json:"model"`
+	// Queue drain (the Table 1 "No aborts" workload).
+	Procs       int     `json:"procs"`
+	PassageMax  int64   `json:"passage_rmrs_max"`
+	PassageMean float64 `json:"passage_rmrs_mean"`
+	Words       int     `json:"words"`
+	// Abort storm (the Table 1 "Worst-case" workload); omitted for
+	// non-abortable locks.
+	Aborters      int   `json:"aborters,omitempty"`
+	HolderPassage int64 `json:"storm_holder_rmrs,omitempty"`
+	WaiterPassage int64 `json:"storm_waiter_rmrs,omitempty"`
+	AbortedMax    int64 `json:"storm_aborted_rmrs_max,omitempty"`
+}
+
+// writeMatrix benchmarks every registered lock under every memory model it
+// supports — the registry replaces any hand-listed lock set — and writes
+// the result as JSON: {"locks": [entry, ...]} in registry (sorted) order.
+func writeMatrix(path string, quick bool) error {
+	nprocs, aborters := 64, 30
+	if quick {
+		nprocs, aborters = 16, 6
+	}
+	entries := []matrixEntry{}
+	for _, info := range locks.Infos() {
+		models := []rmr.Model{rmr.CC}
+		if !info.CCOnly {
+			models = append(models, rmr.DSM)
+		}
+		for _, model := range models {
+			algo := harness.Algo(info.Name)
+			queue, err := harness.QueueWorkloadModel(model, algo, harness.DefaultW, nprocs)
+			if err != nil {
+				return fmt.Errorf("%s/%s: queue: %w", info.Name, model, err)
+			}
+			e := matrixEntry{
+				Lock: info.Name, Model: strings.ToLower(model.String()), Procs: nprocs,
+				PassageMax: queue.Passages.Max(), PassageMean: queue.Passages.Mean(),
+				Words: queue.Words,
+			}
+			if info.Abortable {
+				storm, err := harness.AbortStormModel(model, algo, harness.DefaultW, aborters, false)
+				if err != nil {
+					return fmt.Errorf("%s/%s: storm: %w", info.Name, model, err)
+				}
+				e.Aborters = aborters
+				e.HolderPassage = storm.HolderPassage
+				e.WaiterPassage = storm.WaiterPassage
+				e.AbortedMax = storm.Aborted.Max()
+			}
+			entries = append(entries, e)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"locks": entries}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeProm runs a stats-instrumented abort storm on the paper's lock and

@@ -1,9 +1,60 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"sublock/locks"
 )
+
+// TestWriteMatrix: every registered lock must appear in the matrix, with a
+// CC entry always and a DSM entry unless the lock is CC-only.
+func TestWriteMatrix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	if err := run([]string{"-quick", "-matrix", path}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Locks []matrixEntry `json:"locks"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]map[string]bool{}
+	for _, e := range doc.Locks {
+		if e.PassageMax <= 0 || e.Words <= 0 {
+			t.Errorf("%s/%s: implausible entry %+v", e.Lock, e.Model, e)
+		}
+		if got[e.Lock] == nil {
+			got[e.Lock] = map[string]bool{}
+		}
+		got[e.Lock][e.Model] = true
+	}
+	for _, info := range locks.Infos() {
+		if !got[info.Name]["cc"] {
+			t.Errorf("%s: missing cc entry", info.Name)
+		}
+		if !info.CCOnly && !got[info.Name]["dsm"] {
+			t.Errorf("%s: missing dsm entry", info.Name)
+		}
+		if info.CCOnly && got[info.Name]["dsm"] {
+			t.Errorf("%s: CC-only lock has a dsm entry", info.Name)
+		}
+	}
+}
+
+func TestRunListLocks(t *testing.T) {
+	if err := run([]string{"-list-locks"}); err != nil {
+		t.Fatal(err)
+	}
+}
 
 func TestRunQuickSingleExperiment(t *testing.T) {
 	if err := run([]string{"-quick", "e6"}); err != nil {

@@ -16,8 +16,11 @@
 //
 // Usage:
 //
-//	rmrtrace [-algo paper] [-n 4] [-w 8] [-seed 1] [-aborters 0] [-max 200]
+//	rmrtrace [-lock paper] [-n 4] [-w 8] [-seed 1] [-aborters 0] [-max 200]
 //	         [-format text|jsonl|chrome] [-o file] [-ring N]
+//
+// The lock is any name in the locks registry (-list-locks enumerates them;
+// -algo is a deprecated alias for -lock).
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"sublock/internal/harness"
+	"sublock/locks"
 	"sublock/rmr"
 )
 
@@ -41,7 +45,10 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("rmrtrace", flag.ContinueOnError)
-	algo := fs.String("algo", "paper", "algorithm (see locktest -h for the list)")
+	var lock string
+	fs.StringVar(&lock, "lock", "paper", "lock to trace: any registered name (see -list-locks)")
+	fs.StringVar(&lock, "algo", "paper", "deprecated alias for -lock")
+	listLocks := fs.Bool("list-locks", false, "list the registered locks and exit")
 	n := fs.Int("n", 4, "number of processes")
 	w := fs.Int("w", 8, "tree arity for the paper's algorithms")
 	seed := fs.Int64("seed", 1, "schedule seed")
@@ -53,11 +60,21 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *listLocks {
+		for _, info := range locks.Infos() {
+			fmt.Fprintf(out, "  %-24s %s\n", info.Name, info.Summary)
+		}
+		return nil
+	}
+	info, ok := locks.Lookup(lock)
+	if !ok {
+		return &locks.ErrUnknown{Name: lock, Registered: locks.Names()}
+	}
 	if *aborters >= *n {
 		return fmt.Errorf("aborters (%d) must be < n (%d)", *aborters, *n)
 	}
-	if *aborters > 0 && !harness.Algo(*algo).Abortable() {
-		return fmt.Errorf("%s is not abortable", *algo)
+	if *aborters > 0 && !info.Abortable {
+		return fmt.Errorf("%s is not abortable", lock)
 	}
 	switch *format {
 	case "text", "jsonl", "chrome":
@@ -90,7 +107,7 @@ func run(args []string, out io.Writer) error {
 			mu.Unlock()
 		})
 	}
-	fn, err := harness.Build(m, harness.Algo(*algo), *w, *n)
+	fn, err := harness.Build(m, harness.Algo(lock), *w, *n)
 	if err != nil {
 		return err
 	}
@@ -126,7 +143,7 @@ func run(args []string, out io.Writer) error {
 		return rmr.WriteChromeTrace(out, events, m.Labels())
 	}
 	return report(out, m, st, events, inits, reportConfig{
-		algo: *algo, n: *n, seed: *seed, aborters: *aborters,
+		algo: lock, n: *n, seed: *seed, aborters: *aborters,
 		maxPrint: *maxPrint, truncated: truncated,
 	})
 }

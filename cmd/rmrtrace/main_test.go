@@ -6,6 +6,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"sublock/locks"
 )
 
 func TestRunTrace(t *testing.T) {
@@ -21,9 +23,29 @@ func TestRunTraceWithAborters(t *testing.T) {
 }
 
 func TestRunTraceAllAlgos(t *testing.T) {
-	for _, algo := range []string{"paper", "paper-plain", "paper-longlived", "scott", "tournament", "linearscan", "mcs", "tas"} {
-		if err := run([]string{"-algo", algo, "-n", "3", "-max", "0"}, os.Stdout); err != nil {
-			t.Fatalf("%s: %v", algo, err)
+	// Every registered lock must trace cleanly — the registry is the list.
+	for _, name := range locks.Names() {
+		if err := run([]string{"-lock", name, "-n", "3", "-max", "0"}, os.Stdout); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunTraceRejectsUnknownLock(t *testing.T) {
+	err := run([]string{"-lock", "bogus"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "unknown lock") {
+		t.Fatalf("err = %v, want unknown-lock error", err)
+	}
+}
+
+func TestRunTraceListLocks(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list-locks"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range locks.Names() {
+		if !strings.Contains(buf.String(), name) {
+			t.Errorf("-list-locks output missing %q", name)
 		}
 	}
 }

@@ -3,37 +3,33 @@
 // as the tables and figure series of the paper's evaluation (Table 1 and
 // the §4/§6 figures). It backs both the root-level benchmark suite and the
 // cmd/rmrbench CLI.
+//
+// Every lock is built through the locks registry (sublock/locks): the
+// harness carries no per-lock code and drives any registered name. The
+// blank import of locks/all below wires in every implementation.
 package harness
 
 import (
-	"fmt"
-
-	"sublock/internal/baselines/linearscan"
-	"sublock/internal/baselines/mcs"
-	"sublock/internal/baselines/scott"
-	"sublock/internal/baselines/tas"
-	"sublock/internal/baselines/tournament"
-	"sublock/internal/longlived"
-	"sublock/internal/oneshot"
+	"sublock/locks"
+	_ "sublock/locks/all"
 	"sublock/rmr"
 )
 
-// Handle is the uniform per-process lock interface the drivers operate on.
-type Handle interface {
-	// Enter acquires the lock; false means the attempt aborted.
-	Enter() bool
-	// Exit releases the lock after a successful Enter.
-	Exit()
-}
+// Handle is the uniform per-process lock interface the drivers operate on:
+// the canonical locks.Abortable seam.
+type Handle = locks.Abortable
 
 // HandleFn produces process p's handle to a built lock.
-type HandleFn func(p *rmr.Proc) Handle
+type HandleFn = locks.HandleFunc
 
-// Algo identifies a lock algorithm in experiments.
+// Algo identifies a lock algorithm in experiments: a name in the locks
+// registry.
 type Algo string
 
 // The algorithms under comparison. The four "table1" algorithms correspond
 // to the rows of the paper's Table 1; the rest are anchors and ablations.
+// The constants exist for compile-checked experiment code; any registered
+// name is equally valid.
 const (
 	// AlgoPaper is the paper's one-shot lock (§3) with AdaptiveFindNext.
 	AlgoPaper Algo = "paper"
@@ -62,9 +58,14 @@ const (
 // paper's row order, with the paper's lock last.
 var Table1Algos = []Algo{AlgoScott, AlgoTournament, AlgoLinearScan, AlgoPaper}
 
-// Abortable reports whether the algorithm supports aborting waiters. MCS
-// does not; workloads that deliver abort signals must skip it.
-func (a Algo) Abortable() bool { return a != AlgoMCS }
+// Abortable reports whether the algorithm supports aborting waiters (per
+// its registry entry); workloads that deliver abort signals must skip
+// non-abortable locks. Unknown names report true so the error surfaces at
+// Build with the full registry listing instead of here.
+func (a Algo) Abortable() bool {
+	info, ok := locks.Lookup(string(a))
+	return !ok || info.Abortable
+}
 
 // Build constructs algo in m for nprocs processes and returns the handle
 // factory. w is the tree arity for the paper's algorithms (ignored by the
@@ -76,46 +77,9 @@ func Build(m *rmr.Memory, algo Algo, w, nprocs int) (HandleFn, error) {
 
 // BuildCap constructs algo sized for capacity processes (queue slots, tree
 // leaves, arbitration-tree width) in a memory that may host fewer actual
-// runners — the point-contention experiment's configuration.
+// runners — the point-contention experiment's configuration. The build is
+// resolved through the locks registry; an unknown name yields a
+// *locks.ErrUnknown listing the registered set.
 func BuildCap(m *rmr.Memory, algo Algo, w, capacity int) (HandleFn, error) {
-	nprocs := capacity
-	switch algo {
-	case AlgoPaper, AlgoPaperPlain:
-		l, err := oneshot.New(m, oneshot.Config{W: w, N: nprocs, Adaptive: algo == AlgoPaper})
-		if err != nil {
-			return nil, err
-		}
-		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
-	case AlgoPaperLL, AlgoPaperLLBounded:
-		l, err := longlived.New(m, longlived.Config{
-			W: w, N: nprocs, Adaptive: true, Bounded: algo == AlgoPaperLLBounded,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
-	case AlgoScott:
-		l := scott.New(m)
-		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
-	case AlgoTournament:
-		l, err := tournament.New(m, nprocs)
-		if err != nil {
-			return nil, err
-		}
-		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
-	case AlgoLinearScan:
-		l, err := linearscan.New(m, nprocs)
-		if err != nil {
-			return nil, err
-		}
-		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
-	case AlgoMCS:
-		l := mcs.New(m)
-		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
-	case AlgoTAS:
-		l := tas.New(m)
-		return func(p *rmr.Proc) Handle { return l.Handle(p) }, nil
-	default:
-		return nil, fmt.Errorf("harness: unknown algorithm %q", algo)
-	}
+	return locks.Build(m, string(algo), w, capacity)
 }

@@ -1,0 +1,18 @@
+// Package all wires every lock implementation in the repository into the
+// locks registry: blank-importing it (directly or through the harness)
+// makes every lock buildable by name via locks.Build.
+//
+// Adding a new lock: create its package under locks/ with an init that
+// calls locks.Register, then add one blank import here. The conformance
+// suite, the CLIs' -lock flags, and the benchmark matrix pick it up
+// automatically — see DESIGN.md ("Adding a new lock in one file").
+package all
+
+import (
+	_ "sublock/locks/linearscan"
+	_ "sublock/locks/mcs"
+	_ "sublock/locks/paper"
+	_ "sublock/locks/scott"
+	_ "sublock/locks/tas"
+	_ "sublock/locks/tournament"
+)

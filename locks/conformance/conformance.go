@@ -1,0 +1,354 @@
+// Package conformance is the registry-wide lock test battery: every lock
+// registered in sublock/locks is run, by name and without lock-specific
+// code, through the properties the repository promises for all of them —
+// mutual exclusion, schedule termination (deadlock freedom for the given
+// workload), bounded abort responsiveness, and RMR-attribution invariants
+// (the stats matrix conserves every charged RMR and labeled words carry the
+// registered prefixes).
+//
+// The suite's own tests iterate locks.Infos(), so registering a lock is
+// what opts it in: a new lock package gets the whole battery from its one
+// blank import in locks/all. The exported Test entry point also lets an
+// external lock package run the battery against its own registration.
+//
+// Two modes: the seeded checks here always run, and the bounded-exhaustive
+// schedule enumeration (TestExhaustive in this package's test suite) is
+// skipped under -short.
+package conformance
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sublock/locks"
+	_ "sublock/locks/all"
+	"sublock/rmr"
+)
+
+const (
+	// defaultW is the tree arity handed to tree-based locks; locks without
+	// a tree ignore it.
+	defaultW = 4
+	// stepBudget bounds a seeded schedule; exceeding it is a termination
+	// failure.
+	stepBudget = 100_000_000
+	// abortBudget bounds the shared-memory steps an aborting waiter may
+	// take between receiving the signal and returning from Enter. The
+	// paper's locks abort in O(min(k, log W N)) RMRs; the budget is loose
+	// enough for every registered baseline and tight enough to catch a
+	// waiter that ignores the signal.
+	abortBudget = 50_000
+)
+
+// Models returns the memory models info supports: CC always, DSM unless
+// the lock is CC-only.
+func Models(info locks.Info) []rmr.Model {
+	if info.CCOnly {
+		return []rmr.Model{rmr.CC}
+	}
+	return []rmr.Model{rmr.CC, rmr.DSM}
+}
+
+// Test runs the seeded conformance battery for one registered lock as
+// subtests of t, once per supported memory model.
+func Test(t *testing.T, info locks.Info) {
+	for _, model := range Models(info) {
+		model := model
+		t.Run(strings.ToLower(model.String()), func(t *testing.T) {
+			t.Run("mutex", func(t *testing.T) { testMutex(t, info, model) })
+			if info.Abortable {
+				t.Run("abort-mix", func(t *testing.T) { testAbortMix(t, info, model) })
+				t.Run("abort-responsive", func(t *testing.T) { testAbortResponsive(t, info, model) })
+			}
+			t.Run("attribution", func(t *testing.T) { testAttribution(t, info, model) })
+			if !info.OneShot {
+				t.Run("multi-passage", func(t *testing.T) { testMultiPassage(t, info, model) })
+			}
+		})
+	}
+}
+
+// runResult reports one seeded run of runPassages.
+type runResult struct {
+	entered []bool
+	// annotates reports whether the lock's handles declare passage phases
+	// (locks.AnnotatesPhases), gating the passage-accounting checks.
+	annotates bool
+}
+
+// runPassages executes one Enter/CS/Exit passage per process under a seeded
+// random schedule, delivering the abort signal to processes [0, aborters)
+// before they start. It fails t on mutual-exclusion violations and
+// non-terminating schedules. When st is non-nil it is installed as the
+// memory's stats collector before any process runs.
+func runPassages(t *testing.T, info locks.Info, model rmr.Model, nprocs, aborters int, seed int64, st **rmr.Stats) (*rmr.Memory, runResult) {
+	t.Helper()
+	s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+	m := rmr.NewMemory(model, nprocs, nil)
+	fn, err := locks.Build(m, info.Name, defaultW, nprocs)
+	if err != nil {
+		t.Fatalf("seed %d: build: %v", seed, err)
+	}
+	if st != nil {
+		// Sized after Build so the label dimension covers everything the
+		// lock interned during construction.
+		*st = rmr.NewStats(m)
+		m.SetStats(*st)
+	}
+	m.SetGate(s)
+
+	res := runResult{entered: make([]bool, nprocs), annotates: true}
+	var inCS, violations atomic.Int32
+	for i := 0; i < nprocs; i++ {
+		p := m.Proc(i)
+		if i < aborters {
+			p.SignalAbort()
+		}
+		h := fn(p)
+		if i == 0 {
+			res.annotates = locks.AnnotatesPhases(h)
+		}
+		i := i
+		s.Go(func() {
+			if h.Enter() {
+				if inCS.Add(1) > 1 {
+					violations.Add(1)
+				}
+				res.entered[i] = true
+				inCS.Add(-1)
+				h.Exit()
+			}
+		})
+	}
+	if err := s.Run(stepBudget); err != nil {
+		// Release the stalled processes before failing: deliver abort
+		// signals so waiters leave their spin loops, then drain the gate.
+		for i := 0; i < nprocs; i++ {
+			m.Proc(i).SignalAbort()
+		}
+		s.Drain()
+		t.Fatalf("seed %d: schedule did not terminate: %v", seed, err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("seed %d: mutual exclusion violated %d times", seed, v)
+	}
+	return m, res
+}
+
+// testMutex: with no aborts, every process completes exactly one passage
+// under mutual exclusion, across several seeds.
+func testMutex(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs = 6
+	for seed := int64(0); seed < 5; seed++ {
+		_, res := runPassages(t, info, model, nprocs, 0, seed, nil)
+		for i, e := range res.entered {
+			if !e {
+				t.Fatalf("seed %d: process %d never entered", seed, i)
+			}
+		}
+	}
+}
+
+// testAbortMix: with a third of the processes signalled to abort before
+// starting, mutual exclusion holds and every non-aborter still completes
+// (deadlock freedom is not lost to aborts).
+func testAbortMix(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs, aborters = 6, 2
+	for seed := int64(0); seed < 5; seed++ {
+		_, res := runPassages(t, info, model, nprocs, aborters, seed, nil)
+		for i := aborters; i < nprocs; i++ {
+			if !res.entered[i] {
+				t.Fatalf("seed %d: non-aborting process %d never entered", seed, i)
+			}
+		}
+	}
+}
+
+// testAbortResponsive scripts the bounded-abort property with a hand-driven
+// controller: a holder is parked inside the critical section, a waiter is
+// enqueued and left spinning, and after SignalAbort the waiter must return
+// false from Enter within abortBudget shared-memory steps — an abort must
+// not wait for the lock to be released.
+func testAbortResponsive(t *testing.T, info locks.Info, model rmr.Model) {
+	const n = 2
+	c := rmr.NewController(n)
+	m := rmr.NewMemory(model, n, nil)
+	fn, err := locks.Build(m, info.Name, defaultW, n)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m.SetGate(c)
+	h0, h1 := fn(m.Proc(0)), fn(m.Proc(1))
+
+	finish := func(pid, budget int, what string) int {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: %v", what, r)
+			}
+		}()
+		return c.Finish(pid, budget)
+	}
+
+	// The holder runs Enter and then pauses at the gate on Exit's first
+	// shared-memory operation — holding the lock until stepped again.
+	var holderIn atomic.Bool
+	var holderEntered, waiterEntered bool
+	c.Go(0, func() {
+		if h0.Enter() {
+			holderEntered = true
+			holderIn.Store(true)
+			h0.Exit()
+		}
+	})
+	for i := 0; i < abortBudget && !holderIn.Load(); i++ {
+		if !c.Step(0) {
+			break
+		}
+	}
+	if !holderIn.Load() {
+		t.Fatal("uncontended holder failed to enter")
+	}
+
+	// The waiter enqueues and spins against the held lock.
+	c.Go(1, func() {
+		waiterEntered = h1.Enter()
+		if waiterEntered {
+			h1.Exit()
+		}
+	})
+	c.StepN(1, 200)
+
+	// The signal arrives while the lock is still held: the waiter must
+	// finish — with a false Enter — within the budget.
+	m.Proc(1).SignalAbort()
+	finish(1, abortBudget, "aborting waiter did not return")
+	if waiterEntered {
+		t.Fatal("waiter entered the CS despite holding an abort signal against a held lock")
+	}
+
+	finish(0, abortBudget, "holder's Exit did not complete")
+	c.Wait()
+	if !holderEntered {
+		t.Fatal("holder's Enter returned false without an abort signal")
+	}
+}
+
+// testAttribution runs a stats-instrumented mixed workload and checks the
+// RMR-attribution invariants: the (process × phase × label) matrix
+// conserves every charged RMR, every labeled word carries one of the
+// registered label prefixes, and the passage accounting matches the
+// observed passage outcomes.
+func testAttribution(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs = 6
+	aborters := 0
+	if info.Abortable {
+		aborters = 2
+	}
+	var st *rmr.Stats
+	m, res := runPassages(t, info, model, nprocs, aborters, 1, &st)
+	snap := st.Snapshot()
+
+	// Conservation: stats were installed before any process ran, so each
+	// process's matrix row must sum to its simulator RMR counter exactly.
+	for i := 0; i < nprocs; i++ {
+		var sum int64
+		for ph := rmr.Phase(0); ph < rmr.NumPhases; ph++ {
+			sum += snap.ProcPhaseRMRs(i, ph)
+		}
+		if got := m.Proc(i).RMRs(); sum != got {
+			t.Errorf("process %d: stats matrix sums to %d RMRs, simulator charged %d", i, sum, got)
+		}
+	}
+
+	// Labels: everything the lock interned must carry a registered prefix,
+	// so per-label reports attribute its RMRs to the right lock.
+	if len(info.Labels) > 0 {
+		for _, name := range m.Labels() {
+			if name == "" {
+				continue
+			}
+			ok := false
+			for _, prefix := range info.Labels {
+				if strings.HasPrefix(name, prefix) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				t.Errorf("interned label %q outside the registered prefixes %v", name, info.Labels)
+			}
+		}
+	}
+
+	// Passage accounting (driven by the locks' phase annotations): every
+	// process ran exactly one passage, completed iff it entered.
+	var entered int64
+	for _, e := range res.entered {
+		if e {
+			entered++
+		}
+	}
+	if res.annotates {
+		if snap.Passages != entered {
+			t.Errorf("stats counted %d completed passages, %d processes entered", snap.Passages, entered)
+		}
+		if snap.Passages+snap.AbortedPassages != int64(nprocs) {
+			t.Errorf("stats counted %d finished passages (completed %d + aborted %d), want %d",
+				snap.Passages+snap.AbortedPassages, snap.Passages, snap.AbortedPassages, nprocs)
+		}
+	}
+}
+
+// testMultiPassage: a handle of a non-one-shot lock supports repeated
+// passages — every process completes several rounds under mutual exclusion.
+func testMultiPassage(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs, rounds = 4, 3
+	s := rmr.NewScheduler(nprocs, rmr.RandomPick(7))
+	m := rmr.NewMemory(model, nprocs, nil)
+	fn, err := locks.Build(m, info.Name, defaultW, nprocs)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m.SetGate(s)
+
+	var inCS, violations atomic.Int32
+	completed := make([]int, nprocs)
+	for i := 0; i < nprocs; i++ {
+		h := fn(m.Proc(i))
+		i := i
+		s.Go(func() {
+			for r := 0; r < rounds; r++ {
+				if !h.Enter() {
+					return
+				}
+				if inCS.Add(1) > 1 {
+					violations.Add(1)
+				}
+				inCS.Add(-1)
+				h.Exit()
+				completed[i]++
+			}
+		})
+	}
+	if err := s.Run(stepBudget); err != nil {
+		t.Fatalf("schedule did not terminate: %v", err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("mutual exclusion violated %d times", v)
+	}
+	for i, got := range completed {
+		if got != rounds {
+			t.Errorf("process %d completed %d/%d passages", i, got, rounds)
+		}
+	}
+}
+
+// Covered returns the sorted names the conformance suite will run: exactly
+// the registry. It exists for the CI guard, which diffs this against the
+// lock packages present on disk so a package that forgets to register (and
+// would silently escape the suite) fails the build.
+func Covered() []string {
+	return locks.Names()
+}

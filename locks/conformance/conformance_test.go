@@ -1,0 +1,122 @@
+package conformance_test
+
+import (
+	"os"
+	"testing"
+
+	"sublock/internal/harness"
+	"sublock/locks"
+	"sublock/locks/conformance"
+	"sublock/rmr"
+)
+
+// TestConformance runs the seeded battery against every registered lock —
+// registering a lock is what opts it in, so a new lock package gets the
+// whole suite from its blank import in locks/all.
+func TestConformance(t *testing.T) {
+	infos := locks.Infos()
+	if len(infos) == 0 {
+		t.Fatal("empty lock registry")
+	}
+	for _, info := range infos {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			conformance.Test(t, info)
+		})
+	}
+}
+
+// TestExhaustive enumerates every schedule of bounded length for every
+// registered lock at N=2 (bounded model checking via rmr.Explorer),
+// without aborts and — for abortable locks — with one aborter whose signal
+// the explorer places at every possible point. Skipped under -short.
+func TestExhaustive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-exhaustive exploration skipped in -short mode")
+	}
+	const (
+		n         = 2
+		maxScheds = 3000
+		// The step bound starts small and grows until at least one complete
+		// schedule fits: a passage of the long-lived transformation takes
+		// ~24 shared-memory steps (~50 with bounded memory management) where
+		// the one-shot lock needs ~10, and a fixed bound would either
+		// explore nothing or waste the budget.
+		minSteps, stepGrow, maxSteps = 14, 6, 56
+	)
+	for _, info := range locks.Infos() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			aborterCounts := []int{0}
+			if info.Abortable {
+				aborterCounts = append(aborterCounts, 1)
+			}
+			for _, a := range aborterCounts {
+				nprocs := n
+				if a > 0 {
+					nprocs++ // the explorer's dedicated signal process
+				}
+				body := harness.ExhaustiveBody(rmr.CC, harness.Algo(info.Name), 4, n, a)
+				explored := false
+				for steps := minSteps; steps <= maxSteps; steps += stepGrow {
+					e := &rmr.Explorer{MaxSteps: steps, MaxSchedules: maxScheds, Workers: 2}
+					res, err := e.Run(nprocs, body)
+					if err != nil {
+						t.Fatalf("aborters=%d steps=%d: %v", a, steps, err)
+					}
+					if res.Explored > 0 {
+						explored = true
+						break
+					}
+				}
+				if !explored {
+					t.Fatalf("aborters=%d: no complete schedule within %d steps", a, maxSteps)
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryCoversDiskPackages is the CI coverage guard: every lock
+// package present under locks/ must register at least one lock, because
+// the conformance suite reaches locks only through the registry — a
+// package that forgets to register would silently escape the battery.
+func TestRegistryCoversDiskPackages(t *testing.T) {
+	entries, err := os.ReadDir("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	registered := map[string]bool{}
+	for _, pkg := range locks.Packages() {
+		registered[pkg] = true
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		switch e.Name() {
+		case "all", "conformance":
+			continue // infrastructure, not lock implementations
+		}
+		if !registered[e.Name()] {
+			t.Errorf("locks/%s exists on disk but registered no lock: it escapes the conformance suite (add a locks.Register init and a blank import in locks/all)", e.Name())
+		}
+	}
+}
+
+// TestCoveredMatchesRegistry pins the suite's coverage claim: Covered is
+// exactly the sorted registry.
+func TestCoveredMatchesRegistry(t *testing.T) {
+	covered := conformance.Covered()
+	names := locks.Names()
+	if len(covered) != len(names) {
+		t.Fatalf("Covered() lists %d locks, registry has %d", len(covered), len(names))
+	}
+	for i := range names {
+		if covered[i] != names[i] {
+			t.Fatalf("Covered()[%d] = %q, registry has %q", i, covered[i], names[i])
+		}
+	}
+}

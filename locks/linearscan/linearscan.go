@@ -16,8 +16,26 @@ package linearscan
 import (
 	"fmt"
 
+	"sublock/locks"
 	"sublock/rmr"
 )
+
+func init() {
+	locks.Register(locks.Info{
+		Name:      "linearscan",
+		Summary:   "Lee-shaped F&A queue lock, linear skip over aborted slots: O(1) abort-free, Θ(A) adaptive (Table 1 row 3)",
+		Abortable: true,
+		OneShot:   true,
+		Labels:    []string{"linearscan/"},
+		New: func(m *rmr.Memory, _, capacity int) (locks.HandleFunc, error) {
+			l, err := New(m, capacity)
+			if err != nil {
+				return nil, err
+			}
+			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil
+		},
+	})
+}
 
 const (
 	waiting   = 0

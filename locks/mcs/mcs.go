@@ -9,8 +9,22 @@
 package mcs
 
 import (
+	"sublock/locks"
 	"sublock/rmr"
 )
+
+func init() {
+	locks.Register(locks.Info{
+		Name:      "mcs",
+		Summary:   "Mellor-Crummey–Scott queue lock: non-abortable, FCFS, O(1) RMRs (§1 anchor)",
+		Abortable: false,
+		Labels:    []string{"mcs/"},
+		New: func(m *rmr.Memory, _, _ int) (locks.HandleFunc, error) {
+			l := New(m)
+			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil
+		},
+	})
+}
 
 // Lock is an MCS queue lock.
 type Lock struct {

@@ -1,0 +1,180 @@
+package locks_test
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"sublock/locks"
+	_ "sublock/locks/all"
+	"sublock/rmr"
+)
+
+// fakePrefix namespaces the registrations this file makes so the tests
+// against the real registry can filter them out.
+const fakePrefix = "zz-registry-test-"
+
+func fakeFactory(m *rmr.Memory, w, capacity int) (locks.HandleFunc, error) {
+	return nil, errors.New("fake factory: not buildable")
+}
+
+// TestConcurrentFactoryInvocation builds every registered lock from many
+// goroutines at once — each on its own memory — interleaved with registry
+// reads. Run under -race this pins down that factories and the registry
+// share no unsynchronized state.
+func TestConcurrentFactoryInvocation(t *testing.T) {
+	var wg sync.WaitGroup
+	for _, info := range locks.Infos() {
+		if strings.HasPrefix(info.Name, fakePrefix) {
+			continue
+		}
+		for k := 0; k < 4; k++ {
+			info := info
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				m := rmr.NewMemory(rmr.CC, 4, nil)
+				fn, err := locks.Build(m, info.Name, 4, 4)
+				if err != nil {
+					t.Errorf("%s: %v", info.Name, err)
+					return
+				}
+				// An uncontended passage must succeed on the fresh instance.
+				h := fn(m.Proc(0))
+				if !h.Enter() {
+					t.Errorf("%s: uncontended Enter returned false", info.Name)
+					return
+				}
+				h.Exit()
+				if _, ok := locks.Lookup(info.Name); !ok {
+					t.Errorf("%s: Lookup failed mid-build", info.Name)
+				}
+				_ = locks.Names()
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+func TestNamesSortedAndDeterministic(t *testing.T) {
+	names := locks.Names()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names() not sorted: %v", names)
+	}
+	for i := 0; i < 3; i++ {
+		if again := locks.Names(); !equalStrings(names, again) {
+			t.Fatalf("Names() not deterministic: %v vs %v", names, again)
+		}
+	}
+	infos := locks.Infos()
+	if len(infos) != len(names) {
+		t.Fatalf("Infos() has %d entries, Names() %d", len(infos), len(names))
+	}
+	for i, info := range infos {
+		if info.Name != names[i] {
+			t.Fatalf("Infos()[%d] = %q, Names()[%d] = %q", i, info.Name, i, names[i])
+		}
+	}
+	// The canonical seven locks of the paper's evaluation (plus the two
+	// paper ablation variants) must be present.
+	for _, want := range []string{
+		"linearscan", "mcs", "paper", "paper-longlived",
+		"paper-longlived-bounded", "paper-plain", "scott", "tas", "tournament",
+	} {
+		if _, ok := locks.Lookup(want); !ok {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+}
+
+func TestBuildUnknownLock(t *testing.T) {
+	m := rmr.NewMemory(rmr.CC, 2, nil)
+	_, err := locks.Build(m, "no-such-lock", 4, 2)
+	var eu *locks.ErrUnknown
+	if !errors.As(err, &eu) {
+		t.Fatalf("err = %T (%v), want *locks.ErrUnknown", err, err)
+	}
+	if eu.Name != "no-such-lock" {
+		t.Errorf("ErrUnknown.Name = %q", eu.Name)
+	}
+	if !sort.StringsAreSorted(eu.Registered) {
+		t.Errorf("ErrUnknown.Registered not sorted: %v", eu.Registered)
+	}
+	for _, name := range locks.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("message %q omits registered name %q", err, name)
+		}
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	name := fakePrefix + "dup"
+	locks.Register(locks.Info{Name: name, New: fakeFactory})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	locks.Register(locks.Info{Name: name, New: fakeFactory})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with an empty name did not panic")
+		}
+	}()
+	locks.Register(locks.Info{New: fakeFactory})
+}
+
+func TestRegisterNilFactoryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Register with a nil factory did not panic")
+		}
+	}()
+	locks.Register(locks.Info{Name: fakePrefix + "nil-factory"})
+}
+
+// TestRegisterRecordsPackage: Register captures the registering package's
+// directory basename, the hook the conformance suite's disk guard diffs
+// against the packages on disk.
+func TestRegisterRecordsPackage(t *testing.T) {
+	info, ok := locks.Lookup("mcs")
+	if !ok {
+		t.Fatal("mcs not registered")
+	}
+	if got := info.Package(); got != "mcs" {
+		t.Errorf("mcs registered from package %q, want %q", got, "mcs")
+	}
+	pkgs := locks.Packages()
+	if !sort.StringsAreSorted(pkgs) {
+		t.Errorf("Packages() not sorted: %v", pkgs)
+	}
+	for _, want := range []string{"linearscan", "mcs", "paper", "scott", "tas", "tournament"} {
+		found := false
+		for _, p := range pkgs {
+			if p == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("Packages() = %v missing %q", pkgs, want)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -14,7 +14,23 @@
 //	         waiter adopts and resumes spinning on
 package scott
 
-import "sublock/rmr"
+import (
+	"sublock/locks"
+	"sublock/rmr"
+)
+
+func init() {
+	locks.Register(locks.Info{
+		Name:      "scott",
+		Summary:   "Scott-style abortable CLH queue lock: FCFS, O(1) RMRs abort-free, linear in aborts (Table 1 row 1)",
+		Abortable: true,
+		Labels:    []string{"scott/"},
+		New: func(m *rmr.Memory, _, _ int) (locks.HandleFunc, error) {
+			l := New(m)
+			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil
+		},
+	})
+}
 
 const (
 	waiting   = 0

@@ -6,7 +6,23 @@
 // which is exactly the pathology queue locks exist to avoid.
 package tas
 
-import "sublock/rmr"
+import (
+	"sublock/locks"
+	"sublock/rmr"
+)
+
+func init() {
+	locks.Register(locks.Info{
+		Name:      "tas",
+		Summary:   "abortable test-and-test-and-set lock: O(1) space, unbounded RMRs under contention (unfair anchor)",
+		Abortable: true,
+		Labels:    []string{"tas/"},
+		New: func(m *rmr.Memory, _, _ int) (locks.HandleFunc, error) {
+			l := New(m)
+			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil
+		},
+	})
+}
 
 // Lock is a single-word test-and-test-and-set lock.
 type Lock struct {

@@ -15,8 +15,25 @@ package tournament
 import (
 	"fmt"
 
+	"sublock/locks"
 	"sublock/rmr"
 )
+
+func init() {
+	locks.Register(locks.Info{
+		Name:      "tournament",
+		Summary:   "Jayanti-shaped abortable binary arbitration-tree lock: Θ(log N) RMRs per passage (Table 1 row 2)",
+		Abortable: true,
+		Labels:    []string{"tournament/"},
+		New: func(m *rmr.Memory, _, capacity int) (locks.HandleFunc, error) {
+			l, err := New(m, capacity)
+			if err != nil {
+				return nil, err
+			}
+			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil
+		},
+	})
+}
 
 // Lock is an abortable tournament lock for up to N processes.
 type Lock struct {

@@ -9,6 +9,12 @@
 # a JSON report. BENCHTIME overrides -benchtime (CI uses 1x for a smoke
 # run; the default 1s gives stable numbers).
 #
+# The report's "locks" key is the registry-driven per-lock × per-model
+# (CC/DSM) RMR matrix from `rmrbench -matrix`: one entry per registered
+# lock and supported memory model, so a newly registered lock shows up in
+# BENCH_rmr.json with no change here. BENCHTIME=1x shrinks the matrix
+# workloads too (-quick).
+#
 # The "baseline" block records the pre-optimization seed numbers measured
 # on the reference 1-CPU container, so a report is self-describing: the
 # acceptance targets were >=2x baseline ops/s for MemOps and >=3x baseline
@@ -19,10 +25,17 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_rmr.json}"
 benchtime="${BENCHTIME:-1s}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+matrix="$(mktemp)"
+trap 'rm -f "$raw" "$matrix"' EXIT
 
 go test -run '^$' -bench 'BenchmarkMemOps|BenchmarkExplorerThroughput' \
 	-benchtime "$benchtime" -benchmem -timeout 20m ./rmr/ | tee "$raw"
+
+matrix_flags=()
+if [ "$benchtime" = "1x" ]; then
+	matrix_flags+=(-quick)
+fi
+go run ./cmd/rmrbench "${matrix_flags[@]}" -matrix "$matrix"
 
 {
 	printf '{\n'
@@ -33,6 +46,9 @@ go test -run '^$' -bench 'BenchmarkMemOps|BenchmarkExplorerThroughput' \
 	printf '    "MemOps/DSM ops/s": 18193806,\n'
 	printf '    "ExplorerThroughput schedules/s": 67822\n'
 	printf '  },\n'
+	# Splice in the registry matrix: drop the outer braces of rmrbench's
+	# {"locks": [...]} document and keep the "locks" member as-is.
+	printf '%s,\n' "$(sed '1d;$d' "$matrix")"
 	printf '  "benchmarks": [\n'
 	awk '
 	/^Benchmark/ {
