@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -53,7 +54,8 @@ func run(args []string) error {
 	exhaustive := fs.Bool("exhaustive", false, "bounded-exhaustive exploration instead of seeded sampling (use small -n)")
 	exhaustSteps := fs.Int("exhauststeps", 24, "schedule length bound for -exhaustive")
 	exhaustCap := fs.Int("exhaustcap", 200000, "schedule cap for -exhaustive (0 = none)")
-	workers := fs.Int("workers", 1, "parallel exploration workers for -exhaustive")
+	workers := fs.Int("workers", 0, "parallel exploration workers for -exhaustive (0 = GOMAXPROCS)")
+	por := fs.Bool("por", false, "partial-order reduction for -exhaustive (sleep sets; prunes equivalent interleavings)")
 	progress := fs.Bool("progress", false, "print live exploration counters to stderr (-exhaustive)")
 	ringSize := fs.Int("ring", 64, "flight-recorder size for violation dumps (-exhaustive)")
 	if err := fs.Parse(args); err != nil {
@@ -88,7 +90,7 @@ func run(args []string) error {
 	if *exhaustive {
 		return runExhaustive(exhaustiveConfig{
 			model: mdl, algo: harness.Algo(lock), w: *w, n: *n, aborters: *aborters,
-			maxSteps: *exhaustSteps, cap: *exhaustCap, workers: *workers,
+			maxSteps: *exhaustSteps, cap: *exhaustCap, workers: *workers, por: *por,
 			progress: *progress, ringSize: *ringSize,
 		})
 	}
@@ -163,30 +165,43 @@ type exhaustiveConfig struct {
 	maxSteps int
 	cap      int
 	workers  int
+	por      bool
 	progress bool
 	ringSize int
 }
 
 // runExhaustive enumerates every schedule of length ≤ maxSteps (bounded
-// model checking via rmr.Explorer over harness.ExhaustiveBody): processes
-// in [0, aborters) receive their abort signal from a dedicated signal
-// process whose single step the explorer places at every possible point.
-// workers > 1 partitions the choice tree across that many goroutines; an
-// uncapped run reports the same counts at any worker count.
+// model checking via harness.Explore): processes in [0, aborters) receive
+// their abort signal from a dedicated signal process whose single step the
+// explorer places at every possible point. workers > 1 partitions the
+// choice tree across that many goroutines (0 resolves to GOMAXPROCS); an
+// uncapped run reports the same counts at any worker count. With por,
+// schedules that only reorder commuting steps of explored ones are cut
+// instead of replayed.
 func runExhaustive(cfg exhaustiveConfig) error {
-	nprocs := cfg.n
-	if cfg.aborters > 0 {
-		nprocs++
+	workers := cfg.workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	body := harness.ExhaustiveBody(cfg.model, cfg.algo, cfg.w, cfg.n, cfg.aborters)
-	e := &rmr.Explorer{MaxSteps: cfg.maxSteps, MaxSchedules: cfg.cap, Workers: cfg.workers}
+	reduction := rmr.NoReduction
+	reductionName := "off"
+	if cfg.por {
+		reduction = rmr.SleepSets
+		reductionName = "sleep-sets"
+	}
+	ec := harness.ExploreConfig{
+		Model: cfg.model, Algo: cfg.algo, W: cfg.w, N: cfg.n, Aborters: cfg.aborters,
+		MaxSteps: cfg.maxSteps, MaxSchedules: cfg.cap, Workers: workers, Reduction: reduction,
+	}
+	fmt.Printf("%s: bounded-exhaustive exploration: n=%d w=%d aborters=%d ≤%d steps, workers=%d, reduction=%s\n",
+		cfg.algo, cfg.n, cfg.w, cfg.aborters, cfg.maxSteps, workers, reductionName)
 	var stopProgress func()
 	if cfg.progress {
-		e.Monitor = &rmr.Monitor{}
-		stopProgress = startProgress(e.Monitor)
+		ec.Monitor = &rmr.Monitor{}
+		stopProgress = startProgress(ec.Monitor)
 	}
 	start := time.Now()
-	res, err := e.Run(nprocs, body)
+	res, err := harness.Explore(ec)
 	elapsed := time.Since(start)
 	if stopProgress != nil {
 		stopProgress()
@@ -199,11 +214,11 @@ func runExhaustive(cfg exhaustiveConfig) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: bounded-exhaustive exploration (≤%d steps): %d schedules explored, %d pruned, exhausted=%v\n",
-		cfg.algo, cfg.maxSteps, res.Explored, res.Pruned, res.Exhausted)
+	fmt.Printf("  %d schedules explored, %d pruned, %d cut as equivalent, exhausted=%v\n",
+		res.Explored, res.Pruned, res.Equivalent, res.Exhausted)
 	if secs := elapsed.Seconds(); secs > 0 {
-		fmt.Printf("  throughput: %.0f schedules/s over %v\n",
-			float64(res.Explored+res.Pruned)/secs, elapsed.Round(time.Millisecond))
+		fmt.Printf("  throughput: %.0f replays/s over %v\n",
+			float64(res.Replays())/secs, elapsed.Round(time.Millisecond))
 	}
 	printDepths(res.Depths)
 	fmt.Println("  mutual exclusion and non-aborter completion held in every explored schedule")
@@ -225,10 +240,10 @@ func startProgress(mon *rmr.Monitor) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				explored, pruned := mon.Counts()
+				explored, pruned, equivalent := mon.Counts()
 				secs := time.Since(start).Seconds()
-				fmt.Fprintf(os.Stderr, "\rexplored %d, pruned %d (%.0f schedules/s)   ",
-					explored, pruned, float64(explored+pruned)/secs)
+				fmt.Fprintf(os.Stderr, "\rexplored %d, pruned %d, equivalent %d (%.0f replays/s)   ",
+					explored, pruned, equivalent, float64(explored+pruned+equivalent)/secs)
 			}
 		}
 	}()

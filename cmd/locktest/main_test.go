@@ -2,6 +2,10 @@ package main
 
 import (
 	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -119,6 +123,55 @@ func TestRunExhaustiveWithAborter(t *testing.T) {
 func TestRunExhaustiveParallel(t *testing.T) {
 	if err := run([]string{"-exhaustive", "-n", "2", "-exhauststeps", "18", "-exhaustcap", "30000", "-workers", "4"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureRun runs the CLI with stdout redirected to a pipe and returns
+// what it printed, so tests can assert on the run header.
+func captureRun(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := run(args)
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out), runErr
+}
+
+func TestRunExhaustivePOR(t *testing.T) {
+	out, err := captureRun(t, []string{"-exhaustive", "-n", "2", "-exhauststeps", "18", "-exhaustcap", "30000", "-por", "-workers", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "reduction=sleep-sets") {
+		t.Errorf("header does not report the reduction:\n%s", out)
+	}
+	if !strings.Contains(out, "cut as equivalent") {
+		t.Errorf("summary does not report equivalent cuts:\n%s", out)
+	}
+}
+
+// TestRunExhaustiveWorkersDefault: -workers defaults to 0, which the run
+// header must report resolved to GOMAXPROCS, never as workers=0.
+func TestRunExhaustiveWorkersDefault(t *testing.T) {
+	out, err := captureRun(t, []string{"-exhaustive", "-n", "2", "-exhauststeps", "16", "-exhaustcap", "10000"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("workers=%d,", runtime.GOMAXPROCS(0))
+	if !strings.Contains(out, want) {
+		t.Errorf("header does not resolve default workers to %q:\n%s", want, out)
+	}
+	if strings.Contains(out, "workers=0") {
+		t.Errorf("header reports unresolved workers=0:\n%s", out)
 	}
 }
 

@@ -19,6 +19,12 @@
 // (-list-locks enumerates the registry). With -matrix and no experiment
 // arguments, only the matrix is produced; scripts/bench.sh embeds it in
 // BENCH_rmr.json.
+//
+// -explore FILE writes the bounded-exhaustive exploration record as JSON:
+// the paper lock's E8 configurations (with and without an aborter) explored
+// to exhaustion with partial-order reduction off and on, recording replays,
+// pruned-equivalent counts, and replays/sec for each. -por=false restricts
+// it to the unreduced baseline. scripts/bench.sh embeds this too.
 package main
 
 import (
@@ -26,7 +32,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"sublock/internal/harness"
 	"sublock/locks"
@@ -143,6 +151,8 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "seed for the randomized workloads (e14)")
 	promFile := fs.String("prom", "", "also write abort-storm counters to `file` in Prometheus text format")
 	matrixFile := fs.String("matrix", "", "write the per-lock × per-model benchmark matrix to `file` as JSON")
+	exploreFile := fs.String("explore", "", "write the E8 exhaustive-exploration record to `file` as JSON")
+	por := fs.Bool("por", true, "include the partial-order-reduction passes in -explore")
 	listLocks := fs.Bool("list-locks", false, "list the registered locks and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -164,10 +174,15 @@ func run(args []string) error {
 		if err := writeMatrix(*matrixFile, *quick); err != nil {
 			return fmt.Errorf("matrix: %w", err)
 		}
-		// A matrix-only invocation skips the experiments.
-		if fs.NArg() == 0 && *promFile == "" {
-			return nil
+	}
+	if *exploreFile != "" {
+		if err := writeExplore(*exploreFile, *quick, *por); err != nil {
+			return fmt.Errorf("explore: %w", err)
 		}
+	}
+	// An artifact-only invocation skips the experiments.
+	if (*matrixFile != "" || *exploreFile != "") && fs.NArg() == 0 && *promFile == "" {
+		return nil
 	}
 	known := map[string]bool{}
 	for _, e := range exps {
@@ -283,6 +298,79 @@ func writeMatrix(path string, quick bool) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(map[string]any{"locks": entries}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// exploreEntry is one exhaustive-exploration record: an E8 configuration
+// explored to the step bound with the given reduction mode.
+type exploreEntry struct {
+	Config        string  `json:"config"`
+	N             int     `json:"n"`
+	W             int     `json:"w"`
+	Aborters      int     `json:"aborters"`
+	MaxSteps      int     `json:"maxsteps"`
+	POR           bool    `json:"por"`
+	Explored      int     `json:"explored"`
+	Pruned        int     `json:"pruned"`
+	Equivalent    int     `json:"equivalent"`
+	Replays       int     `json:"replays"`
+	Seconds       float64 `json:"seconds"`
+	ReplaysPerSec float64 `json:"replays_per_sec"`
+	Exhausted     bool    `json:"exhausted"`
+}
+
+// writeExplore explores the paper lock's E8 configurations — n=2
+// contenders, with and without an aborter — to exhaustion at a fixed step
+// bound, once per reduction mode, and writes the counts and throughput as
+// JSON: {"explorer": [entry, ...]}. The unreduced and reduced passes cover
+// the same tree, so the replay and wall-clock ratios are the reduction's
+// measured leverage.
+func writeExplore(path string, quick, por bool) error {
+	const n, w = 2, 4
+	maxSteps := 16
+	if quick {
+		maxSteps = 12
+	}
+	reductions := []rmr.Reduction{rmr.NoReduction}
+	if por {
+		reductions = append(reductions, rmr.SleepSets)
+	}
+	entries := []exploreEntry{}
+	for _, aborters := range []int{0, 1} {
+		for _, red := range reductions {
+			cfg := harness.ExploreConfig{
+				Model: rmr.CC, Algo: harness.AlgoPaper, W: w, N: n, Aborters: aborters,
+				MaxSteps: maxSteps, Workers: runtime.GOMAXPROCS(0), Reduction: red,
+			}
+			start := time.Now()
+			res, err := harness.Explore(cfg)
+			secs := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("aborters=%d por=%v: %w", aborters, red == rmr.SleepSets, err)
+			}
+			e := exploreEntry{
+				Config: fmt.Sprintf("paper CC n=%d w=%d aborters=%d", n, w, aborters),
+				N:      n, W: w, Aborters: aborters, MaxSteps: maxSteps,
+				POR:      red == rmr.SleepSets,
+				Explored: res.Explored, Pruned: res.Pruned, Equivalent: res.Equivalent,
+				Replays: res.Replays(), Seconds: secs, Exhausted: res.Exhausted,
+			}
+			if secs > 0 {
+				e.ReplaysPerSec = float64(res.Replays()) / secs
+			}
+			entries = append(entries, e)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]any{"explorer": entries}); err != nil {
 		f.Close()
 		return err
 	}

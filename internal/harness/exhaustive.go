@@ -85,6 +85,47 @@ func exhaustiveBody(model rmr.Model, algo Algo, w, n, aborters int, tracer rmr.T
 	}
 }
 
+// ExploreConfig parameterizes Explore: the lock configuration (as for
+// ExhaustiveBody) plus the rmr.Explorer knobs to run it under.
+type ExploreConfig struct {
+	Model    rmr.Model
+	Algo     Algo
+	W        int
+	N        int
+	Aborters int
+
+	MaxSteps     int           // schedule length bound
+	MaxSchedules int           // replay cap; 0 = none
+	Workers      int           // parallel workers; ≤1 = sequential
+	Reduction    rmr.Reduction // rmr.SleepSets enables partial-order reduction
+	Monitor      *rmr.Monitor  // optional live progress counters
+}
+
+// Procs returns the number of scheduled processes the exploration runs:
+// N, plus the dedicated abort-signal process when Aborters > 0.
+func (cfg ExploreConfig) Procs() int {
+	if cfg.Aborters > 0 {
+		return cfg.N + 1
+	}
+	return cfg.N
+}
+
+// Explore runs the bounded-exhaustive exploration the CLIs and the
+// conformance suite share: rmr.Explorer over ExhaustiveBody with the
+// config's knobs. Violations surface as *rmr.ErrExplore, replayable with
+// ReplayTraced under the same config.
+func Explore(cfg ExploreConfig) (rmr.Result, error) {
+	e := &rmr.Explorer{
+		MaxSteps:     cfg.MaxSteps,
+		MaxSchedules: cfg.MaxSchedules,
+		Workers:      cfg.Workers,
+		Reduction:    cfg.Reduction,
+		Monitor:      cfg.Monitor,
+	}
+	body := ExhaustiveBody(cfg.Model, cfg.Algo, cfg.W, cfg.N, cfg.Aborters)
+	return e.Run(cfg.Procs(), body)
+}
+
 // ReplayTraced re-runs one schedule of the exhaustive body — as reported by
 // a *rmr.ErrExplore from an exploration over ExhaustiveBody with the same
 // parameters — with a flight-recorder ring tracer installed. It returns the

@@ -179,6 +179,43 @@ func TestExhaustiveParallelEquivalence(t *testing.T) {
 	}
 }
 
+func TestExhaustivePORReduction(t *testing.T) {
+	// The reduction's acceptance bar on the E8 aborter configuration: with
+	// sleep sets on, the explorer must reach the identical Exhausted verdict
+	// and the identical pass/violation outcome while exploring at least 10×
+	// fewer complete schedules. The leverage comes from the signal process:
+	// its single private read commutes with every lock step, so the full
+	// tree repeats the whole contention tree once per placement of that
+	// read while the reduced tree keeps one placement per equivalence class.
+	nprocs, body := passageBody(2, 4, true, []int{1})
+	const maxSteps = 16
+	full := &rmr.Explorer{MaxSteps: maxSteps}
+	want, err := full.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Exhausted {
+		t.Fatal("full exploration did not exhaust the tree")
+	}
+	por := &rmr.Explorer{MaxSteps: maxSteps, Reduction: rmr.SleepSets}
+	got, err := por.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exhausted {
+		t.Fatal("reduced exploration did not exhaust the tree")
+	}
+	t.Logf("full: %d explored (%d replays); por: %d explored (%d replays) — %.1fx fewer",
+		want.Explored, want.Replays(), got.Explored, got.Replays(),
+		float64(want.Explored)/float64(got.Explored))
+	if got.Explored*10 > want.Explored {
+		t.Errorf("reduction below 10x: full explored %d, por explored %d", want.Explored, got.Explored)
+	}
+	if got.Replays() > want.Replays() {
+		t.Errorf("por replayed %d > full %d", got.Replays(), want.Replays())
+	}
+}
+
 func TestExhaustivePlainFindNextVariant(t *testing.T) {
 	nprocs, body := passageBody(2, 2, false, []int{0})
 	e := &rmr.Explorer{MaxSteps: 22, MaxSchedules: 80000}

@@ -28,9 +28,12 @@ func TestConformance(t *testing.T) {
 }
 
 // TestExhaustive enumerates every schedule of bounded length for every
-// registered lock at N=2 (bounded model checking via rmr.Explorer),
+// registered lock at N=2 (bounded model checking via harness.Explore),
 // without aborts and — for abortable locks — with one aborter whose signal
-// the explorer places at every possible point. Skipped under -short.
+// the explorer places at every possible point. Partial-order reduction is
+// on: the schedule budget buys equivalence classes instead of redundant
+// reorderings of commuting steps, so the same cap reaches deeper into the
+// tree. Skipped under -short.
 func TestExhaustive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bounded-exhaustive exploration skipped in -short mode")
@@ -54,25 +57,92 @@ func TestExhaustive(t *testing.T) {
 				aborterCounts = append(aborterCounts, 1)
 			}
 			for _, a := range aborterCounts {
-				nprocs := n
-				if a > 0 {
-					nprocs++ // the explorer's dedicated signal process
-				}
-				body := harness.ExhaustiveBody(rmr.CC, harness.Algo(info.Name), 4, n, a)
 				explored := false
 				for steps := minSteps; steps <= maxSteps; steps += stepGrow {
-					e := &rmr.Explorer{MaxSteps: steps, MaxSchedules: maxScheds, Workers: 2}
-					res, err := e.Run(nprocs, body)
+					res, err := harness.Explore(harness.ExploreConfig{
+						Model: rmr.CC, Algo: harness.Algo(info.Name), W: 4, N: n, Aborters: a,
+						MaxSteps: steps, MaxSchedules: maxScheds, Workers: 2,
+						Reduction: rmr.SleepSets,
+					})
 					if err != nil {
 						t.Fatalf("aborters=%d steps=%d: %v", a, steps, err)
 					}
 					if res.Explored > 0 {
 						explored = true
+						t.Logf("aborters=%d steps=%d: %d explored, %d pruned, %d equivalent, exhausted=%v",
+							a, steps, res.Explored, res.Pruned, res.Equivalent, res.Exhausted)
 						break
 					}
 				}
 				if !explored {
 					t.Fatalf("aborters=%d: no complete schedule within %d steps", a, maxSteps)
+				}
+			}
+		})
+	}
+}
+
+// TestExhaustivePORMatchesFull is the registry-wide agreement check: for
+// every lock whose full choice tree is affordable to exhaust, the reduced
+// and the unreduced exploration must report the identical Exhausted verdict
+// and the identical violation/no-violation outcome, with the reduction
+// replaying at most as many schedules. Skipped under -short.
+func TestExhaustivePORMatchesFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-exhaustive exploration skipped in -short mode")
+	}
+	const (
+		n = 2
+		// fullCap guards against locks whose full tree is too large to
+		// enumerate at this bound: when the unreduced run hits it, the lock
+		// is compared at no deeper bound rather than burning minutes.
+		fullCap                      = 40000
+		minSteps, stepGrow, maxSteps = 14, 6, 56
+	)
+	for _, info := range locks.Infos() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			aborterCounts := []int{0}
+			if info.Abortable {
+				aborterCounts = append(aborterCounts, 1)
+			}
+			for _, a := range aborterCounts {
+				compared := false
+				for steps := minSteps; steps <= maxSteps; steps += stepGrow {
+					cfg := harness.ExploreConfig{
+						Model: rmr.CC, Algo: harness.Algo(info.Name), W: 4, N: n, Aborters: a,
+						MaxSteps: steps, MaxSchedules: fullCap, Workers: 2,
+					}
+					full, err := harness.Explore(cfg)
+					if err != nil {
+						t.Fatalf("aborters=%d steps=%d: full: %v", a, steps, err)
+					}
+					if !full.Exhausted {
+						break // the cap stopped the full search; deeper bounds only grow
+					}
+					cfg.Reduction = rmr.SleepSets
+					cfg.MaxSchedules = 0
+					por, err := harness.Explore(cfg)
+					if err != nil {
+						t.Fatalf("aborters=%d steps=%d: por: %v", a, steps, err)
+					}
+					if !por.Exhausted {
+						t.Fatalf("aborters=%d steps=%d: por not exhausted where full was", a, steps)
+					}
+					if por.Replays() > full.Replays() {
+						t.Fatalf("aborters=%d steps=%d: por replayed %d > full %d",
+							a, steps, por.Replays(), full.Replays())
+					}
+					if full.Explored > 0 {
+						compared = true
+						t.Logf("aborters=%d steps=%d: full %d replays (%d explored), por %d replays (%d explored)",
+							a, steps, full.Replays(), full.Explored, por.Replays(), por.Explored)
+						break
+					}
+				}
+				if !compared {
+					t.Logf("aborters=%d: full tree unaffordable before any complete schedule; agreement checked on shallower bounds only", a)
 				}
 			}
 		})

@@ -90,21 +90,85 @@ func spinLockBody(s *Scheduler, maxSteps int) error {
 	return nil
 }
 
-// BenchmarkExplorerThroughput measures bounded-exhaustive exploration in
-// schedules per second on the 3-process lock body, per worker count.
-func BenchmarkExplorerThroughput(b *testing.B) {
-	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("Workers=%d", workers), func(b *testing.B) {
-			var schedules int
-			for i := 0; i < b.N; i++ {
-				e := &Explorer{MaxSteps: 14, MaxSchedules: 2000, Workers: workers}
-				res, err := e.Run(3, spinLockBody)
-				if err != nil {
-					b.Fatal(err)
+// mixedLockBody is the E8-shaped explorer workload: two test-and-test-
+// and-set contenders plus one process that only touches its own words —
+// the structure of the harness's abort-signal process, over a lock that
+// spins on reads like the paper's algorithms do. The full choice tree
+// multiplies the contention tree by every placement of the independent
+// process's steps and every interleaving of the commuting read spins;
+// partial-order reduction collapses both, which is where its leverage on
+// the property suites comes from.
+func mixedLockBody(s *Scheduler, maxSteps int) error {
+	const procs = 3
+	const sideOps = 5
+	m := NewMemory(CC, procs, s)
+	lock := m.Alloc(0)
+	count := m.Alloc(0)
+	side := m.AllocN(sideOps, 0)
+	for i := 0; i < 2; i++ {
+		p := m.Proc(i)
+		s.GoProc(i, func() {
+			for {
+				if p.Read(lock) == 0 && p.CAS(lock, 0, 1) {
+					break
 				}
-				schedules = res.Explored + res.Pruned
+				if p.AbortSignal() {
+					return
+				}
 			}
-			b.ReportMetric(float64(schedules)*float64(b.N)/b.Elapsed().Seconds(), "schedules/s")
+			p.FAA(count, 1)
+			p.Write(lock, 0)
 		})
+	}
+	p := m.Proc(2)
+	s.GoProc(2, func() {
+		for j := 0; j < sideOps; j++ {
+			p.Write(side+Addr(j), uint64(j)+1)
+		}
+	})
+	if err := s.Run(maxSteps); err != nil {
+		for i := 0; i < procs; i++ {
+			m.Proc(i).SignalAbort()
+		}
+		s.Drain()
+		return err
+	}
+	if got := m.Peek(count); got != 2 {
+		return fmt.Errorf("count = %d, want 2", got)
+	}
+	return nil
+}
+
+// BenchmarkExplorerThroughput measures bounded-exhaustive exploration on
+// the E8-shaped 3-process body, per worker count and reduction mode. Every
+// variant exhausts the same uncapped tree, so ns/op is the wall-clock to
+// cover it and the por=on / por=off ratio is the reduction's effective
+// speedup; replays/s is the raw replay rate.
+func BenchmarkExplorerThroughput(b *testing.B) {
+	const maxSteps = 13
+	for _, reduction := range []Reduction{NoReduction, SleepSets} {
+		por := "off"
+		if reduction == SleepSets {
+			por = "on"
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("por=%s/Workers=%d", por, workers), func(b *testing.B) {
+				var res Result
+				for i := 0; i < b.N; i++ {
+					e := &Explorer{MaxSteps: maxSteps, Workers: workers, Reduction: reduction}
+					var err error
+					res, err = e.Run(3, mixedLockBody)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Exhausted {
+						b.Fatal("tree not exhausted")
+					}
+				}
+				b.ReportMetric(float64(res.Replays())*float64(b.N)/b.Elapsed().Seconds(), "replays/s")
+				b.ReportMetric(float64(res.Explored), "explored")
+				b.ReportMetric(float64(res.Equivalent), "equivalent")
+			})
+		}
 	}
 }

@@ -20,8 +20,9 @@ import (
 // issue its shared-memory operations through a Memory gated by the
 // scheduler the body receives.
 type Explorer struct {
-	// MaxSchedules caps the number of schedules explored; 0 means no cap.
-	// When the cap stops the search, Run reports exhausted=false.
+	// MaxSchedules caps the number of replays (explored + pruned +
+	// equivalent-cut); 0 means no cap. When the cap stops the search, Run
+	// reports exhausted=false.
 	MaxSchedules int
 	// MaxSteps bounds each schedule's length. Busy-wait loops make the
 	// full choice tree infinite (a spinner can be rescheduled forever), so
@@ -37,18 +38,28 @@ type Explorer struct {
 	//
 	// The parallel search is deterministic where it matters: an uncapped
 	// run (MaxSchedules == 0) produces exactly the sequential
-	// Explored/Pruned/Exhausted counts, and a violating run reports the
-	// lexicographically smallest offending schedule — which is precisely
-	// the schedule the sequential DFS would report first, so replays are
-	// stable across worker counts. Two caveats: when MaxSchedules stops a
-	// parallel search the counts depend on worker timing (up to
-	// Workers−1 schedules beyond the cap may complete), and on a
-	// violating run only the reported schedule — not the counts — is
+	// Explored/Pruned/Equivalent/Exhausted counts, and a violating run
+	// reports the lexicographically smallest offending schedule — which is
+	// precisely the schedule the sequential DFS would report first, so
+	// replays are stable across worker counts. Two caveats: when
+	// MaxSchedules stops a parallel search the counts depend on worker
+	// timing (up to Workers−1 schedules beyond the cap may complete), and
+	// on a violating run only the reported schedule — not the counts — is
 	// deterministic. With Workers > 1 the body must additionally be safe
 	// to invoke from several goroutines at once (each invocation already
 	// has to build its state from scratch; it must not write shared
 	// test state outside its own run).
 	Workers int
+	// Reduction selects partial-order reduction. SleepSets skips
+	// schedules that only reorder commuting steps of schedules already
+	// explored (see por.go and docs/MODEL.md): exhaustiveness, the
+	// deterministic counts and the lexmin-violation guarantee then hold
+	// over equivalence classes of schedules — every class with a length-
+	// bounded representative is still visited, and the reported violating
+	// schedule is still the lexicographically smallest one of the full
+	// tree. Configurations with more than 64 processes fall back to
+	// NoReduction.
+	Reduction Reduction
 	// Monitor, when non-nil, receives live progress counts so a driver
 	// can report throughput while a long exploration runs.
 	Monitor *Monitor
@@ -57,13 +68,15 @@ type Explorer struct {
 // Monitor exposes an exploration's progress counters for concurrent
 // readers (progress printers); the Explorer updates it after every replay.
 type Monitor struct {
-	explored atomic.Int64
-	pruned   atomic.Int64
+	explored   atomic.Int64
+	pruned     atomic.Int64
+	equivalent atomic.Int64
 }
 
-// Counts returns the schedules explored and pruned so far.
-func (mn *Monitor) Counts() (explored, pruned int64) {
-	return mn.explored.Load(), mn.pruned.Load()
+// Counts returns the schedules explored, pruned at the step bound, and
+// cut as equivalent to explored ones so far.
+func (mn *Monitor) Counts() (explored, pruned, equivalent int64) {
+	return mn.explored.Load(), mn.pruned.Load(), mn.equivalent.Load()
 }
 
 // Result summarizes an exploration.
@@ -72,15 +85,26 @@ type Result struct {
 	Explored int
 	// Pruned counts schedules cut off at MaxSteps.
 	Pruned int
-	// Exhausted reports whether the whole (length-bounded) choice tree was
-	// covered; false when MaxSchedules stopped the search early.
+	// Equivalent counts replays the partial-order reduction cut at a
+	// sleep-blocked choice point: every continuation from such a point
+	// only reorders commuting steps of a schedule explored elsewhere.
+	// Always 0 with Reduction == NoReduction.
+	Equivalent int
+	// Exhausted reports whether the whole (length-bounded) choice tree —
+	// up to equivalence when reduction is on — was covered; false when
+	// MaxSchedules stopped the search early.
 	Exhausted bool
 	// Depths is the schedule-length histogram: Depths[d] counts replays
-	// whose choice sequence had length d (pruned replays count at the
-	// step bound they were cut at). Like Explored/Pruned it is
-	// deterministic for uncapped runs at any worker count.
+	// whose choice sequence had length d (pruned and equivalent-cut
+	// replays count at the step they were cut at). Like
+	// Explored/Pruned/Equivalent it is deterministic for uncapped runs at
+	// any worker count.
 	Depths []int64
 }
+
+// Replays returns the total number of body replays the exploration
+// performed: explored + pruned + equivalent-cut.
+func (r Result) Replays() int { return r.Explored + r.Pruned + r.Equivalent }
 
 // noteDepth bumps the length-d bucket, growing the histogram as needed.
 func noteDepth(depths *[]int64, d int) {
@@ -111,7 +135,9 @@ func (e *ErrExplore) Unwrap() error { return e.Err }
 // — for example with a tracer installed to capture the events leading up to
 // the violation. It panics if a choice index exceeds the branching width,
 // which can only happen when the body is nondeterministic or differs from
-// the one explored.
+// the one explored. Schedules reported by reduced explorations replay
+// identically: reduction only prunes sibling subtrees, it never alters the
+// meaning of a choice sequence.
 func ReplayPick(schedule []int) PickFunc {
 	return func(step int, waiting []int) int {
 		choice := 0
@@ -132,6 +158,14 @@ func ReplayPick(schedule []int) PickFunc {
 // s.Run returns ErrStepLimit the body must release its processes (deliver
 // abort signals as appropriate and call s.Drain) and return an error
 // wrapping ErrStepLimit, which the explorer prunes rather than reports.
+// (Schedules the reduction cuts surface to the body as ErrStepLimit too,
+// so the same drain protocol covers them.)
+//
+// Under SleepSets the body's verdict must additionally be trace-invariant:
+// it may depend on each process's own operation results and on the final
+// memory state — both preserved by reordering commuting steps — but not on
+// the global order of independent operations (e.g. a schedule-dependent
+// log of which process went first).
 type Body func(s *Scheduler, maxSteps int) error
 
 // Run explores schedules of body depth-first — in lexicographic order of
@@ -144,19 +178,33 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 	if maxSteps == 0 {
 		maxSteps = 512
 	}
+	red := e.Reduction
+	if nprocs > porMaxProcs {
+		red = NoReduction
+	}
 	if e.Workers > 1 {
-		return e.runParallel(nprocs, body, maxSteps)
+		return e.runParallel(nprocs, body, maxSteps, red)
 	}
 	var res Result
-	rp := newReplayer(nprocs, maxSteps)
+	rp := newReplayer(nprocs, maxSteps, red)
 	defer rp.close()
 	// prefix holds the choice index forced at each step. It is a buffer
 	// distinct from the recorder's choice log, so both can be reused
-	// across replays without aliasing.
+	// across replays without aliasing. seedMask/seedOp carry the sleep set
+	// computed for the branch the prefix forces.
 	var prefix []int
+	var seedMask uint64
+	var seedOp []stepAccess
+	rec := &rp.rec
+	if rec.por.on {
+		seedOp = make([]stepAccess, nprocs)
+	}
 	for {
+		if rec.por.on {
+			rec.por.seedMask = seedMask
+			copy(rec.por.seedOp, seedOp)
+		}
 		runErr := rp.run(prefix, body, maxSteps)
-		rec := &rp.rec
 		noteDepth(&res.Depths, len(rec.taken))
 		switch {
 		case runErr == nil:
@@ -165,9 +213,16 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 				mn.explored.Add(1)
 			}
 		case errors.Is(runErr, ErrStepLimit):
-			res.Pruned++
-			if mn := e.Monitor; mn != nil {
-				mn.pruned.Add(1)
+			if rec.por.cut {
+				res.Equivalent++
+				if mn := e.Monitor; mn != nil {
+					mn.equivalent.Add(1)
+				}
+			} else {
+				res.Pruned++
+				if mn := e.Monitor; mn != nil {
+					mn.pruned.Add(1)
+				}
 			}
 		default:
 			res.Explored++
@@ -176,23 +231,43 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 			}
 			return res, &ErrExplore{Schedule: append([]int(nil), rec.taken...), Err: runErr}
 		}
-		if e.MaxSchedules > 0 && res.Explored+res.Pruned >= e.MaxSchedules {
+		if e.MaxSchedules > 0 && res.Replays() >= e.MaxSchedules {
 			return res, nil
 		}
-		// Backtrack: find the deepest step with an untried alternative.
+		if rec.por.on {
+			rec.backfill()
+		}
+		// Backtrack: find the deepest step with an untried alternative
+		// that is not asleep at its node.
 		next := rec.taken
-		i := len(next) - 1
-		for ; i >= 0; i-- {
-			if next[i]+1 < rec.width[i] {
+		found := false
+		for i := len(next) - 1; i >= 0 && !found; i-- {
+			for c := next[i] + 1; c < rec.width[i]; c++ {
+				if rec.por.on {
+					if rec.asleep(i, c) {
+						continue
+					}
+					seedMask = rec.childSleep(i, c, seedOp)
+				}
+				prefix = append(append(prefix[:0], next[:i]...), c)
+				found = true
 				break
 			}
 		}
-		if i < 0 {
+		if !found {
 			res.Exhausted = true
 			return res, nil
 		}
-		prefix = append(append(prefix[:0], next[:i]...), next[i]+1)
 	}
+}
+
+// exTask is a pending subtree root of a parallel exploration: the forced
+// choice prefix plus — under reduction — the subtree's sleep set (pid mask
+// and the pending-op footprints of the sleeping pids, indexed by pid).
+type exTask struct {
+	prefix []int
+	mask   uint64
+	pend   []stepAccess
 }
 
 // runParallel fans the choice tree out over a pool of workers. Tasks are
@@ -200,19 +275,23 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 // discovers the branching widths along it, and every untried alternative
 // on that path becomes a new task. The subtrees rooted at distinct pending
 // tasks are pairwise disjoint and jointly cover exactly the unexplored
-// remainder of the tree, so the Explored/Pruned sums of an uncapped run
-// are independent of scheduling — they equal the sequential counts.
+// remainder of the tree, so the Explored/Pruned/Equivalent sums of an
+// uncapped run are independent of scheduling — they equal the sequential
+// counts. (Under reduction this relies on sibling sleep sets being
+// computed from the same data in both modes: the replay that generates a
+// node's siblings is the leftmost replay through that node, sequentially
+// and in a worker alike.)
 //
 // Workers keep the tasks they generate on a private LIFO stack (so the
 // steady state costs no locks, only a handful of atomic operations per
 // replay) and donate the shallower half to the shared pool whenever some
 // worker is starved.
-func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int) (Result, error) {
+func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int, red Reduction) (Result, error) {
 	st := &parState{
 		maxSchedules: e.MaxSchedules,
 		workers:      e.Workers,
 		mon:          e.Monitor,
-		stack:        [][]int{nil}, // the root subtree: no forced choices
+		stack:        []exTask{{}}, // the root subtree: no forced choices
 	}
 	st.work = sync.NewCond(&st.mu)
 	var wg sync.WaitGroup
@@ -220,7 +299,7 @@ func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int) (Result, err
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rp := newReplayer(nprocs, maxSteps)
+			rp := newReplayer(nprocs, maxSteps, red)
 			defer rp.close()
 			depths := st.worker(rp, body, maxSteps)
 			st.mu.Lock()
@@ -235,7 +314,12 @@ func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int) (Result, err
 	}
 	wg.Wait()
 
-	res := Result{Explored: int(st.explored.Load()), Pruned: int(st.pruned.Load()), Depths: st.depths}
+	res := Result{
+		Explored:   int(st.explored.Load()),
+		Pruned:     int(st.pruned.Load()),
+		Equivalent: int(st.equivalent.Load()),
+		Depths:     st.depths,
+	}
 	if b := st.best.Load(); b != nil {
 		return res, b
 	}
@@ -251,14 +335,15 @@ type parState struct {
 	workers      int
 	mon          *Monitor
 
-	explored atomic.Int64
-	pruned   atomic.Int64
-	capped   atomic.Bool
-	best     atomic.Pointer[ErrExplore] // lexicographically smallest violation
+	explored   atomic.Int64
+	pruned     atomic.Int64
+	equivalent atomic.Int64
+	capped     atomic.Bool
+	best       atomic.Pointer[ErrExplore] // lexicographically smallest violation
 
 	mu     sync.Mutex
 	work   *sync.Cond
-	stack  [][]int      // shared pool of pending subtree roots
+	stack  []exTask     // shared pool of pending subtree roots
 	idle   int          // workers parked in steal
 	hungry atomic.Int32 // mirrors idle, read lock-free by producers
 	depths []int64      // merged per-worker depth histograms
@@ -277,13 +362,16 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 	if hint > 4096 {
 		hint = 4096
 	}
-	var local, free [][]int
+	rec := &rp.rec
+	por := rec.por.on
+	nprocs := rec.por.nprocs
+	var local, free []exTask
 	var depths []int64
 	for {
 		if st.capped.Load() {
 			return depths
 		}
-		var task []int
+		var task exTask
 		ok := false
 		for n := len(local); n > 0; n = len(local) {
 			t := local[n-1]
@@ -291,8 +379,8 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 			// Discard subtrees that cannot contain a smaller violation
 			// than the best one found: every schedule in them compares
 			// greater, so exploring them cannot change the result.
-			if b := st.best.Load(); b != nil && lexCompare(t, b.Schedule) > 0 {
-				if cap(t) >= hint {
+			if b := st.best.Load(); b != nil && lexCompare(t.prefix, b.Schedule) > 0 {
+				if cap(t.prefix) >= hint {
 					free = append(free, t)
 				}
 				continue
@@ -306,8 +394,13 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 			}
 		}
 
-		runErr := rp.run(task, body, maxSteps)
-		rec := &rp.rec
+		if por {
+			rec.por.seedMask = task.mask
+			if task.pend != nil {
+				copy(rec.por.seedOp, task.pend)
+			}
+		}
+		runErr := rp.run(task.prefix, body, maxSteps)
 		noteDepth(&depths, len(rec.taken))
 		violation := false
 		switch {
@@ -317,9 +410,16 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 				st.mon.explored.Add(1)
 			}
 		case errors.Is(runErr, ErrStepLimit):
-			st.pruned.Add(1)
-			if st.mon != nil {
-				st.mon.pruned.Add(1)
+			if rec.por.cut {
+				st.equivalent.Add(1)
+				if st.mon != nil {
+					st.mon.equivalent.Add(1)
+				}
+			} else {
+				st.pruned.Add(1)
+				if st.mon != nil {
+					st.mon.pruned.Add(1)
+				}
 			}
 		default:
 			st.explored.Add(1)
@@ -329,25 +429,39 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 			violation = true
 			st.noteViolation(rec.taken, runErr)
 		}
-		if st.maxSchedules > 0 && st.explored.Load()+st.pruned.Load() >= int64(st.maxSchedules) {
+		if st.maxSchedules > 0 &&
+			st.explored.Load()+st.pruned.Load()+st.equivalent.Load() >= int64(st.maxSchedules) {
 			st.capped.Store(true)
 			st.wakeAll()
 			return depths
 		}
 		if !violation {
+			if por {
+				rec.backfill()
+			}
 			// Sibling subtrees of a violating schedule compare greater
 			// than it, so on a violation there is nothing worth pushing.
-			for d := len(task); d < len(rec.taken); d++ {
+			for d := len(task.prefix); d < len(rec.taken); d++ {
 				for c := rec.width[d] - 1; c > rec.taken[d]; c-- {
-					var t []int
-					if n := len(free); n > 0 && cap(free[n-1]) > d {
-						t = free[n-1][:d+1]
+					if por && rec.asleep(d, c) {
+						continue
+					}
+					var t exTask
+					if n := len(free); n > 0 && cap(free[n-1].prefix) > d {
+						t = free[n-1]
+						t.prefix = t.prefix[:d+1]
 						free = free[:n-1]
 					} else {
-						t = make([]int, d+1, max(hint, d+1))
+						t = exTask{prefix: make([]int, d+1, max(hint, d+1))}
 					}
-					copy(t, rec.taken[:d])
-					t[d] = c
+					copy(t.prefix, rec.taken[:d])
+					t.prefix[d] = c
+					if por {
+						if t.pend == nil {
+							t.pend = make([]stepAccess, nprocs)
+						}
+						t.mask = rec.childSleep(d, c, t.pend)
+					}
 					local = append(local, t)
 				}
 			}
@@ -357,7 +471,7 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 		}
 		// The replayed task is dead: rec.prefix still aliases it, but the
 		// next run overwrites that before any pick reads it.
-		if cap(task) >= hint {
+		if cap(task.prefix) >= hint {
 			free = append(free, task)
 		}
 	}
@@ -366,7 +480,7 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 // share donates the shallowest tasks of a worker's local stack — the
 // larger subtrees, which sit at the bottom of the LIFO — to the shared
 // pool, one per starved worker, and wakes exactly that many.
-func (st *parState) share(local *[][]int, hungry int) {
+func (st *parState) share(local *[]exTask, hungry int) {
 	l := *local
 	k := len(l) - 1 // always keep one task to continue on
 	if k > hungry {
@@ -386,7 +500,7 @@ func (st *parState) share(local *[][]int, hungry int) {
 // still donate work. It returns false when the search is over: every
 // worker is starved (the tree is fully claimed), or the schedule cap was
 // hit.
-func (st *parState) steal() ([]int, bool) {
+func (st *parState) steal() (exTask, bool) {
 	st.mu.Lock()
 	st.idle++
 	st.hungry.Store(int32(st.idle))
@@ -394,7 +508,7 @@ func (st *parState) steal() ([]int, bool) {
 		for n := len(st.stack); n > 0; n = len(st.stack) {
 			t := st.stack[n-1]
 			st.stack = st.stack[:n-1]
-			if b := st.best.Load(); b != nil && lexCompare(t, b.Schedule) > 0 {
+			if b := st.best.Load(); b != nil && lexCompare(t.prefix, b.Schedule) > 0 {
 				continue
 			}
 			st.idle--
@@ -405,7 +519,7 @@ func (st *parState) steal() ([]int, bool) {
 		if st.idle == st.workers || st.capped.Load() {
 			st.work.Broadcast()
 			st.mu.Unlock()
-			return nil, false
+			return exTask{}, false
 		}
 		st.work.Wait()
 	}
@@ -454,29 +568,33 @@ func lexCompare(a, b []int) int {
 }
 
 // recorder is a PickFunc that follows a forced prefix of choice indices
-// and then always takes the first alternative, recording the choices made
-// and the branching width at every step.
+// and then always takes the first alternative — the first one not asleep,
+// under reduction — recording the choices made and the branching width at
+// every step. Its por state is described in por.go.
 type recorder struct {
 	prefix []int
 	taken  []int
 	width  []int
+	por    porState
 }
 
 // replayer bundles a recorder with a scheduler that is reset and reused
 // across replays, so that a replay allocates nothing beyond what the body
-// itself allocates: the choice log, the grant channels, the waiting buffer
-// and the process goroutines (via the pool) all persist from run to run.
+// itself allocates: the choice log, the grant channels, the waiting buffer,
+// the reduction's access log and snapshots, and the process goroutines
+// (via the pool) all persist from run to run.
 type replayer struct {
 	rec  recorder
 	s    *Scheduler
 	pool procPool
 }
 
-// newReplayer pre-sizes the choice log to the step bound so that steady
-// replays do not grow slices while holding the scheduler lock. The caller
-// must close() the replayer when the exploration is over to release the
-// pooled goroutines.
-func newReplayer(nprocs, maxSteps int) *replayer {
+// newReplayer pre-sizes the choice log (and, under reduction, the access
+// log and per-depth snapshots) to the step bound so that steady replays do
+// not grow slices while holding the scheduler lock. The caller must
+// close() the replayer when the exploration is over to release the pooled
+// goroutines.
+func newReplayer(nprocs, maxSteps int, red Reduction) *replayer {
 	hint := maxSteps + 1
 	if hint > 4096 {
 		hint = 4096
@@ -487,6 +605,19 @@ func newReplayer(nprocs, maxSteps int) *replayer {
 	}}
 	rp.s = NewScheduler(nprocs, rp.rec.pick)
 	rp.s.spawn = rp.pool.spawn
+	if red == SleepSets && nprocs <= porMaxProcs {
+		p := &rp.rec.por
+		p.on = true
+		p.nprocs = nprocs
+		p.acc = make([]stepAccess, maxSteps)
+		p.seedOp = make([]stepAccess, nprocs)
+		p.sleepOp = make([]stepAccess, nprocs)
+		p.pend = make([]stepAccess, nprocs)
+		p.sleepAt = make([]uint64, hint)
+		p.pidAt = make([]int32, hint*nprocs)
+		p.pendAt = make([]stepAccess, hint*nprocs)
+		rp.s.acc = p.acc
+	}
 	return rp
 }
 
@@ -495,6 +626,7 @@ func (rp *replayer) run(prefix []int, body Body, maxSteps int) error {
 	rp.rec.prefix = prefix
 	rp.rec.taken = rp.rec.taken[:0]
 	rp.rec.width = rp.rec.width[:0]
+	rp.rec.por.cut = false
 	rp.s.reset()
 	return body(rp.s, maxSteps)
 }
@@ -507,10 +639,24 @@ func (rp *replayer) close() { rp.pool.close() }
 // configurations. A pooled goroutine parks on its own channel between
 // launches; dispatching to it costs the same wakeup a fresh goroutine
 // would, minus the creation and teardown.
+//
+// The free list is a lock-free Treiber stack over an append-only node
+// table: head packs a 32-bit ABA version with a 32-bit node index (+1; 0
+// terminates), so the steady-state dispatch — pop, run, re-enlist — takes
+// a handful of atomics and no locks. The mutex only guards goroutine
+// creation (free list empty) and close.
 type procPool struct {
-	mu   sync.Mutex
-	free []chan procTask
-	all  []chan procTask
+	head  atomic.Uint64               // {version:32, node index+1:32}
+	nodes atomic.Pointer[[]*poolNode] // append-only; republished on growth
+	mu    sync.Mutex
+	all   []chan procTask
+}
+
+// poolNode is one pooled goroutine's stack entry: its dispatch channel and
+// the intrusive next link (a node index+1, 0 terminating the list).
+type poolNode struct {
+	c    chan procTask
+	next atomic.Uint32
 }
 
 // procTask is a pooled launch: the goroutine runs s.runProc(fn). Shipping
@@ -521,30 +667,57 @@ type procTask struct {
 }
 
 func (pp *procPool) spawn(s *Scheduler, fn func()) {
-	pp.mu.Lock()
-	var c chan procTask
-	if n := len(pp.free); n > 0 {
-		c = pp.free[n-1]
-		pp.free = pp.free[:n-1]
-		pp.mu.Unlock()
-	} else {
-		c = make(chan procTask, 1)
-		pp.all = append(pp.all, c)
-		pp.mu.Unlock()
-		go pp.loop(c)
+	for {
+		h := pp.head.Load()
+		idx := uint32(h)
+		if idx == 0 {
+			break
+		}
+		n := (*pp.nodes.Load())[idx-1]
+		next := n.next.Load()
+		if pp.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(next)) {
+			n.c <- procTask{s, fn}
+			return
+		}
 	}
-	c <- procTask{s, fn}
+	// Free list empty: enlist a fresh goroutine. The pool may briefly
+	// over-provision when a launch races a goroutine's re-enlistment;
+	// growth is bounded by the processes in flight.
+	pp.mu.Lock()
+	var nodes []*poolNode
+	if old := pp.nodes.Load(); old != nil {
+		nodes = make([]*poolNode, len(*old), len(*old)+1)
+		copy(nodes, *old)
+	}
+	n := &poolNode{c: make(chan procTask, 1)}
+	nodes = append(nodes, n)
+	pp.nodes.Store(&nodes)
+	idx := uint32(len(nodes)) // this node's index+1
+	pp.all = append(pp.all, n.c)
+	pp.mu.Unlock()
+	go pp.loop(n, idx)
+	n.c <- procTask{s, fn}
+}
+
+// push re-enlists a parked goroutine's node. The version in the head's
+// high half makes the CAS safe against ABA: every successful push or pop
+// bumps it, so a head observed before an interleaved pop/push sequence
+// never matches again.
+func (pp *procPool) push(n *poolNode, idx uint32) {
+	for {
+		h := pp.head.Load()
+		n.next.Store(uint32(h))
+		if pp.head.CompareAndSwap(h, (h>>32+1)<<32|uint64(idx)) {
+			return
+		}
+	}
 }
 
 // loop runs dispatched tasks, re-enlisting in the free list after each.
-// The pool may briefly over-provision when a launch races a goroutine's
-// re-enlistment; growth is bounded by the processes in flight.
-func (pp *procPool) loop(c chan procTask) {
-	for t := range c {
+func (pp *procPool) loop(n *poolNode, idx uint32) {
+	for t := range n.c {
 		t.s.runProc(t.fn)
-		pp.mu.Lock()
-		pp.free = append(pp.free, c)
-		pp.mu.Unlock()
+		pp.push(n, idx)
 	}
 }
 
@@ -555,25 +728,33 @@ func (pp *procPool) close() {
 	pp.mu.Lock()
 	all := pp.all
 	pp.all = nil
-	pp.free = nil
 	pp.mu.Unlock()
+	pp.head.Store(0)
 	for _, c := range all {
 		close(c)
 	}
 }
 
 func (r *recorder) pick(step int, waiting []int) int {
+	if r.por.on {
+		return r.porPick(step, waiting)
+	}
 	choice := 0
 	if step < len(r.prefix) {
 		choice = r.prefix[step]
 	}
 	if choice >= len(waiting) {
-		// The tree shifted under a stale prefix — possible only if the
-		// body is nondeterministic, which violates the contract.
-		panic(fmt.Sprintf("rmr: exploration prefix invalid at step %d (choice %d of %d): nondeterministic body?",
-			step, choice, len(waiting)))
+		panic(badPrefix(step, choice, len(waiting)))
 	}
 	r.taken = append(r.taken, choice)
 	r.width = append(r.width, len(waiting))
 	return choice
+}
+
+// badPrefix reports a forced choice exceeding the branching width: the
+// tree shifted under a stale prefix, which is possible only if the body is
+// nondeterministic, violating the contract.
+func badPrefix(step, choice, width int) string {
+	return fmt.Sprintf("rmr: exploration prefix invalid at step %d (choice %d of %d): nondeterministic body?",
+		step, choice, width)
 }

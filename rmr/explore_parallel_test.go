@@ -136,7 +136,8 @@ func TestGoAndGoProcEquivalent(t *testing.T) {
 // itself be deterministic for uncapped runs at any worker count.
 func resultsEqual(a, b Result) bool {
 	return a.Explored == b.Explored && a.Pruned == b.Pruned &&
-		a.Exhausted == b.Exhausted && slices.Equal(a.Depths, b.Depths)
+		a.Equivalent == b.Equivalent && a.Exhausted == b.Exhausted &&
+		slices.Equal(a.Depths, b.Depths)
 }
 
 // TestParallelViolationDeterministic: on a buggy body the parallel search
@@ -161,7 +162,7 @@ func TestParallelViolationDeterministic(t *testing.T) {
 			t.Errorf("workers=%d: schedule %v, want %v", workers, got.Schedule, want.Schedule)
 		}
 		// Replaying the reported schedule must reproduce the violation.
-		rp := newReplayer(2, maxSteps)
+		rp := newReplayer(2, maxSteps, NoReduction)
 		if rerr := rp.run(got.Schedule, buggyLockBody, maxSteps); rerr == nil {
 			t.Errorf("workers=%d: reported schedule does not reproduce", workers)
 		}

@@ -25,7 +25,11 @@ var ErrStepLimit = errors.New("rmr: scheduler step limit exceeded")
 // the gate — sorted by process id, so that a choice index denotes the same
 // process in every run that made the same prior choices (the property the
 // Explorer's replay soundness rests on) — and returns an index into that
-// slice.
+// slice. Returning a negative index declines to schedule anything: the run
+// ends as if the step budget were exhausted (Run returns ErrStepLimit, and
+// the caller drains as usual). The Explorer's partial-order reduction uses
+// this to cut schedules whose continuations are all equivalent to
+// schedules explored elsewhere.
 type PickFunc func(step int, waiting []int) int
 
 // RandomPick returns a PickFunc that chooses uniformly at random with the
@@ -110,8 +114,16 @@ type Scheduler struct {
 	// prebuilt closure keeps dispatch allocation-free.
 	spawn func(s *Scheduler, fn func())
 
+	// acc, when non-nil, is the per-step access log the Explorer's
+	// partial-order reduction reads: entry i is the memory footprint of
+	// step i, cleared to unknown at grant time and filled in by the granted
+	// operation via noteAccess. Only the step-token holder writes between
+	// grants, so entries need no lock.
+	acc []stepAccess
+
 	mu       sync.Mutex
 	waiting  []int // pids blocked at the gate, sorted ascending
+	release  []int // Drain's scratch copy of waiting
 	launched int   // processes started with Go or GoProc
 	live     int   // launched minus returned
 	started  bool  // Run has been called
@@ -138,6 +150,7 @@ func NewScheduler(n int, pick PickFunc) *Scheduler {
 		pick:     pick,
 		grant:    make([]chan struct{}, n),
 		waiting:  make([]int, 0, n),
+		release:  make([]int, 0, n),
 		deferred: make([]func(), n),
 		token:    make([]bool, n),
 		// Capacity 2: a stalling run signals ErrStepLimit and then, once
@@ -225,12 +238,43 @@ func (s *Scheduler) grantNext() int {
 		return -1
 	}
 	i := s.pick(s.step, s.waiting)
+	if i < 0 {
+		// The pick declined every waiting process (the Explorer's
+		// reduction cut this schedule). End the run exactly like a
+		// step-limit stall so the body's drain protocol applies unchanged.
+		s.mu.Unlock()
+		select {
+		case s.sig <- ErrStepLimit:
+		default:
+		}
+		return -1
+	}
+	if s.acc != nil && s.step < len(s.acc) {
+		s.acc[s.step] = unknownAccess
+	}
 	pid := s.waiting[i]
 	s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
 	s.step++
 	s.clock.Store(int64(s.step))
 	s.mu.Unlock()
 	return pid
+}
+
+// noteAccess records the memory footprint of the currently granted step;
+// Proc's operation methods call it right after the gate grants them the
+// step. The entry was cleared to unknown at grant time, so steps that
+// never reach an operation (a process released by Drain, a Gate.Await with
+// no operation behind it) conservatively stay unknown. Only the step-token
+// holder runs between grants, and its write is ordered before the next
+// grant by the gate handoff, so no lock is needed; clock pins the step the
+// token holder owns.
+func (s *Scheduler) noteAccess(a Addr, mut bool) {
+	if s.acc == nil || s.open.Load() {
+		return
+	}
+	if i := s.clock.Load() - 1; i >= 0 && i < int64(len(s.acc)) {
+		s.acc[i] = stepAccess{addr: a, mut: mut}
+	}
 }
 
 // Go launches fn as a scheduled process. It must be called for every
@@ -388,7 +432,11 @@ func (s *Scheduler) Steps() int64 { return s.clock.Load() }
 func (s *Scheduler) Drain() {
 	s.open.Store(true)
 	s.mu.Lock()
-	release := append([]int(nil), s.waiting...)
+	// The release buffer is scheduler-owned scratch so that a drain — which
+	// the Explorer's reduction triggers on every cut schedule — stays
+	// allocation-free in steady state.
+	s.release = append(s.release[:0], s.waiting...)
+	release := s.release
 	s.waiting = s.waiting[:0]
 	done := s.live == 0
 	s.mu.Unlock()

@@ -92,12 +92,15 @@ func (p *Proc) EnterPhase(ph Phase) {
 func (p *Proc) Phase() Phase { return p.phase }
 
 // step performs gate arbitration and operation counting common to every
-// shared-memory operation. The Scheduler gate is called directly rather
+// shared-memory operation, and reports the operation's footprint (word
+// address, read vs. mutate) to the scheduler for the Explorer's
+// partial-order reduction. The Scheduler gate is called directly rather
 // than through the interface: the per-step call is the hottest edge in an
 // exploration.
-func (p *Proc) step() {
+func (p *Proc) step(a Addr, mut bool) {
 	if s := p.m.sched; s != nil {
 		s.Await(p.id)
+		s.noteAccess(a, mut)
 	} else if g := p.m.gate; g != nil {
 		g.Await(p.id)
 	}
@@ -146,7 +149,7 @@ func (p *Proc) chargeUpdate(w *word) bool {
 
 // Read atomically reads the word at a.
 func (p *Proc) Read(a Addr) uint64 {
-	p.step()
+	p.step(a, false)
 	m := p.m
 	w := m.word(a)
 	o := m.obs.Load()
@@ -201,7 +204,7 @@ func (p *Proc) Read(a Addr) uint64 {
 
 // Write atomically writes v to the word at a.
 func (p *Proc) Write(a Addr, v uint64) {
-	p.step()
+	p.step(a, true)
 	m := p.m
 	w := m.word(a)
 	o := m.obs.Load()
@@ -248,7 +251,7 @@ func (p *Proc) Write(a Addr, v uint64) {
 // failed CAS operations are charged as updates, per §2 ("each write, CAS, or
 // F&A incurs an RMR").
 func (p *Proc) CAS(a Addr, old, new uint64) bool {
-	p.step()
+	p.step(a, true)
 	m := p.m
 	w := m.word(a)
 	o := m.obs.Load()
@@ -303,7 +306,7 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 // FAA atomically adds delta to the word at a and returns the previous value
 // (Fetch-And-Add; delta may encode a subtraction in two's complement).
 func (p *Proc) FAA(a Addr, delta uint64) uint64 {
-	p.step()
+	p.step(a, true)
 	m := p.m
 	w := m.word(a)
 	o := m.obs.Load()
@@ -351,7 +354,7 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 // (Fetch-And-Store). It is not used by the paper's algorithm but is required
 // by the MCS and Scott baselines.
 func (p *Proc) Swap(a Addr, v uint64) uint64 {
-	p.step()
+	p.step(a, true)
 	m := p.m
 	w := m.word(a)
 	o := m.obs.Load()

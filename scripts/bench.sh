@@ -4,21 +4,27 @@
 # Usage:  scripts/bench.sh [output.json]
 #
 # Runs BenchmarkMemOps (operation-path throughput, CC and DSM) and
-# BenchmarkExplorerThroughput (bounded-exhaustive schedules/s at worker
-# counts 1/2/4/8) with -benchmem, then converts the Go benchmark output to
-# a JSON report. BENCHTIME overrides -benchtime (CI uses 1x for a smoke
-# run; the default 1s gives stable numbers).
+# BenchmarkExplorerThroughput (bounded-exhaustive replays/s at worker
+# counts 1/2/4/8, with partial-order reduction off and on over the same
+# tree) with -benchmem, then converts the Go benchmark output to a JSON
+# report. BENCHTIME overrides -benchtime (CI uses 1x for a smoke run; the
+# default 1s gives stable numbers).
 #
 # The report's "locks" key is the registry-driven per-lock × per-model
 # (CC/DSM) RMR matrix from `rmrbench -matrix`: one entry per registered
 # lock and supported memory model, so a newly registered lock shows up in
-# BENCH_rmr.json with no change here. BENCHTIME=1x shrinks the matrix
-# workloads too (-quick).
+# BENCH_rmr.json with no change here. The "explorer" key is the E8
+# exhaustive-exploration record from `rmrbench -explore`: replays, pruned
+# and equivalent-cut counts, and replays/sec per configuration with
+# reduction off and on, so the reduction's leverage is diffable across PRs.
+# BENCHTIME=1x shrinks the matrix workloads and the exploration bound too
+# (-quick).
 #
 # The "baseline" block records the pre-optimization seed numbers measured
 # on the reference 1-CPU container, so a report is self-describing: the
-# acceptance targets were >=2x baseline ops/s for MemOps and >=3x baseline
-# schedules/s for the explorer.
+# acceptance targets were >=2x baseline ops/s for MemOps, >=3x baseline
+# schedules/s for the explorer, and >=5x wall-clock to exhaust the bench
+# tree with reduction on vs off.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,16 +32,17 @@ out="${1:-BENCH_rmr.json}"
 benchtime="${BENCHTIME:-1s}"
 raw="$(mktemp)"
 matrix="$(mktemp)"
-trap 'rm -f "$raw" "$matrix"' EXIT
+explore="$(mktemp)"
+trap 'rm -f "$raw" "$matrix" "$explore"' EXIT
 
 go test -run '^$' -bench 'BenchmarkMemOps|BenchmarkExplorerThroughput' \
 	-benchtime "$benchtime" -benchmem -timeout 20m ./rmr/ | tee "$raw"
 
-matrix_flags=()
+artifact_flags=()
 if [ "$benchtime" = "1x" ]; then
-	matrix_flags+=(-quick)
+	artifact_flags+=(-quick)
 fi
-go run ./cmd/rmrbench "${matrix_flags[@]}" -matrix "$matrix"
+go run ./cmd/rmrbench "${artifact_flags[@]}" -matrix "$matrix" -explore "$explore"
 
 {
 	printf '{\n'
@@ -46,9 +53,11 @@ go run ./cmd/rmrbench "${matrix_flags[@]}" -matrix "$matrix"
 	printf '    "MemOps/DSM ops/s": 18193806,\n'
 	printf '    "ExplorerThroughput schedules/s": 67822\n'
 	printf '  },\n'
-	# Splice in the registry matrix: drop the outer braces of rmrbench's
-	# {"locks": [...]} document and keep the "locks" member as-is.
+	# Splice in the registry matrix and the exploration record: drop the
+	# outer braces of rmrbench's {"locks": [...]} / {"explorer": [...]}
+	# documents and keep the members as-is.
 	printf '%s,\n' "$(sed '1d;$d' "$matrix")"
+	printf '%s,\n' "$(sed '1d;$d' "$explore")"
 	printf '  "benchmarks": [\n'
 	awk '
 	/^Benchmark/ {
