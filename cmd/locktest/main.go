@@ -16,6 +16,14 @@
 // property violation, the offending schedule is replayed with a
 // flight-recorder tracer and the last events before the violation are
 // dumped alongside the schedule.
+//
+// Fault injection (see docs/FAULTS.md): -faults runs the seeded schedules
+// under a scripted fault plan ("crash:0@4,stall:1@2+15"); -crash-points
+// makes -exhaustive sweep crash-stop plans at the given operation attempts
+// on top of the schedule exploration; -watchdog arms the starvation
+// watchdog at the given overtaking bound in either mode. -deadline bounds
+// the whole run in wall-clock time — on expiry the in-flight run's fault
+// report and replay schedule are dumped and the exit status is 3.
 package main
 
 import (
@@ -58,6 +66,10 @@ func run(args []string) error {
 	por := fs.Bool("por", false, "partial-order reduction for -exhaustive (sleep sets; prunes equivalent interleavings)")
 	progress := fs.Bool("progress", false, "print live exploration counters to stderr (-exhaustive)")
 	ringSize := fs.Int("ring", 64, "flight-recorder size for violation dumps (-exhaustive)")
+	faultsSpec := fs.String("faults", "", "inject scripted faults into every seeded schedule: `kind:pid@op[+delay],...` (crash, stall)")
+	crashPoints := fs.String("crash-points", "", "with -exhaustive, sweep crash-stop plans at these 1-based `op,op,...` attempts per victim")
+	watchdog := fs.Int("watchdog", 0, "arm the starvation watchdog at this overtaking bound (0 = off)")
+	deadline := fs.Duration("deadline", 0, "wall-clock bound for the whole run; on expiry dump the fault report and exit 3")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,18 +98,51 @@ func run(args []string) error {
 	if *aborters > 0 && !info.Abortable {
 		return fmt.Errorf("%s is not abortable", lock)
 	}
+	plan, err := harness.ParseFaults(*faultsSpec)
+	if err != nil {
+		return err
+	}
+	points, err := harness.ParseCrashPoints(*crashPoints)
+	if err != nil {
+		return err
+	}
+	if plan != nil && *exhaustive {
+		return fmt.Errorf("-faults scripts one plan into seeded runs; with -exhaustive use -crash-points to sweep crash plans")
+	}
+	if points != nil && !*exhaustive {
+		return fmt.Errorf("-crash-points sweeps plans under -exhaustive; for seeded runs script a plan with -faults")
+	}
+
+	// current tracks the in-flight scheduler so an expired deadline can dump
+	// the fault report and replay schedule of whatever run was stuck.
+	var current atomic.Pointer[rmr.Scheduler]
+	if *deadline > 0 {
+		timer := time.AfterFunc(*deadline, func() {
+			fmt.Fprintf(os.Stderr, "locktest: deadline %v exceeded\n", *deadline)
+			if s := current.Load(); s != nil {
+				harness.WriteFaultReport(os.Stderr, s.Faults(), s.Schedule())
+			}
+			os.Exit(3)
+		})
+		defer timer.Stop()
+	}
 
 	if *exhaustive {
 		return runExhaustive(exhaustiveConfig{
 			model: mdl, algo: harness.Algo(lock), w: *w, n: *n, aborters: *aborters,
 			maxSteps: *exhaustSteps, cap: *exhaustCap, workers: *workers, por: *por,
 			progress: *progress, ringSize: *ringSize,
+			crashPoints: points, watchdog: *watchdog,
 		})
+	}
+	if plan != nil || *watchdog > 0 {
+		return runFaultedSeeds(mdl, harness.Algo(lock), *w, *n, *aborters, *seeds, *maxSteps,
+			plan, *watchdog, &current)
 	}
 
 	var totalEntered, totalAborted int
 	for seed := int64(0); seed < int64(*seeds); seed++ {
-		entered, aborted, err := explore(mdl, harness.Algo(lock), *w, *n, *aborters, seed, *maxSteps)
+		entered, aborted, err := explore(mdl, harness.Algo(lock), *w, *n, *aborters, seed, *maxSteps, &current)
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)
 		}
@@ -110,9 +155,59 @@ func run(args []string) error {
 	return nil
 }
 
+// runFaultedSeeds runs the seeded schedules with the scripted fault plan
+// and/or the watchdog armed, via the fault-tolerant harness body (survivors
+// must complete, crashed processes are exempt, mutual exclusion is
+// unconditional). A crash can wedge survivors of a non-abortable lock past
+// the step budget; those seeds are reported as wedged — with the injected
+// fault attributed — rather than failing the run.
+func runFaultedSeeds(model rmr.Model, algo harness.Algo, w, n, aborters, seeds, maxSteps int,
+	plan *rmr.FaultPlan, watchdog int, current *atomic.Pointer[rmr.Scheduler]) error {
+	nprocs := n
+	if aborters > 0 {
+		nprocs++ // the abort-signal process
+	}
+	body := harness.FaultBody(model, algo, w, n, aborters)
+	var fired, wedged int
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+		if plan != nil {
+			s.SetFaultPlan(plan)
+		}
+		if watchdog > 0 {
+			s.SetWatchdog(watchdog)
+		}
+		s.RecordSchedule(true)
+		current.Store(s)
+		err := body(s, maxSteps)
+		faults := s.Faults()
+		fired += len(faults)
+		if err != nil {
+			if errors.Is(err, rmr.ErrStepLimit) && plan != nil && len(faults) > 0 {
+				wedged++
+				continue
+			}
+			harness.WriteFaultReport(os.Stderr, faults, s.Schedule())
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	fmt.Printf("%s: %d seeds × %d processes (%d aborters) under faults: OK\n", algo, seeds, n, aborters)
+	if plan != nil {
+		fmt.Printf("  fault plan: %v\n", plan)
+	}
+	if watchdog > 0 {
+		fmt.Printf("  watchdog bound: %d overtakes\n", watchdog)
+	}
+	fmt.Printf("  faults fired: %d; seeds wedged by a crash (step limit, fault attributed): %d\n", fired, wedged)
+	fmt.Println("  mutual exclusion held and every survivor completed in every schedule")
+	return nil
+}
+
 // explore runs one seeded schedule and returns (entered, aborted) counts.
-func explore(model rmr.Model, algo harness.Algo, w, n, aborters int, seed int64, maxSteps int) (int, int, error) {
+func explore(model rmr.Model, algo harness.Algo, w, n, aborters int, seed int64, maxSteps int,
+	current *atomic.Pointer[rmr.Scheduler]) (int, int, error) {
 	s := rmr.NewScheduler(n, rmr.RandomPick(seed))
+	current.Store(s)
 	m := rmr.NewMemory(model, n, nil)
 	fn, err := harness.Build(m, algo, w, n)
 	if err != nil {
@@ -157,17 +252,19 @@ func explore(model rmr.Model, algo harness.Algo, w, n, aborters int, seed int64,
 }
 
 type exhaustiveConfig struct {
-	model    rmr.Model
-	algo     harness.Algo
-	w        int
-	n        int
-	aborters int
-	maxSteps int
-	cap      int
-	workers  int
-	por      bool
-	progress bool
-	ringSize int
+	model       rmr.Model
+	algo        harness.Algo
+	w           int
+	n           int
+	aborters    int
+	maxSteps    int
+	cap         int
+	workers     int
+	por         bool
+	progress    bool
+	ringSize    int
+	crashPoints []int
+	watchdog    int
 }
 
 // runExhaustive enumerates every schedule of length ≤ maxSteps (bounded
@@ -189,22 +286,49 @@ func runExhaustive(cfg exhaustiveConfig) error {
 		reduction = rmr.SleepSets
 		reductionName = "sleep-sets"
 	}
+	if cfg.watchdog > 0 && cfg.por {
+		reductionName = "off (forced by -watchdog)"
+	}
+	faulted := len(cfg.crashPoints) > 0 || cfg.watchdog > 0
 	ec := harness.ExploreConfig{
 		Model: cfg.model, Algo: cfg.algo, W: cfg.w, N: cfg.n, Aborters: cfg.aborters,
 		MaxSteps: cfg.maxSteps, MaxSchedules: cfg.cap, Workers: workers, Reduction: reduction,
 	}
 	fmt.Printf("%s: bounded-exhaustive exploration: n=%d w=%d aborters=%d ≤%d steps, workers=%d, reduction=%s\n",
 		cfg.algo, cfg.n, cfg.w, cfg.aborters, cfg.maxSteps, workers, reductionName)
+	if faulted {
+		fmt.Printf("  fault sweep: crash points %v, watchdog bound %d\n", cfg.crashPoints, cfg.watchdog)
+	}
 	var stopProgress func()
 	if cfg.progress {
 		ec.Monitor = &rmr.Monitor{}
 		stopProgress = startProgress(ec.Monitor)
 	}
 	start := time.Now()
-	res, err := harness.Explore(ec)
+	var res rmr.Result
+	var runs []rmr.FaultRun
+	var err error
+	if faulted {
+		f := harness.Faults{CrashPoints: cfg.crashPoints, Watchdog: cfg.watchdog}
+		if len(cfg.crashPoints) == 0 {
+			// Watchdog-only: explore the fault-free schedules under the
+			// watchdog without injecting crashes (no victims, no crash plans).
+			f.Victims = []int{}
+		}
+		res, runs, err = harness.ExploreFaults(ec, f)
+	} else {
+		res, err = harness.Explore(ec)
+	}
 	elapsed := time.Since(start)
 	if stopProgress != nil {
 		stopProgress()
+	}
+	// ErrFaultExplore's promoted Unwrap skips the embedded ErrExplore, so it
+	// must be matched before the plain-violation case.
+	var fe *rmr.ErrFaultExplore
+	if errors.As(err, &fe) {
+		dumpFaultViolation(cfg, fe)
+		return err
 	}
 	var ee *rmr.ErrExplore
 	if errors.As(err, &ee) {
@@ -216,13 +340,45 @@ func runExhaustive(cfg exhaustiveConfig) error {
 	}
 	fmt.Printf("  %d schedules explored, %d pruned, %d cut as equivalent, exhausted=%v\n",
 		res.Explored, res.Pruned, res.Equivalent, res.Exhausted)
+	if faulted {
+		fmt.Printf("  %d fault plans swept (fault-free baseline first)\n", len(runs))
+	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		fmt.Printf("  throughput: %.0f replays/s over %v\n",
 			float64(res.Replays())/secs, elapsed.Round(time.Millisecond))
 	}
 	printDepths(res.Depths)
-	fmt.Println("  mutual exclusion and non-aborter completion held in every explored schedule")
+	if faulted {
+		fmt.Println("  mutual exclusion and survivor completion held in every explored schedule of every plan")
+	} else {
+		fmt.Println("  mutual exclusion and non-aborter completion held in every explored schedule")
+	}
 	return nil
+}
+
+// dumpFaultViolation replays a violation found under an injected fault plan:
+// the plan is reinstalled, the lexmin schedule is driven step for step, and
+// the resulting fault attribution is printed alongside the schedule.
+func dumpFaultViolation(cfg exhaustiveConfig, fe *rmr.ErrFaultExplore) {
+	fmt.Fprintf(os.Stderr, "locktest: property violation under fault plan [%v] on schedule %v\n",
+		fe.Plan, fe.Schedule)
+	nprocs := cfg.n
+	if cfg.aborters > 0 {
+		nprocs++
+	}
+	s := rmr.NewScheduler(nprocs, rmr.ReplayPick(fe.Schedule))
+	s.SetFaultPlan(fe.Plan)
+	if cfg.watchdog > 0 {
+		s.SetWatchdog(cfg.watchdog)
+	}
+	s.RecordSchedule(true)
+	replayErr := harness.FaultBody(cfg.model, cfg.algo, cfg.w, cfg.n, cfg.aborters)(s, cfg.maxSteps)
+	if replayErr == nil {
+		fmt.Fprintln(os.Stderr, "locktest: replay did not reproduce the violation (nondeterministic body?)")
+		return
+	}
+	harness.WriteFaultReport(os.Stderr, s.Faults(), fe.Schedule)
+	fmt.Fprintf(os.Stderr, "locktest: replayed violation: %v\n", replayErr)
 }
 
 // startProgress prints live explored/pruned counters and throughput to

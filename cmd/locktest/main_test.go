@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"sublock/internal/harness"
@@ -102,9 +103,71 @@ func TestRunRejectsAbortingMCS(t *testing.T) {
 
 func TestExploreDetectsStall(t *testing.T) {
 	// A tiny step budget must surface as a stall error, not a hang.
-	_, _, err := explore(rmr.CC, harness.AlgoPaper, 4, 8, 0, 1, 3)
+	var current atomic.Pointer[rmr.Scheduler]
+	_, _, err := explore(rmr.CC, harness.AlgoPaper, 4, 8, 0, 1, 3, &current)
 	if err == nil || !strings.Contains(err.Error(), "stalled") {
 		t.Fatalf("err = %v, want stall error", err)
+	}
+	if current.Load() == nil {
+		t.Error("in-flight scheduler not published for the deadline dump")
+	}
+}
+
+// TestRunSeededFaults: a scripted crash plan over the seeded schedules
+// completes with the fault attributed on every seed.
+func TestRunSeededFaults(t *testing.T) {
+	out, err := captureRun(t, []string{"-lock", "tas", "-n", "4", "-seeds", "5", "-faults", "crash:0@2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "under faults: OK") || !strings.Contains(out, "faults fired: 5") {
+		t.Errorf("fault summary missing:\n%s", out)
+	}
+}
+
+// TestRunSeededWatchdog: a generous watchdog bound stays silent over the
+// seeded schedules.
+func TestRunSeededWatchdog(t *testing.T) {
+	if err := run([]string{"-lock", "tas", "-n", "3", "-seeds", "5", "-watchdog", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSeededWatchdogTrips: TAS is unfair, so a bound of 1 overtake at
+// n=3 must trip on some seed and exit with a starvation error.
+func TestRunSeededWatchdogTrips(t *testing.T) {
+	err := run([]string{"-lock", "tas", "-n", "3", "-seeds", "10", "-maxsteps", "1000", "-watchdog", "1"})
+	if !errors.Is(err, rmr.ErrStarvation) {
+		t.Fatalf("err = %v, want a starvation violation", err)
+	}
+}
+
+func TestRunExhaustiveCrashPoints(t *testing.T) {
+	out, err := captureRun(t, []string{"-exhaustive", "-lock", "tas", "-n", "2",
+		"-exhauststeps", "16", "-exhaustcap", "5000", "-crash-points", "1,2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fault plans swept") {
+		t.Errorf("fault sweep summary missing:\n%s", out)
+	}
+}
+
+func TestRunRejectsFaultsWithExhaustive(t *testing.T) {
+	if err := run([]string{"-exhaustive", "-faults", "crash:0@1"}); err == nil {
+		t.Fatal("-faults with -exhaustive accepted")
+	}
+}
+
+func TestRunRejectsCrashPointsWithoutExhaustive(t *testing.T) {
+	if err := run([]string{"-crash-points", "1,2"}); err == nil {
+		t.Fatal("-crash-points without -exhaustive accepted")
+	}
+}
+
+func TestRunRejectsMalformedFaults(t *testing.T) {
+	if err := run([]string{"-faults", "explode:0@1"}); err == nil {
+		t.Fatal("malformed -faults accepted")
 	}
 }
 

@@ -20,6 +20,11 @@
 // arguments, only the matrix is produced; scripts/bench.sh embeds it in
 // BENCH_rmr.json.
 //
+// -deadline D bounds the whole run in wall-clock time: a benchmark that
+// livelocks past it reports the in-flight experiment to stderr and exits
+// with status 3 instead of hanging the pipeline (scripts/bench.sh relies
+// on the non-zero exit to stop rather than splice partial output).
+//
 // -explore FILE writes the bounded-exhaustive exploration record as JSON:
 // the paper lock's E8 configurations (with and without an aborter) explored
 // to exhaustion with partial-order reduction off and on, recording replays,
@@ -34,6 +39,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"sublock/internal/harness"
@@ -154,8 +160,21 @@ func run(args []string) error {
 	exploreFile := fs.String("explore", "", "write the E8 exhaustive-exploration record to `file` as JSON")
 	por := fs.Bool("por", true, "include the partial-order-reduction passes in -explore")
 	listLocks := fs.Bool("list-locks", false, "list the registered locks and exit")
+	deadline := fs.Duration("deadline", 0, "wall-clock bound for the whole run; on expiry report the in-flight experiment and exit 3")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// inflight names the experiment or artifact currently running, so an
+	// expired deadline can say what was stuck instead of dying silently.
+	var inflight atomic.Value
+	inflight.Store("startup")
+	if *deadline > 0 {
+		timer := time.AfterFunc(*deadline, func() {
+			fmt.Fprintf(os.Stderr, "rmrbench: deadline %v exceeded (in flight: %s)\n",
+				*deadline, inflight.Load())
+			os.Exit(3)
+		})
+		defer timer.Stop()
 	}
 	if *listLocks {
 		for _, info := range locks.Infos() {
@@ -171,11 +190,13 @@ func run(args []string) error {
 		return nil
 	}
 	if *matrixFile != "" {
+		inflight.Store("matrix")
 		if err := writeMatrix(*matrixFile, *quick); err != nil {
 			return fmt.Errorf("matrix: %w", err)
 		}
 	}
 	if *exploreFile != "" {
+		inflight.Store("explore")
 		if err := writeExplore(*exploreFile, *quick, *por); err != nil {
 			return fmt.Errorf("explore: %w", err)
 		}
@@ -209,6 +230,7 @@ func run(args []string) error {
 		if *quick {
 			fn = e.fast
 		}
+		inflight.Store(e.id)
 		tbl, err := fn()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.id, err)
@@ -229,6 +251,7 @@ func run(args []string) error {
 		}
 	}
 	if *promFile != "" {
+		inflight.Store("prom")
 		if err := writeProm(*promFile, *quick); err != nil {
 			return fmt.Errorf("prom: %w", err)
 		}

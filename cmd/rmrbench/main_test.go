@@ -62,6 +62,14 @@ func TestRunQuickSingleExperiment(t *testing.T) {
 	}
 }
 
+// TestRunWithGenerousDeadline: a deadline the run comfortably beats arms
+// and disarms without firing.
+func TestRunWithGenerousDeadline(t *testing.T) {
+	if err := run([]string{"-quick", "-deadline", "10m", "e6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunCSV(t *testing.T) {
 	if err := run([]string{"-quick", "-csv", "e7"}); err != nil {
 		t.Fatal(err)

@@ -14,10 +14,15 @@
 // -ring N keeps only the last N events (a flight recorder), which bounds
 // memory for long schedules at the price of the value-chain check.
 //
+// -faults injects a scripted fault plan ("crash:0@4,stall:1@2+15", see
+// docs/FAULTS.md) into the schedule: the trace then shows exactly which
+// operations a crash abandoned or a stall delayed, and the text report
+// ends with the attributed fault log.
+//
 // Usage:
 //
 //	rmrtrace [-lock paper] [-n 4] [-w 8] [-seed 1] [-aborters 0] [-max 200]
-//	         [-format text|jsonl|chrome] [-o file] [-ring N]
+//	         [-format text|jsonl|chrome] [-o file] [-ring N] [-faults spec]
 //
 // The lock is any name in the locks registry (-list-locks enumerates them;
 // -algo is a deprecated alias for -lock).
@@ -57,7 +62,12 @@ func run(args []string, out io.Writer) error {
 	format := fs.String("format", "text", "output format: text, jsonl, or chrome")
 	outFile := fs.String("o", "", "write output to `file` instead of stdout")
 	ringSize := fs.Int("ring", 0, "keep only the last N events (0 = keep all)")
+	faultsSpec := fs.String("faults", "", "inject scripted faults: `kind:pid@op[+delay],...` (crash, stall)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := harness.ParseFaults(*faultsSpec)
+	if err != nil {
 		return err
 	}
 	if *listLocks {
@@ -91,6 +101,10 @@ func run(args []string, out io.Writer) error {
 	}
 
 	s := rmr.NewScheduler(*n, rmr.RandomPick(*seed))
+	if plan != nil {
+		s.SetFaultPlan(plan)
+		s.RecordSchedule(true)
+	}
 	m := rmr.NewMemory(rmr.CC, *n, nil)
 	// -ring bounds memory with a flight recorder; otherwise keep the whole
 	// trace so the value-chain check can run.
@@ -123,7 +137,7 @@ func run(args []string, out io.Writer) error {
 	}
 	m.SetGate(s)
 
-	violations, err := drive(s, m, fn, *n, *aborters)
+	violations, err := drive(s, m, fn, *n, *aborters, plan != nil)
 	if err != nil {
 		return err
 	}
@@ -144,13 +158,16 @@ func run(args []string, out io.Writer) error {
 	}
 	return report(out, m, st, events, inits, reportConfig{
 		algo: lock, n: *n, seed: *seed, aborters: *aborters,
-		maxPrint: *maxPrint, truncated: truncated,
+		maxPrint: *maxPrint, truncated: truncated, faults: s.Faults(),
 	})
 }
 
 // drive runs one passage per process under the schedule and reports the
-// number of mutual-exclusion violations observed.
-func drive(s *rmr.Scheduler, m *rmr.Memory, fn harness.HandleFn, n, aborters int) (int, error) {
+// number of mutual-exclusion violations observed. A stalled run is killed
+// (an injected crash can wedge survivors beyond cooperation) before the
+// error — with the attributed fault report when faults were scripted — is
+// returned, so the CLI exits instead of leaking parked processes.
+func drive(s *rmr.Scheduler, m *rmr.Memory, fn harness.HandleFn, n, aborters int, faulted bool) (int, error) {
 	var violations, inCS atomic.Int32
 	for i := 0; i < n; i++ {
 		p := m.Proc(i)
@@ -169,6 +186,10 @@ func drive(s *rmr.Scheduler, m *rmr.Memory, fn harness.HandleFn, n, aborters int
 		})
 	}
 	if err := s.Run(100_000_000); err != nil {
+		s.DrainKill()
+		if faulted {
+			harness.WriteFaultReport(os.Stderr, s.Faults(), s.Schedule())
+		}
 		return 0, fmt.Errorf("schedule stalled: %w", err)
 	}
 	return int(violations.Load()), nil
@@ -181,6 +202,7 @@ type reportConfig struct {
 	aborters  int
 	maxPrint  int
 	truncated bool
+	faults    []rmr.Fault
 }
 
 func report(out io.Writer, m *rmr.Memory, st *rmr.Stats, events []rmr.Event, inits map[rmr.Addr]uint64, cfg reportConfig) error {
@@ -216,6 +238,12 @@ func report(out io.Writer, m *rmr.Memory, st *rmr.Stats, events []rmr.Event, ini
 		}
 		fmt.Fprintf(out, "  p%-2d total=%-4d reads=%-4d updates=%d\n",
 			i, m.Proc(i).RMRs(), reads, updates)
+	}
+	if len(cfg.faults) > 0 {
+		fmt.Fprintf(out, "\ninjected faults:\n")
+		for _, flt := range cfg.faults {
+			fmt.Fprintf(out, "  %v\n", flt)
+		}
 	}
 	fmt.Fprintf(out, "\n")
 	return st.Snapshot().WriteText(out)

@@ -50,6 +50,31 @@ func TestRunTraceListLocks(t *testing.T) {
 	}
 }
 
+// TestRunTraceFaults: a scripted stall traces cleanly and the text report
+// attributes the injected fault.
+func TestRunTraceFaults(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-lock", "tas", "-n", "3", "-seed", "1", "-max", "0",
+		"-faults", "stall:1@2+20"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "injected faults:") || !strings.Contains(out, "stall") {
+		t.Errorf("text output missing the fault attribution:\n%s", out)
+	}
+}
+
+func TestRunTraceFaultCrash(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-lock", "tas", "-n", "3", "-seed", "1", "-max", "0",
+		"-faults", "crash:2@1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "crash") {
+		t.Errorf("text output missing the crash attribution:\n%s", buf.String())
+	}
+}
+
 func TestRunTraceRejectsBadArgs(t *testing.T) {
 	if err := run([]string{"-n", "2", "-aborters", "2"}, os.Stdout); err == nil {
 		t.Fatal("too many aborters accepted")
@@ -59,6 +84,9 @@ func TestRunTraceRejectsBadArgs(t *testing.T) {
 	}
 	if err := run([]string{"-format", "xml"}, os.Stdout); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-faults", "explode:0@1"}, os.Stdout); err == nil {
+		t.Fatal("malformed -faults accepted")
 	}
 }
 

@@ -27,6 +27,61 @@ func TestConformance(t *testing.T) {
 	}
 }
 
+// TestFaultConformance runs the fault-injection battery — crash sweeps,
+// stall windows, panic containment, abort-while-stalled, watchdog-clean —
+// against every registered lock. Like the seeded battery, registration is
+// what opts a lock in.
+func TestFaultConformance(t *testing.T) {
+	for _, info := range locks.Infos() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			conformance.TestFaults(t, info)
+		})
+	}
+}
+
+// TestExhaustiveCrashRobust explores every registered abortable lock at
+// N=2 under single crash-stop plans (harness.ExploreFaults): mutual
+// exclusion must hold and every surviving non-aborter must complete in
+// every schedule of every crash plan. Skipped under -short.
+func TestExhaustiveCrashRobust(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-exhaustive exploration skipped in -short mode")
+	}
+	const (
+		n                            = 2
+		maxScheds                    = 3000
+		minSteps, stepGrow, maxSteps = 14, 6, 56
+	)
+	for _, info := range locks.Infos() {
+		info := info
+		t.Run(info.Name, func(t *testing.T) {
+			t.Parallel()
+			explored := false
+			for steps := minSteps; steps <= maxSteps; steps += stepGrow {
+				res, _, err := harness.ExploreFaults(harness.ExploreConfig{
+					Model: rmr.CC, Algo: harness.Algo(info.Name), W: 4, N: n,
+					MaxSteps: steps, MaxSchedules: maxScheds, Workers: 2,
+					Reduction: rmr.SleepSets,
+				}, harness.Faults{CrashPoints: []int{1, 2, 3}})
+				if err != nil {
+					t.Fatalf("steps=%d: %v", steps, err)
+				}
+				if res.Explored > 0 {
+					explored = true
+					t.Logf("steps=%d: %d explored, %d pruned, %d equivalent across crash plans",
+						steps, res.Explored, res.Pruned, res.Equivalent)
+					break
+				}
+			}
+			if !explored {
+				t.Fatalf("no complete schedule within %d steps under crash plans", maxSteps)
+			}
+		})
+	}
+}
+
 // TestExhaustive enumerates every schedule of bounded length for every
 // registered lock at N=2 (bounded model checking via harness.Explore),
 // without aborts and — for abortable locks — with one aborter whose signal

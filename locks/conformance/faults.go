@@ -1,0 +1,347 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"sublock/locks"
+	"sublock/rmr"
+)
+
+const (
+	// faultStepBudget bounds a fault-injected schedule. A crash can
+	// legitimately wedge the survivors — none of the registered algorithms
+	// claims crash recoverability, so a victim that dies holding the lock
+	// (or mid-queue) may block its successors forever. The battery's
+	// promise is that such a run degrades to a prompt step-budget error
+	// with the fault attributed, never a wall-clock hang, so the budget is
+	// far below the regular stepBudget.
+	faultStepBudget = 300_000
+	// stallWindow is the stall duration (in global steps) the stall and
+	// abort-while-stalled checks inject.
+	stallWindow = 400
+)
+
+// crashPoints are the victim operation attempts the crash sweep strikes:
+// early doorway operations, the spin loop, and deep into the passage.
+var crashPoints = []int{1, 2, 3, 5, 8, 13}
+
+// TestFaults runs the fault-injection battery for one registered lock as
+// subtests of t, once per supported memory model: crash-stop sweeps, stall
+// windows, panic containment, abort-while-stalled responsiveness, and
+// watchdog-clean seeded runs. Registering a lock opts it in, exactly like
+// the seeded battery in Test.
+func TestFaults(t *testing.T, info locks.Info) {
+	for _, model := range Models(info) {
+		model := model
+		t.Run(strings.ToLower(model.String()), func(t *testing.T) {
+			t.Run("crash", func(t *testing.T) { testCrashSweep(t, info, model) })
+			t.Run("stall", func(t *testing.T) { testStallAll(t, info, model) })
+			t.Run("panic", func(t *testing.T) { testPanicContained(t, info, model) })
+			if info.Abortable {
+				t.Run("abort-while-stalled", func(t *testing.T) { testAbortWhileStalled(t, info, model) })
+			}
+			t.Run("watchdog-clean", func(t *testing.T) { testWatchdogClean(t, info, model) })
+		})
+	}
+}
+
+// faultRun is one seeded passage-per-process run with a pre-configured
+// scheduler (fault plan, watchdog, recording). It checks mutual exclusion
+// itself and returns the run error for the caller to classify. On a
+// non-nil error the processes are still parked at the gate; the caller
+// must end with release().
+type faultRun struct {
+	s       *rmr.Scheduler
+	m       *rmr.Memory
+	entered []bool
+	err     error
+}
+
+// release unwinds a run that ended early. A crash can wedge survivors
+// beyond cooperation — a non-abortable lock's spin loop over an abandoned
+// lock never exits — so the stalled run is killed, not drained: every
+// released process is unwound at its next operation.
+func (fr *faultRun) release(info locks.Info) {
+	if fr.err == nil {
+		return
+	}
+	fr.s.DrainKill()
+}
+
+// runFaulted drives one seeded run of nprocs single passages with
+// configure applied to the scheduler before any process launches.
+func runFaulted(t *testing.T, info locks.Info, model rmr.Model, nprocs int, seed int64, configure func(*rmr.Scheduler)) *faultRun {
+	t.Helper()
+	s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+	s.RecordSchedule(true)
+	configure(s)
+	m := rmr.NewMemory(model, nprocs, nil)
+	fn, err := locks.Build(m, info.Name, defaultW, nprocs)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m.SetGate(s)
+	fr := &faultRun{s: s, m: m, entered: make([]bool, nprocs)}
+	var inCS, violations atomic.Int32
+	for i := 0; i < nprocs; i++ {
+		i := i
+		h := fn(m.Proc(i))
+		s.Go(func() {
+			if h.Enter() {
+				if inCS.Add(1) > 1 {
+					violations.Add(1)
+				}
+				fr.entered[i] = true
+				inCS.Add(-1)
+				h.Exit()
+			}
+		})
+	}
+	fr.err = s.Run(faultStepBudget)
+	if v := violations.Load(); v != 0 {
+		dumpArtifact(t, s.Faults(), s.Schedule())
+		fr.release(info)
+		t.Fatalf("seed %d: mutual exclusion violated %d times under faults", seed, v)
+	}
+	return fr
+}
+
+// testCrashSweep crashes process 0 at each crash point of its passage. A
+// clean finish must show every survivor completing; a wedged finish (the
+// crash abandoned state the survivors need) must degrade to the step
+// budget with the crash attributed — and must only happen when the crash
+// actually fired.
+func testCrashSweep(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs = 6
+	for _, op := range crashPoints {
+		plan := &rmr.FaultPlan{Faults: []rmr.FaultSpec{{Proc: 0, Kind: rmr.FaultCrash, Op: op}}}
+		fr := runFaulted(t, info, model, nprocs, 1, func(s *rmr.Scheduler) { s.SetFaultPlan(plan) })
+		faults := fr.s.Faults()
+		switch {
+		case fr.err == nil:
+			// The run terminated: every process the crash did not take
+			// must have completed its passage.
+			crashed := len(faults) == 1 && faults[0].Kind == rmr.FaultCrash
+			for i, e := range fr.entered {
+				if i == 0 && crashed {
+					continue
+				}
+				if !e {
+					dumpArtifact(t, faults, fr.s.Schedule())
+					t.Fatalf("crash at op %d: survivor %d never completed in a terminating run", op, i)
+				}
+			}
+		case errors.Is(fr.err, rmr.ErrStepLimit):
+			if len(faults) != 1 {
+				dumpArtifact(t, faults, fr.s.Schedule())
+				fr.release(info)
+				t.Fatalf("crash at op %d: schedule wedged with no injected fault fired: %v", op, fr.err)
+			}
+			if len(faults[0].Schedule) == 0 {
+				t.Fatalf("crash at op %d: attributed fault carries no replay schedule", op)
+			}
+			fr.release(info)
+		default:
+			dumpArtifact(t, faults, fr.s.Schedule())
+			fr.release(info)
+			t.Fatalf("crash at op %d: %v", op, fr.err)
+		}
+	}
+}
+
+// testStallAll stalls every process at its first operation with staggered
+// windows: stalls delay but never kill, so the run must terminate with
+// every passage complete and every stall attributed.
+func testStallAll(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs = 4
+	plan := &rmr.FaultPlan{}
+	for i := 0; i < nprocs; i++ {
+		plan.Faults = append(plan.Faults, rmr.FaultSpec{
+			Proc: i, Kind: rmr.FaultStall, Op: 1, Delay: (i + 1) * (stallWindow / nprocs),
+		})
+	}
+	fr := runFaulted(t, info, model, nprocs, 1, func(s *rmr.Scheduler) { s.SetFaultPlan(plan) })
+	if fr.err != nil {
+		dumpArtifact(t, fr.s.Faults(), fr.s.Schedule())
+		fr.release(info)
+		t.Fatalf("stalled run did not terminate: %v", fr.err)
+	}
+	for i, e := range fr.entered {
+		if !e {
+			t.Fatalf("stalled process %d never completed (a stall must only delay)", i)
+		}
+	}
+	if faults := fr.s.Faults(); len(faults) != nprocs {
+		t.Fatalf("%d stalls attributed, want %d: %v", len(faults), nprocs, faults)
+	}
+}
+
+// testPanicContained injects a panic inside process 0's critical section:
+// the host test binary must survive, the run must end with a *rmr.FaultError
+// attributing the panic to process 0 with a replayable schedule, and the
+// gate must not deadlock even though the lock is never released.
+func testPanicContained(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs = 3
+	s := rmr.NewScheduler(nprocs, rmr.RandomPick(2))
+	s.RecordSchedule(true)
+	m := rmr.NewMemory(model, nprocs, nil)
+	fn, err := locks.Build(m, info.Name, defaultW, nprocs)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m.SetGate(s)
+	for i := 0; i < nprocs; i++ {
+		h := fn(m.Proc(i))
+		if i == 0 {
+			s.Go(func() {
+				if h.Enter() {
+					panic("injected CS panic")
+				}
+			})
+			continue
+		}
+		s.Go(func() {
+			if h.Enter() {
+				h.Exit()
+			}
+		})
+	}
+	runErr := s.Run(faultStepBudget)
+	fr := &faultRun{s: s, m: m, entered: make([]bool, nprocs), err: runErr}
+	defer fr.release(info)
+	if !errors.Is(runErr, rmr.ErrPanicked) {
+		dumpArtifact(t, s.Faults(), s.Schedule())
+		t.Fatalf("Run = %v, want a contained panic", runErr)
+	}
+	var fe *rmr.FaultError
+	if !errors.As(runErr, &fe) {
+		t.Fatalf("Run = %T, want *rmr.FaultError", runErr)
+	}
+	if fe.Fault.Proc != 0 || fe.Fault.Value != "injected CS panic" {
+		t.Fatalf("fault = %+v, want the injected panic attributed to process 0", fe.Fault)
+	}
+	if len(fe.Fault.Schedule) == 0 {
+		t.Fatal("contained panic carries no replay schedule")
+	}
+}
+
+// testAbortWhileStalled is the satellite coverage gap: an abort signal
+// delivered while the waiter sits inside an injected stall window must
+// still be honored within the abort budget once the window passes — the
+// stall must not break abort responsiveness.
+func testAbortWhileStalled(t *testing.T, info locks.Info, model rmr.Model) {
+	const n = 2
+	c := rmr.NewController(n)
+	m := rmr.NewMemory(model, n, nil)
+	fn, err := locks.Build(m, info.Name, defaultW, n)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m.SetGate(c)
+	h0, h1 := fn(m.Proc(0)), fn(m.Proc(1))
+
+	// The holder pauses inside the critical section, keeping the lock held.
+	var holderIn atomic.Bool
+	var waiterEntered bool
+	c.Go(0, func() {
+		if h0.Enter() {
+			holderIn.Store(true)
+			h0.Exit()
+		}
+	})
+	for i := 0; i < abortBudget && !holderIn.Load(); i++ {
+		if !c.Step(0) {
+			break
+		}
+	}
+	if !holderIn.Load() {
+		t.Fatal("uncontended holder failed to enter")
+	}
+
+	// The waiter enqueues, spins, and is then stalled; the abort signal
+	// lands inside the window.
+	c.Go(1, func() {
+		waiterEntered = h1.Enter()
+		if waiterEntered {
+			h1.Exit()
+		}
+	})
+	c.StepN(1, 200)
+	c.StallNext(1, stallWindow)
+	if !c.Stalled(1) {
+		t.Fatal("waiter not stalled after StallNext")
+	}
+	m.Proc(1).SignalAbort()
+
+	steps, err := c.FinishBudget(1, stallWindow+abortBudget)
+	if err != nil {
+		t.Fatalf("stalled aborter did not return: %v", err)
+	}
+	if steps < stallWindow {
+		t.Fatalf("aborter finished in %d grants, want >= the %d-step stall window first", steps, stallWindow)
+	}
+	if waiterEntered {
+		t.Fatal("waiter entered the CS despite an abort signal against a held lock")
+	}
+	if faults := c.Faults(); len(faults) != 1 || faults[0].Kind != rmr.FaultStall {
+		t.Fatalf("faults = %v, want the injected stall attributed", faults)
+	}
+
+	if _, err := c.FinishBudget(0, abortBudget); err != nil {
+		t.Fatalf("holder's Exit did not complete: %v", err)
+	}
+	if err := c.WaitBudget(abortBudget); err != nil {
+		t.Fatalf("WaitBudget: %v", err)
+	}
+}
+
+// testWatchdogClean runs seeded passages with the starvation watchdog
+// armed at a bound no single-passage workload can legitimately cross
+// (each process enters the critical section once, so a waiter is overtaken
+// at most nprocs-1 times): the watchdog must stay silent.
+func testWatchdogClean(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs = 6
+	for seed := int64(0); seed < 3; seed++ {
+		fr := runFaulted(t, info, model, nprocs, seed, func(s *rmr.Scheduler) { s.SetWatchdog(nprocs + 2) })
+		if fr.err != nil {
+			dumpArtifact(t, fr.s.Faults(), fr.s.Schedule())
+			fr.release(info)
+			t.Fatalf("seed %d: watchdog-armed run failed: %v", seed, fr.err)
+		}
+		for i, e := range fr.entered {
+			if !e {
+				t.Fatalf("seed %d: process %d never completed", seed, i)
+			}
+		}
+	}
+}
+
+// dumpArtifact writes the fault report and replay schedule to
+// $SUBLOCK_FAULT_DIR (one file per failing test, named after the test) so
+// CI can upload fault-replay artifacts; it is a no-op when the variable is
+// unset.
+func dumpArtifact(t *testing.T, faults []rmr.Fault, schedule []int) {
+	dir := os.Getenv("SUBLOCK_FAULT_DIR")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("fault artifact: %v", err)
+		return
+	}
+	var b strings.Builder
+	for _, flt := range faults {
+		fmt.Fprintf(&b, "fault: %v\n", flt)
+	}
+	fmt.Fprintf(&b, "replay schedule: %v\n", schedule)
+	name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name()) + ".txt"
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(b.String()), 0o644); err != nil {
+		t.Logf("fault artifact: %v", err)
+	}
+}

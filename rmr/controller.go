@@ -2,6 +2,8 @@ package rmr
 
 import (
 	"fmt"
+	"runtime/debug"
+	"sync"
 	"sync/atomic"
 )
 
@@ -28,6 +30,19 @@ type Controller struct {
 	finished []bool
 	waiting  []bool // waiting[pid]: pid is blocked at the gate
 	live     int
+
+	// Fault injection (fault.go): scripted crashes and stalls, plan-driven
+	// triggers, contained panics. fmu guards everything below — process
+	// goroutines append faults concurrently with the test goroutine before
+	// the schedule serializes them.
+	fmu       sync.Mutex
+	specs     [][]FaultSpec // per-pid plan triggers (SetFaultPlan)
+	ops       []int32       // per-pid gated operation attempts so far
+	crashNext []bool        // Crash: crash-stop at pid's next attempt
+	stallLeft []int         // stall ticks pending per pid
+	steps     int           // step grants (including stall ticks) so far
+	faults    []Fault
+	failure   *FaultError
 }
 
 var _ Gate = (*Controller)(nil)
@@ -35,12 +50,16 @@ var _ Gate = (*Controller)(nil)
 // NewController creates a controller for processes with ids in [0, n).
 func NewController(n int) *Controller {
 	c := &Controller{
-		ready:    make(chan int),
-		done:     make(chan int),
-		grant:    make([]chan struct{}, n),
-		launched: make([]bool, n),
-		finished: make([]bool, n),
-		waiting:  make([]bool, n),
+		ready:     make(chan int),
+		done:      make(chan int),
+		grant:     make([]chan struct{}, n),
+		launched:  make([]bool, n),
+		finished:  make([]bool, n),
+		waiting:   make([]bool, n),
+		specs:     make([][]FaultSpec, n),
+		ops:       make([]int32, n),
+		crashNext: make([]bool, n),
+		stallLeft: make([]int, n),
 	}
 	for i := range c.grant {
 		c.grant[i] = make(chan struct{})
@@ -53,22 +72,87 @@ func (c *Controller) Await(pid int) {
 	if c.open.Load() {
 		return
 	}
+	c.faultCheck(pid) // may panic(procCrash) to unwind a crash victim
 	c.ready <- pid
 	<-c.grant[pid]
 }
 
+// faultCheck counts pid's gated operation attempt and applies any crash
+// scripted for it — by Crash or by the installed plan — unwinding the
+// process body with a procCrash panic that launch's containment swallows.
+// Plan-scripted stalls install their tick window here; FaultRestart specs
+// degrade to crash-stop on a Controller (scripted tests relaunch the
+// process explicitly with Restart).
+func (c *Controller) faultCheck(pid int) {
+	c.fmu.Lock()
+	op := c.ops[pid] + 1
+	c.ops[pid] = op
+	crash := false
+	if c.crashNext[pid] {
+		c.crashNext[pid] = false
+		crash = true
+		c.faults = append(c.faults, Fault{Proc: pid, Kind: FaultCrash, Op: int(op), Step: int64(c.steps)})
+	}
+	for _, sp := range c.specs[pid] {
+		if sp.Op != int(op) {
+			continue
+		}
+		if sp.Kind == FaultStall {
+			c.stallLeft[pid] += sp.Delay
+			c.faults = append(c.faults, Fault{Proc: pid, Kind: FaultStall, Op: int(op), Step: int64(c.steps), Delay: sp.Delay})
+			continue
+		}
+		crash = true
+		c.faults = append(c.faults, Fault{Proc: pid, Kind: FaultCrash, Op: int(op), Step: int64(c.steps), Delay: sp.Delay})
+	}
+	c.fmu.Unlock()
+	if crash {
+		panic(procCrash{pid})
+	}
+}
+
 // Go launches fn as process pid. fn must issue its shared-memory operations
-// as Proc pid of a Memory gated by this controller.
+// as Proc pid of a Memory gated by this controller. A panic inside fn —
+// including an injected crash — is contained at this spawn site: the
+// process retires normally (collect sees it finish) and a real panic is
+// recorded as a FaultPanic surfaced through Err, instead of killing the
+// test binary with the gate locked.
 func (c *Controller) Go(pid int, fn func()) {
 	if c.launched[pid] {
 		panic(fmt.Sprintf("rmr: process %d launched twice", pid))
 	}
 	c.launched[pid] = true
 	c.live++
+	c.launch(pid, fn)
+}
+
+// launch starts the contained process goroutine shared by Go and Restart.
+func (c *Controller) launch(pid int, fn func()) {
 	go func() {
-		defer func() { c.done <- pid }()
+		defer func() {
+			if r := recover(); r != nil {
+				c.contain(pid, r)
+			}
+			c.done <- pid
+		}()
 		fn()
 	}()
+}
+
+// contain records a recovered process panic; injected crashes were already
+// recorded at the gate and pass silently.
+func (c *Controller) contain(pid int, r any) {
+	if _, ok := r.(procCrash); ok {
+		return
+	}
+	stack := string(debug.Stack())
+	c.fmu.Lock()
+	flt := Fault{Proc: pid, Kind: FaultPanic, Op: int(c.ops[pid]), Step: int64(c.steps), Value: r, Stack: stack}
+	c.faults = append(c.faults, flt)
+	if c.failure == nil {
+		c.failure = &FaultError{Fault: flt, sentinel: ErrPanicked}
+	}
+	c.fmu.Unlock()
 }
 
 // collect blocks until process pid is either waiting at the gate or
@@ -86,12 +170,23 @@ func (c *Controller) collect(pid int) {
 }
 
 // Step lets process pid perform exactly one shared-memory operation. It
-// returns false if pid had already finished.
+// returns false if pid had already finished. While pid is inside a stall
+// window (StallNext or a plan-scripted stall) the grant is consumed as a
+// stall tick instead: the process stays parked at the gate, performs no
+// operation, and Step still returns true.
 func (c *Controller) Step(pid int) bool {
 	c.collect(pid)
 	if c.finished[pid] {
 		return false
 	}
+	c.fmu.Lock()
+	c.steps++
+	if c.stallLeft[pid] > 0 {
+		c.stallLeft[pid]--
+		c.fmu.Unlock()
+		return true
+	}
+	c.fmu.Unlock()
 	c.waiting[pid] = false
 	c.grant[pid] <- struct{}{}
 	// Wait until the step's effects are visible: pid is back at the gate or
@@ -111,24 +206,76 @@ func (c *Controller) StepN(pid, n int) int {
 	return n
 }
 
-// Finish runs process pid until it returns, then reports the number of
-// shared-memory steps it took. The budget guards against livelock; Finish
-// panics if the process does not return within budget steps.
-func (c *Controller) Finish(pid, budget int) int {
+// FinishBudget runs process pid until it returns, reporting how many step
+// grants (operations plus stall ticks) it consumed. If the process does
+// not return within budget grants — a livelocked spin loop, a stall window
+// larger than the budget — it returns an error wrapping ErrStepLimit, with
+// the process left parked at the gate (deliver an abort signal and call it
+// again, or fall through to Wait/WaitBudget).
+func (c *Controller) FinishBudget(pid, budget int) (int, error) {
 	for i := 0; i < budget; i++ {
 		if !c.Step(pid) {
-			return i + 1
+			return i + 1, nil
 		}
 	}
 	if c.finished[pid] {
-		return budget
+		return budget, nil
 	}
-	panic(fmt.Sprintf("rmr: process %d did not finish within %d steps", pid, budget))
+	return budget, fmt.Errorf("rmr: process %d did not finish within %d steps: %w", pid, budget, ErrStepLimit)
+}
+
+// Finish runs process pid until it returns, then reports the number of
+// shared-memory steps it took. The budget guards against livelock; Finish
+// panics if the process does not return within budget steps. FinishBudget
+// is the error-returning form.
+func (c *Controller) Finish(pid, budget int) int {
+	n, err := c.FinishBudget(pid, budget)
+	if err != nil {
+		panic(err.Error())
+	}
+	return n
+}
+
+// WaitBudget drives every unfinished process round-robin — with the gate
+// still closed — until all have returned or the total grant budget is
+// exhausted, in which case it returns an error wrapping ErrStepLimit
+// instead of hanging the way Wait does when a process livelocks in a spin
+// loop. On error the survivors stay parked at the gate: deliver abort
+// signals and call WaitBudget again, or abandon the controller. When all
+// processes finish it returns Err — a contained panic still fails the run.
+func (c *Controller) WaitBudget(budget int) error {
+	spent := 0
+	for {
+		progress := false
+		for pid := range c.launched {
+			if !c.launched[pid] || c.finished[pid] {
+				continue
+			}
+			progress = true
+			if spent >= budget {
+				live := 0
+				for q := range c.launched {
+					if c.launched[q] && !c.finished[q] {
+						live++
+					}
+				}
+				return fmt.Errorf("rmr: %d process(es) still live after %d steps: %w", live, budget, ErrStepLimit)
+			}
+			c.Step(pid)
+			spent++
+		}
+		if !progress {
+			return c.Err()
+		}
+	}
 }
 
 // Wait opens the gate and blocks until every launched process has returned.
 // Use it at the end of a scripted test when the remaining interleaving does
-// not matter.
+// not matter. Wait has no budget: a process that livelocks keeps it blocked
+// forever — use WaitBudget when the code under test is not trusted to
+// terminate. A panicking process does not block it (containment retires the
+// process); check Err afterwards.
 func (c *Controller) Wait() {
 	c.open.Store(true)
 	for pid, w := range c.waiting {
@@ -151,4 +298,93 @@ func (c *Controller) Wait() {
 // Finished reports whether process pid has returned.
 func (c *Controller) Finished(pid int) bool {
 	return c.finished[pid]
+}
+
+// SetFaultPlan installs a deterministic fault script (fault.go) keyed by
+// per-process operation-attempt indices, mirroring Scheduler.SetFaultPlan.
+// It must be called before any process is launched. FaultRestart specs
+// degrade to crash-stop: scripted tests model recovery explicitly with
+// Restart. Passing nil clears the plan.
+func (c *Controller) SetFaultPlan(plan *FaultPlan) {
+	for pid := range c.launched {
+		if c.launched[pid] {
+			panic("rmr: SetFaultPlan after a process was launched")
+		}
+	}
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	for pid := range c.specs {
+		c.specs[pid] = nil
+	}
+	if plan == nil {
+		return
+	}
+	plan.validate(len(c.grant))
+	for _, sp := range plan.Faults {
+		c.specs[sp.Proc] = append(c.specs[sp.Proc], sp)
+	}
+}
+
+// Crash schedules a crash-stop for process pid at its next gated operation
+// attempt: the attempt unwinds the process body instead of performing the
+// operation, and the next Step observes the process finished. Call it
+// before Go(pid) or while pid is parked at the gate (after one of its
+// Steps) for a deterministic trigger point.
+func (c *Controller) Crash(pid int) {
+	c.fmu.Lock()
+	c.crashNext[pid] = true
+	c.fmu.Unlock()
+}
+
+// StallNext opens (or extends) a stall window for process pid: its next d
+// Step grants are consumed as stall ticks — the process stays parked at
+// the gate, mid-protocol, performing no operation — before it can proceed.
+// The scripted analogue of a FaultStall spec, for tests like
+// "abort-while-stalled".
+func (c *Controller) StallNext(pid, d int) {
+	c.fmu.Lock()
+	c.stallLeft[pid] += d
+	c.faults = append(c.faults, Fault{Proc: pid, Kind: FaultStall, Op: int(c.ops[pid]), Step: int64(c.steps), Delay: d})
+	c.fmu.Unlock()
+}
+
+// Stalled reports whether process pid has stall ticks pending.
+func (c *Controller) Stalled(pid int) bool {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	return c.stallLeft[pid] > 0
+}
+
+// Restart relaunches a finished (typically crashed) process with a new body
+// under the same pid — the scripted analogue of FaultPlan.Restart, for
+// RME-style recovery scripts. The restarted process's operation attempts
+// keep counting from where the crashed incarnation stopped.
+func (c *Controller) Restart(pid int, fn func()) {
+	if !c.launched[pid] || !c.finished[pid] {
+		panic(fmt.Sprintf("rmr: Restart(%d): process has not finished", pid))
+	}
+	c.finished[pid] = false
+	c.live++
+	c.launch(pid, fn)
+}
+
+// Faults returns a copy of the faults recorded so far, in occurrence order.
+func (c *Controller) Faults() []Fault {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if len(c.faults) == 0 {
+		return nil
+	}
+	return append([]Fault(nil), c.faults...)
+}
+
+// Err returns the failure recorded so far — the *FaultError for a contained
+// panic — or nil.
+func (c *Controller) Err() error {
+	c.fmu.Lock()
+	defer c.fmu.Unlock()
+	if c.failure == nil {
+		return nil
+	}
+	return c.failure
 }

@@ -63,6 +63,17 @@ type Explorer struct {
 	// Monitor, when non-nil, receives live progress counts so a driver
 	// can report throughput while a long exploration runs.
 	Monitor *Monitor
+	// Watchdog, when positive, arms each replay's liveness watchdog with
+	// this overtaking bound (Scheduler.SetWatchdog): starvation then
+	// surfaces as a property violation with a lexmin schedule. The
+	// watchdog's verdict depends on the order of independent steps, so it
+	// forces Reduction off.
+	Watchdog int
+
+	// plan, when non-nil, is the fault script every replay runs under;
+	// RunFaults sets it per enumerated plan. Plans that are not crash-only
+	// force Reduction off (see FaultPlan.CrashOnly).
+	plan *FaultPlan
 }
 
 // Monitor exposes an exploration's progress counters for concurrent
@@ -182,11 +193,20 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 	if nprocs > porMaxProcs {
 		red = NoReduction
 	}
+	if e.Watchdog > 0 || !e.plan.CrashOnly() {
+		// Stalls key eligibility off the global step count and the watchdog
+		// keys its verdict off the order of independent CS entries: both
+		// break the trace-invariance sleep sets rely on. Crash-only plans
+		// are safe — a crash fires at a per-process attempt count, which
+		// reordering commuting steps preserves.
+		red = NoReduction
+	}
 	if e.Workers > 1 {
 		return e.runParallel(nprocs, body, maxSteps, red)
 	}
 	var res Result
 	rp := newReplayer(nprocs, maxSteps, red)
+	e.arm(rp)
 	defer rp.close()
 	// prefix holds the choice index forced at each step. It is a buffer
 	// distinct from the recorder's choice log, so both can be reused
@@ -261,6 +281,149 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 	}
 }
 
+// arm installs the exploration's fault plan and watchdog on a replayer's
+// scheduler; both persist across the scheduler's per-replay reset.
+func (e *Explorer) arm(rp *replayer) {
+	if e.plan != nil {
+		rp.s.SetFaultPlan(e.plan)
+	}
+	if e.Watchdog > 0 {
+		rp.s.SetWatchdog(e.Watchdog)
+	}
+}
+
+// FaultSet bounds the crash-point space RunFaults branches over: plans
+// injecting up to MaxCrashes crash-stop faults per run (at most one per
+// victim), each striking at one of the victim's first MaxOp operation
+// attempts. Crash-stop only — stalls and restarts would force reduction
+// off and need per-run state; script those with SetFaultPlan directly.
+type FaultSet struct {
+	// MaxCrashes caps the crashes injected per plan; 0 means 1.
+	MaxCrashes int
+	// MaxOp is the number of crash points tried per victim (operation
+	// attempts 1..MaxOp); 0 means 1.
+	MaxOp int
+	// Ops lists explicit crash points (1-based operation attempts) tried
+	// per victim instead of the 1..MaxOp range; when set, MaxOp is ignored.
+	Ops []int
+	// Procs lists the candidate victims; nil means every process.
+	Procs []int
+}
+
+// FaultRun pairs one explored fault plan (nil = fault-free) with the
+// sub-exploration's result.
+type FaultRun struct {
+	Plan   *FaultPlan
+	Result Result
+}
+
+// ErrFaultExplore is ErrExplore found under an injected fault plan: the
+// plan that exposed the violation plus the offending schedule. Replaying
+// requires both — install the plan with SetFaultPlan, then drive the
+// schedule with ReplayPick.
+type ErrFaultExplore struct {
+	Plan *FaultPlan
+	*ErrExplore
+}
+
+// Error implements error.
+func (e *ErrFaultExplore) Error() string {
+	return fmt.Sprintf("under faults [%v]: %v", e.Plan, e.ErrExplore.Error())
+}
+
+// RunFaults explores body under every fault plan in the FaultSet's
+// crash-point space — the fault-free plan first, then single and larger
+// crash combinations in deterministic order (victims ascending, crash
+// points ascending, smaller combinations first). Each plan gets a full
+// bounded exploration; the first plan whose exploration finds a violation
+// stops the sweep with an *ErrFaultExplore. The aggregate Result sums the
+// sub-explorations (MaxSchedules caps the total across plans); the
+// returned FaultRun slice itemizes them in plan order. Both plan order and
+// each sub-exploration are deterministic, so uncapped aggregate counts and
+// the reported (plan, schedule) pair are identical at every worker count.
+func (e *Explorer) RunFaults(nprocs int, body Body, fs FaultSet) (Result, []FaultRun, error) {
+	victims := fs.Procs
+	if victims == nil {
+		victims = make([]int, nprocs)
+		for pid := range victims {
+			victims[pid] = pid
+		}
+	}
+	maxCrashes := fs.MaxCrashes
+	if maxCrashes <= 0 {
+		maxCrashes = 1
+	}
+	if maxCrashes > len(victims) {
+		maxCrashes = len(victims)
+	}
+	ops := fs.Ops
+	if len(ops) == 0 {
+		maxOp := fs.MaxOp
+		if maxOp <= 0 {
+			maxOp = 1
+		}
+		ops = make([]int, maxOp)
+		for i := range ops {
+			ops[i] = i + 1
+		}
+	}
+
+	plans := []*FaultPlan{nil} // the fault-free baseline comes first
+	var build func(k, start int, cur []FaultSpec)
+	build = func(k, start int, cur []FaultSpec) {
+		if k == 0 {
+			plans = append(plans, &FaultPlan{Faults: append([]FaultSpec(nil), cur...)})
+			return
+		}
+		for i := start; i <= len(victims)-k; i++ {
+			for _, op := range ops {
+				build(k-1, i+1, append(cur, FaultSpec{Proc: victims[i], Kind: FaultCrash, Op: op}))
+			}
+		}
+	}
+	for k := 1; k <= maxCrashes; k++ {
+		build(k, 0, nil)
+	}
+
+	var total Result
+	var runs []FaultRun
+	total.Exhausted = true
+	for _, plan := range plans {
+		sub := *e
+		sub.plan = plan
+		if e.MaxSchedules > 0 {
+			remaining := e.MaxSchedules - total.Replays()
+			if remaining <= 0 {
+				total.Exhausted = false
+				break
+			}
+			sub.MaxSchedules = remaining
+		}
+		res, err := sub.Run(nprocs, body)
+		total.Explored += res.Explored
+		total.Pruned += res.Pruned
+		total.Equivalent += res.Equivalent
+		for d, n := range res.Depths {
+			for len(total.Depths) <= d {
+				total.Depths = append(total.Depths, 0)
+			}
+			total.Depths[d] += n
+		}
+		runs = append(runs, FaultRun{Plan: plan, Result: res})
+		if err != nil {
+			var ee *ErrExplore
+			if plan != nil && errors.As(err, &ee) {
+				return total, runs, &ErrFaultExplore{Plan: plan, ErrExplore: ee}
+			}
+			return total, runs, err
+		}
+		if !res.Exhausted {
+			total.Exhausted = false
+		}
+	}
+	return total, runs, nil
+}
+
 // exTask is a pending subtree root of a parallel exploration: the forced
 // choice prefix plus — under reduction — the subtree's sleep set (pid mask
 // and the pending-op footprints of the sleeping pids, indexed by pid).
@@ -300,6 +463,7 @@ func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int, red Reductio
 		go func() {
 			defer wg.Done()
 			rp := newReplayer(nprocs, maxSteps, red)
+			e.arm(rp)
 			defer rp.close()
 			depths := st.worker(rp, body, maxSteps)
 			st.mu.Lock()

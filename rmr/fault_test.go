@@ -1,0 +1,691 @@
+package rmr
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// faultCounters builds the standard crash-test body: n processes FAA a
+// shared counter per times each under the given scheduler.
+func faultCounters(s *Scheduler, n, per int) (*Memory, Addr) {
+	m := NewMemory(CC, n, s)
+	a := m.Alloc(0)
+	for i := 0; i < n; i++ {
+		p := m.Proc(i)
+		s.Go(func() {
+			for j := 0; j < per; j++ {
+				p.FAA(a, 1)
+			}
+		})
+	}
+	return m, a
+}
+
+// TestFaultCrashStopDeterministicReplay: a scripted crash-stop removes
+// exactly the victim's remaining operations, is attributed in the fault
+// log with a replay schedule, and reproduces step for step — both by
+// re-running the plan under the same pick and by replaying the recorded
+// schedule prefix.
+func TestFaultCrashStopDeterministicReplay(t *testing.T) {
+	plan := &FaultPlan{Faults: []FaultSpec{{Proc: 0, Kind: FaultCrash, Op: 4}}}
+	run := func(pick PickFunc) (uint64, Fault, *Scheduler) {
+		s := NewScheduler(3, pick)
+		s.SetFaultPlan(plan)
+		m, a := faultCounters(s, 3, 10)
+		if err := s.Run(1000); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		faults := s.Faults()
+		if len(faults) != 1 {
+			t.Fatalf("faults = %v, want exactly the injected crash", faults)
+		}
+		return m.Peek(a), faults[0], s
+	}
+	got, flt, _ := run(RoundRobinPick())
+	// The victim attempted its 4th operation, so it performed 3 of its 10.
+	if want := uint64(3 + 10 + 10); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if flt.Proc != 0 || flt.Kind != FaultCrash || flt.Op != 4 {
+		t.Fatalf("fault = %+v, want crash of process 0 at op 4", flt)
+	}
+	if len(flt.Schedule) == 0 {
+		t.Fatal("injected fault carries no replay schedule")
+	}
+
+	// Same plan, same pick: bit-identical execution.
+	got2, flt2, _ := run(RoundRobinPick())
+	if got2 != got || !reflect.DeepEqual(flt2, flt) {
+		t.Fatalf("re-run diverged: counter %d vs %d, fault %+v vs %+v", got2, got, flt2, flt)
+	}
+
+	// Replaying the recorded prefix reproduces the fault at the same step.
+	_, flt3, _ := run(ReplayPick(flt.Schedule))
+	if flt3.Step != flt.Step || flt3.Op != flt.Op || !reflect.DeepEqual(flt3.Schedule, flt.Schedule) {
+		t.Fatalf("replay fault = %+v, want %+v", flt3, flt)
+	}
+}
+
+// TestFaultStallDelaysNotKills: a stalled process is only delayed — every
+// operation still completes — and the stall is attributed.
+func TestFaultStallDelaysNotKills(t *testing.T) {
+	s := NewScheduler(2, RoundRobinPick())
+	s.SetFaultPlan(&FaultPlan{Faults: []FaultSpec{{Proc: 0, Kind: FaultStall, Op: 2, Delay: 15}}})
+	m, a := faultCounters(s, 2, 5)
+	if err := s.Run(200); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := m.Peek(a); got != 10 {
+		t.Fatalf("counter = %d, want 10 (stall must not lose operations)", got)
+	}
+	faults := s.Faults()
+	if len(faults) != 1 || faults[0].Kind != FaultStall || faults[0].Proc != 0 || faults[0].Delay != 15 {
+		t.Fatalf("faults = %v, want the injected stall", faults)
+	}
+}
+
+// TestFaultStallFastForward: when every waiting process is stalled the
+// scheduler fast-forwards the global step to the window's expiry instead
+// of deadlocking, and the window consumes step budget.
+func TestFaultStallFastForward(t *testing.T) {
+	s := NewScheduler(1, RoundRobinPick())
+	s.SetFaultPlan(&FaultPlan{Faults: []FaultSpec{{Proc: 0, Kind: FaultStall, Op: 2, Delay: 50}}})
+	m, a := faultCounters(s, 1, 3)
+	if err := s.Run(60); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := m.Peek(a); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	if got := s.Steps(); got < 51 {
+		t.Fatalf("Steps() = %d, want >= 51 (stall window must consume budget)", got)
+	}
+
+	// A window larger than the remaining budget ends the run as a stall.
+	s2 := NewScheduler(1, RoundRobinPick())
+	s2.SetFaultPlan(&FaultPlan{Faults: []FaultSpec{{Proc: 0, Kind: FaultStall, Op: 2, Delay: 50}}})
+	_, _ = faultCounters(s2, 1, 3)
+	if err := s2.Run(20); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("Run = %v, want ErrStepLimit when the window exceeds the budget", err)
+	}
+	s2.Drain()
+}
+
+// TestFaultCrashRestart: a crash-restart victim is re-dispatched with the
+// plan's Restart body after the scripted delay, under the same pid.
+func TestFaultCrashRestart(t *testing.T) {
+	s := NewScheduler(2, RoundRobinPick())
+	m := NewMemory(CC, 2, s)
+	a := m.Alloc(0)
+	rest := m.Alloc(0)
+	var restartedAt int64 = -1
+	plan := &FaultPlan{
+		Faults: []FaultSpec{{Proc: 0, Kind: FaultRestart, Op: 3, Delay: 5}},
+		Restart: func(pid int) func() {
+			p := m.Proc(pid)
+			return func() {
+				restartedAt = s.Steps()
+				p.FAA(rest, 1)
+			}
+		},
+	}
+	s.SetFaultPlan(plan)
+	for i := 0; i < 2; i++ {
+		p := m.Proc(i)
+		s.Go(func() {
+			for j := 0; j < 5; j++ {
+				p.FAA(a, 1)
+			}
+		})
+	}
+	if err := s.Run(200); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := m.Peek(rest); got != 1 {
+		t.Fatalf("restart body ran %d times, want 1", got)
+	}
+	if got := m.Peek(a); got != 2+5 {
+		t.Fatalf("counter = %d, want 7 (victim performed 2 before crashing)", got)
+	}
+	faults := s.Faults()
+	if len(faults) != 1 || faults[0].Kind != FaultRestart || faults[0].Op != 3 {
+		t.Fatalf("faults = %v, want the crash-restart record", faults)
+	}
+	if restartedAt < faults[0].Step+5 {
+		t.Fatalf("restart ran at step %d, want >= crash step %d + delay 5", restartedAt, faults[0].Step)
+	}
+}
+
+// TestPanicContainmentScheduler: a panic inside a scheduled process must
+// not kill the test binary or deadlock the gate — Run returns a
+// *FaultError wrapping ErrPanicked that attributes the panic and carries a
+// schedule prefix reproducing it.
+func TestPanicContainmentScheduler(t *testing.T) {
+	body := func(pick PickFunc) (*Scheduler, error) {
+		s := NewScheduler(2, pick)
+		s.RecordSchedule(true)
+		m := NewMemory(CC, 2, s)
+		a := m.Alloc(0)
+		p0, p1 := m.Proc(0), m.Proc(1)
+		s.Go(func() {
+			for j := 0; j < 5; j++ {
+				p0.FAA(a, 1)
+			}
+		})
+		s.Go(func() {
+			p1.FAA(a, 1)
+			p1.FAA(a, 1)
+			panic("boom")
+		})
+		return s, s.Run(1000)
+	}
+	s, err := body(RoundRobinPick())
+	if !errors.Is(err, ErrPanicked) {
+		t.Fatalf("Run = %v, want ErrPanicked", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Run = %T, want *FaultError", err)
+	}
+	flt := fe.Fault
+	if flt.Proc != 1 || flt.Kind != FaultPanic || flt.Value != "boom" {
+		t.Fatalf("fault = %+v, want panic \"boom\" in process 1", flt)
+	}
+	if !strings.Contains(flt.Stack, "fault_test") {
+		t.Fatalf("fault stack does not point at the panic site:\n%s", flt.Stack)
+	}
+	if len(flt.Schedule) == 0 {
+		t.Fatal("contained panic carries no replay schedule")
+	}
+	if got := s.Err(); got != err {
+		t.Fatalf("Err() = %v, want the Run failure", got)
+	}
+
+	// The schedule prefix replays to the same panic at the same step.
+	_, err2 := body(ReplayPick(flt.Schedule))
+	var fe2 *FaultError
+	if !errors.As(err2, &fe2) || fe2.Fault.Step != flt.Step || fe2.Fault.Proc != 1 {
+		t.Fatalf("replay = %v, want the same contained panic at step %d", err2, flt.Step)
+	}
+}
+
+// TestExplorePanicIsViolation: during exploration a contained panic is a
+// property violation — reported with a lexmin schedule, not pruned — and
+// the report is identical at every worker count.
+func TestExplorePanicIsViolation(t *testing.T) {
+	body := func(s *Scheduler, maxSteps int) error {
+		m := NewMemory(CC, 2, s)
+		a := m.Alloc(0)
+		p0, p1 := m.Proc(0), m.Proc(1)
+		s.Go(func() {
+			p0.FAA(a, 1)
+			p0.FAA(a, 1)
+		})
+		s.Go(func() {
+			p1.FAA(a, 1)
+			if p1.Read(a) == 3 { // both p0 ops already done: schedule-dependent
+				panic("interleaving-dependent boom")
+			}
+		})
+		if err := s.Run(maxSteps); err != nil {
+			s.Drain()
+			return err
+		}
+		return nil
+	}
+	var schedules [][]int
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		e := &Explorer{Workers: workers}
+		_, err := e.Run(2, body)
+		var ee *ErrExplore
+		if !errors.As(err, &ee) {
+			t.Fatalf("workers=%d: err = %v, want *ErrExplore", workers, err)
+		}
+		if !errors.Is(err, ErrPanicked) {
+			t.Fatalf("workers=%d: err = %v, want to wrap ErrPanicked", workers, err)
+		}
+		schedules = append(schedules, ee.Schedule)
+	}
+	if !reflect.DeepEqual(schedules[0], schedules[1]) {
+		t.Fatalf("lexmin schedule differs across worker counts: %v vs %v", schedules[0], schedules[1])
+	}
+}
+
+// wdBody builds the rigged starvation body: process 0 completes its
+// doorway and spins; process 1 enters the critical section repeatedly,
+// overtaking it. Returns the scheduler for fault inspection.
+func wdBody(pick PickFunc, bound int) (*Scheduler, error) {
+	s := NewScheduler(2, pick)
+	s.SetWatchdog(bound)
+	m := NewMemory(CC, 2, s)
+	a := m.Alloc(0)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	s.Go(func() {
+		p0.Read(a) // first gated op serializes the phase declarations below
+		p0.EnterPhase(PhaseWaiting)
+		for j := 0; j < 20; j++ {
+			p0.Read(a)
+		}
+		p0.EnterPhase(PhaseIdle)
+	})
+	s.Go(func() {
+		p1.Read(a)
+		for j := 0; j < 6; j++ {
+			p1.EnterPhase(PhaseCS)
+			p1.Read(a)
+			p1.EnterPhase(PhaseIdle)
+		}
+	})
+	err := s.Run(1000)
+	if err != nil {
+		s.Drain()
+	}
+	return s, err
+}
+
+// TestWatchdogFlagsStarvation: overtaking a doorway-complete process
+// beyond the bound fails the run like a safety violation, deterministically
+// and with a schedule that replays to the same violation.
+func TestWatchdogFlagsStarvation(t *testing.T) {
+	s, err := wdBody(RoundRobinPick(), 3)
+	if !errors.Is(err, ErrStarvation) {
+		t.Fatalf("Run = %v, want ErrStarvation", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) {
+		t.Fatalf("Run = %T, want *FaultError", err)
+	}
+	flt := fe.Fault
+	if flt.Proc != 0 || flt.Kind != FaultStarvation || flt.Op != 4 {
+		t.Fatalf("fault = %+v, want process 0 overtaken 4 times", flt)
+	}
+	if len(flt.Schedule) == 0 {
+		t.Fatal("watchdog violation carries no replay schedule")
+	}
+	_ = s
+
+	// Deterministic: the same pick reproduces the identical fault.
+	s2, err2 := wdBody(RoundRobinPick(), 3)
+	var fe2 *FaultError
+	if !errors.As(err2, &fe2) || !reflect.DeepEqual(fe2.Fault, flt) {
+		t.Fatalf("re-run fault = %v, want %+v", err2, flt)
+	}
+	_ = s2
+
+	// Replaying the recorded prefix reproduces the violation.
+	_, err3 := wdBody(ReplayPick(flt.Schedule), 3)
+	var fe3 *FaultError
+	if !errors.As(err3, &fe3) || fe3.Fault.Step != flt.Step || fe3.Fault.Proc != 0 {
+		t.Fatalf("replay = %v, want the same starvation at step %d", err3, flt.Step)
+	}
+
+	// A generous bound stays clean on the same body.
+	if _, err := wdBody(RoundRobinPick(), 10); err != nil {
+		t.Fatalf("bound 10: Run = %v, want nil (only 6 overtakes possible)", err)
+	}
+}
+
+// TestExploreWatchdogLexminAcrossWorkers: a seeded watchdog violation
+// under exploration reports the lexicographically smallest offending
+// schedule, identically at workers=1 and workers=GOMAXPROCS.
+func TestExploreWatchdogLexminAcrossWorkers(t *testing.T) {
+	body := func(s *Scheduler, maxSteps int) error {
+		m := NewMemory(CC, 2, s)
+		a := m.Alloc(0)
+		p0, p1 := m.Proc(0), m.Proc(1)
+		s.Go(func() {
+			p0.Read(a)
+			p0.EnterPhase(PhaseWaiting)
+			for j := 0; j < 6; j++ {
+				p0.Read(a)
+			}
+			p0.EnterPhase(PhaseIdle)
+		})
+		s.Go(func() {
+			p1.Read(a)
+			for j := 0; j < 3; j++ {
+				p1.EnterPhase(PhaseCS)
+				p1.Read(a)
+				p1.EnterPhase(PhaseIdle)
+			}
+		})
+		if err := s.Run(maxSteps); err != nil {
+			s.Drain()
+			return err
+		}
+		return nil
+	}
+	var schedules [][]int
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		e := &Explorer{Workers: workers, Watchdog: 2, MaxSteps: 24}
+		_, err := e.Run(2, body)
+		var ee *ErrExplore
+		if !errors.As(err, &ee) {
+			t.Fatalf("workers=%d: err = %v, want a watchdog violation", workers, err)
+		}
+		if !errors.Is(err, ErrStarvation) {
+			t.Fatalf("workers=%d: err = %v, want to wrap ErrStarvation", workers, err)
+		}
+		schedules = append(schedules, ee.Schedule)
+	}
+	if !reflect.DeepEqual(schedules[0], schedules[1]) {
+		t.Fatalf("lexmin schedule differs across worker counts: %v vs %v", schedules[0], schedules[1])
+	}
+}
+
+// faultTolerantBody is the RunFaults test body: 2 processes FAA a counter
+// twice each, with the final-count assertion corrected by the crashes that
+// actually fired (read back from the scheduler's fault log).
+func faultTolerantBody(s *Scheduler, maxSteps int) error {
+	m := NewMemory(CC, 2, s)
+	a := m.Alloc(0)
+	for i := 0; i < 2; i++ {
+		p := m.Proc(i)
+		s.Go(func() {
+			p.FAA(a, 1)
+			p.FAA(a, 1)
+		})
+	}
+	if err := s.Run(maxSteps); err != nil {
+		s.Drain()
+		return err
+	}
+	want := uint64(4)
+	for _, flt := range s.Faults() {
+		if flt.Kind == FaultCrash {
+			want -= uint64(2 - (flt.Op - 1)) // the victim performed Op-1 of its 2
+		}
+	}
+	if got := m.Peek(a); got != want {
+		return fmt.Errorf("counter = %d, want %d", got, want)
+	}
+	return nil
+}
+
+// TestRunFaultsDeterministicAcrossWorkers: the crash-point sweep's
+// aggregate counts and per-plan results are identical at every worker
+// count, with and without sleep-set reduction (crash-only plans keep
+// reduction sound), and the reduced sweep never replays more.
+func TestRunFaultsDeterministicAcrossWorkers(t *testing.T) {
+	fs := FaultSet{MaxCrashes: 2, MaxOp: 3}
+	results := map[Reduction][]Result{}
+	for _, red := range []Reduction{NoReduction, SleepSets} {
+		for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+			e := &Explorer{Workers: workers, Reduction: red}
+			res, runs, err := e.RunFaults(2, faultTolerantBody, fs)
+			if err != nil {
+				t.Fatalf("red=%v workers=%d: %v", red, workers, err)
+			}
+			if !res.Exhausted {
+				t.Fatalf("red=%v workers=%d: sweep not exhausted", red, workers)
+			}
+			// nil baseline + 6 single-crash + 9 double-crash plans.
+			if len(runs) != 16 {
+				t.Fatalf("red=%v workers=%d: %d plans, want 16", red, workers, len(runs))
+			}
+			if runs[0].Plan != nil {
+				t.Fatalf("first plan = %v, want the fault-free baseline", runs[0].Plan)
+			}
+			results[red] = append(results[red], res)
+		}
+	}
+	for red, pair := range results {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Fatalf("red=%v: results differ across worker counts:\n%+v\n%+v", red, pair[0], pair[1])
+		}
+	}
+	if por, full := results[SleepSets][0].Replays(), results[NoReduction][0].Replays(); por > full {
+		t.Fatalf("reduced sweep replayed %d > unreduced %d", por, full)
+	}
+}
+
+// TestRunFaultsLexminViolation: a body whose property breaks under crashes
+// is caught at the first (deterministically ordered) faulty plan, with the
+// lexmin schedule, identically across worker counts.
+func TestRunFaultsLexminViolation(t *testing.T) {
+	fragile := func(s *Scheduler, maxSteps int) error {
+		m := NewMemory(CC, 2, s)
+		a := m.Alloc(0)
+		for i := 0; i < 2; i++ {
+			p := m.Proc(i)
+			s.Go(func() {
+				p.FAA(a, 1)
+				p.FAA(a, 1)
+			})
+		}
+		if err := s.Run(maxSteps); err != nil {
+			s.Drain()
+			return err
+		}
+		if got := m.Peek(a); got != 4 {
+			return fmt.Errorf("counter = %d, want 4", got)
+		}
+		return nil
+	}
+	type report struct {
+		plan     string
+		schedule []int
+	}
+	var reports []report
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		e := &Explorer{Workers: workers}
+		_, _, err := e.RunFaults(2, fragile, FaultSet{MaxOp: 2})
+		var fe *ErrFaultExplore
+		if !errors.As(err, &fe) {
+			t.Fatalf("workers=%d: err = %v, want *ErrFaultExplore", workers, err)
+		}
+		reports = append(reports, report{fe.Plan.String(), fe.Schedule})
+	}
+	if reports[0].plan != "crash:0@1" {
+		t.Fatalf("violating plan = %q, want the first enumerated crash point crash:0@1", reports[0].plan)
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatalf("violation report differs across worker counts: %+v vs %+v", reports[0], reports[1])
+	}
+}
+
+// TestControllerScriptedFaults: Crash, StallNext, Stalled, Restart and
+// FinishBudget compose into a deterministic hand-driven fault script.
+func TestControllerScriptedFaults(t *testing.T) {
+	c := NewController(2)
+	m := NewMemory(CC, 2, c)
+	a := m.Alloc(0)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	c.Go(0, func() {
+		for j := 0; j < 4; j++ {
+			p0.FAA(a, 1)
+		}
+	})
+	c.Go(1, func() {
+		for j := 0; j < 4; j++ {
+			p1.FAA(a, 1)
+		}
+	})
+	c.StepN(0, 2)
+
+	c.StallNext(1, 3)
+	for i := 0; i < 3; i++ {
+		if !c.Step(1) {
+			t.Fatalf("stall tick %d: process 1 reported finished", i)
+		}
+	}
+	if c.Stalled(1) {
+		t.Fatal("process 1 still stalled after its window")
+	}
+	if got := m.Peek(a); got != 2 {
+		t.Fatalf("counter = %d after stall ticks, want 2 (no operation may run)", got)
+	}
+	if !c.Step(1) {
+		t.Fatal("process 1 finished early")
+	}
+	if got := m.Peek(a); got != 3 {
+		t.Fatalf("counter = %d, want 3 (stall over, operation performed)", got)
+	}
+
+	// Crash process 0 at its next attempt: one more operation lands (the
+	// one it is parked before), then the attempt after unwinds it.
+	c.Crash(0)
+	if c.Step(0) {
+		t.Fatal("process 0 survived its crash")
+	}
+	if got := m.Peek(a); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	if !c.Finished(0) {
+		t.Fatal("crashed process not finished")
+	}
+
+	// Scripted recovery: relaunch under the same pid.
+	c.Restart(0, func() { p0.FAA(a, 10) })
+	if _, err := c.FinishBudget(0, 100); err != nil {
+		t.Fatalf("FinishBudget(restarted): %v", err)
+	}
+	if _, err := c.FinishBudget(1, 100); err != nil {
+		t.Fatalf("FinishBudget(1): %v", err)
+	}
+	if got := m.Peek(a); got != 17 {
+		t.Fatalf("final counter = %d, want 17", got)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() = %v, want nil (injected faults are not failures)", err)
+	}
+	var kinds []FaultKind
+	for _, flt := range c.Faults() {
+		kinds = append(kinds, flt.Kind)
+	}
+	if !reflect.DeepEqual(kinds, []FaultKind{FaultStall, FaultCrash}) {
+		t.Fatalf("fault kinds = %v, want [stall crash]", kinds)
+	}
+}
+
+// TestControllerPlanFaults: a FaultPlan installed on a Controller triggers
+// at the scripted per-process operation attempts.
+func TestControllerPlanFaults(t *testing.T) {
+	c := NewController(2)
+	c.SetFaultPlan(&FaultPlan{Faults: []FaultSpec{
+		{Proc: 0, Kind: FaultCrash, Op: 2},
+		{Proc: 1, Kind: FaultStall, Op: 1, Delay: 2},
+	}})
+	m := NewMemory(CC, 2, c)
+	a := m.Alloc(0)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	c.Go(0, func() {
+		for j := 0; j < 3; j++ {
+			p0.FAA(a, 1)
+		}
+	})
+	c.Go(1, func() {
+		p1.FAA(a, 1)
+		p1.FAA(a, 1)
+	})
+	if n, err := c.FinishBudget(0, 10); err != nil || n != 1 {
+		t.Fatalf("FinishBudget(0) = %d, %v; want crash after 1 grant", n, err)
+	}
+	if n, err := c.FinishBudget(1, 10); err != nil || n != 4 {
+		t.Fatalf("FinishBudget(1) = %d, %v; want 2 stall ticks + 2 operations", n, err)
+	}
+	if got := m.Peek(a); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	faults := c.Faults()
+	if len(faults) != 2 {
+		t.Fatalf("faults = %v, want stall then crash", faults)
+	}
+}
+
+// TestControllerFinishBudgetLivelock is the satellite fix: a livelocked
+// spin loop used to make Finish panic (and Wait hang); FinishBudget now
+// degrades to an error wrapping ErrStepLimit with the process recoverable.
+func TestControllerFinishBudgetLivelock(t *testing.T) {
+	c := NewController(1)
+	m := NewMemory(CC, 1, c)
+	a := m.Alloc(0)
+	p := m.Proc(0)
+	c.Go(0, func() {
+		for p.Read(a) == 0 && !p.AbortSignal() {
+		}
+	})
+	if _, err := c.FinishBudget(0, 50); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("FinishBudget = %v, want ErrStepLimit", err)
+	}
+	p.SignalAbort()
+	if _, err := c.FinishBudget(0, 50); err != nil {
+		t.Fatalf("FinishBudget after abort: %v", err)
+	}
+}
+
+// TestControllerWaitBudgetLivelock: WaitBudget ends a livelocked wait with
+// an error instead of hanging, leaving the survivors recoverable.
+func TestControllerWaitBudgetLivelock(t *testing.T) {
+	c := NewController(2)
+	m := NewMemory(CC, 2, c)
+	a := m.Alloc(0)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	c.Go(0, func() { p0.FAA(a, 1) })
+	c.Go(1, func() {
+		for p1.Read(a) < 100 && !p1.AbortSignal() {
+		}
+	})
+	if err := c.WaitBudget(40); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("WaitBudget = %v, want ErrStepLimit", err)
+	}
+	p1.SignalAbort()
+	if err := c.WaitBudget(100); err != nil {
+		t.Fatalf("WaitBudget after abort: %v", err)
+	}
+}
+
+// TestControllerPanicContainment: a panic inside a Controller-driven
+// process retires the process and surfaces through Err instead of killing
+// the test binary (the satellite containment fix at the Go spawn site).
+func TestControllerPanicContainment(t *testing.T) {
+	c := NewController(2)
+	m := NewMemory(CC, 2, c)
+	a := m.Alloc(0)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	c.Go(0, func() {
+		p0.FAA(a, 1)
+		panic("kaboom")
+	})
+	c.Go(1, func() { p1.FAA(a, 1) })
+	if c.Step(0) {
+		c.Step(0) // the panic lands on the attempt after the operation
+	}
+	if !c.Finished(0) {
+		t.Fatal("panicking process not retired")
+	}
+	if err := c.WaitBudget(100); !errors.Is(err, ErrPanicked) {
+		t.Fatalf("WaitBudget = %v, want ErrPanicked", err)
+	}
+	var fe *FaultError
+	if err := c.Err(); !errors.As(err, &fe) || fe.Fault.Proc != 0 || fe.Fault.Value != "kaboom" {
+		t.Fatalf("Err() = %v, want the contained panic of process 0", c.Err())
+	}
+	c.Wait() // must not hang
+}
+
+// TestFaultOffOpPathDoesNotAllocate is the CI guard that the fault layer
+// costs the fault-off operation path nothing: with no plan and no watchdog
+// installed, gated operations stay zero-alloc exactly as before.
+func TestFaultOffOpPathDoesNotAllocate(t *testing.T) {
+	for _, model := range []Model{CC, DSM} {
+		t.Run(model.String(), func(t *testing.T) {
+			s := NewScheduler(1, func(_ int, _ []int) int { return 0 })
+			if s.FaultPlan() != nil {
+				t.Fatal("fresh scheduler has a fault plan")
+			}
+			m := NewMemory(model, 1, s)
+			own := m.AllocLocal(0, 0)
+			shared := m.Alloc(0)
+			p := m.Proc(0)
+			s.Go(func() { checkOpsDoNotAllocate(t, p, own, shared) })
+			if err := s.Run(1 << 30); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -3,6 +3,7 @@ package rmr
 import (
 	"errors"
 	"math/rand"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -105,6 +106,7 @@ type Scheduler struct {
 	pick  PickFunc
 	grant []chan struct{}
 	open  atomic.Bool
+	kill  atomic.Bool  // DrainKill: unwind drained processes at their next operation
 	clock atomic.Int64 // steps granted so far; see Steps
 
 	// spawn, when non-nil, launches process functions instead of the go
@@ -129,6 +131,26 @@ type Scheduler struct {
 	started  bool  // Run has been called
 	step     int
 	maxSteps int
+
+	// Fault injection and liveness watchdog (fault.go). plan/fs are non-nil
+	// only when SetFaultPlan installed a plan, wd only when SetWatchdog set
+	// a bound, so the fault-off hot path pays a nil check per operation and
+	// nothing else. picks counts PickFunc consultations — it equals step
+	// except across a stall fast-forward, which burns steps without a
+	// choice, and it is what PickFunc and the recorded schedule index by so
+	// replays stay aligned under faults. All fields below except fs.ops
+	// (written only by the owning process goroutine) are guarded by mu.
+	plan        *FaultPlan
+	fs          *faultState
+	wdBound     int
+	wd          *wdState
+	recording   bool    // log choice indices into sched
+	sched       []int   // recorded choice-index prefix of the current run
+	picks       int     // choices made so far
+	lastGranted int     // pid holding the step token; -1 before the first grant
+	faults      []Fault // fault log, in occurrence order
+	failure     *FaultError
+	stopRun     bool // watchdog force-stop: end the run at the next grant
 
 	// Deferred starts (GoProc): a process launched with GoProc joins the
 	// waiting set immediately but its goroutine is only dispatched when the
@@ -155,7 +177,8 @@ func NewScheduler(n int, pick PickFunc) *Scheduler {
 		token:    make([]bool, n),
 		// Capacity 2: a stalling run signals ErrStepLimit and then, once
 		// drained, the final exit's nil — neither sender may block.
-		sig: make(chan error, 2),
+		sig:         make(chan error, 2),
+		lastGranted: -1,
 	}
 	for i := range s.grant {
 		s.grant[i] = make(chan struct{})
@@ -166,24 +189,30 @@ func NewScheduler(n int, pick PickFunc) *Scheduler {
 // Await implements Gate.
 func (s *Scheduler) Await(pid int) {
 	if s.open.Load() {
+		if s.kill.Load() {
+			// DrainKill: unwind this process through the containment path
+			// instead of letting it spin against state a fault abandoned.
+			panic(procCrash{pid})
+		}
 		return
+	}
+	stalled := false
+	if s.fs != nil {
+		// May panic(procCrash) to unwind a crash victim; runOne contains it.
+		stalled = s.faultCheck(pid)
 	}
 	if s.token[pid] {
 		// First operation of a GoProc process: the grant that dispatched
-		// it doubles as its first step.
+		// it doubles as its first step — unless a stall window just opened,
+		// in which case the process gives the fused grant back and parks at
+		// the gate like everyone else so the window can hold it.
 		s.token[pid] = false
-		return
+		if !stalled {
+			return
+		}
 	}
 	s.mu.Lock()
-	// Insert pid keeping waiting sorted by id (it is almost always the
-	// largest-gap insertion of a handful of elements).
-	w := append(s.waiting, pid)
-	i := len(w) - 1
-	for ; i > 0 && w[i-1] > pid; i-- {
-		w[i] = w[i-1]
-	}
-	w[i] = pid
-	s.waiting = w
+	s.insertWaiting(pid)
 	if s.started && len(s.waiting) == s.live {
 		// Quiescent point: this process was the only one running, so it
 		// arbitrates the next step itself.
@@ -227,37 +256,228 @@ func (s *Scheduler) dispatch(fn func()) {
 // s.mu held and releases it. It returns the chosen pid after removing it
 // from the waiting set, or -1 if the step budget ran out (in which case the
 // stall has been signaled to Run and the waiting set is left intact for
-// Drain).
+// Drain). Under a fault plan it first dispatches due restarts, filters out
+// stalled processes, and — when every waiting process is stalled —
+// fast-forwards the global step to the next stall expiry or restart point
+// (stall windows consume step budget but no schedule choice).
 func (s *Scheduler) grantNext() int {
-	if s.step >= s.maxSteps {
-		s.mu.Unlock()
-		select {
-		case s.sig <- ErrStepLimit:
-		default:
+	for {
+		if s.stopRun || s.step >= s.maxSteps {
+			// Budget exhausted, or the watchdog force-stopped the run: end
+			// it as a stall so the caller's drain protocol applies (Run
+			// overlays the recorded failure, if any, on the outcome).
+			s.mu.Unlock()
+			select {
+			case s.sig <- ErrStepLimit:
+			default:
+			}
+			return -1
 		}
-		return -1
-	}
-	i := s.pick(s.step, s.waiting)
-	if i < 0 {
-		// The pick declined every waiting process (the Explorer's
-		// reduction cut this schedule). End the run exactly like a
-		// step-limit stall so the body's drain protocol applies unchanged.
-		s.mu.Unlock()
-		select {
-		case s.sig <- ErrStepLimit:
-		default:
+		waiting := s.waiting
+		if f := s.fs; f != nil && (f.numStalled > 0 || f.pending > 0) {
+			s.enlistRestarts()
+			waiting = s.eligible()
+			if len(waiting) == 0 {
+				// Every waiting process is stalled and any restarts are
+				// still pending: fast-forward to the next fault event.
+				if next, ok := s.nextFaultEvent(); ok && next <= s.maxSteps {
+					s.step = next
+				} else {
+					s.step = s.maxSteps // the budget runs out mid-window
+				}
+				s.clock.Store(int64(s.step))
+				continue
+			}
 		}
-		return -1
+		i := s.pick(s.picks, waiting)
+		if i < 0 {
+			// The pick declined every waiting process (the Explorer's
+			// reduction cut this schedule). End the run exactly like a
+			// step-limit stall so the body's drain protocol applies
+			// unchanged.
+			s.mu.Unlock()
+			select {
+			case s.sig <- ErrStepLimit:
+			default:
+			}
+			return -1
+		}
+		if s.acc != nil && s.step < len(s.acc) {
+			s.acc[s.step] = unknownAccess
+		}
+		pid := waiting[i]
+		if s.recording {
+			s.sched = append(s.sched, i)
+		}
+		s.removeWaiting(pid)
+		s.lastGranted = pid
+		s.picks++
+		s.step++
+		s.clock.Store(int64(s.step))
+		s.mu.Unlock()
+		return pid
 	}
-	if s.acc != nil && s.step < len(s.acc) {
-		s.acc[s.step] = unknownAccess
+}
+
+// insertWaiting adds pid to the waiting set, keeping it sorted by id (it is
+// almost always the largest-gap insertion of a handful of elements). The
+// caller holds s.mu.
+func (s *Scheduler) insertWaiting(pid int) {
+	w := append(s.waiting, pid)
+	i := len(w) - 1
+	for ; i > 0 && w[i-1] > pid; i-- {
+		w[i] = w[i-1]
 	}
-	pid := s.waiting[i]
-	s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
-	s.step++
-	s.clock.Store(int64(s.step))
+	w[i] = pid
+	s.waiting = w
+}
+
+// removeWaiting deletes pid from the waiting set. The caller holds s.mu.
+func (s *Scheduler) removeWaiting(pid int) {
+	for i, q := range s.waiting {
+		if q == pid {
+			s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+			return
+		}
+	}
+}
+
+// faultCheck counts pid's operation attempt against the installed plan and
+// applies any fault it scripts for this attempt. A crash (or
+// crash-restart) unwinds the process body with a procCrash panic that the
+// spawn site's containment swallows; a stall records its ineligibility
+// window and reports true so Await parks the process at the gate.
+func (s *Scheduler) faultCheck(pid int) (stalled bool) {
+	f := s.fs
+	op := f.ops[pid] + 1
+	f.ops[pid] = op
+	for _, sp := range f.specs[pid] {
+		if int32(sp.Op) != op {
+			continue
+		}
+		s.mu.Lock()
+		flt := Fault{Proc: pid, Kind: sp.Kind, Op: sp.Op, Step: int64(s.step), Delay: sp.Delay}
+		switch sp.Kind {
+		case FaultStall:
+			f.stallUntil[pid] = s.step + sp.Delay
+			f.numStalled++
+			stalled = true
+		case FaultRestart:
+			f.restartFn[pid] = s.plan.Restart(pid)
+			f.restartAt[pid] = s.step + sp.Delay
+			f.pending++
+		}
+		s.recordFault(flt)
+		s.mu.Unlock()
+		if sp.Kind != FaultStall {
+			panic(procCrash{pid})
+		}
+	}
+	return stalled
+}
+
+// recordFault appends to the fault log, attaching the replay prefix when
+// schedule recording is on. The caller holds s.mu.
+func (s *Scheduler) recordFault(flt Fault) Fault {
+	if s.recording {
+		flt.Schedule = append([]int(nil), s.sched...)
+	}
+	s.faults = append(s.faults, flt)
+	return flt
+}
+
+// eligible filters the waiting set down to processes whose stall window has
+// passed, expiring windows as it goes. The result lives in the fault
+// state's scratch buffer. The caller holds s.mu.
+func (s *Scheduler) eligible() []int {
+	f := s.fs
+	e := f.elig[:0]
+	for _, pid := range s.waiting {
+		if u := f.stallUntil[pid]; u > 0 {
+			if u > s.step {
+				continue // still inside the stall window
+			}
+			f.stallUntil[pid] = 0
+			f.numStalled--
+		}
+		e = append(e, pid)
+	}
+	f.elig = e
+	return e
+}
+
+// enlistRestarts dispatches restart bodies whose delay has passed: the pid
+// rejoins the machine as a deferred (GoProc-style) process, entering the
+// waiting set and the live count together so the quiescence invariant
+// (len(waiting) == live at arbitration) is preserved. The caller holds
+// s.mu.
+func (s *Scheduler) enlistRestarts() {
+	f := s.fs
+	if f.pending == 0 {
+		return
+	}
+	for pid, fn := range f.restartFn {
+		if fn == nil || f.restartAt[pid] > s.step {
+			continue
+		}
+		f.restartFn[pid] = nil
+		f.pending--
+		s.launched++
+		s.live++
+		s.deferred[pid] = fn
+		s.insertWaiting(pid)
+	}
+}
+
+// nextFaultEvent returns the earliest global step at which a stalled
+// process becomes eligible again or a pending restart becomes due. The
+// caller holds s.mu; pending restarts due now were already enlisted.
+func (s *Scheduler) nextFaultEvent() (int, bool) {
+	f := s.fs
+	next, ok := 0, false
+	for _, pid := range s.waiting {
+		if u := f.stallUntil[pid]; u > s.step && (!ok || u < next) {
+			next, ok = u, true
+		}
+	}
+	for pid, fn := range f.restartFn {
+		if fn != nil && (!ok || f.restartAt[pid] < next) {
+			next, ok = f.restartAt[pid], true
+		}
+	}
+	return next, ok
+}
+
+// notePhase drives the liveness watchdog (SetWatchdog): it tracks which
+// processes have completed the doorway (declared PhaseWaiting) and counts
+// critical-section entries by others past each one; crossing the bound
+// records a FaultStarvation with the overtaken process as the victim and
+// force-stops the run, which then fails like a safety violation with a
+// replayable schedule.
+func (s *Scheduler) notePhase(pid int, old, ph Phase) {
+	s.mu.Lock()
+	w := s.wd
+	if ph == PhaseWaiting {
+		w.waiting[pid] = true
+		w.over[pid] = 0
+	} else if old == PhaseWaiting {
+		w.waiting[pid] = false
+	}
+	if ph == PhaseCS && s.failure == nil {
+		for q := range w.waiting {
+			if q == pid || !w.waiting[q] {
+				continue
+			}
+			w.over[q]++
+			if int(w.over[q]) > s.wdBound {
+				flt := s.recordFault(Fault{Proc: q, Kind: FaultStarvation, Op: int(w.over[q]), Step: int64(s.step)})
+				s.failure = &FaultError{Fault: flt, sentinel: ErrStarvation}
+				s.stopRun = true
+				break
+			}
+		}
+	}
 	s.mu.Unlock()
-	return pid
 }
 
 // noteAccess records the memory footprint of the currently granted step;
@@ -296,9 +516,51 @@ func (s *Scheduler) Go(fn func()) {
 // all between the processes.
 func (s *Scheduler) runProc(fn func()) {
 	for fn != nil {
-		fn()
-		fn = s.exitNext()
+		fn = s.runOne(fn)
 	}
+}
+
+// runOne runs one process body, containing any panic that unwinds it: an
+// injected crash (procCrash) passes silently — the fault was recorded at
+// the gate — and anything else is recorded as a FaultPanic that fails the
+// run. Either way the process retires through exitNext, so the step token
+// and the run's completion signal survive the unwind instead of
+// deadlocking the gate or killing the host test binary.
+func (s *Scheduler) runOne(fn func()) (next func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.contain(r)
+			next = s.exitNext()
+		}
+	}()
+	fn()
+	return s.exitNext()
+}
+
+// contain converts a recovered process panic into the run's failure
+// record. Mid-schedule the panicking process necessarily holds the step
+// token, so lastGranted attributes it; a panic before the first grant or
+// after Drain opened the gate (when processes run concurrently) is
+// attributed to process -1.
+func (s *Scheduler) contain(r any) {
+	if _, ok := r.(procCrash); ok {
+		return // injected crash, recorded at the gate
+	}
+	stack := string(debug.Stack())
+	s.mu.Lock()
+	pid := s.lastGranted
+	if s.open.Load() {
+		pid = -1
+	}
+	flt := Fault{Proc: pid, Kind: FaultPanic, Step: int64(s.step), Value: r, Stack: stack}
+	if f := s.fs; f != nil && pid >= 0 {
+		flt.Op = int(f.ops[pid])
+	}
+	flt = s.recordFault(flt)
+	if s.failure == nil {
+		s.failure = &FaultError{Fault: flt, sentinel: ErrPanicked}
+	}
+	s.mu.Unlock()
 }
 
 // GoProc launches fn as the process with id pid, deferring the goroutine
@@ -315,13 +577,7 @@ func (s *Scheduler) GoProc(pid int, fn func()) {
 	s.launched++
 	s.live++
 	s.deferred[pid] = fn
-	w := append(s.waiting, pid)
-	i := len(w) - 1
-	for ; i > 0 && w[i-1] > pid; i-- {
-		w[i] = w[i-1]
-	}
-	w[i] = pid
-	s.waiting = w
+	s.insertWaiting(pid)
 	s.mu.Unlock()
 }
 
@@ -334,6 +590,21 @@ func (s *Scheduler) exitNext() func() {
 	s.mu.Lock()
 	s.live--
 	if s.live == 0 {
+		// Pending restarts revive the run: grantNext fast-forwards to the
+		// restart point, enlists the body, and grants it — unless the run
+		// is over (drained, force-stopped, or not yet started; the
+		// pre-start case is revived by Run itself).
+		if f := s.fs; f != nil && f.pending > 0 && s.started && !s.open.Load() && !s.stopRun {
+			if next := s.grantNext(); next >= 0 { // releases s.mu
+				if fn := s.deferred[next]; fn != nil {
+					s.deferred[next] = nil
+					s.token[next] = true
+					return fn
+				}
+				s.grant[next] <- struct{}{}
+			}
+			return nil
+		}
 		s.mu.Unlock()
 		s.sig <- nil
 		return nil
@@ -357,6 +628,13 @@ func (s *Scheduler) exitNext() func() {
 // shared-memory steps have been granted, in which case it returns
 // ErrStepLimit. After ErrStepLimit the caller should resolve the stall
 // (e.g. deliver abort signals) and call Drain to release every process.
+//
+// When a fault plan or the watchdog recorded a failure — a contained
+// process panic, a starvation violation — Run returns that *FaultError
+// (matching errors.Is ErrPanicked / ErrStarvation) instead, whatever the
+// raw outcome: the failure usually caused the stall. The ErrStepLimit
+// drain protocol applies to FaultError too, and both steps are no-ops when
+// every process already returned.
 func (s *Scheduler) Run(maxSteps int) error {
 	s.mu.Lock()
 	if s.launched == 0 {
@@ -371,12 +649,43 @@ func (s *Scheduler) Run(maxSteps int) error {
 			s.deliver(next)
 		} else {
 			<-s.sig // consume the stall grantNext just signaled
-			return ErrStepLimit
+			return s.runErr(ErrStepLimit)
 		}
 	} else {
 		s.mu.Unlock()
 	}
-	return <-s.sig
+	err := <-s.sig
+	// When every process crashed before the schedule started, the run
+	// completes with restarts still pending (mid-run, exitNext revives them
+	// itself): revive here, once the completion signal proves nothing is
+	// live, and resume waiting.
+	for err == nil {
+		s.mu.Lock()
+		f := s.fs
+		if f == nil || f.pending == 0 || s.live != 0 || s.stopRun {
+			s.mu.Unlock()
+			break
+		}
+		if next := s.grantNext(); next >= 0 { // releases s.mu
+			s.deliver(next)
+		} else {
+			<-s.sig
+			return s.runErr(ErrStepLimit)
+		}
+		err = <-s.sig
+	}
+	return s.runErr(err)
+}
+
+// runErr overlays the run's recorded failure on its raw outcome.
+func (s *Scheduler) runErr(err error) error {
+	s.mu.Lock()
+	failure := s.failure
+	s.mu.Unlock()
+	if failure != nil {
+		return failure
+	}
+	return err
 }
 
 // reset returns the scheduler to its initial state so a driver (the
@@ -395,6 +704,18 @@ func (s *Scheduler) reset() {
 	s.started = false
 	s.step = 0
 	s.maxSteps = 0
+	s.picks = 0
+	s.lastGranted = -1
+	s.stopRun = false
+	s.failure = nil
+	s.faults = s.faults[:0]
+	s.sched = s.sched[:0]
+	if s.fs != nil {
+		s.fs.reset()
+	}
+	if s.wd != nil {
+		s.wd.reset()
+	}
 	for i := range s.deferred {
 		s.deferred[i] = nil
 		s.token[i] = false
@@ -425,11 +746,127 @@ func (s *Scheduler) active() bool {
 // so far. Processes may read it between their own operations to timestamp
 // events for ordering assertions (the value is monotonic, and a value read
 // by a process after one of its operations is ≥ that operation's step).
+// Under a fault plan the clock also advances across stall fast-forwards.
 func (s *Scheduler) Steps() int64 { return s.clock.Load() }
+
+// SetFaultPlan installs a deterministic fault script (fault.go), or clears
+// it with nil. It must be called before Run — never mid-schedule — and the
+// plan persists across the Explorer's internal reuse of a scheduler.
+// Installing a plan turns on schedule recording, so every Fault carries
+// the choice-index prefix that replays it.
+func (s *Scheduler) SetFaultPlan(plan *FaultPlan) {
+	if s.active() {
+		panic("rmr: SetFaultPlan during a schedule")
+	}
+	s.plan = plan
+	if plan == nil {
+		s.fs = nil
+		s.recording = s.wd != nil
+		return
+	}
+	plan.validate(len(s.grant))
+	s.fs = newFaultState(len(s.grant), plan)
+	s.recording = true
+}
+
+// FaultPlan returns the installed fault plan, or nil.
+func (s *Scheduler) FaultPlan() *FaultPlan { return s.plan }
+
+// SetWatchdog arms the liveness watchdog: once a process completes the
+// doorway (declares PhaseWaiting via Proc.EnterPhase), more than bound
+// critical-section entries by other processes before it leaves the waiting
+// phase fail the run with a *FaultError wrapping ErrStarvation, carrying a
+// replayable schedule. A meaningful bound depends on the lock: starvation-
+// free locks bound overtaking by O(n) entries per passage, so a few times
+// the process count is safe for single-passage bodies, while unfair locks
+// (test-and-set) genuinely starve and will trip it. bound <= 0 disarms.
+// Must not be called mid-schedule.
+func (s *Scheduler) SetWatchdog(bound int) {
+	if s.active() {
+		panic("rmr: SetWatchdog during a schedule")
+	}
+	s.wdBound = bound
+	if bound <= 0 {
+		s.wd = nil
+		s.recording = s.fs != nil
+		return
+	}
+	if s.wd == nil {
+		s.wd = newWdState(len(s.grant))
+	}
+	s.recording = true
+}
+
+// RecordSchedule toggles choice recording independently of a fault plan or
+// watchdog (either forces it on): Schedule then returns the choice-index
+// prefix of the current run, replayable with ReplayPick. Must not be
+// called mid-schedule.
+func (s *Scheduler) RecordSchedule(on bool) {
+	if s.active() {
+		panic("rmr: RecordSchedule during a schedule")
+	}
+	s.recording = on || s.fs != nil || s.wd != nil
+}
+
+// Faults returns a copy of the faults recorded during the current (or last)
+// run, in occurrence order: injected crashes and stalls that took effect,
+// contained panics, and watchdog violations.
+func (s *Scheduler) Faults() []Fault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.faults) == 0 {
+		return nil
+	}
+	return append([]Fault(nil), s.faults...)
+}
+
+// Schedule returns a copy of the recorded choice-index prefix of the
+// current (or last) run. It is safe to call concurrently with a run — a
+// wall-clock deadline handler can dump the in-flight schedule.
+func (s *Scheduler) Schedule() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.sched) == 0 {
+		return nil
+	}
+	return append([]int(nil), s.sched...)
+}
+
+// Err returns the failure the current (or last) run recorded — the
+// *FaultError for a contained panic or watchdog violation — or nil. Run
+// returns the same error; Err serves hand-driven drivers and deadline
+// handlers that cannot wait for Run.
+func (s *Scheduler) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failure == nil {
+		return nil
+	}
+	return s.failure
+}
 
 // Drain opens the gate and waits for every remaining process to return.
 // It is only needed after Run returned ErrStepLimit.
 func (s *Scheduler) Drain() {
+	s.drain()
+}
+
+// DrainKill is Drain for runs a fault wedged beyond cooperation: instead of
+// running the released processes to completion through the open gate — which
+// hangs when a survivor spins forever on state a crashed process abandoned
+// and ignores its abort signal — every released process is unwound at its
+// next shared-memory operation via the panic-containment path, as if
+// crash-stopped there. The unwinds happen outside the recorded schedule and
+// leave no fault-log entries, so they perturb neither replay nor
+// exploration; the simulated memory is abandoned mid-operation and must not
+// be trusted afterwards.
+func (s *Scheduler) DrainKill() {
+	s.kill.Store(true)
+	s.drain()
+	s.kill.Store(false)
+}
+
+func (s *Scheduler) drain() {
 	s.open.Store(true)
 	s.mu.Lock()
 	// The release buffer is scheduler-owned scratch so that a drain — which

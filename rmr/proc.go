@@ -72,6 +72,12 @@ func (p *Proc) EnterPhase(ph Phase) {
 		return
 	}
 	p.phase = ph
+	if s := p.m.sched; s != nil && s.wdBound > 0 {
+		// Liveness watchdog (Scheduler.SetWatchdog): phase transitions are
+		// its only input. Plain-field guard keeps the watchdog-off path a
+		// single store, like the observer below.
+		s.notePhase(p.id, old, ph)
+	}
 	o := p.m.obs.Load()
 	if o == nil {
 		return

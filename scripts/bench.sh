@@ -42,7 +42,21 @@ artifact_flags=()
 if [ "$benchtime" = "1x" ]; then
 	artifact_flags+=(-quick)
 fi
-go run ./cmd/rmrbench "${artifact_flags[@]}" -matrix "$matrix" -explore "$explore"
+# The artifact run must fail loudly: `set -e` alone would still let the
+# splice below consume a truncated file if rmrbench died after creating it,
+# so its exit status is checked explicitly and each artifact is validated
+# as a complete JSON document (brace-delimited) before being embedded.
+if ! go run ./cmd/rmrbench "${artifact_flags[@]}" -deadline 15m \
+	-matrix "$matrix" -explore "$explore"; then
+	echo "bench.sh: rmrbench failed; not writing $out" >&2
+	exit 1
+fi
+for artifact in "$matrix" "$explore"; do
+	if [ "$(head -c 1 "$artifact")" != "{" ] || [ "$(tail -c 2 "$artifact")" != "}" ]; then
+		echo "bench.sh: $artifact is not a complete JSON document; not writing $out" >&2
+		exit 1
+	fi
+done
 
 {
 	printf '{\n'
