@@ -21,6 +21,10 @@ type Config struct {
 // DefaultMaxHandles is the handle capacity used when Config.MaxHandles is 0.
 const DefaultMaxHandles = 128
 
+// maxMaxHandles bounds MaxHandles to what the packed doorway's arrival
+// field can count (see oneshot.go).
+const maxMaxHandles = 1<<gateDepShift - 1
+
 // Lock is a long-lived abortable mutual-exclusion lock (the paper's final
 // algorithm, §6 applied to §3, with W = 64). Its methods are safe for
 // concurrent use; per-goroutine state lives in Handles.
@@ -32,6 +36,7 @@ type Lock struct {
 	switches    atomic.Int64 // completed instance switches (observability)
 	aborts      atomic.Int64 // attempts abandoned via the abort path
 	switchWaits atomic.Int64 // Enter calls that blocked on an instance switch
+	parks       atomic.Int64 // tier-3 parks taken by waiters (see docs/PERF.md)
 }
 
 // Stats is a point-in-time observability snapshot of a Lock.
@@ -50,6 +55,11 @@ type Stats struct {
 	// (the paper's lines 57–61). A high ratio of SwitchWaits to Switches
 	// means handles re-enter faster than the lock quiesces.
 	SwitchWaits int64
+	// Parks counts waits that escalated to the parking tier (the waiter
+	// blocked on its parker instead of spinning). Zero under light
+	// contention; rises under oversubscription, where parking is the
+	// point — see docs/PERF.md.
+	Parks int64
 }
 
 // Stats returns current counters. Values are individually atomic snapshots
@@ -60,6 +70,7 @@ func (l *Lock) Stats() Stats {
 		Switches:    l.switches.Load(),
 		Aborts:      l.aborts.Load(),
 		SwitchWaits: l.switchWaits.Load(),
+		Parks:       l.parks.Load(),
 	}
 }
 
@@ -71,6 +82,9 @@ func New(cfg Config) *Lock {
 	}
 	if n < 1 {
 		panic(fmt.Sprintf("abortable: MaxHandles=%d must be positive", n))
+	}
+	if n > maxMaxHandles {
+		panic(fmt.Sprintf("abortable: MaxHandles=%d exceeds the doorway limit %d", n, maxMaxHandles))
 	}
 	l := &Lock{n: n}
 	l.desc.Store(newInstance(n))
@@ -86,20 +100,28 @@ func (l *Lock) NewHandle() (*Handle, error) {
 		l.handles.Add(-1)
 		return nil, fmt.Errorf("abortable: handle limit %d reached", l.n)
 	}
-	return &Handle{lk: l}, nil
+	return &Handle{lk: l, park: newParker()}, nil
 }
 
 // Handle is one goroutine's identity at the lock. It is not safe for
 // concurrent use, with the exception of Abort, which may be called from
 // any goroutine.
+//
+// The struct is padded to a falseSharingRange multiple: handles are
+// pooled and allocated back-to-back (HandlePool), and a collaborator's
+// Abort store on one handle must not invalidate the cache line a
+// neighbouring handle is spinning from.
 type Handle struct {
 	lk      *Lock
 	oldInst *instance // instance used by the previous acquisition
 	cur     *instance // instance currently held (between Enter and Exit)
 	slot    int       // queue slot in cur (set by a successful enter)
+	park    parker    // tier-3 park/unpark channel (wake hints)
 
 	abortFlag atomic.Bool
 	ctx       context.Context // non-nil only inside EnterContext
+
+	_ [falseSharingRange - 64]byte
 }
 
 // Abort asynchronously requests that the handle's pending (or next) Enter
@@ -107,8 +129,11 @@ type Handle struct {
 // returns, whichever way it returns: an Enter that is granted the lock
 // before observing the signal returns true and the signal is dropped
 // (paper footnote 2 — the caller holds the lock and should Exit normally).
+// Abort also wakes the handle if it is parked, so a blocked waiter
+// observes the signal within a bounded number of steps.
 func (h *Handle) Abort() {
 	h.abortFlag.Store(true)
+	h.park.wake()
 }
 
 // abortPending reports whether the current attempt should abandon.
@@ -126,6 +151,19 @@ func (h *Handle) abortPending() bool {
 	return false
 }
 
+// parkState returns the handle's parker and, inside EnterContext, the
+// context's done channel (nil otherwise) — the wake sources a tier-3
+// sleep must select on besides the grant signal.
+func (h *Handle) parkState() (*parker, <-chan struct{}) {
+	if h.ctx != nil {
+		return &h.park, h.ctx.Done()
+	}
+	return &h.park, nil
+}
+
+// notePark feeds the Parks observability counter.
+func (h *Handle) notePark() { h.lk.parks.Add(1) }
+
 // Enter acquires the lock, blocking until it is granted or until Abort is
 // called. It reports whether the lock was acquired; after true the caller
 // must eventually call Exit.
@@ -134,36 +172,59 @@ func (h *Handle) Enter() bool {
 		panic("abortable: Enter while holding the lock")
 	}
 	defer h.abortFlag.Store(false) // consume the signal
-	var spin spinner
+	var w waiter
 	for {
 		ins := h.lk.desc.Load()
 		if ins == h.oldInst {
 			// Lines 57–61: we already used this instance; wait until it is
-			// switched out (O(1) RMRs: one flag, set once). Counting here is
-			// off the hot path: a granted re-enter normally finds a fresh
-			// instance already installed and never takes this branch.
+			// switched out (O(1) RMRs: one flag, set once). Retirement is
+			// lazy, so the waiter first tries to retire a quiescent
+			// instance itself; swWait makes the registration visible to
+			// departures, whose closing CAS otherwise skips an instance
+			// with unused slots.
 			h.lk.switchWaits.Add(1)
+			ins.swWait.Add(1)
 			for !ins.switched.Load() {
 				if h.abortPending() {
+					ins.swWait.Add(-1)
+					h.lk.aborts.Add(1)
 					return false
 				}
-				spin.wait()
+				if ins.tryRetire() {
+					h.lk.switchOut(ins)
+					break
+				}
+				if !w.pause() {
+					continue
+				}
+				// Park until the switch broadcast (switchCh is closed by
+				// the retiring process strictly after switched is set, so
+				// a close seen here implies the loop condition flips), an
+				// Abort wake, or context cancellation.
+				_, done := h.parkState()
+				h.park.drain()
+				h.notePark()
+				h.park.sleep(done, ins.switchCh)
 			}
+			ins.swWait.Add(-1)
 			continue
 		}
-		// Line 62: pin the instance. The closed bit makes "increment the
-		// refcount and obtain the instance" atomic with respect to the
-		// switch: a pin that lands after retirement is rejected.
-		if ins.refcnt.Add(1)&closedBit != 0 {
-			spin.wait() // switcher is about to publish the new instance
+		// Line 62: pin the instance and claim a queue slot with the packed
+		// single-F&A doorway. The closed bit makes "pin and obtain the
+		// instance" atomic with respect to the switch: an arrival that
+		// lands after retirement is rejected.
+		slot, ok := ins.arrive()
+		if !ok {
+			w.relaxRound() // switcher is about to publish the new instance
 			continue
 		}
-		if !ins.enter(h) {
+		if !ins.enter(h, slot) {
 			h.cleanup(ins)
 			h.lk.aborts.Add(1)
 			return false
 		}
 		h.cur = ins
+		h.slot = slot
 		return true
 	}
 }
@@ -206,16 +267,27 @@ func (h *Handle) Exit() {
 	h.cleanup(ins)
 }
 
-// cleanup is Algorithm 6.3: unpin the instance; the process that drops the
-// refcount to zero retires it (closed bit), installs a fresh instance, and
-// wakes the processes waiting for the switch. The retired instance becomes
-// garbage once the last oldInst reference to it is overwritten, so
-// reclamation falls to the garbage collector (see DESIGN.md).
+// cleanup is Algorithm 6.3 with lazy retirement: unpin the instance; the
+// departure whose retirement test holds (slots exhausted, or a registered
+// switch-waiter, with arrivals balanced either way) retires it and owns
+// the switch. A quiescent instance with unused slots and no waiters stays
+// installed, so an idle lock does not allocate per quiescence.
 func (h *Handle) cleanup(ins *instance) {
 	h.oldInst = ins
-	if ins.refcnt.Add(-1) == 0 && ins.refcnt.CompareAndSwap(0, closedBit) {
-		h.lk.desc.Store(newInstance(h.lk.n))
-		ins.switched.Store(true)
-		h.lk.switches.Add(1)
+	if ins.depart() {
+		h.lk.switchOut(ins)
 	}
+}
+
+// switchOut completes a won retirement: install a fresh instance, then
+// flip the switched flag and close the broadcast channel that releases any
+// parked switch-waiters (strictly in that order — a waiter that observes
+// the close re-reads switched and must see it set). The retired instance
+// becomes garbage once the last oldInst reference to it is overwritten, so
+// reclamation falls to the garbage collector (see DESIGN.md).
+func (l *Lock) switchOut(ins *instance) {
+	l.desc.Store(newInstance(l.n))
+	ins.switched.Store(true)
+	close(ins.switchCh)
+	l.switches.Add(1)
 }

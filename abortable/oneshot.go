@@ -8,72 +8,168 @@ import (
 // noProc is the out-of-band LastExited value before any exit (paper's −1).
 const noProc = ^uint64(0)
 
-// grantFlag is a per-slot grant flag padded to its own cache line so that
-// a waiter's spinning does not contend with its neighbours' flags.
-type grantFlag struct {
-	v atomic.Uint32
-	_ [60]byte
+// padWord is a 64-bit atomic on a cache-line range of its own, for the
+// instance's independently-hammered head words (gate, head, last): they are
+// written by different processes and must not invalidate one another.
+type padWord struct {
+	v atomic.Uint64
+	_ [falseSharingRange - 8]byte
 }
+
+// waitSlot is one queue slot: the paper's grant flag plus the waiter's
+// published parker, padded to falseSharingRange so a waiter's spinning and
+// parking traffic never contends with its neighbours' slots.
+type waitSlot struct {
+	v      atomic.Uint32          // grant flag: 1 = slot owns the lock
+	parked atomic.Pointer[parker] // parker published before tier-3 sleep
+	_      [falseSharingRange - 16]byte
+}
+
+// The instance doorway is a single fetch-and-add word packing three fields,
+// so that one F&A both pins the instance (the §6 reference count) and
+// claims a FIFO queue slot (the §3 doorway) — an arrival burst of k
+// processes costs k contended atomics instead of 2k:
+//
+//	bits  0..30  arrivals   — pins issued; arrivals−1 of a successful
+//	                          (non-closed) F&A is the arrival's queue slot
+//	bits 31..61  departures — pins released by cleanup
+//	bit  62      closed     — the instance is retired; an arrival whose
+//	                          F&A observes this bit must reload the lock
+//	                          descriptor (its arrivals increment is
+//	                          harmless: a closed instance's fields are
+//	                          never trusted again)
+//
+// Retirement is lazy: a quiescent instance (arrivals == departures) is
+// retired — by the departure's CAS of the closed bit — only when its slots
+// are exhausted (arrivals == len(gos)) or a process is waiting for the
+// switch (swWait). Otherwise the instance stays installed and keeps
+// serving arrivals, so an idle or lightly-loaded lock does not allocate a
+// fresh instance per quiescence. A switch-waiter that finds the instance
+// quiescent retires it itself (tryRetire) rather than parking forever;
+// together with the swWait check in depart this is deadlock-free: either
+// the departer sees the registered waiter, or the waiter's gate load sees
+// the quiescing departure (both orders are covered by the seq-cst total
+// order over the gate and swWait operations).
+//
+// Successful (non-closed) arrivals are bounded by the handle protocol
+// (each handle pins an instance at most once), so the slot index cannot
+// overflow the queue; closed-instance arrivals can exceed it but their
+// slots are ignored.
+const (
+	gateDepShift  = 31
+	gateFieldMask = uint64(1)<<gateDepShift - 1
+	gateDep1      = uint64(1) << gateDepShift
+	gateClosed    = uint64(1) << 62
+)
+
+func gateArrivals(g uint64) uint64   { return g & gateFieldMask }
+func gateDepartures(g uint64) uint64 { return (g >> gateDepShift) & gateFieldMask }
 
 // instance is one one-shot abortable lock (Figure 1 of the paper) plus the
-// per-instance state of the long-lived transformation (§6): the reference
-// count with its closed bit, and the switched flag that substitutes for the
-// paper's spin node (a process that already used this instance waits on
-// switched instead of re-reading the lock descriptor).
+// per-instance state of the long-lived transformation (§6): the packed
+// arrival/departure/closed gate above, and the switched flag (with its
+// broadcast channel) that substitutes for the paper's spin node — a
+// process that already used this instance waits on switched instead of
+// re-reading the lock descriptor.
 type instance struct {
-	tail atomic.Uint64
-	head atomic.Uint64
-	last atomic.Uint64 // LastExited
-	gos  []grantFlag
+	gate padWord // packed doorway: arrivals | departures | closed
+	head padWord
+	last padWord // LastExited
+	gos  []waitSlot
 	tr   *tree
 
-	refcnt   atomic.Int64
 	switched atomic.Bool
+	switchCh chan struct{} // closed after switched is set: park broadcast
+	swWait   atomic.Int64  // processes in the switch-wait loop (retire hint)
 }
-
-// closedBit marks a refcount whose instance has been retired; an Enter
-// whose increment lands on a closed instance must reload the descriptor.
-const closedBit = int64(1) << 62
 
 // newInstance builds a fresh one-shot instance for n queue slots.
 func newInstance(n int) *instance {
 	ins := &instance{
-		gos: make([]grantFlag, n),
-		tr:  newTree(n),
+		gos:      make([]waitSlot, n),
+		tr:       newTree(n),
+		switchCh: make(chan struct{}),
 	}
-	ins.last.Store(noProc)
+	ins.last.v.Store(noProc)
 	ins.gos[0].v.Store(1) // slot 0 owns the lock initially
 	return ins
 }
 
-// enter is Algorithm 3.1. It returns the process's slot and whether the CS
-// was entered; on abort it has already run Algorithm 3.3.
-func (ins *instance) enter(h *Handle) bool {
-	i := ins.tail.Add(1) - 1
+// arrive claims the next queue slot through the packed doorway. ok is
+// false when the instance was already retired (closed bit observed).
+func (ins *instance) arrive() (slot int, ok bool) {
+	g := ins.gate.v.Add(1)
+	if g&gateClosed != 0 {
+		return 0, false
+	}
+	i := gateArrivals(g) - 1
 	if i >= uint64(len(ins.gos)) {
 		// Unreachable under the handle-count protocol (each handle enters
 		// an instance at most once); a panic here means API misuse such as
 		// sharing a Handle between goroutines.
 		panic(fmt.Sprintf("abortable: instance doorway overflow (slot %d of %d)", i, len(ins.gos)))
 	}
-	slot := int(i)
-	var spin spinner
-	for ins.gos[slot].v.Load() == 0 {
-		if h.abortPending() {
+	return int(i), true
+}
+
+// depart releases one pin. It reports whether this departure retired the
+// instance (the lazy-retirement rule above held and the closed CAS won):
+// the caller then owns the switch.
+func (ins *instance) depart() bool {
+	g := ins.gate.v.Add(gateDep1)
+	if g&gateClosed != 0 || gateArrivals(g) != gateDepartures(g) {
+		return false
+	}
+	if gateArrivals(g) < uint64(len(ins.gos)) && ins.swWait.Load() == 0 {
+		return false // keep the quiescent instance: slots remain, nobody waits
+	}
+	return ins.gate.v.CompareAndSwap(g, g|gateClosed)
+}
+
+// tryRetire retires a quiescent instance on behalf of a switch-waiter. It
+// reports whether the caller won the closed CAS and now owns the switch.
+func (ins *instance) tryRetire() bool {
+	g := ins.gate.v.Load()
+	return g&gateClosed == 0 && gateArrivals(g) == gateDepartures(g) &&
+		ins.gate.v.CompareAndSwap(g, g|gateClosed)
+}
+
+// enter is Algorithm 3.1's waiting phase for an already-claimed slot. It
+// reports whether the CS was entered; on abort it has already run
+// Algorithm 3.3. Waiting escalates spin → yield → park: the parker is
+// published in the slot (so signalNext can wake it with one pointer swap
+// after setting the grant flag) and the grant flag and abort probe are
+// re-checked before every sleep, so no wakeup is lost.
+func (ins *instance) enter(a aborter, slot int) bool {
+	s := &ins.gos[slot]
+	var w waiter
+	for s.v.Load() == 0 {
+		if a.abortPending() {
 			ins.abort(slot)
 			return false
 		}
-		spin.wait()
+		if !w.pause() {
+			continue
+		}
+		pk, done := a.parkState()
+		pk.drain()
+		s.parked.Store(pk)
+		if s.v.Load() != 0 || a.abortPending() {
+			s.parked.CompareAndSwap(pk, nil)
+			continue
+		}
+		a.notePark()
+		pk.sleep(done, nil)
+		s.parked.CompareAndSwap(pk, nil)
 	}
-	ins.head.Store(uint64(slot))
-	h.slot = slot
+	ins.head.v.Store(uint64(slot))
 	return true
 }
 
 // exit is Algorithm 3.2.
 func (ins *instance) exit() {
-	head := ins.head.Load()
-	ins.last.Store(head)
+	head := ins.head.v.Load()
+	ins.last.v.Store(head)
 	ins.signalNext(int(head))
 }
 
@@ -81,18 +177,24 @@ func (ins *instance) exit() {
 // crossed paths with our tree removal, take over its handoff.
 func (ins *instance) abort(slot int) {
 	ins.tr.remove(slot)
-	head := ins.head.Load()
-	if head != ins.last.Load() {
+	head := ins.head.v.Load()
+	if head != ins.last.v.Load() {
 		return
 	}
 	ins.signalNext(int(head))
 }
 
-// signalNext is Algorithm 3.4.
+// signalNext is Algorithm 3.4, extended with the park handoff: set the
+// grant flag first (the published spin word), then wake the parker if one
+// is registered — O(1) RMRs per handoff either way.
 func (ins *instance) signalNext(head int) {
 	j, out := ins.tr.findNext(head)
 	if out != outFound {
 		return
 	}
-	ins.gos[j].v.Store(1)
+	s := &ins.gos[j]
+	s.v.Store(1)
+	if pk := s.parked.Swap(nil); pk != nil {
+		pk.wake()
+	}
 }

@@ -19,6 +19,7 @@ type OneShot struct {
 	ins     *instance
 	n       int
 	handles atomic.Int64
+	parks   atomic.Int64
 }
 
 // NewOneShot creates a one-shot lock for up to n acquisition attempts.
@@ -26,8 +27,15 @@ func NewOneShot(n int) *OneShot {
 	if n < 1 {
 		panic(fmt.Sprintf("abortable: NewOneShot(%d): n must be positive", n))
 	}
+	if n > maxMaxHandles {
+		panic(fmt.Sprintf("abortable: NewOneShot(%d): n exceeds the doorway limit %d", n, maxMaxHandles))
+	}
 	return &OneShot{ins: newInstance(n), n: n}
 }
+
+// Parks reports how many acquisition waits escalated to the parking tier
+// (see docs/PERF.md).
+func (l *OneShot) Parks() int64 { return l.parks.Load() }
 
 // NewHandle registers a participant. It fails after n handles.
 func (l *OneShot) NewHandle() (*OneShotHandle, error) {
@@ -35,7 +43,7 @@ func (l *OneShot) NewHandle() (*OneShotHandle, error) {
 		l.handles.Add(-1)
 		return nil, fmt.Errorf("abortable: one-shot handle limit %d reached", l.n)
 	}
-	return &OneShotHandle{l: l}, nil
+	return &OneShotHandle{l: l, park: newParker()}, nil
 }
 
 // OneShotHandle is one participant's single-use interface to a OneShot
@@ -45,16 +53,27 @@ type OneShotHandle struct {
 	l         *OneShot
 	slot      int
 	state     int // 0 = fresh, 1 = holding, 2 = spent
+	park      parker
 	abortFlag atomic.Bool
 }
 
 // Abort asynchronously requests that the pending (or upcoming) Enter
-// abandon its attempt.
-func (h *OneShotHandle) Abort() { h.abortFlag.Store(true) }
+// abandon its attempt. It also wakes the handle if it is parked.
+func (h *OneShotHandle) Abort() {
+	h.abortFlag.Store(true)
+	h.park.wake()
+}
 
 // abortPending reports whether the attempt should abandon (adapter to the
-// instance code, which takes a *Handle-shaped abort probe).
+// instance code, which takes an aborter-shaped probe).
 func (h *OneShotHandle) abortPending() bool { return h.abortFlag.Load() }
+
+// parkState returns the handle's parker; one-shot attempts are never
+// context-bound, so the done channel is nil.
+func (h *OneShotHandle) parkState() (*parker, <-chan struct{}) { return &h.park, nil }
+
+// notePark feeds the lock's park counter.
+func (h *OneShotHandle) notePark() { h.l.parks.Add(1) }
 
 // Enter attempts to acquire the lock once, blocking until granted or
 // aborted. It reports whether the lock is held; after true the caller
@@ -63,21 +82,17 @@ func (h *OneShotHandle) Enter() bool {
 	if h.state != 0 {
 		panic("abortable: one-shot Enter called twice")
 	}
-	i := h.l.ins.tail.Add(1) - 1
-	if i >= uint64(h.l.n) {
-		panic(fmt.Sprintf("abortable: one-shot doorway overflow (slot %d of %d)", i, h.l.n))
+	slot, ok := h.l.ins.arrive()
+	if !ok {
+		// A OneShot instance is never retired: the closed bit is
+		// unreachable because no departure path runs depart().
+		panic("abortable: one-shot instance unexpectedly closed")
 	}
-	h.slot = int(i)
-	var spin spinner
-	for h.l.ins.gos[h.slot].v.Load() == 0 {
-		if h.abortPending() {
-			h.l.ins.abort(h.slot)
-			h.state = 2
-			return false
-		}
-		spin.wait()
+	h.slot = slot
+	if !h.l.ins.enter(h, slot) {
+		h.state = 2
+		return false
 	}
-	h.l.ins.head.Store(uint64(h.slot))
 	h.state = 1
 	return true
 }

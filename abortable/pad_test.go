@@ -1,0 +1,59 @@
+package abortable
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// The false-sharing audit contract (docs/PERF.md): every struct whose
+// instances are laid out back-to-back and hammered by different goroutines
+// occupies a whole number of falseSharingRange units, so neighbouring
+// elements can never share a padded range. A refactor that adds a field
+// without growing the pad — or drops the pad — fails here instead of
+// showing up as a contended p99.
+
+func TestPaddedStructSizes(t *testing.T) {
+	cases := []struct {
+		name string
+		size uintptr
+	}{
+		{"waitSlot", unsafe.Sizeof(waitSlot{})},
+		{"padWord", unsafe.Sizeof(padWord{})},
+		{"treeWord", unsafe.Sizeof(treeWord{})},
+		{"Handle", unsafe.Sizeof(Handle{})},
+	}
+	for _, c := range cases {
+		if c.size == 0 || c.size%falseSharingRange != 0 {
+			t.Errorf("%s: size %d is not a positive multiple of falseSharingRange (%d)",
+				c.name, c.size, falseSharingRange)
+		}
+	}
+}
+
+// The hot word of each padded struct must sit at offset 0: the pad is a
+// suffix, so element i's word and element i+1's pad share nothing.
+func TestPaddedHotWordOffsets(t *testing.T) {
+	if off := unsafe.Offsetof(waitSlot{}.v); off != 0 {
+		t.Errorf("waitSlot.v at offset %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(padWord{}.v); off != 0 {
+		t.Errorf("padWord.v at offset %d, want 0", off)
+	}
+	if off := unsafe.Offsetof(treeWord{}.v); off != 0 {
+		t.Errorf("treeWord.v at offset %d, want 0", off)
+	}
+}
+
+// falseSharingRange must cover two cache lines (the adjacent-line
+// prefetcher rule) and waitSlot's payload (grant flag + parker pointer)
+// must fit the first line, so the spinning word and the published parker
+// stay co-resident.
+func TestFalseSharingRangeInvariants(t *testing.T) {
+	if falseSharingRange != 2*cacheLine {
+		t.Errorf("falseSharingRange = %d, want 2*cacheLine = %d", falseSharingRange, 2*cacheLine)
+	}
+	payload := unsafe.Offsetof(waitSlot{}.parked) + unsafe.Sizeof(waitSlot{}.parked)
+	if payload > cacheLine {
+		t.Errorf("waitSlot payload spans %d bytes, exceeds one cache line (%d)", payload, cacheLine)
+	}
+}

@@ -6,6 +6,10 @@ import "sync/atomic"
 // the simplest abortable lock, unfair and RMR-unbounded under contention.
 // The zero value is ready to use.
 //
+// SpinTry has no wake source (Exit is a single store with no waiter
+// registry), so its waiting degrades from bounded spin to cooperative
+// yields rather than parking; use Lock when waiters must not burn CPU.
+//
 // The MCS queue lock that once lived beside it moved to the simulator-side
 // locks/mcs package, the single MCS implementation in the repository; this
 // package keeps only the native-runtime locks its benchmarks compare.
@@ -14,17 +18,19 @@ type SpinTry struct {
 }
 
 // Enter acquires the lock, returning false if abort() reports true first.
-// abort may be nil for an unbounded wait.
+// abort may be nil for an unbounded wait. The probe is consulted before
+// the first acquisition attempt, so an already-delivered signal (e.g. a
+// context cancelled before the call) never acquires the lock.
 func (l *SpinTry) Enter(abort func() bool) bool {
-	var spin spinner
+	var w waiter
 	for {
-		if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
-			return true
-		}
 		if abort != nil && abort() {
 			return false
 		}
-		spin.wait()
+		if l.word.Load() == 0 && l.word.CompareAndSwap(0, 1) {
+			return true
+		}
+		w.relaxRound()
 	}
 }
 

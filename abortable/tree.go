@@ -18,13 +18,21 @@ const (
 	outCrossed         // ⊤
 )
 
+// treeWord is one tree node word, padded to falseSharingRange: removal
+// traffic is fetch-and-add on the word covering the remover's subtree, and
+// neighbouring subtrees must not invalidate each other's ascents.
+type treeWord struct {
+	v atomic.Uint64
+	_ [falseSharingRange - 8]byte
+}
+
 // tree is the native W=64 abandonment tree (§4 of the paper). Level 0 is
 // the (implicit) leaves; levels 1..h hold one atomic word per node.
 type tree struct {
 	n      int
 	h      int
 	pow    []int
-	levels [][]atomic.Uint64
+	levels [][]treeWord
 }
 
 // newTree builds a tree over n leaves with all padding bits (leaves ≥ n)
@@ -39,9 +47,9 @@ func newTree(n int) *tree {
 	for i := 1; i <= t.h; i++ {
 		t.pow[i] = t.pow[i-1] * treeW
 	}
-	t.levels = make([][]atomic.Uint64, t.h+1)
+	t.levels = make([][]treeWord, t.h+1)
 	for l := 1; l <= t.h; l++ {
-		t.levels[l] = make([]atomic.Uint64, t.pow[t.h-l])
+		t.levels[l] = make([]treeWord, t.pow[t.h-l])
 	}
 	// Pre-set padding bits.
 	for l := 1; l <= t.h; l++ {
@@ -54,7 +62,7 @@ func newTree(n int) *tree {
 				}
 			}
 			if v != 0 {
-				t.levels[l][idx].Store(v)
+				t.levels[l][idx].v.Store(v)
 			}
 		}
 	}
@@ -70,7 +78,7 @@ func (t *tree) offsetOf(p, l int) int { return (p / t.pow[l-1]) % treeW }
 func (t *tree) remove(p int) {
 	for lvl := 1; lvl <= t.h; lvl++ {
 		j := bitops.Mask(treeW, t.offsetOf(p, lvl))
-		snap := t.levels[lvl][t.nodeOf(p, lvl)].Add(j) - j // fetch-and-add
+		snap := t.levels[lvl][t.nodeOf(p, lvl)].v.Add(j) - j // fetch-and-add
 		if snap+j != emptyWord {
 			break
 		}
@@ -96,7 +104,7 @@ func (t *tree) findNext(p int) (int, outcome) {
 			node++ // sidestep to the right cousin
 			offset = -1
 		}
-		snap = t.levels[lvl][node].Load()
+		snap = t.levels[lvl][node].v.Load()
 		if bitops.HasZeroToTheRight(snap, treeW, offset) {
 			found = true
 			break
@@ -115,7 +123,7 @@ func (t *tree) findNext(p int) (int, outcome) {
 	index := bitops.FirstZeroToTheRight(snap, treeW, offset)
 	child := node*treeW + index
 	for l := lvl - 1; l >= 1; l-- {
-		snap = t.levels[l][child].Load()
+		snap = t.levels[l][child].v.Load()
 		if snap == emptyWord {
 			return 0, outCrossed
 		}

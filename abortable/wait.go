@@ -1,0 +1,157 @@
+package abortable
+
+import "runtime"
+
+// Adaptive waiting (the three-tier waiter of docs/PERF.md).
+//
+// Every wait loop in this package paces itself with a waiter, which
+// escalates through three tiers:
+//
+//  1. bounded spin — a short burst of pause-style busy iterations, cheap
+//     when the wait is short and cores are plentiful. The tier is skipped
+//     entirely on single-P hosts (GOMAXPROCS(0) == 1), where spinning can
+//     only delay the goroutine that would release us.
+//  2. cooperative yield — runtime.Gosched rounds, so waiters cannot starve
+//     the lock holder once the spin budget is burned.
+//  3. park — the waiter blocks on its parker, a one-slot wake-hint channel,
+//     and consumes no CPU until a signaller, an Abort, or a context
+//     cancellation wakes it. Parking is futex-like: the waiter publishes
+//     its parker where the signaller will look (the queue slot's parked
+//     word, or a select on the instance's switch broadcast) and re-checks
+//     the wait condition before sleeping, so a wakeup that raced with the
+//     publication is never lost. Because the spin word is published before
+//     the park decision, a signaller still pays O(1) RMRs per handoff: one
+//     flag write plus at most one parker wake.
+//
+// Parker tokens are hints, not guarantees: a sleep may return spuriously
+// (a stale token from an earlier passage, a wake for a condition that has
+// since re-armed). Every wait loop therefore re-checks its condition after
+// waking, which keeps the wake side free of handshakes.
+
+const (
+	// cacheLine is the coherence granularity assumed by the padding in
+	// this package (64 bytes on every platform Go supports today).
+	cacheLine = 64
+	// falseSharingRange is the padding unit for hot concurrent words: two
+	// cache lines, so the adjacent-line spatial prefetcher of modern x86
+	// parts cannot re-introduce false sharing across a single-line pad.
+	// sync.Pool and the runtime use the same 128-byte rule.
+	falseSharingRange = 2 * cacheLine
+)
+
+const (
+	// spinRounds is the tier-1 budget: rounds of spinCycles empty
+	// iterations between re-reads of the watched word.
+	spinRounds = 4
+	// spinCycles is the length of one tier-1 pause burst.
+	spinCycles = 40
+	// yieldRounds is the tier-2 budget: Gosched rounds before parking.
+	yieldRounds = 8
+)
+
+// waiter paces one goroutine through the waiting tiers. The zero value is
+// ready to use; state persists across iterations of one wait loop so that
+// escalation is monotone within a single acquisition attempt.
+type waiter struct {
+	round int
+	spin  int // tier-1 budget, resolved on first pause
+}
+
+// spinBudget returns the tier-1 round budget for a host running on procs
+// Ps: zero on a single-P host, where a spinning waiter only delays the
+// holder it is waiting for.
+func spinBudget(procs int) int {
+	if procs <= 1 {
+		return 0
+	}
+	return spinRounds
+}
+
+// pause burns one waiting round in the current tier and reports whether
+// the caller should now park (tier 3). Callers with no wake source use
+// relax instead, which degrades tier 3 to a yield.
+func (w *waiter) pause() bool {
+	if w.round == 0 {
+		w.spin = spinBudget(runtime.GOMAXPROCS(0))
+	}
+	r := w.round
+	w.round++
+	switch {
+	case r < w.spin:
+		relax(spinCycles)
+		return false
+	case r < w.spin+yieldRounds:
+		runtime.Gosched()
+		return false
+	}
+	return true
+}
+
+// relaxRound burns one waiting round without ever parking, for waits whose
+// releaser is known to be running and brief (e.g. an instance switcher
+// between retiring the old instance and publishing the new one): spin
+// tiers first, then cooperative yields forever.
+func (w *waiter) relaxRound() {
+	if w.pause() {
+		runtime.Gosched()
+	}
+}
+
+// relax spins for the given number of empty iterations — a portable stand-in
+// for a PAUSE-style busy loop. The gc compiler does not eliminate counted
+// empty loops, and noinline keeps the call from folding into callers.
+//
+//go:noinline
+func relax(cycles int) {
+	for i := 0; i < cycles; i++ {
+	}
+}
+
+// parker is a goroutine's park/unpark primitive: a one-slot channel of
+// wake hints. wake never blocks, sleeping tolerates spurious tokens, and a
+// token posted while nobody sleeps is consumed by the next sleep (or
+// drained before the next publication).
+type parker struct {
+	ch chan struct{}
+}
+
+func newParker() parker { return parker{ch: make(chan struct{}, 1)} }
+
+// wake posts a wake hint; a no-op if one is already pending.
+func (p *parker) wake() {
+	select {
+	case p.ch <- struct{}{}:
+	default:
+	}
+}
+
+// drain consumes a stale pending hint, if any. Callers drain immediately
+// before publishing the parker so a leftover token from a previous passage
+// cannot satisfy the upcoming sleep.
+func (p *parker) drain() {
+	select {
+	case <-p.ch:
+	default:
+	}
+}
+
+// sleep blocks until a wake hint arrives or either done channel closes.
+// Nil channels never fire. Returns are allowed to be spurious; the caller
+// re-checks its wait condition.
+func (p *parker) sleep(done, extra <-chan struct{}) {
+	select {
+	case <-p.ch:
+	case <-done:
+	case <-extra:
+	}
+}
+
+// aborter is what the shared instance wait loop needs from a handle: the
+// abort probe, the park state (the handle's parker plus the context-done
+// channel, nil when the attempt is not context-bound), and the park
+// counter hook for observability.
+type aborter interface {
+	abortPending() bool
+	parkState() (*parker, <-chan struct{})
+	notePark()
+}

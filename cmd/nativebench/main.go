@@ -1,0 +1,415 @@
+// Command nativebench measures wall-clock lock performance: the native
+// abortable lock against sync.Mutex and every registry lock running
+// free-running (ungated) on the simulated memory. For each lock × goroutine
+// count it reports passage-latency percentiles (p50/p95/p99, nanoseconds)
+// and throughput (passages per second), as JSON suitable for BENCH_native.json.
+//
+// Unlike rmrbench — which counts model RMRs on deterministic schedules —
+// this benchmark exercises the adaptive waiting tiers (spin → yield → park)
+// for real: oversubscribed waiters park on their wake-hint channels and are
+// unparked by the handoff writes. Registry locks run on a free-running
+// rmr.Memory (DSM unless the lock is CC-only), so their numbers include
+// simulated-memory overhead; they are comparable to each other, while the
+// abortable and sync.Mutex rows are comparable to native code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sublock/abortable"
+	"sublock/locks"
+	_ "sublock/locks/all"
+	"sublock/rmr"
+)
+
+// treeW is the tree arity for the paper's locks, matching the experiments'
+// default (W=8 keeps tree heights in the 2–4 range).
+const treeW = 8
+
+// poolCap caps the native lock's registered handles; goroutine counts above
+// it borrow from a HandlePool, which is the documented oversubscription
+// idiom (and puts the pool itself under measurement).
+const poolCap = 4096
+
+// rmrProcCap caps the number of simulated processes for registry locks. The
+// simulated memory and the locks' data structures are sized per process, so
+// letting every one of 16384 goroutines be its own process would benchmark
+// allocator churn, not lock handoffs. Above the cap, goroutines share the
+// capped process handles through a channel pool — the same oversubscription
+// idiom as the native HandlePool row — and the row's "procs" field records
+// the real participant count.
+const rmrProcCap = 1024
+
+// rmrProcCapOverride lowers the cap for locks whose space is superlinear in
+// the process count: the §6.2 bounded-space transformation allocates Θ(N²)
+// simulated words, which is intractable to even construct at N=1024 here.
+var rmrProcCapOverride = map[string]int{
+	"paper-longlived-bounded": 128,
+}
+
+type cell struct {
+	Lock       string  `json:"lock"`
+	Impl       string  `json:"impl"` // native | stdlib | rmr/dsm | rmr/cc
+	Goroutines int     `json:"goroutines"`
+	Procs      int     `json:"procs"` // distinct lock participants (≤ goroutines when pooled)
+	Ops        int     `json:"ops"`
+	P50ns      int64   `json:"p50_ns"`
+	P95ns      int64   `json:"p95_ns"`
+	P99ns      int64   `json:"p99_ns"`
+	Throughput float64 `json:"throughput_ops_per_s"`
+}
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write JSON here instead of stdout")
+		quick   = flag.Bool("quick", false, "small op budgets (CI-sized run)")
+		gcsFlag = flag.String("gcounts", "1,4,64,1024,16384", "comma-separated goroutine counts")
+		opsFlag = flag.Int("ops", 0, "target passages per cell (0 = default: 2048, quick 256)")
+		lksFlag = flag.String("locks", "", "comma-separated row filter (abortable, sync.Mutex, registry names); empty = all")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nativebench:", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
+	want := func(string) bool { return true }
+	if *lksFlag != "" {
+		set := map[string]bool{}
+		for _, f := range strings.Split(*lksFlag, ",") {
+			set[strings.TrimSpace(f)] = true
+		}
+		want = func(name string) bool { return set[name] }
+	}
+
+	gcounts, err := parseCounts(*gcsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nativebench:", err)
+		os.Exit(2)
+	}
+	ops := *opsFlag
+	if ops <= 0 {
+		ops = 2048
+		if *quick {
+			ops = 256
+		}
+	}
+
+	var cells []cell
+	for _, g := range gcounts {
+		if want("abortable") {
+			cells = append(cells, benchAbortable(g, ops))
+		}
+		if want("sync.Mutex") {
+			cells = append(cells, benchStdlib(g, ops))
+		}
+		for _, info := range locks.Infos() {
+			if want(info.Name) {
+				cells = append(cells, benchRegistry(info, g, ops))
+			}
+		}
+	}
+
+	doc := map[string]any{
+		"schema": "nativebench/v1",
+		"quick":  *quick,
+		"native": cells,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nativebench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "nativebench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad goroutine count %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no goroutine counts")
+	}
+	return out, nil
+}
+
+// run drives g goroutines through repeated passages until the shared op
+// budget is drained. passage(worker) performs Enter/CS/Exit once; it is
+// timed around the whole call. It returns the merged latency samples and
+// the wall-clock duration of the contended phase.
+func run(g, ops int, passage func(worker int)) ([]int64, time.Duration) {
+	var (
+		budget  = int64(ops)
+		next    int64
+		mu      sync.Mutex
+		samples = make([]int64, 0, ops)
+		wg      sync.WaitGroup
+		start   = make(chan struct{})
+	)
+	var nextMu sync.Mutex
+	take := func() bool {
+		nextMu.Lock()
+		ok := next < budget
+		if ok {
+			next++
+		}
+		nextMu.Unlock()
+		return ok
+	}
+	wg.Add(g)
+	for w := 0; w < g; w++ {
+		go func(w int) {
+			defer wg.Done()
+			local := make([]int64, 0, ops/g+2)
+			<-start
+			for take() {
+				t0 := time.Now()
+				passage(w)
+				local = append(local, time.Since(t0).Nanoseconds())
+			}
+			mu.Lock()
+			samples = append(samples, local...)
+			mu.Unlock()
+		}(w)
+	}
+	t0 := time.Now()
+	close(start)
+	wg.Wait()
+	return samples, time.Since(t0)
+}
+
+// runOneShot measures one-shot locks: build() constructs a fresh instance
+// and returns one single-passage closure per participant. g persistent
+// workers race to pull passages off a work channel, one round (= one fresh
+// instance) at a time, until ops passages have been timed. When g exceeds
+// the participant count, the surplus workers contend for the next round's
+// passages — the pooled-oversubscription analogue for one-shot locks.
+// Setup (build) time is excluded from the measured wall clock.
+func runOneShot(g, ops int, build func() []func()) ([]int64, time.Duration) {
+	var (
+		samples = make([]int64, 0, ops)
+		mu      sync.Mutex
+		work    = make(chan func())
+		roundWG sync.WaitGroup
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	wg.Add(g)
+	for w := 0; w < g; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case pass := <-work:
+					t0 := time.Now()
+					pass()
+					d := time.Since(t0).Nanoseconds()
+					mu.Lock()
+					samples = append(samples, d)
+					mu.Unlock()
+					roundWG.Done()
+				}
+			}
+		}()
+	}
+	var wall time.Duration
+	for {
+		mu.Lock()
+		n := len(samples)
+		mu.Unlock()
+		if n >= ops {
+			break
+		}
+		passages := build()
+		roundWG.Add(len(passages))
+		t0 := time.Now()
+		for _, p := range passages {
+			work <- p
+		}
+		roundWG.Wait()
+		wall += time.Since(t0)
+	}
+	close(stop)
+	wg.Wait()
+	return samples, wall
+}
+
+func summarize(lock, impl string, g, procs int, samples []int64, wall time.Duration) cell {
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(p float64) int64 {
+		if len(samples) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(samples)-1))
+		return samples[i]
+	}
+	tput := 0.0
+	if wall > 0 {
+		tput = float64(len(samples)) / wall.Seconds()
+	}
+	return cell{
+		Lock: lock, Impl: impl, Goroutines: g, Procs: procs, Ops: len(samples),
+		P50ns: pct(0.50), P95ns: pct(0.95), P99ns: pct(0.99),
+		Throughput: tput,
+	}
+}
+
+func benchAbortable(g, ops int) cell {
+	n := g
+	if n > poolCap {
+		n = poolCap
+	}
+	lk := abortable.New(abortable.Config{MaxHandles: n})
+	var held int64
+	cs := func() {
+		held++ // a data race here would mean mutual exclusion broke
+		held--
+	}
+	var passage func(int)
+	if g <= poolCap {
+		handles := make([]*abortable.Handle, g)
+		for i := range handles {
+			h, err := lk.NewHandle()
+			if err != nil {
+				panic(err)
+			}
+			handles[i] = h
+		}
+		passage = func(w int) {
+			h := handles[w]
+			for !h.Enter() {
+			}
+			cs()
+			h.Exit()
+		}
+	} else {
+		pool, err := abortable.NewHandlePool(lk, poolCap)
+		if err != nil {
+			panic(err)
+		}
+		passage = func(int) {
+			h := pool.Enter()
+			cs()
+			pool.Release(h)
+		}
+	}
+	samples, wall := run(g, ops, passage)
+	return summarize("abortable", "native", g, n, samples, wall)
+}
+
+func benchStdlib(g, ops int) cell {
+	var mu sync.Mutex
+	var held int64
+	samples, wall := run(g, ops, func(int) {
+		mu.Lock()
+		held++
+		held--
+		mu.Unlock()
+	})
+	return summarize("sync.Mutex", "stdlib", g, g, samples, wall)
+}
+
+func benchRegistry(info locks.Info, g, ops int) cell {
+	model, impl := rmr.DSM, "rmr/dsm"
+	if info.CCOnly {
+		model, impl = rmr.CC, "rmr/cc"
+	}
+	procs := g
+	if procs > rmrProcCap {
+		procs = rmrProcCap
+	}
+	if cap, ok := rmrProcCapOverride[info.Name]; ok && procs > cap {
+		procs = cap
+	}
+	if info.OneShot {
+		build := func() []func() {
+			m := rmr.NewMemory(model, procs, nil)
+			fn, err := info.New(m, treeW, procs)
+			if err != nil {
+				panic(fmt.Sprintf("%s: %v", info.Name, err))
+			}
+			passages := make([]func(), procs)
+			for i := 0; i < procs; i++ {
+				h := fn(m.Proc(i))
+				passages[i] = func() {
+					if h.Enter() {
+						h.Exit()
+					}
+				}
+			}
+			return passages
+		}
+		samples, wall := runOneShot(g, ops, build)
+		return summarize(info.Name, impl, g, procs, samples, wall)
+	}
+	m := rmr.NewMemory(model, procs, nil)
+	fn, err := info.New(m, treeW, procs)
+	if err != nil {
+		panic(fmt.Sprintf("%s: %v", info.Name, err))
+	}
+	handles := make([]locks.Abortable, procs)
+	for i := range handles {
+		handles[i] = fn(m.Proc(i))
+	}
+	var passage func(int)
+	if procs == g {
+		passage = func(w int) {
+			h := handles[w]
+			for !h.Enter() {
+			}
+			h.Exit()
+		}
+	} else {
+		// Oversubscribed: goroutines borrow process handles from a channel
+		// pool. The channel send/receive carries the happens-before edge a
+		// handle needs between successive borrowers.
+		pool := make(chan locks.Abortable, procs)
+		for _, h := range handles {
+			pool <- h
+		}
+		passage = func(int) {
+			h := <-pool
+			for !h.Enter() {
+			}
+			h.Exit()
+			pool <- h
+		}
+	}
+	samples, wall := run(g, ops, passage)
+	return summarize(info.Name, impl, g, procs, samples, wall)
+}

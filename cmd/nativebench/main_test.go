@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"sublock/locks"
+	_ "sublock/locks/all"
+)
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts(" 1, 4 ,64 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 64 {
+		t.Fatalf("parseCounts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "4,-1"} {
+		if _, err := parseCounts(bad); err == nil {
+			t.Errorf("parseCounts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	var samples []int64
+	for v := int64(101); v >= 1; v-- { // sorted: 1..101
+		samples = append(samples, v)
+	}
+	c := summarize("x", "native", 2, 2, samples, time.Second)
+	if c.P50ns != 51 || c.P95ns != 96 || c.P99ns != 100 || c.Ops != 101 {
+		t.Fatalf("summarize = %+v", c)
+	}
+	if c.Throughput < 100.9 || c.Throughput > 101.1 {
+		t.Fatalf("throughput = %v, want 101", c.Throughput)
+	}
+}
+
+// TestCellsSmoke runs one tiny cell per row kind — native, stdlib, and
+// every registry lock (one-shot and long-lived paths both included) — so
+// a registry or waiting-tier change that breaks the matrix fails here
+// rather than in the CI bench job.
+func TestCellsSmoke(t *testing.T) {
+	const g, ops = 3, 8
+	check := func(c cell) {
+		t.Helper()
+		if c.Ops < ops {
+			t.Errorf("%s: only %d of %d passages timed", c.Lock, c.Ops, ops)
+		}
+		if c.Goroutines != g || c.Procs < 1 || c.Procs > g {
+			t.Errorf("%s: bad shape %+v", c.Lock, c)
+		}
+		if c.P50ns < 0 || c.P50ns > c.P99ns || c.Throughput <= 0 {
+			t.Errorf("%s: bad summary %+v", c.Lock, c)
+		}
+	}
+	check(benchAbortable(g, ops))
+	check(benchStdlib(g, ops))
+	for _, info := range locks.Infos() {
+		check(benchRegistry(info, g, ops))
+	}
+}
+
+// TestRegistryPooledCell exercises the oversubscribed path: more
+// goroutines than the proc cap allows, forcing the handle pool for a
+// long-lived lock and the work-channel rounds for a one-shot lock.
+func TestRegistryPooledCell(t *testing.T) {
+	old := rmrProcCapOverride
+	rmrProcCapOverride = map[string]int{"tas": 2, "linearscan": 2}
+	defer func() { rmrProcCapOverride = old }()
+
+	for _, name := range []string{"tas", "linearscan"} {
+		info, ok := locks.Lookup(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		c := benchRegistry(info, 5, 8)
+		if c.Procs != 2 || c.Goroutines != 5 {
+			t.Fatalf("%s: procs=%d goroutines=%d, want 2/5", name, c.Procs, c.Goroutines)
+		}
+		if c.Ops < 8 {
+			t.Fatalf("%s: only %d passages timed", name, c.Ops)
+		}
+	}
+}

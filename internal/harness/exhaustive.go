@@ -31,7 +31,7 @@ func exhaustiveBody(model rmr.Model, algo Algo, w, n, aborters int, tracer rmr.T
 		if aborters > 0 {
 			nprocs++
 		}
-		m := rmr.NewMemory(model, nprocs, nil)
+		m := newMemory(model, nprocs)
 		fn, err := Build(m, algo, w, n)
 		if err != nil {
 			return err

@@ -118,7 +118,7 @@ func Table1Space(ns []int, w int) (*Table, error) {
 	for _, algo := range append([]Algo{}, AlgoScott, AlgoTournament, AlgoLinearScan, AlgoPaper, AlgoPaperLLBounded) {
 		row := []string{string(algo)}
 		for _, n := range ns {
-			m := rmr.NewMemory(rmr.CC, n, nil)
+			m := newMemory(rmr.CC, n)
 			if _, err := Build(m, algo, w, n); err != nil {
 				return nil, err
 			}
@@ -149,7 +149,7 @@ func WSweep(n int, ws []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := rmr.NewMemory(rmr.CC, 1, nil)
+		m := newMemory(rmr.CC, 1)
 		tr, err := tree.New(m, tree.Config{W: w, N: n})
 		if err != nil {
 			return nil, err
@@ -175,7 +175,7 @@ func Fig2Scenarios() (*Table, error) {
 
 	// (a) Normal: leaves 1,2 removed; FindNext(0) ascends and returns 3.
 	{
-		m := rmr.NewMemory(rmr.CC, 2, nil)
+		m := newMemory(rmr.CC, 2)
 		tr, err := tree.New(m, tree.Config{W: 2, N: 8})
 		if err != nil {
 			return nil, err
@@ -193,7 +193,7 @@ func Fig2Scenarios() (*Table, error) {
 	// (b) ⊥: every leaf right of 0 removed; the ascent reaches the root
 	// without finding a clear bit.
 	{
-		m := rmr.NewMemory(rmr.CC, 2, nil)
+		m := newMemory(rmr.CC, 2)
 		tr, err := tree.New(m, tree.Config{W: 2, N: 8})
 		if err != nil {
 			return nil, err
@@ -212,7 +212,7 @@ func Fig2Scenarios() (*Table, error) {
 	// empties mid-flight (the crossed-paths case).
 	{
 		c := rmr.NewController(2)
-		m := rmr.NewMemory(rmr.CC, 2, nil)
+		m := newMemory(rmr.CC, 2)
 		tr, err := tree.New(m, tree.Config{W: 2, N: 8})
 		if err != nil {
 			return nil, err
@@ -257,7 +257,7 @@ func Fig4Adaptive(ns []int, w int) (*Table, error) {
 		Columns: []string{"N", "tree height", "FindNext RMRs", "AdaptiveFindNext RMRs"},
 	}
 	for _, n := range ns {
-		m := rmr.NewMemory(rmr.CC, 2, nil)
+		m := newMemory(rmr.CC, 2)
 		tr, err := tree.New(m, tree.Config{W: w, N: n})
 		if err != nil {
 			return nil, err
@@ -323,7 +323,7 @@ func DSMVariant(spinSteps []int) (*Table, error) {
 	}
 	run := func(naive bool, steps int) (int64, error) {
 		c := rmr.NewController(2)
-		m := rmr.NewMemory(rmr.DSM, 2, nil)
+		m := newMemory(rmr.DSM, 2)
 		lk, err := oneshot.New(m, oneshot.Config{W: 8, N: 2, NaiveDSM: naive})
 		if err != nil {
 			return 0, err
@@ -393,7 +393,7 @@ func SpinNodeAblation(churns []int) (*Table, error) {
 		// current instance is itself gated by the lines 57–61 wait, so it
 		// cannot churn the descriptor twice within one instance epoch.
 		nprocs := churn + 2
-		m := rmr.NewMemory(rmr.CC, nprocs, nil)
+		m := newMemory(rmr.CC, nprocs)
 		lk, err := longlived.New(m, longlived.Config{
 			W: 8, N: nprocs, NoSpinNodes: noSpinNodes,
 		})

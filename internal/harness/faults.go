@@ -100,7 +100,7 @@ func FaultBody(model rmr.Model, algo Algo, w, n, aborters int) rmr.Body {
 		if aborters > 0 {
 			nprocs++
 		}
-		m := rmr.NewMemory(model, nprocs, nil)
+		m := newMemory(model, nprocs)
 		fn, err := Build(m, algo, w, n)
 		if err != nil {
 			return err

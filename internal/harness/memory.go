@@ -1,0 +1,18 @@
+package harness
+
+import "sublock/rmr"
+
+// newMemory builds the shared memory for an RMR-measurement scenario. The
+// wait policy is pinned to dense yielding (rmr.WaitYield): the Table 1
+// columns count RMRs in the analytic CC/DSM model, where a waiter observes
+// every invalidation of its spin location. The default adaptive policy may
+// park a waiter through several mutations and coalesce those observations,
+// which undercounts — and makes the counts schedule-dependent. Dense
+// yielding keeps every measured passage's RMR count exact and
+// deterministic. (Gated runs are unaffected either way: Wait is a no-op
+// under a gate.)
+func newMemory(model rmr.Model, nprocs int) *rmr.Memory {
+	m := rmr.NewMemory(model, nprocs, nil)
+	m.SetWaitPolicy(rmr.WaitYield)
+	return m
+}

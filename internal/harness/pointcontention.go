@@ -44,7 +44,7 @@ func PointContention(capacity, w int, ks []int) (*Table, error) {
 // queueAtCapacity is QueueWorkload with the lock sized for capacity slots
 // but only k processes running.
 func queueAtCapacity(algo Algo, w, capacity, k int) (*QueueResult, error) {
-	m := rmr.NewMemory(rmr.CC, k, nil)
+	m := newMemory(rmr.CC, k)
 	fn, err := BuildCap(m, algo, w, capacity)
 	if err != nil {
 		return nil, err

@@ -117,7 +117,7 @@ func abortStorm(model rmr.Model, algo Algo, w, aborters int, reverse, withStats 
 		return nil, nil, fmt.Errorf("harness: %s cannot run an abort storm", algo)
 	}
 	nprocs := aborters + 2
-	m := rmr.NewMemory(model, nprocs, nil)
+	m := newMemory(model, nprocs)
 	fn, err := Build(m, algo, w, nprocs)
 	if err != nil {
 		return nil, nil, err
@@ -217,7 +217,7 @@ func QueueWorkloadStats(model rmr.Model, algo Algo, w, nprocs int) (*QueueResult
 }
 
 func queueWorkload(model rmr.Model, algo Algo, w, nprocs int, withStats bool) (*QueueResult, *rmr.Snapshot, error) {
-	m := rmr.NewMemory(model, nprocs, nil)
+	m := newMemory(model, nprocs)
 	fn, err := Build(m, algo, w, nprocs)
 	if err != nil {
 		return nil, nil, err
@@ -264,7 +264,7 @@ type MultiPassageResult struct {
 // long-lived lock with free-running concurrency. It exercises instance
 // switching and recycling; per-passage costs include both.
 func MultiPassage(algo Algo, w, nprocs, passages int) (*MultiPassageResult, error) {
-	m := rmr.NewMemory(rmr.CC, nprocs, nil)
+	m := newMemory(rmr.CC, nprocs)
 	fn, err := Build(m, algo, w, nprocs)
 	if err != nil {
 		return nil, err

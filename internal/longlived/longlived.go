@@ -245,7 +245,8 @@ func (h *Handle) Enter() bool {
 			// Refcnt F&A invalidates our copy, so this wait can cost up to
 			// N−1 RMRs before Lock changes — the cost spin nodes avoid.
 			for {
-				l2, _, _ := unpack(h.p.Read(h.l.desc))
+				d := h.p.Read(h.l.desc)
+				l2, _, _ := unpack(d)
 				if l2 != lck {
 					break
 				}
@@ -254,7 +255,9 @@ func (h *Handle) Enter() bool {
 					h.p.EnterPhase(rmr.PhaseIdle)
 					return false
 				}
-				h.p.Yield()
+				// Any change to the packed descriptor (including refcount
+				// churn) wakes us; only a lock-index change ends the wait.
+				h.p.Wait(h.l.desc, d)
 			}
 		} else {
 			spinAddr := h.l.spinAddr(int(spn))
@@ -264,7 +267,7 @@ func (h *Handle) Enter() bool {
 					h.p.EnterPhase(rmr.PhaseIdle)
 					return false
 				}
-				h.p.Yield()
+				h.p.Wait(spinAddr, 0)
 			}
 		}
 		h.p.EnterPhase(rmr.PhaseDoorway)

@@ -60,6 +60,7 @@ func Test(t *testing.T, info locks.Info) {
 			if info.Abortable {
 				t.Run("abort-mix", func(t *testing.T) { testAbortMix(t, info, model) })
 				t.Run("abort-responsive", func(t *testing.T) { testAbortResponsive(t, info, model) })
+				t.Run("abort-before-entry", func(t *testing.T) { testAbortBeforeEntry(t, info, model) })
 			}
 			t.Run("attribution", func(t *testing.T) { testAttribution(t, info, model) })
 			if !info.OneShot {
@@ -226,6 +227,73 @@ func testAbortResponsive(t *testing.T, info locks.Info, model rmr.Model) {
 	finish(1, abortBudget, "aborting waiter did not return")
 	if waiterEntered {
 		t.Fatal("waiter entered the CS despite holding an abort signal against a held lock")
+	}
+
+	finish(0, abortBudget, "holder's Exit did not complete")
+	c.Wait()
+	if !holderEntered {
+		t.Fatal("holder's Enter returned false without an abort signal")
+	}
+}
+
+// testAbortBeforeEntry scripts the already-delivered signal: the abort
+// arrives before the waiter's Enter takes its first shared-memory step,
+// while the lock is held. The attempt must return false within abortBudget
+// steps — a pre-signalled process must be turned away at (or before) the
+// doorway, not committed to waiting against a lock that is never released
+// within the budget.
+func testAbortBeforeEntry(t *testing.T, info locks.Info, model rmr.Model) {
+	const n = 2
+	c := rmr.NewController(n)
+	m := rmr.NewMemory(model, n, nil)
+	fn, err := locks.Build(m, info.Name, defaultW, n)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	m.SetGate(c)
+	h0, h1 := fn(m.Proc(0)), fn(m.Proc(1))
+
+	finish := func(pid, budget int, what string) {
+		t.Helper()
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("%s: %v", what, r)
+			}
+		}()
+		c.Finish(pid, budget)
+	}
+
+	// The holder acquires and pauses at the gate inside Exit, keeping the
+	// lock held for the whole scripted scenario.
+	var holderIn atomic.Bool
+	var holderEntered, waiterEntered bool
+	c.Go(0, func() {
+		if h0.Enter() {
+			holderEntered = true
+			holderIn.Store(true)
+			h0.Exit()
+		}
+	})
+	for i := 0; i < abortBudget && !holderIn.Load(); i++ {
+		if !c.Step(0) {
+			break
+		}
+	}
+	if !holderIn.Load() {
+		t.Fatal("uncontended holder failed to enter")
+	}
+
+	// The signal lands before the waiter's Enter is even started.
+	m.Proc(1).SignalAbort()
+	c.Go(1, func() {
+		waiterEntered = h1.Enter()
+		if waiterEntered {
+			h1.Exit()
+		}
+	})
+	finish(1, abortBudget, "pre-signalled waiter did not return")
+	if waiterEntered {
+		t.Fatal("waiter entered the CS despite a signal delivered before Enter against a held lock")
 	}
 
 	finish(0, abortBudget, "holder's Exit did not complete")

@@ -106,7 +106,7 @@ func (h *Handle) Enter() bool {
 			p.EnterPhase(rmr.PhaseIdle)
 			return false
 		}
-		p.Yield()
+		p.Wait(a, waiting) // the grant (or nothing) is written into our slot
 	}
 }
 

@@ -92,7 +92,7 @@ func (h *Handle) Enter() bool {
 				p.EnterPhase(rmr.PhaseIdle)
 				return false
 			}
-			p.Yield()
+			p.Wait(pred, waiting) // released or adopted via a write to pred
 		}
 	}
 }

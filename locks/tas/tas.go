@@ -62,7 +62,10 @@ func (h *Handle) Enter() bool {
 			h.p.EnterPhase(rmr.PhaseIdle)
 			return false
 		}
-		h.p.Yield()
+		// The word is 1 while held; wait adaptively for the releasing
+		// write (every spinner is woken — TAS's thundering herd is the
+		// pathology queue locks avoid, parked or not).
+		h.p.Wait(h.l.word, 1)
 	}
 }
 

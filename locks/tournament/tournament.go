@@ -95,7 +95,8 @@ func (h *Handle) Enter() bool {
 	for lvl := 1; lvl <= h.l.height; lvl++ {
 		a := h.node(lvl)
 		for {
-			if p.Read(a) == 0 && p.CAS(a, 0, me) {
+			v := p.Read(a)
+			if v == 0 && p.CAS(a, 0, me) {
 				break
 			}
 			if p.AbortSignal() {
@@ -104,7 +105,7 @@ func (h *Handle) Enter() bool {
 				p.EnterPhase(rmr.PhaseIdle)
 				return false
 			}
-			p.Yield()
+			p.Wait(a, v) // the holder's releasing write clears the node
 		}
 		h.held = lvl
 	}

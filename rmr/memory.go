@@ -129,6 +129,14 @@ type Memory struct {
 	// observed events.
 	obs   atomic.Pointer[observer]
 	clock atomic.Int64
+
+	// ftab is the free-running wait table behind Proc.Wait (wait.go). Its
+	// parked counter stays zero under a gate, which keeps the mutating
+	// operations' wakeup hook to a single atomic load.
+	ftab futexTable
+	// waitPolicy selects adaptive (spin→yield→park) or dense-yield waiting
+	// for free-running Wait calls; see SetWaitPolicy.
+	waitPolicy WaitPolicy
 }
 
 // NewMemory creates a memory for nprocs processes under the given model.
@@ -173,6 +181,10 @@ func (m *Memory) SetGate(g Gate) {
 	}
 	m.gate = g
 	m.sched, _ = g.(*Scheduler)
+	// A gate takes over schedule control: release any process still parked
+	// from a free-running phase (Wait no-ops under a gate, so it would
+	// never re-park). The woken processes re-check their conditions.
+	m.ftab.wakeAll()
 }
 
 // exclusive reports whether the issuing process holds exclusive access to

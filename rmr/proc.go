@@ -24,6 +24,10 @@ type Proc struct {
 
 	abort atomic.Bool // external abort signal (§2: delivered from outside)
 
+	// wait is the adaptive free-running waiting state behind Wait
+	// (wait.go); untouched under a schedule gate.
+	wait procWait
+
 	// phase is the passage phase declared via EnterPhase. Only the owning
 	// goroutine writes it; observers read it while holding the word lock
 	// of an operation the owner itself issued, so a plain field suffices.
@@ -45,8 +49,14 @@ func (p *Proc) RMRs() int64 { return p.rmrs.Load() }
 func (p *Proc) Steps() int64 { return p.steps.Load() }
 
 // SignalAbort delivers the external abort signal to the process. The signal
-// is sticky until ClearAbort is called.
-func (p *Proc) SignalAbort() { p.abort.Store(true) }
+// is sticky until ClearAbort is called. A process parked by Wait is woken,
+// so a blocked waiter observes the signal within a bounded number of steps.
+func (p *Proc) SignalAbort() {
+	p.abort.Store(true)
+	if pk := p.wait.parked.Load(); pk != nil {
+		pk.wake()
+	}
+}
 
 // ClearAbort resets the abort signal, typically between passages.
 func (p *Proc) ClearAbort() { p.abort.Store(false) }
@@ -225,6 +235,7 @@ func (p *Proc) Write(a Addr, v uint64) {
 				p.rmrs.Add(1)
 			}
 			w.val.Store(v)
+			m.wakeup(a)
 			return
 		}
 		if !m.wide {
@@ -232,6 +243,7 @@ func (p *Proc) Write(a Addr, v uint64) {
 			p.chargeUpdate(w)
 			w.val.Store(v)
 			w.release(s)
+			m.wakeup(a)
 			return
 		}
 	}
@@ -250,6 +262,7 @@ func (p *Proc) Write(a Addr, v uint64) {
 		m.observe(o, p, w, Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr}, hit, invals)
 	}
 	w.mu.Unlock()
+	m.wakeup(a)
 }
 
 // CAS atomically compares the word at a with old and, if equal, replaces it
@@ -274,7 +287,11 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 			if int(w.owner) != p.id {
 				p.rmrs.Add(1)
 			}
-			return w.val.CompareAndSwap(old, new)
+			ok := w.val.CompareAndSwap(old, new)
+			if ok {
+				m.wakeup(a)
+			}
+			return ok
 		}
 		if !m.wide {
 			s := w.claim()
@@ -284,6 +301,9 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 				w.val.Store(new)
 			}
 			w.release(s)
+			if ok {
+				m.wakeup(a)
+			}
 			return ok
 		}
 	}
@@ -306,6 +326,9 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 		}
 	}
 	w.mu.Unlock()
+	if ok {
+		m.wakeup(a)
+	}
 	return ok
 }
 
@@ -327,7 +350,9 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 			if int(w.owner) != p.id {
 				p.rmrs.Add(1)
 			}
-			return w.val.Add(delta) - delta
+			old := w.val.Add(delta) - delta
+			m.wakeup(a)
+			return old
 		}
 		if !m.wide {
 			s := w.claim()
@@ -335,6 +360,7 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 			old := w.val.Load()
 			w.val.Store(old + delta)
 			w.release(s)
+			m.wakeup(a)
 			return old
 		}
 	}
@@ -353,6 +379,7 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 		m.observe(o, p, w, Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: old + delta, OK: true, RMR: rmr}, hit, invals)
 	}
 	w.mu.Unlock()
+	m.wakeup(a)
 	return old
 }
 
@@ -375,7 +402,9 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 			if int(w.owner) != p.id {
 				p.rmrs.Add(1)
 			}
-			return w.val.Swap(v)
+			old := w.val.Swap(v)
+			m.wakeup(a)
+			return old
 		}
 		if !m.wide {
 			s := w.claim()
@@ -383,6 +412,7 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 			old := w.val.Load()
 			w.val.Store(v)
 			w.release(s)
+			m.wakeup(a)
 			return old
 		}
 	}
@@ -401,6 +431,7 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 		m.observe(o, p, w, Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr}, hit, invals)
 	}
 	w.mu.Unlock()
+	m.wakeup(a)
 	return old
 }
 

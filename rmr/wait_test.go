@@ -1,0 +1,155 @@
+package rmr
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// pollParked waits until the memory's futex table reports want parked
+// processes, failing t after a generous deadline.
+func pollParked(t *testing.T, m *Memory, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.ftab.parked.Load() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d parked processes (have %d)", want, m.ftab.parked.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestWaitParksAndWakes: on a free-running memory a waiter escalates to a
+// park on the watched address, and the mutating write unparks it.
+func TestWaitParksAndWakes(t *testing.T) {
+	m := NewMemory(CC, 2, nil)
+	a := m.Alloc(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p := m.Proc(1)
+		for p.Read(a) == 0 {
+			p.Wait(a, 0)
+		}
+	}()
+	pollParked(t, m, 1)
+
+	m.Proc(0).Write(a, 1)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("write did not unpark the waiter")
+	}
+	pollParked(t, m, 0)
+}
+
+// TestSignalAbortUnparksWait: the abort signal reaches a parked waiter
+// directly — the watched word never changes, yet the waiter returns.
+func TestSignalAbortUnparksWait(t *testing.T) {
+	m := NewMemory(CC, 2, nil)
+	a := m.Alloc(0)
+	var aborted atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p := m.Proc(1)
+		for p.Read(a) == 0 {
+			if p.AbortSignal() {
+				aborted.Store(true)
+				return
+			}
+			p.Wait(a, 0)
+		}
+	}()
+	pollParked(t, m, 1)
+
+	m.Proc(1).SignalAbort()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SignalAbort did not unpark the waiter")
+	}
+	if !aborted.Load() {
+		t.Fatal("waiter returned without observing the abort signal")
+	}
+	pollParked(t, m, 0)
+}
+
+// TestWaitStaleValueReturnsImmediately: Wait with an old value the word no
+// longer holds is a cheap no-op — the waiter's loop re-reads instead of
+// parking on a condition that already flipped.
+func TestWaitStaleValueReturnsImmediately(t *testing.T) {
+	m := NewMemory(CC, 1, nil)
+	a := m.Alloc(7)
+	p := m.Proc(0)
+	for i := 0; i < 1000; i++ {
+		p.Wait(a, 0) // word holds 7, not 0: must not park or yield-escalate
+	}
+	if got := m.ftab.parked.Load(); got != 0 {
+		t.Fatalf("%d processes parked on an already-satisfied wait", got)
+	}
+}
+
+// TestGatedWaitIsNoOp: under a schedule gate, Wait neither parks nor
+// blocks — a gated spin loop terminates exactly as it did before the
+// adaptive waiter existed, with the futex table untouched.
+func TestGatedWaitIsNoOp(t *testing.T) {
+	c := NewController(2)
+	m := NewMemory(CC, 2, nil)
+	a := m.Alloc(0)
+	m.SetGate(c)
+
+	c.Go(0, func() {
+		p := m.Proc(0)
+		for p.Read(a) == 0 {
+			p.Wait(a, 0)
+		}
+	})
+	// 50 gated spin iterations, each Read followed by a Wait that must
+	// return immediately without touching the futex table.
+	c.StepN(0, 50)
+	if got := m.ftab.parked.Load(); got != 0 {
+		t.Fatalf("gated Wait parked %d processes mid-spin", got)
+	}
+	c.Go(1, func() { m.Proc(1).Write(a, 1) })
+	c.Finish(1, 100)
+	c.Finish(0, 100)
+	c.Wait()
+	if got := m.ftab.parked.Load(); got != 0 {
+		t.Fatalf("gated Wait parked %d processes", got)
+	}
+}
+
+// TestWaitYieldPolicy: under rmr.WaitYield every Wait is a plain yield —
+// the waiter stays runnable (dense observation for RMR measurement) and
+// the futex table is never used.
+func TestWaitYieldPolicy(t *testing.T) {
+	m := NewMemory(CC, 2, nil)
+	m.SetWaitPolicy(WaitYield)
+	a := m.Alloc(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p := m.Proc(1)
+		for p.Read(a) == 0 {
+			p.Wait(a, 0)
+		}
+	}()
+	// Give the waiter far more iterations than the adaptive park budget.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if got := m.ftab.parked.Load(); got != 0 {
+			t.Fatalf("WaitYield parked %d processes", got)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Proc(0).Write(a, 1)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("yielding waiter missed the release write")
+	}
+	if got := m.ftab.parked.Load(); got != 0 {
+		t.Fatalf("WaitYield parked %d processes", got)
+	}
+}

@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
-# bench.sh — run the rmr simulator microbenchmarks and emit BENCH_rmr.json.
+# bench.sh — run the benchmark suites and emit BENCH_rmr.json + BENCH_native.json.
 #
-# Usage:  scripts/bench.sh [output.json]
+# Usage:  scripts/bench.sh [rmr-output.json] [native-output.json]
 #
-# Runs BenchmarkMemOps (operation-path throughput, CC and DSM) and
-# BenchmarkExplorerThroughput (bounded-exhaustive replays/s at worker
-# counts 1/2/4/8, with partial-order reduction off and on over the same
-# tree) with -benchmem, then converts the Go benchmark output to a JSON
-# report. BENCHTIME overrides -benchtime (CI uses 1x for a smoke run; the
-# default 1s gives stable numbers).
+# BENCH_rmr.json: runs BenchmarkMemOps (operation-path throughput, CC and
+# DSM) and BenchmarkExplorerThroughput (bounded-exhaustive replays/s at
+# worker counts 1/2/4/8, with partial-order reduction off and on over the
+# same tree) with -benchmem, then converts the Go benchmark output to a
+# JSON report. BENCHTIME overrides -benchtime (CI uses 1x for a smoke run;
+# the default 1s gives stable numbers).
 #
 # The report's "locks" key is the registry-driven per-lock × per-model
 # (CC/DSM) RMR matrix from `rmrbench -matrix`: one entry per registered
@@ -20,6 +20,12 @@
 # BENCHTIME=1x shrinks the matrix workloads and the exploration bound too
 # (-quick).
 #
+# BENCH_native.json: the wall-clock matrix from `nativebench` — the native
+# abortable lock vs sync.Mutex vs every registry lock (free-running
+# simulated memory), passage-latency percentiles and throughput per
+# goroutine count. BENCHTIME=1x selects its -quick op budgets as well.
+# See docs/PERF.md for how to read it.
+#
 # The "baseline" block records the pre-optimization seed numbers measured
 # on the reference 1-CPU container, so a report is self-describing: the
 # acceptance targets were >=2x baseline ops/s for MemOps, >=3x baseline
@@ -29,34 +35,55 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_rmr.json}"
+native_out="${2:-BENCH_native.json}"
 benchtime="${BENCHTIME:-1s}"
 raw="$(mktemp)"
 matrix="$(mktemp)"
 explore="$(mktemp)"
 trap 'rm -f "$raw" "$matrix" "$explore"' EXIT
 
+quick_flags=()
+if [ "$benchtime" = "1x" ]; then
+	quick_flags+=(-quick)
+fi
+
+# run_artifact TOOL CMD... — run an artifact-producing command, failing
+# loudly. `set -e` alone would still let a later splice or upload consume a
+# truncated file if the tool died after creating it, so the exit status is
+# checked explicitly here and the artifact validated below.
+run_artifact() {
+	local tool="$1"
+	shift
+	if ! "$@"; then
+		echo "bench.sh: $tool failed; aborting" >&2
+		exit 1
+	fi
+}
+
+# validate_json FILE — require a complete, brace-delimited JSON document.
+validate_json() {
+	if [ "$(head -c 1 "$1")" != "{" ] || [ "$(tail -c 2 "$1")" != "}" ]; then
+		echo "bench.sh: $1 is not a complete JSON document; aborting" >&2
+		exit 1
+	fi
+}
+
+# splice FILE — emit FILE's members without its outer braces, for embedding
+# a single-key JSON document into a larger one.
+splice() {
+	sed '1d;$d' "$1"
+}
+
 go test -run '^$' -bench 'BenchmarkMemOps|BenchmarkExplorerThroughput' \
 	-benchtime "$benchtime" -benchmem -timeout 20m ./rmr/ | tee "$raw"
 
-artifact_flags=()
-if [ "$benchtime" = "1x" ]; then
-	artifact_flags+=(-quick)
-fi
-# The artifact run must fail loudly: `set -e` alone would still let the
-# splice below consume a truncated file if rmrbench died after creating it,
-# so its exit status is checked explicitly and each artifact is validated
-# as a complete JSON document (brace-delimited) before being embedded.
-if ! go run ./cmd/rmrbench "${artifact_flags[@]}" -deadline 15m \
-	-matrix "$matrix" -explore "$explore"; then
-	echo "bench.sh: rmrbench failed; not writing $out" >&2
-	exit 1
-fi
-for artifact in "$matrix" "$explore"; do
-	if [ "$(head -c 1 "$artifact")" != "{" ] || [ "$(tail -c 2 "$artifact")" != "}" ]; then
-		echo "bench.sh: $artifact is not a complete JSON document; not writing $out" >&2
-		exit 1
-	fi
-done
+run_artifact rmrbench go run ./cmd/rmrbench "${quick_flags[@]}" -deadline 15m \
+	-matrix "$matrix" -explore "$explore"
+validate_json "$matrix"
+validate_json "$explore"
+
+run_artifact nativebench go run ./cmd/nativebench "${quick_flags[@]}" -o "$native_out"
+validate_json "$native_out"
 
 {
 	printf '{\n'
@@ -70,8 +97,8 @@ done
 	# Splice in the registry matrix and the exploration record: drop the
 	# outer braces of rmrbench's {"locks": [...]} / {"explorer": [...]}
 	# documents and keep the members as-is.
-	printf '%s,\n' "$(sed '1d;$d' "$matrix")"
-	printf '%s,\n' "$(sed '1d;$d' "$explore")"
+	printf '%s,\n' "$(splice "$matrix")"
+	printf '%s,\n' "$(splice "$explore")"
 	printf '  "benchmarks": [\n'
 	awk '
 	/^Benchmark/ {
@@ -93,3 +120,4 @@ done
 } >"$out"
 
 echo "wrote $out"
+echo "wrote $native_out"
