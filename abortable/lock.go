@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"sublock/abortable/obs"
 )
 
 // ErrAborted is returned by EnterContext when the attempt was abandoned by
@@ -33,11 +36,28 @@ type Lock struct {
 	handles atomic.Int64
 	desc    atomic.Pointer[instance] // the paper's LockDesc
 
-	switches    atomic.Int64 // completed instance switches (observability)
-	aborts      atomic.Int64 // attempts abandoned via the abort path
-	switchWaits atomic.Int64 // Enter calls that blocked on an instance switch
-	parks       atomic.Int64 // tier-3 parks taken by waiters (see docs/PERF.md)
+	switches      atomic.Int64 // completed instance switches (observability)
+	aborts        atomic.Int64 // attempts abandoned via the abort path
+	switchWaits   atomic.Int64 // Enter calls that blocked on an instance switch
+	parks         atomic.Int64 // tier-3 parks taken by waiters (see docs/PERF.md)
+	waiterRetires atomic.Int64 // retirements won by a switch-waiter (vs a departure)
+
+	// obsm is the attached obs collector, nil when observability is off.
+	// Every passage path loads it exactly once; with it nil the extra
+	// cost is that load and dead branches (the fast path stays
+	// zero-alloc, CI-guarded).
+	obsm atomic.Pointer[obs.Metrics]
 }
+
+// SetObserver attaches an obs.Metrics collector: passage latencies,
+// waiting-tier rounds, park wake latencies, and doorway/retirement events
+// are recorded into it until detached with SetObserver(nil). Attachment
+// is atomic and may happen while the lock is in use; a passage in flight
+// may straddle the boundary and record only its later events.
+func (l *Lock) SetObserver(m *obs.Metrics) { l.obsm.Store(m) }
+
+// Observer returns the attached collector, or nil.
+func (l *Lock) Observer() *obs.Metrics { return l.obsm.Load() }
 
 // Stats is a point-in-time observability snapshot of a Lock.
 type Stats struct {
@@ -60,17 +80,26 @@ type Stats struct {
 	// contention; rises under oversubscription, where parking is the
 	// point — see docs/PERF.md.
 	Parks int64
+	// WaiterRetires counts the subset of Switches whose retirement was
+	// won by a waiting process (tryRetire) rather than a departing one —
+	// the lazy-retirement slow case where a switch-waiter found the
+	// instance quiescent and closed it itself.
+	WaiterRetires int64
 }
 
 // Stats returns current counters. Values are individually atomic snapshots
-// and may be mutually skewed while the lock is in active use.
+// and may be mutually skewed while the lock is in active use. OneShot and
+// HandlePool expose the same shape through OneShot.Stats and
+// HandlePool.Stats; richer telemetry (latency histograms, tier counters)
+// comes from attaching an abortable/obs collector via SetObserver.
 func (l *Lock) Stats() Stats {
 	return Stats{
-		Handles:     int(l.handles.Load()),
-		Switches:    l.switches.Load(),
-		Aborts:      l.aborts.Load(),
-		SwitchWaits: l.switchWaits.Load(),
-		Parks:       l.parks.Load(),
+		Handles:       int(l.handles.Load()),
+		Switches:      l.switches.Load(),
+		Aborts:        l.aborts.Load(),
+		SwitchWaits:   l.switchWaits.Load(),
+		Parks:         l.parks.Load(),
+		WaiterRetires: l.waiterRetires.Load(),
 	}
 }
 
@@ -120,8 +149,9 @@ type Handle struct {
 
 	abortFlag atomic.Bool
 	ctx       context.Context // non-nil only inside EnterContext
+	span      obs.Span        // open trace task (between Enter and Exit, tracing on)
 
-	_ [falseSharingRange - 64]byte
+	_ [falseSharingRange - 96]byte
 }
 
 // Abort asynchronously requests that the handle's pending (or next) Enter
@@ -164,10 +194,43 @@ func (h *Handle) parkState() (*parker, <-chan struct{}) {
 // notePark feeds the Parks observability counter.
 func (h *Handle) notePark() { h.lk.parks.Add(1) }
 
+// observer returns the lock's attached obs collector, or nil.
+func (h *Handle) observer() *obs.Metrics { return h.lk.obsm.Load() }
+
 // Enter acquires the lock, blocking until it is granted or until Abort is
 // called. It reports whether the lock was acquired; after true the caller
 // must eventually call Exit.
 func (h *Handle) Enter() bool {
+	if m := h.lk.obsm.Load(); m != nil {
+		return h.enterObserved(m)
+	}
+	return h.enter(nil)
+}
+
+// enterObserved wraps the acquisition with the obs event surface: passage
+// latency, pprof goroutine labels, and — when a runtime trace is being
+// captured — a per-lock task with doorway/wait/cs regions.
+func (h *Handle) enterObserved(m *obs.Metrics) bool {
+	start := time.Now()
+	m.SetAcquireLabels()
+	h.span = m.StartPassage("doorway")
+	ok := h.enter(m)
+	if ok {
+		m.RecordAcquire(time.Since(start))
+		m.SetCSLabels()
+		h.span.Phase("cs")
+	} else {
+		m.RecordAbort(time.Since(start))
+		m.ClearLabels()
+		h.span.End()
+	}
+	return ok
+}
+
+// enter is the acquisition loop. m is the obs collector loaded by the
+// caller (nil when observability is off: the branches below are dead and
+// the path allocates nothing).
+func (h *Handle) enter(m *obs.Metrics) bool {
 	if h.cur != nil {
 		panic("abortable: Enter while holding the lock")
 	}
@@ -183,14 +246,22 @@ func (h *Handle) Enter() bool {
 			// departures, whose closing CAS otherwise skips an instance
 			// with unused slots.
 			h.lk.switchWaits.Add(1)
+			if m != nil {
+				m.IncSwitchWait()
+			}
 			ins.swWait.Add(1)
 			for !ins.switched.Load() {
 				if h.abortPending() {
 					ins.swWait.Add(-1)
 					h.lk.aborts.Add(1)
+					flushWait(m, &w)
 					return false
 				}
 				if ins.tryRetire() {
+					h.lk.waiterRetires.Add(1)
+					if m != nil {
+						m.IncWaiterRetire()
+					}
 					h.lk.switchOut(ins)
 					break
 				}
@@ -204,7 +275,13 @@ func (h *Handle) Enter() bool {
 				_, done := h.parkState()
 				h.park.drain()
 				h.notePark()
-				h.park.sleep(done, ins.switchCh)
+				if m != nil {
+					t0 := time.Now()
+					h.park.sleep(done, ins.switchCh)
+					m.RecordPark(time.Since(t0))
+				} else {
+					h.park.sleep(done, ins.switchCh)
+				}
 			}
 			ins.swWait.Add(-1)
 			continue
@@ -215,8 +292,16 @@ func (h *Handle) Enter() bool {
 		// lands after retirement is rejected.
 		slot, ok := ins.arrive()
 		if !ok {
+			if m != nil {
+				m.IncClosedGate()
+			}
 			w.relaxRound() // switcher is about to publish the new instance
 			continue
+		}
+		if m != nil {
+			m.IncArrival()
+			flushWait(m, &w)
+			h.span.Phase("wait")
 		}
 		if !ins.enter(h, slot) {
 			h.cleanup(ins)
@@ -248,6 +333,18 @@ func (h *Handle) EnterContext(ctx context.Context) error {
 	return ErrAborted
 }
 
+// exitObserved wraps the release with the obs event surface.
+func (h *Handle) exitObserved(ins *instance, m *obs.Metrics) {
+	h.span.Phase("exit")
+	start := time.Now()
+	ins.exit(m)
+	h.cur = nil
+	h.cleanup(ins)
+	m.RecordHandoff(time.Since(start))
+	m.ClearLabels()
+	h.span.End()
+}
+
 // TryEnter acquires the lock only if it is granted without waiting: it
 // joins the queue and abandons immediately if the slot is not already
 // granted. It reports whether the lock was acquired.
@@ -262,7 +359,12 @@ func (h *Handle) Exit() {
 	if ins == nil {
 		panic("abortable: Exit without holding the lock")
 	}
-	ins.exit()
+	if m := h.lk.obsm.Load(); m != nil {
+		h.exitObserved(ins, m)
+		return
+	}
+	h.span.End() // close a task left open if the observer detached mid-CS
+	ins.exit(nil)
 	h.cur = nil
 	h.cleanup(ins)
 }
@@ -290,4 +392,7 @@ func (l *Lock) switchOut(ins *instance) {
 	ins.switched.Store(true)
 	close(ins.switchCh)
 	l.switches.Add(1)
+	if m := l.obsm.Load(); m != nil {
+		m.IncSwitch()
+	}
 }

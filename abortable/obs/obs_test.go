@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sublock/internal/promtext"
+)
+
+func TestHistBucketing(t *testing.T) {
+	var h Hist
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 38, 39}, {1<<62 + 1, numBuckets - 1},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := make([]int64, numBuckets)
+	for _, c := range cases {
+		want[c.bucket]++
+	}
+	for b := range want {
+		if s.Counts[b] != want[b] {
+			t.Errorf("bucket %d = %d, want %d", b, s.Counts[b], want[b])
+		}
+	}
+	if got := s.Count(); got != int64(len(cases)) {
+		t.Errorf("Count() = %d, want %d", got, len(cases))
+	}
+}
+
+func TestHistSumClampsNegatives(t *testing.T) {
+	var h Hist
+	h.Observe(-100)
+	h.Observe(10)
+	if s := h.Snapshot(); s.Sum != 10 {
+		t.Errorf("Sum = %d, want 10 (negative sample must clamp to 0)", s.Sum)
+	}
+}
+
+func TestHistSnapshotStats(t *testing.T) {
+	var h Hist
+	for i := 0; i < 90; i++ {
+		h.Observe(1) // bucket 1, upper edge 1
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000) // bucket 10, upper edge 1023
+	}
+	s := h.Snapshot()
+	if got := s.Mean(); got != float64(90+10*1000)/100 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Quantile(0.5); got != 1 {
+		t.Errorf("p50 = %d, want 1", got)
+	}
+	if got := s.Quantile(0.99); got != 1023 {
+		t.Errorf("p99 = %d, want 1023 (upper edge of bucket 10)", got)
+	}
+	if got := s.Quantile(2); got != 1023 { // clamps to 1
+		t.Errorf("Quantile(2) = %d, want 1023", got)
+	}
+	var empty HistSnapshot
+	if empty.Mean() != 0 || empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot stats must be zero")
+	}
+}
+
+func TestMetricsRecording(t *testing.T) {
+	m := New("t", Config{})
+	m.RecordAcquire(3 * time.Nanosecond)
+	m.RecordAcquire(5 * time.Nanosecond)
+	m.RecordAbort(7 * time.Nanosecond)
+	m.RecordHandoff(2 * time.Nanosecond)
+	m.RecordPark(11 * time.Nanosecond)
+	m.RecordBorrow(0, false)
+	m.RecordBorrow(13*time.Nanosecond, true)
+	m.AddWaitRounds(4, 2)
+	m.AddWaitRounds(0, 0) // must not disturb anything
+	m.IncUnpark()
+	m.IncArrival()
+	m.IncClosedGate()
+	m.IncSwitchWait()
+	m.IncSwitch()
+	m.IncWaiterRetire()
+
+	s := m.Snapshot()
+	if s.Name != "t" {
+		t.Errorf("Name = %q", s.Name)
+	}
+	checks := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"Acquires", s.Acquires, 2},
+		{"Aborts", s.Aborts, 1},
+		{"Acquire.Count", s.Acquire.Count(), 2},
+		{"Acquire.Sum", s.Acquire.Sum, 8},
+		{"Abort.Count", s.Abort.Count(), 1},
+		{"Handoff.Count", s.Handoff.Count(), 1},
+		{"Park.Count", s.Park.Count(), 1},
+		{"Parks", s.Parks, 1},
+		{"Borrow.Count", s.Borrow.Count(), 2},
+		{"Borrows", s.Borrows, 2},
+		{"BorrowWaits", s.BorrowWaits, 1},
+		{"Spins", s.Spins, 4},
+		{"Yields", s.Yields, 2},
+		{"Unparks", s.Unparks, 1},
+		{"Arrivals", s.Arrivals, 1},
+		{"ClosedGate", s.ClosedGate, 1},
+		{"SwitchWaits", s.SwitchWaits, 1},
+		{"Switches", s.Switches, 1},
+		{"WaiterRetires", s.WaiterRetires, 1},
+	}
+	for _, c := range checks {
+		if c.got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestSpanInertWhenTraceOff: with no trace being captured, StartPassage
+// must return the zero Span — no task allocation — and the zero Span's
+// methods must be safe.
+func TestSpanInertWhenTraceOff(t *testing.T) {
+	m := New("t", Config{Trace: true})
+	sp := m.StartPassage("doorway")
+	if sp.task != nil {
+		t.Fatal("StartPassage allocated a task with tracing off")
+	}
+	sp.Phase("cs")
+	sp.End()
+	sp.End() // double End must be safe
+
+	var zero Span
+	zero.Phase("x")
+	zero.End()
+}
+
+func TestLabelsNoopWithoutConfig(t *testing.T) {
+	m := New("t", Config{})
+	// Must not panic or set anything; contexts are nil.
+	m.SetAcquireLabels()
+	m.SetCSLabels()
+	m.ClearLabels()
+
+	withLabels := New("t2", Config{ProfileLabels: true})
+	withLabels.SetAcquireLabels()
+	withLabels.SetCSLabels()
+	withLabels.ClearLabels()
+}
+
+func TestRegistryRegisterUnregister(t *testing.T) {
+	r := NewRegistry()
+	m := New("a", Config{})
+	if err := r.Register(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(New("a", Config{})); err == nil {
+		t.Fatal("duplicate Register must fail")
+	}
+	r.Unregister("a")
+	if err := r.Register(m); err != nil {
+		t.Fatalf("re-register after Unregister: %v", err)
+	}
+}
+
+func registryWithTraffic(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	a, b := New("alpha", Config{}), New("beta", Config{})
+	r.MustRegister(b) // registration order must not leak into output order
+	r.MustRegister(a)
+	a.RecordAcquire(100 * time.Nanosecond)
+	a.RecordAbort(50 * time.Nanosecond)
+	a.RecordHandoff(10 * time.Nanosecond)
+	a.AddWaitRounds(3, 1)
+	b.RecordAcquire(time.Microsecond)
+	b.RecordPark(time.Millisecond)
+	b.RecordBorrow(time.Microsecond, true)
+	return r
+}
+
+func TestWritePrometheusLintsClean(t *testing.T) {
+	r := registryWithTraffic(t)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range promtext.Lint(strings.NewReader(buf.String())) {
+		t.Errorf("lint: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`abortable_acquire_ns_bucket{lock="alpha",le="+Inf"} 1`,
+		`abortable_acquire_ns_count{lock="beta"} 1`,
+		`abortable_wait_tier_total{lock="alpha",tier="spin"} 3`,
+		`abortable_wait_tier_total{lock="beta",tier="park"} 1`,
+		`abortable_passages_total{lock="alpha",result="aborted"} 1`,
+		`abortable_pool_borrow_waits_total{lock="beta"} 1`,
+		"# TYPE abortable_park_wait_ns histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Zero-count histogram series are omitted; headers still present.
+	if strings.Contains(out, `abortable_park_wait_ns_count{lock="alpha"}`) {
+		t.Error("zero-count histogram series for alpha should be omitted")
+	}
+	// Deterministic output.
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("WritePrometheus output is not deterministic")
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	r := registryWithTraffic(t)
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prom Content-Type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "abortable_passages_total") {
+		t.Error("prom body missing counter family")
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("json Content-Type = %q", ct)
+	}
+	var snaps []Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 || snaps[0].Name != "alpha" || snaps[1].Name != "beta" {
+		t.Fatalf("json snapshots = %+v", snaps)
+	}
+	if snaps[0].Acquires != 1 || snaps[1].Parks != 1 {
+		t.Errorf("json counters wrong: %+v", snaps)
+	}
+}
+
+func TestExpvarFunc(t *testing.T) {
+	r := registryWithTraffic(t)
+	var snaps []Snapshot
+	if err := json.Unmarshal([]byte(r.Expvar().String()), &snaps); err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("expvar snapshots = %d, want 2", len(snaps))
+	}
+}
+
+// TestRecordingDoesNotAllocate guards the obs-on discipline: recording is
+// atomic adds into preallocated state, so an attached collector must not
+// introduce allocations on lock paths.
+func TestRecordingDoesNotAllocate(t *testing.T) {
+	m := New("t", Config{ProfileLabels: true})
+	avg := testing.AllocsPerRun(200, func() {
+		m.SetAcquireLabels()
+		m.RecordAcquire(123 * time.Nanosecond)
+		m.SetCSLabels()
+		m.AddWaitRounds(2, 1)
+		m.RecordPark(time.Microsecond)
+		m.IncUnpark()
+		m.IncArrival()
+		m.RecordHandoff(45 * time.Nanosecond)
+		m.ClearLabels()
+	})
+	if avg != 0 {
+		t.Errorf("recording allocates %.1f objects per passage, want 0", avg)
+	}
+}

@@ -3,6 +3,9 @@ package abortable
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"sublock/abortable/obs"
 )
 
 // noProc is the out-of-band LastExited value before any exit (paper's −1).
@@ -140,12 +143,18 @@ func (ins *instance) tryRetire() bool {
 // published in the slot (so signalNext can wake it with one pointer swap
 // after setting the grant flag) and the grant flag and abort probe are
 // re-checked before every sleep, so no wakeup is lost.
+//
+// With an obs collector attached (a.observer() non-nil) the loop
+// additionally records tier rounds and per-park wake latency; with it nil
+// the only extra cost is the pointer load and dead branches.
 func (ins *instance) enter(a aborter, slot int) bool {
+	m := a.observer()
 	s := &ins.gos[slot]
 	var w waiter
 	for s.v.Load() == 0 {
 		if a.abortPending() {
-			ins.abort(slot)
+			ins.abort(slot, m)
+			flushWait(m, &w)
 			return false
 		}
 		if !w.pause() {
@@ -159,35 +168,42 @@ func (ins *instance) enter(a aborter, slot int) bool {
 			continue
 		}
 		a.notePark()
-		pk.sleep(done, nil)
+		if m != nil {
+			t0 := time.Now()
+			pk.sleep(done, nil)
+			m.RecordPark(time.Since(t0))
+		} else {
+			pk.sleep(done, nil)
+		}
 		s.parked.CompareAndSwap(pk, nil)
 	}
 	ins.head.v.Store(uint64(slot))
+	flushWait(m, &w)
 	return true
 }
 
 // exit is Algorithm 3.2.
-func (ins *instance) exit() {
+func (ins *instance) exit(m *obs.Metrics) {
 	head := ins.head.v.Load()
 	ins.last.v.Store(head)
-	ins.signalNext(int(head))
+	ins.signalNext(int(head), m)
 }
 
 // abort is Algorithm 3.3: abandon the slot; if the last exiter may have
 // crossed paths with our tree removal, take over its handoff.
-func (ins *instance) abort(slot int) {
+func (ins *instance) abort(slot int, m *obs.Metrics) {
 	ins.tr.remove(slot)
 	head := ins.head.v.Load()
 	if head != ins.last.v.Load() {
 		return
 	}
-	ins.signalNext(int(head))
+	ins.signalNext(int(head), m)
 }
 
 // signalNext is Algorithm 3.4, extended with the park handoff: set the
 // grant flag first (the published spin word), then wake the parker if one
 // is registered — O(1) RMRs per handoff either way.
-func (ins *instance) signalNext(head int) {
+func (ins *instance) signalNext(head int, m *obs.Metrics) {
 	j, out := ins.tr.findNext(head)
 	if out != outFound {
 		return
@@ -196,5 +212,8 @@ func (ins *instance) signalNext(head int) {
 	s.v.Store(1)
 	if pk := s.parked.Swap(nil); pk != nil {
 		pk.wake()
+		if m != nil {
+			m.IncUnpark()
+		}
 	}
 }

@@ -3,6 +3,9 @@ package abortable
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
+
+	"sublock/abortable/obs"
 )
 
 // OneShot is the paper's §3 one-shot abortable lock as a standalone
@@ -20,6 +23,8 @@ type OneShot struct {
 	n       int
 	handles atomic.Int64
 	parks   atomic.Int64
+	aborts  atomic.Int64
+	obsm    atomic.Pointer[obs.Metrics]
 }
 
 // NewOneShot creates a one-shot lock for up to n acquisition attempts.
@@ -33,9 +38,41 @@ func NewOneShot(n int) *OneShot {
 	return &OneShot{ins: newInstance(n), n: n}
 }
 
+// OneShotStats is a point-in-time observability snapshot of a OneShot,
+// the one-shot shape of Lock's Stats (switch fields do not apply: a
+// one-shot instance is never retired).
+type OneShotStats struct {
+	// Handles is the number of registered handles.
+	Handles int
+	// Aborts counts Enter attempts that returned unacquired.
+	Aborts int64
+	// Parks counts waits that escalated to the parking tier.
+	Parks int64
+}
+
+// Stats returns current counters. Values are individually atomic
+// snapshots and may be mutually skewed while the lock is in active use.
+func (l *OneShot) Stats() OneShotStats {
+	return OneShotStats{
+		Handles: int(l.handles.Load()),
+		Aborts:  l.aborts.Load(),
+		Parks:   l.parks.Load(),
+	}
+}
+
 // Parks reports how many acquisition waits escalated to the parking tier
 // (see docs/PERF.md).
+//
+// Deprecated: use Stats().Parks, the counter's uniform home across Lock,
+// OneShot, and HandlePool.
 func (l *OneShot) Parks() int64 { return l.parks.Load() }
+
+// SetObserver attaches an obs.Metrics collector (nil detaches), exactly
+// as Lock.SetObserver does.
+func (l *OneShot) SetObserver(m *obs.Metrics) { l.obsm.Store(m) }
+
+// Observer returns the attached collector, or nil.
+func (l *OneShot) Observer() *obs.Metrics { return l.obsm.Load() }
 
 // NewHandle registers a participant. It fails after n handles.
 func (l *OneShot) NewHandle() (*OneShotHandle, error) {
@@ -55,6 +92,7 @@ type OneShotHandle struct {
 	state     int // 0 = fresh, 1 = holding, 2 = spent
 	park      parker
 	abortFlag atomic.Bool
+	span      obs.Span
 }
 
 // Abort asynchronously requests that the pending (or upcoming) Enter
@@ -75,6 +113,9 @@ func (h *OneShotHandle) parkState() (*parker, <-chan struct{}) { return &h.park,
 // notePark feeds the lock's park counter.
 func (h *OneShotHandle) notePark() { h.l.parks.Add(1) }
 
+// observer reports the attached obs collector, for the instance wait loop.
+func (h *OneShotHandle) observer() *obs.Metrics { return h.l.obsm.Load() }
+
 // Enter attempts to acquire the lock once, blocking until granted or
 // aborted. It reports whether the lock is held; after true the caller
 // must call Exit. A second call panics.
@@ -82,14 +123,48 @@ func (h *OneShotHandle) Enter() bool {
 	if h.state != 0 {
 		panic("abortable: one-shot Enter called twice")
 	}
+	if m := h.l.obsm.Load(); m != nil {
+		return h.enterObserved(m)
+	}
+	return h.enter()
+}
+
+// enterObserved wraps enter with the obs recording that needs passage
+// boundaries: latency, pprof labels, and the trace task.
+func (h *OneShotHandle) enterObserved(m *obs.Metrics) bool {
+	start := time.Now()
+	m.SetAcquireLabels()
+	h.span = m.StartPassage("doorway")
+	ok := h.enter()
+	if ok {
+		m.RecordAcquire(time.Since(start))
+		m.SetCSLabels()
+		h.span.Phase("cs")
+	} else {
+		m.RecordAbort(time.Since(start))
+		m.ClearLabels()
+		h.span.End()
+	}
+	return ok
+}
+
+// enter is the uninstrumented body of Enter (observed or not: the
+// instance wait loop picks up the collector itself via observer()).
+func (h *OneShotHandle) enter() bool {
+	m := h.l.obsm.Load()
 	slot, ok := h.l.ins.arrive()
 	if !ok {
 		// A OneShot instance is never retired: the closed bit is
 		// unreachable because no departure path runs depart().
 		panic("abortable: one-shot instance unexpectedly closed")
 	}
+	if m != nil {
+		m.IncArrival()
+		h.span.Phase("wait")
+	}
 	h.slot = slot
 	if !h.l.ins.enter(h, slot) {
+		h.l.aborts.Add(1)
 		h.state = 2
 		return false
 	}
@@ -102,7 +177,18 @@ func (h *OneShotHandle) Exit() {
 	if h.state != 1 {
 		panic("abortable: one-shot Exit without holding the lock")
 	}
-	h.l.ins.exit()
+	if m := h.l.obsm.Load(); m != nil {
+		h.span.Phase("exit")
+		start := time.Now()
+		h.l.ins.exit(m)
+		h.state = 2
+		m.RecordHandoff(time.Since(start))
+		m.ClearLabels()
+		h.span.End()
+		return
+	}
+	h.span.End() // close a task left open if the observer detached mid-CS
+	h.l.ins.exit(nil)
 	h.state = 2
 }
 

@@ -3,6 +3,10 @@ package abortable
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
+	"time"
+
+	"sublock/abortable/obs"
 )
 
 // HandlePool shares a fixed set of lock handles among arbitrarily many
@@ -20,6 +24,10 @@ import (
 // number of goroutines simultaneously queued at the lock.
 type HandlePool struct {
 	free chan *Handle
+
+	borrows     atomic.Int64
+	borrowWaits atomic.Int64
+	obsm        atomic.Pointer[obs.Metrics]
 }
 
 // NewHandlePool registers n fresh handles on lk and pools them.
@@ -38,10 +46,68 @@ func NewHandlePool(lk *Lock, n int) (*HandlePool, error) {
 	return p, nil
 }
 
+// PoolStats is a point-in-time observability snapshot of a HandlePool,
+// the pool-side companion of Lock's Stats.
+type PoolStats struct {
+	// Borrows counts successful handle borrows (Enter, EnterContext, and
+	// TryEnter that obtained a handle, whether or not the lock followed).
+	Borrows int64
+	// BorrowWaits counts borrows that blocked because every handle was in
+	// flight when the borrow began.
+	BorrowWaits int64
+}
+
+// Stats returns current counters. Values are individually atomic
+// snapshots and may be mutually skewed while the pool is in active use.
+func (p *HandlePool) Stats() PoolStats {
+	return PoolStats{
+		Borrows:     p.borrows.Load(),
+		BorrowWaits: p.borrowWaits.Load(),
+	}
+}
+
+// SetObserver attaches an obs.Metrics collector recording borrow latency
+// (nil detaches). This observes the pool only; attach the same collector
+// to the underlying Lock with Lock.SetObserver to also record passages.
+func (p *HandlePool) SetObserver(m *obs.Metrics) { p.obsm.Store(m) }
+
+// Observer returns the attached collector, or nil.
+func (p *HandlePool) Observer() *obs.Metrics { return p.obsm.Load() }
+
+// borrow receives a free handle, blocking if none is available, and feeds
+// the borrow counters and (when observing) the borrow-latency histogram.
+func (p *HandlePool) borrow() *Handle {
+	m := p.obsm.Load()
+	select {
+	case h := <-p.free:
+		p.noteBorrow(m, 0, false)
+		return h
+	default:
+	}
+	p.borrowWaits.Add(1)
+	if m == nil {
+		h := <-p.free
+		p.borrows.Add(1)
+		return h
+	}
+	t0 := time.Now()
+	h := <-p.free
+	p.noteBorrow(m, time.Since(t0), true)
+	return h
+}
+
+// noteBorrow counts one completed borrow.
+func (p *HandlePool) noteBorrow(m *obs.Metrics, d time.Duration, waited bool) {
+	p.borrows.Add(1)
+	if m != nil {
+		m.RecordBorrow(d, waited)
+	}
+}
+
 // Enter borrows a handle and acquires the lock, blocking for both. The
 // returned handle must be passed to Release after the critical section.
 func (p *HandlePool) Enter() *Handle {
-	h := <-p.free
+	h := p.borrow()
 	for !h.Enter() {
 		// The pooled handle carries no pending abort (Release clears any
 		// stray signal), so a false return can only follow an explicit
@@ -53,16 +119,36 @@ func (p *HandlePool) Enter() *Handle {
 // EnterContext borrows a handle and acquires the lock, giving up when ctx
 // is cancelled. On success the handle must be passed to Release.
 func (p *HandlePool) EnterContext(ctx context.Context) (*Handle, error) {
+	m := p.obsm.Load()
+	var (
+		h      *Handle
+		waited bool
+		t0     time.Time
+	)
 	select {
-	case h := <-p.free:
-		if err := h.EnterContext(ctx); err != nil {
-			p.free <- h
-			return nil, err
+	case h = <-p.free:
+	default:
+		p.borrowWaits.Add(1)
+		waited = true
+		if m != nil {
+			t0 = time.Now()
 		}
-		return h, nil
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		select {
+		case h = <-p.free:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
+	if waited && m != nil {
+		p.noteBorrow(m, time.Since(t0), true)
+	} else {
+		p.noteBorrow(m, 0, false)
+	}
+	if err := h.EnterContext(ctx); err != nil {
+		p.free <- h
+		return nil, err
+	}
+	return h, nil
 }
 
 // TryEnter borrows a handle and try-locks. It returns nil if no handle was
@@ -70,6 +156,7 @@ func (p *HandlePool) EnterContext(ctx context.Context) (*Handle, error) {
 func (p *HandlePool) TryEnter() *Handle {
 	select {
 	case h := <-p.free:
+		p.noteBorrow(p.obsm.Load(), 0, false)
 		if h.TryEnter() {
 			return h
 		}

@@ -1,6 +1,10 @@
 package abortable
 
-import "runtime"
+import (
+	"runtime"
+
+	"sublock/abortable/obs"
+)
 
 // Adaptive waiting (the three-tier waiter of docs/PERF.md).
 //
@@ -87,6 +91,31 @@ func (w *waiter) pause() bool {
 	return true
 }
 
+// tiers reports the spin and yield rounds burned so far: pause rounds
+// past the two budgets returned "park" and burned nothing here, so they
+// are excluded (actual parks are counted at the sleep sites).
+func (w *waiter) tiers() (spins, yields int64) {
+	s := w.round
+	if s > w.spin {
+		s = w.spin
+	}
+	y := w.round - w.spin
+	if y < 0 {
+		y = 0
+	}
+	if y > yieldRounds {
+		y = yieldRounds
+	}
+	return int64(s), int64(y)
+}
+
+// flushWait records a finished wait loop's tier rounds to m, if observing.
+func flushWait(m *obs.Metrics, w *waiter) {
+	if m != nil && w.round > 0 {
+		m.AddWaitRounds(w.tiers())
+	}
+}
+
 // relaxRound burns one waiting round without ever parking, for waits whose
 // releaser is known to be running and brief (e.g. an instance switcher
 // between retiring the old instance and publishing the new one): spin
@@ -148,10 +177,11 @@ func (p *parker) sleep(done, extra <-chan struct{}) {
 
 // aborter is what the shared instance wait loop needs from a handle: the
 // abort probe, the park state (the handle's parker plus the context-done
-// channel, nil when the attempt is not context-bound), and the park
-// counter hook for observability.
+// channel, nil when the attempt is not context-bound), the park counter
+// hook, and the attached obs collector (nil when observability is off).
 type aborter interface {
 	abortPending() bool
 	parkState() (*parker, <-chan struct{})
 	notePark()
+	observer() *obs.Metrics
 }

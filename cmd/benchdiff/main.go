@@ -1,0 +1,608 @@
+// benchdiff is the benchmark-regression pipeline: it parses the reports
+// scripts/bench.sh produces (BENCH_rmr.json and BENCH_native.json),
+// compares them cell-by-cell against a baseline, prints a human-readable
+// delta report, and maintains the append-only run log bench/history.jsonl.
+//
+// Two kinds of cells get different treatment:
+//
+//   - Deterministic simulator cells — the per-lock × per-model RMR matrix
+//     and the explorer's replay counts — are identical across machines, so
+//     they gate exactly by default (-rmr-threshold 0): any increase in a
+//     "higher is worse" metric fails the run. An intentional algorithm
+//     change updates the committed baseline in the same PR.
+//
+//   - Wall-clock cells — native throughput/latency and the Go benchmark
+//     ns/op lines — are machine- and load-dependent, so they are
+//     report-only unless a threshold is set (-native-threshold /
+//     -bench-threshold, percent; 0 disables gating).
+//
+// Usage:
+//
+//	benchdiff -rmr BENCH_rmr.json -native BENCH_native.json \
+//	    -baseline bench/baseline.json -history bench/history.jsonl -append
+//
+// Exit status: 0 on success or no baseline (first run), 1 on a gated
+// regression, 2 on usage or I/O errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// rmrCell is one deterministic (lock, model) cell of the simulator matrix,
+// mirroring rmrbench's matrixEntry.
+type rmrCell struct {
+	Lock          string  `json:"lock"`
+	Model         string  `json:"model"`
+	Procs         int     `json:"procs"`
+	PassageMax    int64   `json:"passage_rmrs_max"`
+	PassageMean   float64 `json:"passage_rmrs_mean"`
+	Words         int     `json:"words"`
+	Aborters      int     `json:"aborters,omitempty"`
+	HolderPassage int64   `json:"storm_holder_rmrs,omitempty"`
+	WaiterPassage int64   `json:"storm_waiter_rmrs,omitempty"`
+	AbortedMax    int64   `json:"storm_aborted_rmrs_max,omitempty"`
+}
+
+// exploreCell is one exhaustive-exploration record, mirroring rmrbench's
+// exploreEntry. Count fields are deterministic; timing fields are not.
+type exploreCell struct {
+	Config        string  `json:"config"`
+	POR           bool    `json:"por"`
+	MaxSteps      int     `json:"maxsteps"`
+	Explored      int     `json:"explored"`
+	Pruned        int     `json:"pruned"`
+	Equivalent    int     `json:"equivalent"`
+	Replays       int     `json:"replays"`
+	ReplaysPerSec float64 `json:"replays_per_sec"`
+	Exhausted     bool    `json:"exhausted"`
+}
+
+// nativeCell is one wall-clock row of nativebench's matrix.
+type nativeCell struct {
+	Lock       string  `json:"lock"`
+	Impl       string  `json:"impl"`
+	Goroutines int     `json:"goroutines"`
+	Procs      int     `json:"procs"`
+	Ops        int     `json:"ops"`
+	P50ns      int64   `json:"p50_ns"`
+	P95ns      int64   `json:"p95_ns"`
+	P99ns      int64   `json:"p99_ns"`
+	Throughput float64 `json:"throughput_ops_per_s"`
+}
+
+// goBench is one Go testing-benchmark line from the rmr report; units
+// beyond the fixed fields (ns/op, B/op, ...) live in Units.
+type goBench struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Units      map[string]float64 `json:"units,omitempty"`
+}
+
+// entry is one benchmark run: the normalized union of the two reports,
+// one JSON line of bench/history.jsonl.
+type entry struct {
+	Date      string        `json:"date,omitempty"`
+	Commit    string        `json:"commit,omitempty"`
+	Quick     bool          `json:"quick"`
+	Benchtime string        `json:"benchtime,omitempty"`
+	RMR       []rmrCell     `json:"rmr,omitempty"`
+	Explorer  []exploreCell `json:"explorer,omitempty"`
+	Native    []nativeCell  `json:"native,omitempty"`
+	GoBench   []goBench     `json:"gobench,omitempty"`
+}
+
+func main() {
+	var (
+		rmrPath    = flag.String("rmr", "", "BENCH_rmr.json to read (empty = skip)")
+		nativePath = flag.String("native", "", "BENCH_native.json to read (empty = skip)")
+		histPath   = flag.String("history", "bench/history.jsonl", "append-only run log")
+		appendHist = flag.Bool("append", false, "append this run to -history")
+		basePath   = flag.String("baseline", "", "baseline entry JSON (empty = last matching history line)")
+		writeBase  = flag.String("write-baseline", "", "write this run as a baseline entry here and exit")
+		commit     = flag.String("commit", "", "commit id to stamp into the history entry")
+		rmrThresh  = flag.Float64("rmr-threshold", 0, "allowed % increase in deterministic RMR/replay cells (0 = exact)")
+		natThresh  = flag.Float64("native-threshold", 0, "gate native throughput regressions beyond this % (0 = report only)")
+		benchThr   = flag.Float64("bench-threshold", 0, "gate Go-benchmark ns/op regressions beyond this % (0 = report only)")
+		outPath    = flag.String("o", "", "write the delta report here instead of stdout")
+	)
+	flag.Parse()
+
+	if *rmrPath == "" && *nativePath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: need -rmr and/or -native")
+		os.Exit(2)
+	}
+	cur, err := loadRun(*rmrPath, *nativePath, *commit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	if *writeBase != "" {
+		if err := writeEntry(*writeBase, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote baseline %s\n", *writeBase)
+		return
+	}
+
+	base, baseDesc, err := resolveBaseline(*basePath, *histPath, cur)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	regressions := 0
+	if base == nil {
+		fmt.Fprintf(out, "benchdiff: no baseline (%s); nothing to compare\n", baseDesc)
+	} else {
+		regressions = report(out, base, cur, baseDesc, thresholds{
+			rmr: *rmrThresh, native: *natThresh, bench: *benchThr,
+		})
+	}
+
+	if *appendHist {
+		if err := appendEntry(*histPath, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(out, "appended run to %s\n", *histPath)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(out, "FAIL: %d gated regression(s)\n", regressions)
+		os.Exit(1)
+	}
+	if base != nil {
+		fmt.Fprintln(out, "OK: no gated regressions")
+	}
+}
+
+// loadRun parses the bench.sh reports into one normalized entry.
+func loadRun(rmrPath, nativePath, commit string) (*entry, error) {
+	e := &entry{Commit: commit}
+	if rmrPath != "" {
+		var doc struct {
+			Date       string           `json:"date"`
+			Benchtime  string           `json:"benchtime"`
+			Locks      []rmrCell        `json:"locks"`
+			Explorer   []exploreCell    `json:"explorer"`
+			Benchmarks []map[string]any `json:"benchmarks"`
+		}
+		if err := readJSON(rmrPath, &doc); err != nil {
+			return nil, err
+		}
+		e.Date = doc.Date
+		e.Benchtime = doc.Benchtime
+		e.RMR = doc.Locks
+		e.Explorer = doc.Explorer
+		e.GoBench = normalizeGoBench(doc.Benchmarks)
+		if doc.Benchtime == "1x" {
+			e.Quick = true
+		}
+	}
+	if nativePath != "" {
+		var doc struct {
+			Quick  bool         `json:"quick"`
+			Native []nativeCell `json:"native"`
+		}
+		if err := readJSON(nativePath, &doc); err != nil {
+			return nil, err
+		}
+		e.Native = doc.Native
+		e.Quick = e.Quick || doc.Quick
+	}
+	return e, nil
+}
+
+// normalizeGoBench lifts bench.sh's loosely-keyed benchmark objects into
+// goBench values: fixed name/iterations fields, everything else a unit.
+func normalizeGoBench(rows []map[string]any) []goBench {
+	var out []goBench
+	for _, row := range rows {
+		b := goBench{Units: map[string]float64{}}
+		for k, v := range row {
+			switch k {
+			case "name":
+				b.Name, _ = v.(string)
+			case "iterations":
+				if f, ok := v.(float64); ok {
+					b.Iterations = int64(f)
+				}
+			default:
+				if f, ok := v.(float64); ok {
+					b.Units[k] = f
+				}
+			}
+		}
+		if b.Name != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func readJSON(path string, v any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+func writeEntry(path string, e *entry) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	buf, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// appendEntry appends e as one line of the history log, creating it (and
+// its directory) on first use. The log is append-only by construction:
+// existing lines are never rewritten.
+func appendEntry(path string, e *entry) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(buf, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// resolveBaseline picks the entry to diff against: an explicit -baseline
+// file, else the newest history line whose quick mode matches the current
+// run (quick and full runs are not comparable). A nil entry with a nil
+// error means "no baseline yet".
+func resolveBaseline(basePath, histPath string, cur *entry) (*entry, string, error) {
+	if basePath != "" {
+		var e entry
+		if err := readJSON(basePath, &e); err != nil {
+			return nil, "", err
+		}
+		return &e, basePath, nil
+	}
+	f, err := os.Open(histPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, "no history at " + histPath, nil
+		}
+		return nil, "", err
+	}
+	defer f.Close()
+	var last *entry
+	line := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, "", fmt.Errorf("%s:%d: %w", histPath, line, err)
+		}
+		if e.Quick == cur.Quick {
+			ec := e
+			last = &ec
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	if last == nil {
+		return nil, fmt.Sprintf("no %s entry in %s", mode(cur.Quick), histPath), nil
+	}
+	desc := fmt.Sprintf("%s (last %s entry", histPath, mode(cur.Quick))
+	if last.Commit != "" {
+		desc += ", commit " + last.Commit
+	}
+	return last, desc + ")", nil
+}
+
+func mode(quick bool) string {
+	if quick {
+		return "quick"
+	}
+	return "full"
+}
+
+type thresholds struct{ rmr, native, bench float64 }
+
+// report prints every per-cell delta and returns the number of gated
+// regressions.
+func report(w io.Writer, base, cur *entry, baseDesc string, th thresholds) int {
+	fmt.Fprintf(w, "benchdiff: comparing against %s\n", baseDesc)
+	if base.Quick != cur.Quick {
+		fmt.Fprintf(w, "warning: comparing %s run against %s baseline; wall-clock deltas are meaningless\n",
+			mode(cur.Quick), mode(base.Quick))
+	}
+	regressions := 0
+	regressions += diffRMR(w, base.RMR, cur.RMR, th.rmr)
+	regressions += diffExplorer(w, base.Explorer, cur.Explorer, th.rmr)
+	regressions += diffNative(w, base.Native, cur.Native, th.native)
+	regressions += diffGoBench(w, base.GoBench, cur.GoBench, th.bench)
+	return regressions
+}
+
+// exceeds reports whether cur regressed past base by more than pct percent
+// (for "higher is worse" metrics).
+func exceeds(base, cur, pct float64) bool {
+	if cur <= base {
+		return false
+	}
+	return cur > base*(1+pct/100)
+}
+
+// delta formats a signed percent change, guarding zero baselines.
+func delta(base, cur float64) string {
+	if base == 0 {
+		if cur == 0 {
+			return "+0.0%"
+		}
+		return "new"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-base)/base*100)
+}
+
+// metric is one compared number within a cell.
+type metric struct {
+	name        string
+	base, cur   float64
+	higherWorse bool
+}
+
+// diffMetrics prints one cell's metric lines and counts gated regressions.
+// Cells whose metrics all match are kept quiet to keep the report legible.
+func diffMetrics(w io.Writer, cellName string, ms []metric, pct float64, gate bool) int {
+	changed := false
+	for _, m := range ms {
+		if m.base != m.cur {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return 0
+	}
+	regressions := 0
+	fmt.Fprintf(w, "  %s\n", cellName)
+	for _, m := range ms {
+		if m.base == m.cur {
+			continue
+		}
+		verdict := ""
+		if m.higherWorse && exceeds(m.base, m.cur, pct) {
+			if gate {
+				verdict = "  REGRESSION"
+				regressions++
+			} else {
+				verdict = "  worse (not gated)"
+			}
+		} else if m.higherWorse && m.cur < m.base {
+			verdict = "  improved"
+		}
+		fmt.Fprintf(w, "    %-24s %14.6g -> %-14.6g %s%s\n",
+			m.name, m.base, m.cur, delta(m.base, m.cur), verdict)
+	}
+	return regressions
+}
+
+func diffRMR(w io.Writer, base, cur []rmrCell, pct float64) int {
+	if len(base) == 0 || len(cur) == 0 {
+		return 0
+	}
+	fmt.Fprintln(w, "rmr matrix (deterministic, gated):")
+	bm := map[string]rmrCell{}
+	for _, c := range base {
+		bm[c.Lock+"/"+c.Model] = c
+	}
+	regressions := 0
+	matched := 0
+	for _, c := range sortedRMR(cur) {
+		key := c.Lock + "/" + c.Model
+		b, ok := bm[key]
+		if !ok {
+			fmt.Fprintf(w, "  %s: new cell (no baseline)\n", key)
+			continue
+		}
+		matched++
+		if b.Procs != c.Procs || b.Aborters != c.Aborters {
+			fmt.Fprintf(w, "  %s: workload changed (procs %d->%d, aborters %d->%d); not comparable\n",
+				key, b.Procs, c.Procs, b.Aborters, c.Aborters)
+			continue
+		}
+		ms := []metric{
+			{"passage_rmrs_max", float64(b.PassageMax), float64(c.PassageMax), true},
+			{"passage_rmrs_mean", b.PassageMean, c.PassageMean, true},
+			{"words", float64(b.Words), float64(c.Words), true},
+		}
+		if c.Aborters > 0 {
+			ms = append(ms,
+				metric{"storm_holder_rmrs", float64(b.HolderPassage), float64(c.HolderPassage), true},
+				metric{"storm_waiter_rmrs", float64(b.WaiterPassage), float64(c.WaiterPassage), true},
+				metric{"storm_aborted_rmrs_max", float64(b.AbortedMax), float64(c.AbortedMax), true},
+			)
+		}
+		regressions += diffMetrics(w, key, ms, pct, true)
+	}
+	fmt.Fprintf(w, "  %d cell(s) compared\n", matched)
+	return regressions
+}
+
+func sortedRMR(cells []rmrCell) []rmrCell {
+	out := append([]rmrCell(nil), cells...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lock != out[j].Lock {
+			return out[i].Lock < out[j].Lock
+		}
+		return out[i].Model < out[j].Model
+	})
+	return out
+}
+
+func diffExplorer(w io.Writer, base, cur []exploreCell, pct float64) int {
+	if len(base) == 0 || len(cur) == 0 {
+		return 0
+	}
+	fmt.Fprintln(w, "explorer (replay counts deterministic, gated; rates report-only):")
+	bm := map[string]exploreCell{}
+	for _, c := range base {
+		bm[fmt.Sprintf("%s/por=%v", c.Config, c.POR)] = c
+	}
+	regressions := 0
+	for _, c := range cur {
+		key := fmt.Sprintf("%s/por=%v", c.Config, c.POR)
+		b, ok := bm[key]
+		if !ok {
+			fmt.Fprintf(w, "  %s: new cell (no baseline)\n", key)
+			continue
+		}
+		if b.MaxSteps != c.MaxSteps {
+			fmt.Fprintf(w, "  %s: step bound changed (%d->%d); not comparable\n", key, b.MaxSteps, c.MaxSteps)
+			continue
+		}
+		if b.Exhausted != c.Exhausted {
+			fmt.Fprintf(w, "  %s: exhausted %v -> %v\n", key, b.Exhausted, c.Exhausted)
+			if !c.Exhausted {
+				regressions++
+			}
+		}
+		regressions += diffMetrics(w, key, []metric{
+			{"replays", float64(b.Replays), float64(c.Replays), true},
+			{"explored", float64(b.Explored), float64(c.Explored), true},
+			{"replays_per_sec", b.ReplaysPerSec, c.ReplaysPerSec, false},
+		}, pct, true)
+	}
+	return regressions
+}
+
+func diffNative(w io.Writer, base, cur []nativeCell, pct float64) int {
+	if len(base) == 0 || len(cur) == 0 {
+		return 0
+	}
+	gate := pct > 0
+	how := "report-only"
+	if gate {
+		how = fmt.Sprintf("gated at %.0f%%", pct)
+	}
+	fmt.Fprintf(w, "native matrix (wall-clock, %s):\n", how)
+	bm := map[string]nativeCell{}
+	for _, c := range base {
+		bm[fmt.Sprintf("%s/%s/g=%d", c.Lock, c.Impl, c.Goroutines)] = c
+	}
+	regressions := 0
+	for _, c := range cur {
+		key := fmt.Sprintf("%s/%s/g=%d", c.Lock, c.Impl, c.Goroutines)
+		b, ok := bm[key]
+		if !ok {
+			fmt.Fprintf(w, "  %s: new cell (no baseline)\n", key)
+			continue
+		}
+		// Throughput is "lower is worse": compare inverted so exceeds()
+		// sees a higher-worse metric.
+		ms := []metric{
+			{"p50_ns", float64(b.P50ns), float64(c.P50ns), true},
+			{"p95_ns", float64(b.P95ns), float64(c.P95ns), true},
+			{"p99_ns", float64(b.P99ns), float64(c.P99ns), true},
+		}
+		regressions += diffMetrics(w, key, ms, pct, gate)
+		if b.Throughput != c.Throughput {
+			worse := gate && b.Throughput > 0 && c.Throughput < b.Throughput*(1-pct/100)
+			verdict := ""
+			if worse {
+				verdict = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(w, "    %-24s %14.6g -> %-14.6g %s%s\n",
+				key+" ops/s", b.Throughput, c.Throughput, delta(b.Throughput, c.Throughput), verdict)
+		}
+	}
+	return regressions
+}
+
+func diffGoBench(w io.Writer, base, cur []goBench, pct float64) int {
+	if len(base) == 0 || len(cur) == 0 {
+		return 0
+	}
+	gate := pct > 0
+	how := "report-only"
+	if gate {
+		how = fmt.Sprintf("gated at %.0f%%", pct)
+	}
+	fmt.Fprintf(w, "go benchmarks (wall-clock, %s):\n", how)
+	bm := map[string]goBench{}
+	for _, b := range base {
+		bm[b.Name] = b
+	}
+	regressions := 0
+	for _, c := range cur {
+		b, ok := bm[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %s: new benchmark (no baseline)\n", c.Name)
+			continue
+		}
+		var ms []metric
+		for _, unit := range sortedKeys(c.Units) {
+			bv, ok := b.Units[unit]
+			if !ok {
+				continue
+			}
+			// Per-op costs (ns/op, B/op, allocs/op) are higher-is-worse;
+			// per-second rates (replays/s, ...) are the opposite and
+			// never gate.
+			ms = append(ms, metric{unit, bv, c.Units[unit], !strings.HasSuffix(unit, "/s")})
+		}
+		regressions += diffMetrics(w, c.Name, ms, pct, gate)
+	}
+	return regressions
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

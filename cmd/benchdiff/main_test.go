@@ -1,0 +1,264 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const rmrDoc = `{
+  "date": "2026-08-08T00:00:00Z",
+  "benchtime": "1x",
+  "locks": [
+    {"lock": "paper-oneshot", "model": "cc", "procs": 16,
+     "passage_rmrs_max": 9, "passage_rmrs_mean": 6.5, "words": 120,
+     "aborters": 6, "storm_holder_rmrs": 4, "storm_waiter_rmrs": 7,
+     "storm_aborted_rmrs_max": 5},
+    {"lock": "mcs", "model": "cc", "procs": 16,
+     "passage_rmrs_max": 4, "passage_rmrs_mean": 3.0, "words": 40}
+  ],
+  "explorer": [
+    {"config": "n=2", "n": 2, "w": 4, "aborters": 0, "maxsteps": 12,
+     "por": true, "explored": 500, "pruned": 200, "equivalent": 100,
+     "replays": 700, "seconds": 0.5, "replays_per_sec": 1400, "exhausted": true}
+  ],
+  "benchmarks": [
+    {"name": "BenchmarkMemOps/CC", "iterations": 1000, "ns/op": 55.0, "B/op": 0, "allocs/op": 0, "replays/s": 100}
+  ]
+}`
+
+const nativeDoc = `{
+  "schema": "nativebench/v1",
+  "quick": true,
+  "native": [
+    {"lock": "abortable", "impl": "native", "goroutines": 4, "procs": 4,
+     "ops": 256, "p50_ns": 300, "p95_ns": 900, "p99_ns": 2000,
+     "throughput_ops_per_s": 1.5e6}
+  ]
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func loadTestRun(t *testing.T) *entry {
+	t.Helper()
+	e, err := loadRun(writeTemp(t, "rmr.json", rmrDoc), writeTemp(t, "native.json", nativeDoc), "abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestLoadRunParsesBothReports(t *testing.T) {
+	e := loadTestRun(t)
+	if !e.Quick {
+		t.Error("benchtime 1x must mark the entry quick")
+	}
+	if e.Commit != "abc123" || e.Date != "2026-08-08T00:00:00Z" {
+		t.Errorf("stamps wrong: %+v", e)
+	}
+	if len(e.RMR) != 2 || e.RMR[0].PassageMax != 9 {
+		t.Errorf("rmr cells = %+v", e.RMR)
+	}
+	if len(e.Explorer) != 1 || e.Explorer[0].Replays != 700 {
+		t.Errorf("explorer cells = %+v", e.Explorer)
+	}
+	if len(e.Native) != 1 || e.Native[0].Throughput != 1.5e6 {
+		t.Errorf("native cells = %+v", e.Native)
+	}
+	if len(e.GoBench) != 1 || e.GoBench[0].Units["ns/op"] != 55 {
+		t.Errorf("gobench = %+v", e.GoBench)
+	}
+}
+
+func TestIdenticalRunsPass(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+		t.Fatalf("identical runs produced %d regressions:\n%s", n, buf.String())
+	}
+	if strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("report flags regressions on identical runs:\n%s", buf.String())
+	}
+}
+
+// TestInjectedRMRRegressionFails is the pipeline's negative test: a
+// synthetic +1 on a deterministic RMR cell must gate.
+func TestInjectedRMRRegressionFails(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.RMR[0].PassageMax++ // 9 -> 10
+	var buf bytes.Buffer
+	n := report(&buf, base, cur, "test", thresholds{})
+	if n != 1 {
+		t.Fatalf("injected RMR regression produced %d gated regressions, want 1\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("report does not flag the regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "paper-oneshot/cc") {
+		t.Errorf("report does not name the offending cell:\n%s", buf.String())
+	}
+}
+
+func TestRMRThresholdAllowsSlack(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.RMR[0].PassageMean *= 1.04 // +4%
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{rmr: 5}); n != 0 {
+		t.Fatalf("+4%% under a 5%% threshold gated (%d):\n%s", n, buf.String())
+	}
+	if n := report(&buf, base, cur, "test", thresholds{rmr: 2}); n != 1 {
+		t.Fatalf("+4%% under a 2%% threshold did not gate (%d)", n)
+	}
+}
+
+func TestImprovementIsReportedNotGated(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.RMR[0].PassageMax-- // improvement
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+		t.Fatalf("improvement gated as regression (%d)", n)
+	}
+	if !strings.Contains(buf.String(), "improved") {
+		t.Errorf("improvement not reported:\n%s", buf.String())
+	}
+}
+
+func TestExplorerReplayRegressionGates(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Explorer[0].Replays += 100
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 1 {
+		t.Fatalf("replay-count regression produced %d, want 1\n%s", n, buf.String())
+	}
+}
+
+func TestNativeReportOnlyByDefault(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Native[0].P99ns *= 10
+	cur.Native[0].Throughput /= 2
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+		t.Fatalf("wall-clock deltas gated with threshold 0 (%d)", n)
+	}
+	if !strings.Contains(buf.String(), "p99_ns") {
+		t.Errorf("p99 delta not reported:\n%s", buf.String())
+	}
+	// With a threshold set, both the latency and throughput cells gate.
+	if n := report(&buf, base, cur, "test", thresholds{native: 20}); n != 2 {
+		t.Fatalf("gated native run produced %d regressions, want 2", n)
+	}
+}
+
+func TestGoBenchRatesNeverGate(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.GoBench[0].Units["replays/s"] = 10 // collapsed rate: reported, never gated
+	cur.GoBench[0].Units["ns/op"] = 220    // 4x cost: gates under a threshold
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{bench: 50}); n != 1 {
+		t.Fatalf("want only the ns/op cell gated, got %d:\n%s", n, buf.String())
+	}
+}
+
+func TestWorkloadChangeIsNotComparable(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.RMR[0].Procs = 64
+	cur.RMR[0].PassageMax = 100 // would gate if compared
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+		t.Fatalf("workload change gated (%d)", n)
+	}
+	if !strings.Contains(buf.String(), "not comparable") {
+		t.Errorf("workload change not called out:\n%s", buf.String())
+	}
+}
+
+func TestHistoryAppendAndResolve(t *testing.T) {
+	hist := filepath.Join(t.TempDir(), "history.jsonl")
+	e1 := loadTestRun(t)
+	e1.Commit = "one"
+	e2 := loadTestRun(t)
+	e2.Commit = "two"
+	full := loadTestRun(t)
+	full.Quick = false
+	full.Commit = "full"
+	for _, e := range []*entry{e1, full, e2} {
+		if err := appendEntry(hist, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cur := loadTestRun(t)
+	base, desc, err := resolveBaseline("", hist, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil || base.Commit != "two" {
+		t.Fatalf("resolved %+v, want last quick entry (commit two)", base)
+	}
+	if !strings.Contains(desc, "two") {
+		t.Errorf("baseline description %q does not name the commit", desc)
+	}
+
+	cur.Quick = false
+	base, _, err = resolveBaseline("", hist, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == nil || base.Commit != "full" {
+		t.Fatalf("full run resolved %+v, want the full entry", base)
+	}
+
+	// Appending must not rewrite existing lines.
+	before, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := appendEntry(hist, e1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(after, before) {
+		t.Error("append rewrote existing history lines")
+	}
+}
+
+func TestResolveBaselineMissingHistory(t *testing.T) {
+	cur := loadTestRun(t)
+	base, desc, err := resolveBaseline("", filepath.Join(t.TempDir(), "none.jsonl"), cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != nil {
+		t.Fatalf("missing history resolved %+v", base)
+	}
+	if !strings.Contains(desc, "no history") {
+		t.Errorf("desc = %q", desc)
+	}
+}
+
+func TestWriteBaselineRoundTrips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench", "baseline.json")
+	e := loadTestRun(t)
+	if err := writeEntry(path, e); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := resolveBaseline(path, "", e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Commit != e.Commit || len(got.RMR) != len(e.RMR) || got.RMR[0].PassageMax != 9 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}

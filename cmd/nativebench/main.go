@@ -10,22 +10,37 @@
 // unparked by the handoff writes. Registry locks run on a free-running
 // rmr.Memory (DSM unless the lock is CC-only), so their numbers include
 // simulated-memory overhead; they are comparable to each other, while the
-// abortable and sync.Mutex rows are comparable to native code.
+// abortable, abortable-oneshot, and sync.Mutex rows are comparable to
+// native code.
+//
+// The native rows double as the observability demo (docs/OBSERVABILITY.md,
+// "Native path"): -obs attaches obs collectors to the native locks, -serve
+// exposes them (plus expvar and pprof) over HTTP while — and after — the
+// matrix runs, -metrics-out snapshots the Prometheus exposition to a file,
+// and -trace captures a runtime/trace with per-lock passage tasks.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	netpprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"runtime/trace"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"sublock/abortable"
+	"sublock/abortable/obs"
 	"sublock/locks"
 	_ "sublock/locks/all"
 	"sublock/rmr"
@@ -68,14 +83,43 @@ type cell struct {
 	Throughput float64 `json:"throughput_ops_per_s"`
 }
 
+// Native-path observability state (-obs and friends). Collectors are
+// created lazily, one per native lock name, and aggregate across every
+// cell that lock appears in; the bench loop is single-threaded, so the
+// map needs no lock (the registry behind the HTTP endpoint has its own).
+var (
+	obsEnabled bool
+	obsTrace   bool
+	collectors = map[string]*obs.Metrics{}
+)
+
+// collector returns the (registered) collector for a native lock name, or
+// nil when observability is off — the value SetObserver expects either way.
+func collector(name string) *obs.Metrics {
+	if !obsEnabled {
+		return nil
+	}
+	m, ok := collectors[name]
+	if !ok {
+		m = obs.New(name, obs.Config{Trace: obsTrace, ProfileLabels: true})
+		obs.MustRegister(m)
+		collectors[name] = m
+	}
+	return m
+}
+
 func main() {
 	var (
-		out     = flag.String("o", "", "write JSON here instead of stdout")
-		quick   = flag.Bool("quick", false, "small op budgets (CI-sized run)")
-		gcsFlag = flag.String("gcounts", "1,4,64,1024,16384", "comma-separated goroutine counts")
-		opsFlag = flag.Int("ops", 0, "target passages per cell (0 = default: 2048, quick 256)")
-		lksFlag = flag.String("locks", "", "comma-separated row filter (abortable, sync.Mutex, registry names); empty = all")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile here")
+		out        = flag.String("o", "", "write JSON here instead of stdout")
+		quick      = flag.Bool("quick", false, "small op budgets (CI-sized run)")
+		gcsFlag    = flag.String("gcounts", "1,4,64,1024,16384", "comma-separated goroutine counts")
+		opsFlag    = flag.Int("ops", 0, "target passages per cell (0 = default: 2048, quick 256)")
+		lksFlag    = flag.String("locks", "", "comma-separated row filter (abortable, abortable-oneshot, sync.Mutex, registry names); empty = all")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile here")
+		obsFlag    = flag.Bool("obs", false, "attach obs collectors to the native locks")
+		serveAddr  = flag.String("serve", "", "serve /metrics, /debug/vars, and /debug/pprof on this address (implies -obs; keeps serving after the run until interrupted)")
+		traceFile  = flag.String("trace", "", "capture a runtime/trace of the run here (implies -obs, with per-passage tasks)")
+		metricsOut = flag.String("metrics-out", "", "write the final Prometheus exposition here (implies -obs)")
 	)
 	flag.Parse()
 
@@ -87,6 +131,44 @@ func main() {
 		}
 		pprof.StartCPUProfile(f)
 		defer pprof.StopCPUProfile()
+	}
+
+	obsEnabled = *obsFlag || *serveAddr != "" || *traceFile != "" || *metricsOut != ""
+	obsTrace = *traceFile != ""
+
+	if *serveAddr != "" {
+		obs.PublishExpvar()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nativebench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "nativebench: serving metrics on http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, mux)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nativebench:", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nativebench: trace:", err)
+			os.Exit(1)
+		}
+		stopTrace = func() {
+			trace.Stop()
+			f.Close()
+			stopTrace = func() {}
+		}
+		defer func() { stopTrace() }()
 	}
 
 	want := func(string) bool { return true }
@@ -116,6 +198,9 @@ func main() {
 		if want("abortable") {
 			cells = append(cells, benchAbortable(g, ops))
 		}
+		if want("abortable-oneshot") {
+			cells = append(cells, benchOneShotNative(g, ops))
+		}
 		if want("sync.Mutex") {
 			cells = append(cells, benchStdlib(g, ops))
 		}
@@ -123,6 +208,24 @@ func main() {
 			if want(info.Name) {
 				cells = append(cells, benchRegistry(info, g, ops))
 			}
+		}
+	}
+	stopTrace()
+
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nativebench:", err)
+			os.Exit(1)
+		}
+		if err := obs.Default.WritePrometheus(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nativebench:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -139,13 +242,23 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "nativebench:", err)
 		os.Exit(1)
 	}
+
+	if *serveAddr != "" {
+		fmt.Fprintln(os.Stderr, "nativebench: matrix done; still serving (interrupt to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
 }
+
+// stopTrace ends the runtime/trace capture, once; replaced when -trace is
+// active so the trace closes before the post-run exports and the serve
+// linger, not at process exit.
+var stopTrace = func() {}
 
 func parseCounts(s string) ([]int, error) {
 	var out []int
@@ -295,6 +408,7 @@ func benchAbortable(g, ops int) cell {
 		n = poolCap
 	}
 	lk := abortable.New(abortable.Config{MaxHandles: n})
+	lk.SetObserver(collector("abortable"))
 	var held int64
 	cs := func() {
 		held++ // a data race here would mean mutual exclusion broke
@@ -322,6 +436,7 @@ func benchAbortable(g, ops int) cell {
 		if err != nil {
 			panic(err)
 		}
+		pool.SetObserver(collector("abortable-pool"))
 		passage = func(int) {
 			h := pool.Enter()
 			cs()
@@ -330,6 +445,37 @@ func benchAbortable(g, ops int) cell {
 	}
 	samples, wall := run(g, ops, passage)
 	return summarize("abortable", "native", g, n, samples, wall)
+}
+
+// benchOneShotNative measures the native OneShot: each round builds a
+// fresh instance sized to the participant count and times one passage per
+// handle, the same round structure as the registry one-shot rows. The
+// participant count is capped like the registry rows' — a fresh
+// 16384-slot instance per round would benchmark the allocator.
+func benchOneShotNative(g, ops int) cell {
+	procs := g
+	if procs > rmrProcCap {
+		procs = rmrProcCap
+	}
+	build := func() []func() {
+		l := abortable.NewOneShot(procs)
+		l.SetObserver(collector("abortable-oneshot"))
+		passages := make([]func(), procs)
+		for i := range passages {
+			h, err := l.NewHandle()
+			if err != nil {
+				panic(err)
+			}
+			passages[i] = func() {
+				if h.Enter() {
+					h.Exit()
+				}
+			}
+		}
+		return passages
+	}
+	samples, wall := runOneShot(g, ops, build)
+	return summarize("abortable-oneshot", "native", g, procs, samples, wall)
 }
 
 func benchStdlib(g, ops int) cell {

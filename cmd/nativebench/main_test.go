@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
+	"sublock/abortable/obs"
+	"sublock/internal/promtext"
 	"sublock/locks"
 	_ "sublock/locks/all"
 )
@@ -53,9 +56,51 @@ func TestCellsSmoke(t *testing.T) {
 		}
 	}
 	check(benchAbortable(g, ops))
+	check(benchOneShotNative(g, ops))
 	check(benchStdlib(g, ops))
 	for _, info := range locks.Infos() {
 		check(benchRegistry(info, g, ops))
+	}
+}
+
+// TestObservedCells runs the native rows with collectors attached and
+// checks the passages landed in the obs registry — the -obs path CI's
+// metrics smoke test scrapes.
+func TestObservedCells(t *testing.T) {
+	obsEnabled = true
+	defer func() {
+		obsEnabled = false
+		for name := range collectors {
+			obs.Default.Unregister(name)
+			delete(collectors, name)
+		}
+	}()
+
+	const g, ops = 3, 8
+	benchAbortable(g, ops)
+	benchOneShotNative(g, ops)
+
+	for _, name := range []string{"abortable", "abortable-oneshot"} {
+		m, ok := collectors[name]
+		if !ok {
+			t.Fatalf("no collector for %s", name)
+		}
+		if got := m.Snapshot().Acquires; got < ops {
+			t.Errorf("%s: %d acquires recorded, want >= %d", name, got, ops)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range promtext.Lint(bytes.NewReader(buf.Bytes())) {
+		t.Errorf("lint: %v", err)
+	}
+	for _, want := range []string{`lock="abortable"`, `lock="abortable-oneshot"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %s series", want)
+		}
 	}
 }
 

@@ -1,0 +1,69 @@
+// promlint validates Prometheus text-exposition documents with the shared
+// internal/promtext linter — the same checks the exporter tests run,
+// packaged for pipelines: CI scrapes an endpoint and pipes the body here.
+//
+// Usage:
+//
+//	promlint [file ...]        # lint files ("-" or none = stdin)
+//	promlint -url http://localhost:6060/metrics
+//
+// Exit status: 0 when every input is clean, 1 on lint findings, 2 on I/O
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"sublock/internal/promtext"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape and lint this URL instead of files")
+	flag.Parse()
+
+	findings := 0
+	lint := func(name string, r io.Reader) {
+		for _, err := range promtext.Lint(r) {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			findings++
+		}
+	}
+
+	if *url != "" {
+		resp, err := http.Get(*url)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "promlint:", err)
+			os.Exit(2)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %s\n", *url, resp.Status)
+			os.Exit(2)
+		}
+		lint(*url, resp.Body)
+	} else if flag.NArg() == 0 {
+		lint("stdin", os.Stdin)
+	} else {
+		for _, path := range flag.Args() {
+			if path == "-" {
+				lint("stdin", os.Stdin)
+				continue
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "promlint:", err)
+				os.Exit(2)
+			}
+			lint(path, f)
+			f.Close()
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,280 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a text exposition document: metric and label name syntax,
+// known TYPE values, HELP/TYPE headers preceding their samples, samples of
+// one family staying contiguous, and histogram conventions (le-labeled
+// cumulative non-decreasing _bucket series ending at +Inf, with matching
+// _sum and _count). It returns every problem found, or nil.
+//
+// This is the check CI runs against both the simulator exporter output and
+// a live scrape of the native metrics endpoint.
+func Lint(r io.Reader) []error {
+	var errs []error
+	fail := func(line int, format string, args ...any) {
+		errs = append(errs, fmt.Errorf("line %d: %s", line, fmt.Sprintf(format, args...)))
+	}
+
+	types := map[string]string{}    // family → TYPE
+	sealed := map[string]bool{}     // family whose sample block has ended
+	sampled := map[string]bool{}    // family that has emitted at least one sample
+	hist := map[string]*histCheck{} // family (TYPE histogram) → bucket state
+	current := ""                   // family of the open sample block
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.SplitN(line, " ", 4)
+			if len(f) < 3 || (f[1] != "HELP" && f[1] != "TYPE") {
+				continue // free-form comment
+			}
+			name := f[2]
+			if !nameRe.MatchString(name) {
+				fail(n, "invalid metric name %q in %s comment", name, f[1])
+				continue
+			}
+			if f[1] == "TYPE" {
+				if len(f) != 4 || !knownTypes[f[3]] {
+					fail(n, "unknown TYPE for %s", name)
+					continue
+				}
+				if _, dup := types[name]; dup {
+					fail(n, "duplicate TYPE for %s", name)
+				}
+				if sampled[name] {
+					fail(n, "TYPE for %s after its samples", name)
+				}
+				types[name] = f[3]
+				if f[3] == "histogram" {
+					hist[name] = &histCheck{series: map[string]*seriesCheck{}}
+				}
+			}
+			continue
+		}
+		name, labels, value, ok := parseSample(line)
+		if !ok {
+			fail(n, "unparseable sample %q", line)
+			continue
+		}
+		if !nameRe.MatchString(name) {
+			fail(n, "invalid metric name %q", name)
+		}
+		for _, l := range labels {
+			if !labelRe.MatchString(l.Name) {
+				fail(n, "invalid label name %q on %s", l.Name, name)
+			}
+		}
+		fam := family(name, types)
+		sampled[fam] = true
+		if fam != current {
+			if sealed[fam] {
+				fail(n, "samples of %s are not contiguous", fam)
+			}
+			if current != "" {
+				sealed[current] = true
+			}
+			current = fam
+		}
+		if h, isHist := hist[fam]; isHist {
+			h.sample(name, fam, labels, value, n, fail)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for fam, h := range hist {
+		h.finish(fam, &errs)
+	}
+	return errs
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+var knownTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// family maps a sample name to its metric family: histogram (and summary)
+// series drop the _bucket/_sum/_count suffix when the base name has a TYPE.
+func family(name string, types map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// parseSample splits `name{a="b",...} value [timestamp]`. It tolerates
+// escaped quotes and backslashes inside label values.
+func parseSample(line string) (name string, labels []Label, value float64, ok bool) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", nil, 0, false
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		rest = rest[1:]
+		for !strings.HasPrefix(rest, "}") {
+			eq := strings.Index(rest, "=")
+			if eq < 0 || len(rest) < eq+2 || rest[eq+1] != '"' {
+				return "", nil, 0, false
+			}
+			ln := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					return "", nil, 0, false
+				}
+				c := rest[0]
+				if c == '\\' && len(rest) >= 2 {
+					val.WriteByte(rest[1])
+					rest = rest[2:]
+					continue
+				}
+				rest = rest[1:]
+				if c == '"' {
+					break
+				}
+				val.WriteByte(c)
+			}
+			labels = append(labels, Label{ln, val.String()})
+			rest = strings.TrimPrefix(rest, ",")
+		}
+		rest = rest[1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, false
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, false
+	}
+	return name, labels, v, true
+}
+
+// histCheck accumulates one histogram family's consistency state, one
+// seriesCheck per distinct non-le label set (a family can carry several
+// series, e.g. one per lock).
+type histCheck struct {
+	series map[string]*seriesCheck
+}
+
+type seriesCheck struct {
+	last     float64 // previous cumulative value (monotonicity)
+	lastLE   float64 // previous le bound
+	sawInf   bool
+	infCum   float64
+	sum, cnt *float64
+	started  bool
+}
+
+// signature keys a series by its labels minus le.
+func signature(labels []Label) string {
+	var sb strings.Builder
+	for _, l := range labels {
+		if l.Name == "le" {
+			continue
+		}
+		sb.WriteString(l.Name)
+		sb.WriteByte('=')
+		sb.WriteString(l.Value)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+func (h *histCheck) at(labels []Label) *seriesCheck {
+	sig := signature(labels)
+	s := h.series[sig]
+	if s == nil {
+		s = &seriesCheck{}
+		h.series[sig] = s
+	}
+	return s
+}
+
+func (h *histCheck) sample(name, fam string, labels []Label, value float64, n int, fail func(int, string, ...any)) {
+	s := h.at(labels)
+	switch name {
+	case fam + "_bucket":
+		le := ""
+		for _, l := range labels {
+			if l.Name == "le" {
+				le = l.Value
+			}
+		}
+		if le == "" {
+			fail(n, "%s_bucket sample without le label", fam)
+			return
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			var err error
+			bound, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				fail(n, "%s_bucket has unparseable le=%q", fam, le)
+				return
+			}
+		}
+		if s.started {
+			if bound <= s.lastLE {
+				fail(n, "%s buckets out of order (le=%q)", fam, le)
+			}
+			if value < s.last {
+				fail(n, "%s cumulative bucket counts decrease at le=%q", fam, le)
+			}
+		}
+		s.started, s.last, s.lastLE = true, value, bound
+		if le == "+Inf" {
+			s.sawInf, s.infCum = true, value
+		}
+	case fam + "_sum":
+		v := value
+		s.sum = &v
+	case fam + "_count":
+		v := value
+		s.cnt = &v
+	}
+}
+
+func (h *histCheck) finish(fam string, errs *[]error) {
+	for _, s := range h.series {
+		if !s.started && s.sum == nil && s.cnt == nil {
+			continue // declared but never sampled: all-zero families may be omitted
+		}
+		if !s.sawInf {
+			*errs = append(*errs, fmt.Errorf("histogram %s has no +Inf bucket", fam))
+		}
+		if s.sum == nil || s.cnt == nil {
+			*errs = append(*errs, fmt.Errorf("histogram %s is missing _sum or _count", fam))
+			continue
+		}
+		if s.sawInf && *s.cnt != s.infCum {
+			*errs = append(*errs, fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", fam, *s.cnt, s.infCum))
+		}
+	}
+}

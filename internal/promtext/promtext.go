@@ -1,0 +1,106 @@
+// Package promtext writes and lints the Prometheus text exposition format
+// (version 0.0.4). It is the single formatting seam shared by the
+// simulator-side exporter (rmr.Snapshot.WritePrometheus) and the native
+// lock metrics endpoint (abortable/obs), so the two cannot drift: one
+// escaping rule, one sample syntax, one linter that CI runs against both.
+//
+// The writer is deliberately tiny — metric header, sample, histogram —
+// and folds write errors in the errWriter style so exporters stay linear.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Writer emits exposition text. Create with NewWriter; check Err once at
+// the end — after the first failed write every later call is a no-op.
+type Writer struct {
+	w   io.Writer
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Err returns the first write error, if any.
+func (p *Writer) Err() error { return p.err }
+
+func (p *Writer) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// Metric writes the # HELP and # TYPE header for a metric family. typ is
+// one of "counter", "gauge", "histogram", "summary", "untyped".
+func (p *Writer) Metric(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, EscapeHelp(help), name, typ)
+}
+
+// Sample writes one integer sample line: name{labels} value.
+func (p *Writer) Sample(name string, labels []Label, value int64) {
+	p.printf("%s%s %d\n", name, formatLabels(labels), value)
+}
+
+// SampleFloat writes one floating-point sample line.
+func (p *Writer) SampleFloat(name string, labels []Label, value float64) {
+	p.printf("%s%s %s\n", name, formatLabels(labels), strconv.FormatFloat(value, 'g', -1, 64))
+}
+
+// Bucket is one cumulative histogram bucket: the upper bound rendered as
+// its le label value ("255" or "+Inf") and the cumulative count.
+type Bucket struct {
+	LE  string
+	Cum int64
+}
+
+// Histogram writes a full conventional histogram family: the _bucket
+// series (which must end with the +Inf bucket), then _sum and _count
+// (count is the +Inf bucket's cumulative value). labels are attached to
+// every line, with le appended on the buckets.
+func (p *Writer) Histogram(name string, labels []Label, buckets []Bucket, sum int64) {
+	var count int64
+	for _, b := range buckets {
+		bl := append(append([]Label{}, labels...), Label{"le", b.LE})
+		p.Sample(name+"_bucket", bl, b.Cum)
+		count = b.Cum
+	}
+	p.Sample(name+"_sum", labels, sum)
+	p.Sample(name+"_count", labels, count)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(EscapeValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var valueEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// EscapeValue escapes a label value for inclusion in double quotes.
+func EscapeValue(v string) string { return valueEscaper.Replace(v) }
+
+// EscapeHelp escapes HELP text (backslash and newline only, per the spec).
+func EscapeHelp(v string) string { return helpEscaper.Replace(v) }

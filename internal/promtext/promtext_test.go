@@ -1,0 +1,126 @@
+package promtext
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewWriter(&buf)
+	p.Metric("x_total", "An example counter.", "counter")
+	p.Sample("x_total", []Label{{"kind", "a"}, {"q", `he said "hi"` + "\n"}}, 3)
+	p.SampleFloat("x_total", nil, 1.5)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "# HELP x_total An example counter.\n" +
+		"# TYPE x_total counter\n" +
+		`x_total{kind="a",q="he said \"hi\"\n"} 3` + "\n" +
+		"x_total 1.5\n"
+	if got != want {
+		t.Errorf("writer output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+func TestWriterHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewWriter(&buf)
+	p.Metric("lat_ns", "Latency.", "histogram")
+	p.Histogram("lat_ns", []Label{{"lock", "l"}}, []Bucket{
+		{"255", 2}, {"511", 5}, {"+Inf", 7},
+	}, 1234)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`lat_ns_bucket{lock="l",le="255"} 2`,
+		`lat_ns_bucket{lock="l",le="+Inf"} 7`,
+		`lat_ns_sum{lock="l"} 1234`,
+		`lat_ns_count{lock="l"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram output missing %q:\n%s", want, out)
+		}
+	}
+	if errs := Lint(strings.NewReader(out)); errs != nil {
+		t.Errorf("lint rejects writer histogram output: %v", errs)
+	}
+}
+
+func TestLintAcceptsWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewWriter(&buf)
+	p.Metric("a_total", "A.", "counter")
+	p.Sample("a_total", []Label{{"x", "1"}}, 1)
+	p.Sample("a_total", []Label{{"x", "2"}}, 2)
+	p.Metric("h_ns", "H.", "histogram")
+	p.Histogram("h_ns", []Label{{"lock", "a"}}, []Bucket{{"1", 1}, {"+Inf", 4}}, 9)
+	p.Histogram("h_ns", []Label{{"lock", "b"}}, []Bucket{{"1", 0}, {"+Inf", 2}}, 3)
+	if errs := Lint(bytes.NewReader(buf.Bytes())); errs != nil {
+		t.Fatalf("lint errors on clean document: %v", errs)
+	}
+}
+
+func TestLintCatches(t *testing.T) {
+	cases := []struct {
+		name, doc, wantSub string
+	}{
+		{"bad metric name", "2bad 1\n", "invalid metric name"},
+		{"bad name in TYPE", "# TYPE 2bad counter\n", "invalid metric name"},
+		{"unknown type", "# TYPE x sometype\n", "unknown TYPE"},
+		{"duplicate type", "# TYPE x counter\n# TYPE x counter\n", "duplicate TYPE"},
+		{"type after samples", "x 1\n# TYPE x counter\n", "after its samples"},
+		{"interleaved families", "a 1\nb 1\na 2\n", "not contiguous"},
+		{"bad label name", `x{2bad="v"} 1` + "\n", "invalid label name"},
+		{
+			"decreasing buckets",
+			"# TYPE h histogram\n" +
+				`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="+Inf"} 3` + "\n" +
+				"h_sum 0\nh_count 3\n",
+			"decrease",
+		},
+		{
+			"missing inf",
+			"# TYPE h histogram\n" + `h_bucket{le="1"} 5` + "\n" + "h_sum 0\nh_count 5\n",
+			"no +Inf bucket",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 5` + "\n" + "h_sum 0\nh_count 4\n",
+			"_count",
+		},
+		{
+			"missing sum",
+			"# TYPE h histogram\n" + `h_bucket{le="+Inf"} 5` + "\n" + "h_count 5\n",
+			"missing _sum",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			errs := Lint(strings.NewReader(c.doc))
+			found := false
+			for _, e := range errs {
+				if strings.Contains(e.Error(), c.wantSub) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("lint missed %q; got %v", c.wantSub, errs)
+			}
+		})
+	}
+}
+
+func TestLintSampleParsing(t *testing.T) {
+	name, labels, v, ok := parseSample(`m{a="x\"y",b="z"} 42 1700000000`)
+	if !ok || name != "m" || v != 42 {
+		t.Fatalf("parseSample = %q %v %v %v", name, labels, v, ok)
+	}
+	if len(labels) != 2 || labels[0].Value != `x"y` || labels[1].Value != "z" {
+		t.Fatalf("labels = %v", labels)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"sublock/internal/promtext"
 )
 
 // --- misuse hardening -------------------------------------------------------
@@ -325,6 +327,10 @@ func TestSnapshotWritePrometheus(t *testing.T) {
 	}
 	if buf.String() != buf2.String() {
 		t.Error("prometheus output not deterministic")
+	}
+	// The shared exposition linter must accept the exporter's own output.
+	if errs := promtext.Lint(bytes.NewReader(buf.Bytes())); errs != nil {
+		t.Errorf("promtext.Lint rejects WritePrometheus output: %v", errs)
 	}
 }
 

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"sublock/internal/promtext"
 )
 
 // numPassageBuckets sizes the passage-cost histogram: bucket 0 counts
@@ -333,20 +335,27 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format (version 0.0.4): rmr_ops_total, rmr_remote_total,
+// format (version 0.0.4, via the shared internal/promtext writer also used
+// by the native abortable/obs endpoint): rmr_ops_total, rmr_remote_total,
 // rmr_cache_hits_total, rmr_invalidations_total (each by proc, phase,
 // label, and — for ops — kind), rmr_passages_total by result, and the
 // rmr_passage_cost_rmrs histogram. All-zero series are omitted and series
 // order is deterministic.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
-	tw := &errWriter{w: w}
-	tw.printf("# HELP rmr_ops_total Shared-memory operations by process, phase, label, and kind.\n")
-	tw.printf("# TYPE rmr_ops_total counter\n")
+	pw := promtext.NewWriter(w)
+	cellLabels := func(p int, ph Phase, l int32) []promtext.Label {
+		return []promtext.Label{
+			{Name: "proc", Value: fmt.Sprintf("%d", p)},
+			{Name: "phase", Value: ph.String()},
+			{Name: "label", Value: labelDisplay(s.Labels[l])},
+		}
+	}
+	pw.Metric("rmr_ops_total", "Shared-memory operations by process, phase, label, and kind.", "counter")
 	s.eachCell(func(p int, ph Phase, l int32, c Cell) {
 		for k, n := range c.Ops {
 			if n != 0 {
-				tw.printf("rmr_ops_total{proc=\"%d\",phase=\"%v\",label=\"%s\",op=\"%s\"} %d\n",
-					p, ph, promEscape(labelDisplay(s.Labels[l])), opNames[k], n)
+				pw.Sample("rmr_ops_total",
+					append(cellLabels(p, ph, l), promtext.Label{Name: "op", Value: opNames[k]}), n)
 			}
 		}
 	})
@@ -358,28 +367,27 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 		{"rmr_cache_hits_total", "Accesses satisfied locally (CC: valid cached copy; DSM: local word).", func(c Cell) int64 { return c.Hits }},
 		{"rmr_invalidations_total", "Cached copies invalidated by updates (CC only).", func(c Cell) int64 { return c.Invals }},
 	} {
-		tw.printf("# HELP %s %s\n# TYPE %s counter\n", mf.name, mf.help, mf.name)
+		pw.Metric(mf.name, mf.help, "counter")
 		s.eachCell(func(p int, ph Phase, l int32, c Cell) {
 			if n := mf.get(c); n != 0 {
-				tw.printf("%s{proc=\"%d\",phase=\"%v\",label=\"%s\"} %d\n",
-					mf.name, p, ph, promEscape(labelDisplay(s.Labels[l])), n)
+				pw.Sample(mf.name, cellLabels(p, ph, l), n)
 			}
 		})
 	}
-	tw.printf("# HELP rmr_passages_total Finished lock passages by result.\n# TYPE rmr_passages_total counter\n")
-	tw.printf("rmr_passages_total{result=\"completed\"} %d\n", s.Passages)
-	tw.printf("rmr_passages_total{result=\"aborted\"} %d\n", s.AbortedPassages)
-	tw.printf("# HELP rmr_passage_cost_rmrs RMRs incurred per finished passage.\n# TYPE rmr_passage_cost_rmrs histogram\n")
+	pw.Metric("rmr_passages_total", "Finished lock passages by result.", "counter")
+	pw.Sample("rmr_passages_total", []promtext.Label{{Name: "result", Value: "completed"}}, s.Passages)
+	pw.Sample("rmr_passages_total", []promtext.Label{{Name: "result", Value: "aborted"}}, s.AbortedPassages)
+	pw.Metric("rmr_passage_cost_rmrs", "RMRs incurred per finished passage.", "histogram")
+	buckets := make([]promtext.Bucket, 0, numPassageBuckets)
 	var cum int64
 	for b := 0; b < numPassageBuckets-1; b++ {
 		cum += s.PassageHist[b]
-		tw.printf("rmr_passage_cost_rmrs_bucket{le=\"%d\"} %d\n", int64(1)<<b-1, cum)
+		buckets = append(buckets, promtext.Bucket{LE: fmt.Sprintf("%d", int64(1)<<b-1), Cum: cum})
 	}
 	cum += s.PassageHist[numPassageBuckets-1]
-	tw.printf("rmr_passage_cost_rmrs_bucket{le=\"+Inf\"} %d\n", cum)
-	tw.printf("rmr_passage_cost_rmrs_sum %d\n", s.PassageRMRSum)
-	tw.printf("rmr_passage_cost_rmrs_count %d\n", cum)
-	return tw.err
+	buckets = append(buckets, promtext.Bucket{LE: "+Inf", Cum: cum})
+	pw.Histogram("rmr_passage_cost_rmrs", nil, buckets, s.PassageRMRSum)
+	return pw.Err()
 }
 
 // eachCell visits the non-zero cells in deterministic (proc, phase, label)
@@ -401,11 +409,6 @@ func (s *Snapshot) eachCell(fn func(p int, ph Phase, l int32, c Cell)) {
 			}
 		}
 	}
-}
-
-func promEscape(v string) string {
-	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
-	return r.Replace(v)
 }
 
 // errWriter folds fmt errors so report writers can stay linear.

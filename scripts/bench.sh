@@ -3,6 +3,15 @@
 #
 # Usage:  scripts/bench.sh [rmr-output.json] [native-output.json]
 #
+# After the reports are written, the benchmark-regression pipeline runs:
+# cmd/benchdiff compares them against the committed quick baseline
+# (bench/baseline.json, quick runs only) or the last matching entry of the
+# append-only run log bench/history.jsonl, writes the per-cell delta report
+# to BENCH_delta.txt, and appends this run to the log. Deterministic
+# simulator cells gate exactly; wall-clock cells are report-only. A gated
+# regression fails the script only when BENCHDIFF_GATE=1 (CI's obs job);
+# interactive runs just get the report.
+#
 # BENCH_rmr.json: runs BenchmarkMemOps (operation-path throughput, CC and
 # DSM) and BenchmarkExplorerThroughput (bounded-exhaustive replays/s at
 # worker counts 1/2/4/8, with partial-order reduction off and on over the
@@ -121,3 +130,26 @@ validate_json "$native_out"
 
 echo "wrote $out"
 echo "wrote $native_out"
+
+# Benchmark-regression pipeline (see cmd/benchdiff). The committed baseline
+# is a quick run, so it only anchors quick runs; full runs diff against the
+# last full entry in the history log.
+diff_args=(-rmr "$out" -native "$native_out" -history bench/history.jsonl -append)
+if commit="$(git rev-parse --short HEAD 2>/dev/null)"; then
+	diff_args+=(-commit "$commit")
+fi
+if [ "$benchtime" = "1x" ] && [ -f bench/baseline.json ]; then
+	diff_args+=(-baseline bench/baseline.json)
+fi
+diff_status=0
+go run ./cmd/benchdiff "${diff_args[@]}" -o BENCH_delta.txt || diff_status=$?
+cat BENCH_delta.txt
+if [ "$diff_status" -ge 2 ]; then
+	echo "bench.sh: benchdiff failed (status $diff_status)" >&2
+	exit "$diff_status"
+fi
+if [ "$diff_status" -eq 1 ] && [ "${BENCHDIFF_GATE:-0}" = "1" ]; then
+	echo "bench.sh: benchdiff gated a regression (BENCHDIFF_GATE=1)" >&2
+	exit 1
+fi
+echo "wrote BENCH_delta.txt"
