@@ -5,11 +5,19 @@
 //
 // Two kinds of cells get different treatment:
 //
-//   - Deterministic simulator cells — the per-lock × per-model RMR matrix
-//     and the explorer's replay counts — are identical across machines, so
-//     they gate exactly by default (-rmr-threshold 0): any increase in a
-//     "higher is worse" metric fails the run. An intentional algorithm
-//     change updates the committed baseline in the same PR.
+//   - Deterministic simulator cells — the per-lock × per-model RMR matrix,
+//     the simulated-latency matrix (per lock × memory model × cost model,
+//     seeded), and the explorer's replay counts — are identical across
+//     machines, so they gate exactly by default (-rmr-threshold 0): any
+//     increase in a "higher is worse" metric fails the run. An intentional
+//     algorithm change updates the committed baseline in the same PR.
+//
+// Cells present in only one run are classified rather than silently
+// skipped: a cell only in the current run is "added" (no baseline — not
+// comparable, never gated), a cell only in the baseline is "removed", and
+// an added/removed pair with an identical metric fingerprint is folded
+// into a single "renamed" line so a re-keyed lock or benchmark is not
+// misread as one regression plus one improvement.
 //
 //   - Wall-clock cells — native throughput/latency and the Go benchmark
 //     ns/op lines — are machine- and load-dependent, so they are
@@ -50,6 +58,26 @@ type rmrCell struct {
 	HolderPassage int64   `json:"storm_holder_rmrs,omitempty"`
 	WaiterPassage int64   `json:"storm_waiter_rmrs,omitempty"`
 	AbortedMax    int64   `json:"storm_aborted_rmrs_max,omitempty"`
+}
+
+// latencyCell is one deterministic (lock, memory model, cost model) cell of
+// the simulated-latency matrix, mirroring rmrbench's latencyEntry. All
+// fields are seeded-deterministic, so the cells gate exactly like the RMR
+// matrix — but only between runs with the same workload and cost seed.
+type latencyCell struct {
+	Lock          string `json:"lock"`
+	Model         string `json:"model"`
+	Cost          string `json:"cost"`
+	CostSeed      int64  `json:"cost_seed"`
+	Procs         int    `json:"procs"`
+	QueueP50      int64  `json:"queue_sim_p50_ns"`
+	QueueP95      int64  `json:"queue_sim_p95_ns"`
+	QueueP99      int64  `json:"queue_sim_p99_ns"`
+	QueueMax      int64  `json:"queue_sim_max_ns"`
+	Aborters      int    `json:"aborters,omitempty"`
+	HolderSim     int64  `json:"storm_holder_sim_ns,omitempty"`
+	WaiterSim     int64  `json:"storm_waiter_sim_ns,omitempty"`
+	AbortedSimMax int64  `json:"storm_aborted_sim_max_ns,omitempty"`
 }
 
 // exploreCell is one exhaustive-exploration record, mirroring rmrbench's
@@ -95,6 +123,7 @@ type entry struct {
 	Quick     bool          `json:"quick"`
 	Benchtime string        `json:"benchtime,omitempty"`
 	RMR       []rmrCell     `json:"rmr,omitempty"`
+	Latency   []latencyCell `json:"latency,omitempty"`
 	Explorer  []exploreCell `json:"explorer,omitempty"`
 	Native    []nativeCell  `json:"native,omitempty"`
 	GoBench   []goBench     `json:"gobench,omitempty"`
@@ -185,6 +214,7 @@ func loadRun(rmrPath, nativePath, commit string) (*entry, error) {
 			Date       string           `json:"date"`
 			Benchtime  string           `json:"benchtime"`
 			Locks      []rmrCell        `json:"locks"`
+			Latency    []latencyCell    `json:"latency"`
 			Explorer   []exploreCell    `json:"explorer"`
 			Benchmarks []map[string]any `json:"benchmarks"`
 		}
@@ -194,6 +224,7 @@ func loadRun(rmrPath, nativePath, commit string) (*entry, error) {
 		e.Date = doc.Date
 		e.Benchtime = doc.Benchtime
 		e.RMR = doc.Locks
+		e.Latency = doc.Latency
 		e.Explorer = doc.Explorer
 		e.GoBench = normalizeGoBench(doc.Benchmarks)
 		if doc.Benchtime == "1x" {
@@ -359,6 +390,7 @@ func report(w io.Writer, base, cur *entry, baseDesc string, th thresholds) int {
 	}
 	regressions := 0
 	regressions += diffRMR(w, base.RMR, cur.RMR, th.rmr)
+	regressions += diffLatency(w, base.Latency, cur.Latency, th.rmr)
 	regressions += diffExplorer(w, base.Explorer, cur.Explorer, th.rmr)
 	regressions += diffNative(w, base.Native, cur.Native, th.native)
 	regressions += diffGoBench(w, base.GoBench, cur.GoBench, th.bench)
@@ -428,6 +460,58 @@ func diffMetrics(w io.Writer, cellName string, ms []metric, pct float64, gate bo
 	return regressions
 }
 
+// classifyCells explains key-set differences within one cell family: a key
+// only in the current run is "added" (no baseline — not comparable, never
+// gated), a key only in the baseline is "removed", and an added/removed
+// pair whose metric fingerprints are identical collapses into one
+// "renamed" line. added and removed map each key to its fingerprint; the
+// output order is deterministic (sorted keys, greedy first-match pairing).
+func classifyCells(w io.Writer, added, removed map[string]string) {
+	renamedTo := map[string]string{}
+	taken := map[string]bool{}
+	for _, rk := range sortedStringKeys(removed) {
+		for _, ak := range sortedStringKeys(added) {
+			if taken[ak] || removed[rk] != added[ak] {
+				continue
+			}
+			renamedTo[rk] = ak
+			taken[ak] = true
+			break
+		}
+	}
+	for _, rk := range sortedStringKeys(removed) {
+		if ak, ok := renamedTo[rk]; ok {
+			fmt.Fprintf(w, "  %s -> %s: renamed (identical metrics); update the baseline to re-key the cell\n", rk, ak)
+		}
+	}
+	for _, ak := range sortedStringKeys(added) {
+		if !taken[ak] {
+			fmt.Fprintf(w, "  %s: added (no baseline; not comparable)\n", ak)
+		}
+	}
+	for _, rk := range sortedStringKeys(removed) {
+		if _, ok := renamedTo[rk]; !ok {
+			fmt.Fprintf(w, "  %s: removed (present in baseline only)\n", rk)
+		}
+	}
+}
+
+func sortedStringKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rmrFingerprint is an rmrCell's metric signature with the lock name
+// blanked, so a renamed lock's cells still match their old selves.
+func rmrFingerprint(c rmrCell) string {
+	c.Lock = ""
+	return fmt.Sprintf("%+v", c)
+}
+
 func diffRMR(w io.Writer, base, cur []rmrCell, pct float64) int {
 	if len(base) == 0 || len(cur) == 0 {
 		return 0
@@ -439,13 +523,16 @@ func diffRMR(w io.Writer, base, cur []rmrCell, pct float64) int {
 	}
 	regressions := 0
 	matched := 0
+	added := map[string]string{}
+	seen := map[string]bool{}
 	for _, c := range sortedRMR(cur) {
 		key := c.Lock + "/" + c.Model
 		b, ok := bm[key]
 		if !ok {
-			fmt.Fprintf(w, "  %s: new cell (no baseline)\n", key)
+			added[key] = rmrFingerprint(c)
 			continue
 		}
+		seen[key] = true
 		matched++
 		if b.Procs != c.Procs || b.Aborters != c.Aborters {
 			fmt.Fprintf(w, "  %s: workload changed (procs %d->%d, aborters %d->%d); not comparable\n",
@@ -466,6 +553,87 @@ func diffRMR(w io.Writer, base, cur []rmrCell, pct float64) int {
 		}
 		regressions += diffMetrics(w, key, ms, pct, true)
 	}
+	removed := map[string]string{}
+	for key, b := range bm {
+		if !seen[key] {
+			removed[key] = rmrFingerprint(b)
+		}
+	}
+	classifyCells(w, added, removed)
+	fmt.Fprintf(w, "  %d cell(s) compared\n", matched)
+	return regressions
+}
+
+// latencyFingerprint blanks the lock name of a latencyCell's signature,
+// mirroring rmrFingerprint.
+func latencyFingerprint(c latencyCell) string {
+	c.Lock = ""
+	return fmt.Sprintf("%+v", c)
+}
+
+// diffLatency gates the simulated-latency matrix exactly like the RMR
+// matrix: the cells are seeded-deterministic, so any increase past the rmr
+// threshold fails. A cell whose workload or cost seed changed is reported
+// as not comparable instead of diffed.
+func diffLatency(w io.Writer, base, cur []latencyCell, pct float64) int {
+	if len(base) == 0 || len(cur) == 0 {
+		return 0
+	}
+	fmt.Fprintln(w, "latency matrix (simulated, deterministic, gated):")
+	bm := map[string]latencyCell{}
+	for _, c := range base {
+		bm[c.Lock+"/"+c.Model+"/cost="+c.Cost] = c
+	}
+	regressions := 0
+	matched := 0
+	added := map[string]string{}
+	seen := map[string]bool{}
+	out := append([]latencyCell(nil), cur...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lock != out[j].Lock {
+			return out[i].Lock < out[j].Lock
+		}
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].Cost < out[j].Cost
+	})
+	for _, c := range out {
+		key := c.Lock + "/" + c.Model + "/cost=" + c.Cost
+		b, ok := bm[key]
+		if !ok {
+			added[key] = latencyFingerprint(c)
+			continue
+		}
+		seen[key] = true
+		matched++
+		if b.Procs != c.Procs || b.Aborters != c.Aborters || b.CostSeed != c.CostSeed {
+			fmt.Fprintf(w, "  %s: workload changed (procs %d->%d, aborters %d->%d, cost_seed %d->%d); not comparable\n",
+				key, b.Procs, c.Procs, b.Aborters, c.Aborters, b.CostSeed, c.CostSeed)
+			continue
+		}
+		ms := []metric{
+			{"queue_sim_p50_ns", float64(b.QueueP50), float64(c.QueueP50), true},
+			{"queue_sim_p95_ns", float64(b.QueueP95), float64(c.QueueP95), true},
+			{"queue_sim_p99_ns", float64(b.QueueP99), float64(c.QueueP99), true},
+			{"queue_sim_max_ns", float64(b.QueueMax), float64(c.QueueMax), true},
+		}
+		if c.Aborters > 0 {
+			ms = append(ms,
+				metric{"storm_holder_sim_ns", float64(b.HolderSim), float64(c.HolderSim), true},
+				metric{"storm_waiter_sim_ns", float64(b.WaiterSim), float64(c.WaiterSim), true},
+				metric{"storm_aborted_sim_max_ns", float64(b.AbortedSimMax), float64(c.AbortedSimMax), true},
+			)
+		}
+		regressions += diffMetrics(w, key, ms, pct, true)
+	}
+	removed := map[string]string{}
+	for key, b := range bm {
+		if !seen[key] {
+			removed[key] = latencyFingerprint(b)
+		}
+	}
+	classifyCells(w, added, removed)
 	fmt.Fprintf(w, "  %d cell(s) compared\n", matched)
 	return regressions
 }
@@ -491,13 +659,16 @@ func diffExplorer(w io.Writer, base, cur []exploreCell, pct float64) int {
 		bm[fmt.Sprintf("%s/por=%v", c.Config, c.POR)] = c
 	}
 	regressions := 0
+	added := map[string]string{}
+	seen := map[string]bool{}
 	for _, c := range cur {
 		key := fmt.Sprintf("%s/por=%v", c.Config, c.POR)
 		b, ok := bm[key]
 		if !ok {
-			fmt.Fprintf(w, "  %s: new cell (no baseline)\n", key)
+			added[key] = exploreFingerprint(c)
 			continue
 		}
+		seen[key] = true
 		if b.MaxSteps != c.MaxSteps {
 			fmt.Fprintf(w, "  %s: step bound changed (%d->%d); not comparable\n", key, b.MaxSteps, c.MaxSteps)
 			continue
@@ -514,7 +685,21 @@ func diffExplorer(w io.Writer, base, cur []exploreCell, pct float64) int {
 			{"replays_per_sec", b.ReplaysPerSec, c.ReplaysPerSec, false},
 		}, pct, true)
 	}
+	removed := map[string]string{}
+	for key, b := range bm {
+		if !seen[key] {
+			removed[key] = exploreFingerprint(b)
+		}
+	}
+	classifyCells(w, added, removed)
 	return regressions
+}
+
+// exploreFingerprint is an exploreCell's deterministic-count signature with
+// the config name blanked (rates excluded — they never repeat exactly).
+func exploreFingerprint(c exploreCell) string {
+	return fmt.Sprintf("por=%v maxsteps=%d explored=%d pruned=%d equivalent=%d replays=%d exhausted=%v",
+		c.POR, c.MaxSteps, c.Explored, c.Pruned, c.Equivalent, c.Replays, c.Exhausted)
 }
 
 func diffNative(w io.Writer, base, cur []nativeCell, pct float64) int {
@@ -532,13 +717,16 @@ func diffNative(w io.Writer, base, cur []nativeCell, pct float64) int {
 		bm[fmt.Sprintf("%s/%s/g=%d", c.Lock, c.Impl, c.Goroutines)] = c
 	}
 	regressions := 0
+	added := map[string]string{}
+	seen := map[string]bool{}
 	for _, c := range cur {
 		key := fmt.Sprintf("%s/%s/g=%d", c.Lock, c.Impl, c.Goroutines)
 		b, ok := bm[key]
 		if !ok {
-			fmt.Fprintf(w, "  %s: new cell (no baseline)\n", key)
+			added[key] = nativeFingerprint(c)
 			continue
 		}
+		seen[key] = true
 		// Throughput is "lower is worse": compare inverted so exceeds()
 		// sees a higher-worse metric.
 		ms := []metric{
@@ -558,7 +746,23 @@ func diffNative(w io.Writer, base, cur []nativeCell, pct float64) int {
 				key+" ops/s", b.Throughput, c.Throughput, delta(b.Throughput, c.Throughput), verdict)
 		}
 	}
+	removed := map[string]string{}
+	for key, b := range bm {
+		if !seen[key] {
+			removed[key] = nativeFingerprint(b)
+		}
+	}
+	classifyCells(w, added, removed)
 	return regressions
+}
+
+// nativeFingerprint blanks the lock name of a nativeCell's signature.
+// Wall-clock numbers rarely repeat exactly, so native renames usually
+// surface as added+removed — the fingerprint exists for symmetry and for
+// replayed reports.
+func nativeFingerprint(c nativeCell) string {
+	c.Lock = ""
+	return fmt.Sprintf("%+v", c)
 }
 
 func diffGoBench(w io.Writer, base, cur []goBench, pct float64) int {
@@ -576,12 +780,15 @@ func diffGoBench(w io.Writer, base, cur []goBench, pct float64) int {
 		bm[b.Name] = b
 	}
 	regressions := 0
+	added := map[string]string{}
+	seen := map[string]bool{}
 	for _, c := range cur {
 		b, ok := bm[c.Name]
 		if !ok {
-			fmt.Fprintf(w, "  %s: new benchmark (no baseline)\n", c.Name)
+			added[c.Name] = benchFingerprint(c)
 			continue
 		}
+		seen[c.Name] = true
 		var ms []metric
 		for _, unit := range sortedKeys(c.Units) {
 			bv, ok := b.Units[unit]
@@ -595,7 +802,24 @@ func diffGoBench(w io.Writer, base, cur []goBench, pct float64) int {
 		}
 		regressions += diffMetrics(w, c.Name, ms, pct, gate)
 	}
+	removed := map[string]string{}
+	for name, b := range bm {
+		if !seen[name] {
+			removed[name] = benchFingerprint(b)
+		}
+	}
+	classifyCells(w, added, removed)
 	return regressions
+}
+
+// benchFingerprint is a Go benchmark's unit signature without its name.
+func benchFingerprint(b goBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "iters=%d", b.Iterations)
+	for _, unit := range sortedKeys(b.Units) {
+		fmt.Fprintf(&sb, " %s=%g", unit, b.Units[unit])
+	}
+	return sb.String()
 }
 
 func sortedKeys(m map[string]float64) []string {

@@ -19,6 +19,16 @@ const rmrDoc = `{
     {"lock": "mcs", "model": "cc", "procs": 16,
      "passage_rmrs_max": 4, "passage_rmrs_mean": 3.0, "words": 40}
   ],
+  "latency": [
+    {"lock": "paper-oneshot", "model": "cc", "cost": "ccnuma", "cost_seed": 1,
+     "procs": 16, "queue_sim_p50_ns": 1200, "queue_sim_p95_ns": 2100,
+     "queue_sim_p99_ns": 2400, "queue_sim_max_ns": 2600,
+     "aborters": 6, "storm_holder_sim_ns": 800, "storm_waiter_sim_ns": 1500,
+     "storm_aborted_sim_max_ns": 1100},
+    {"lock": "mcs", "model": "cc", "cost": "dsmremote", "cost_seed": 1,
+     "procs": 16, "queue_sim_p50_ns": 6100, "queue_sim_p95_ns": 6900,
+     "queue_sim_p99_ns": 7200, "queue_sim_max_ns": 7500}
+  ],
   "explorer": [
     {"config": "n=2", "n": 2, "w": 4, "aborters": 0, "maxsteps": 12,
      "por": true, "explored": 500, "pruned": 200, "equivalent": 100,
@@ -70,6 +80,9 @@ func TestLoadRunParsesBothReports(t *testing.T) {
 	}
 	if len(e.Explorer) != 1 || e.Explorer[0].Replays != 700 {
 		t.Errorf("explorer cells = %+v", e.Explorer)
+	}
+	if len(e.Latency) != 2 || e.Latency[0].QueueP95 != 2100 || e.Latency[0].Cost != "ccnuma" {
+		t.Errorf("latency cells = %+v", e.Latency)
 	}
 	if len(e.Native) != 1 || e.Native[0].Throughput != 1.5e6 {
 		t.Errorf("native cells = %+v", e.Native)
@@ -179,6 +192,99 @@ func TestWorkloadChangeIsNotComparable(t *testing.T) {
 	if !strings.Contains(buf.String(), "not comparable") {
 		t.Errorf("workload change not called out:\n%s", buf.String())
 	}
+}
+
+// TestInjectedLatencyRegressionGates: the simulated-latency cells are
+// deterministic, so a +1ns bump on a quantile gates exactly like an RMR
+// cell.
+func TestInjectedLatencyRegressionGates(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Latency[0].QueueP99++
+	var buf bytes.Buffer
+	n := report(&buf, base, cur, "test", thresholds{})
+	if n != 1 {
+		t.Fatalf("injected latency regression produced %d gated regressions, want 1\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "paper-oneshot/cc/cost=ccnuma") || !strings.Contains(out, "queue_sim_p99_ns") {
+		t.Errorf("report does not name the offending latency cell:\n%s", out)
+	}
+}
+
+// TestLatencySeedChangeNotComparable: cells priced under a different cost
+// seed are a different experiment — reported, never gated.
+func TestLatencySeedChangeNotComparable(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Latency[0].CostSeed = 9
+	cur.Latency[0].QueueP50 *= 10 // would gate if compared
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+		t.Fatalf("seed-changed cell gated (%d):\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "cost_seed 1->9); not comparable") {
+		t.Errorf("seed change not reported as not comparable:\n%s", buf.String())
+	}
+}
+
+// TestCellClassification: a cell only in the current run is added, one only
+// in the baseline is removed, and an added/removed pair with identical
+// metrics collapses into a renamed line — none of them gate.
+func TestCellClassification(t *testing.T) {
+	t.Run("added", func(t *testing.T) {
+		base, cur := loadTestRun(t), loadTestRun(t)
+		extra := cur.RMR[1]
+		extra.Lock = "brand-new"
+		extra.PassageMax = 99 // unlike any baseline cell, so no rename pairing
+		cur.RMR = append(cur.RMR, extra)
+		var buf bytes.Buffer
+		if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+			t.Fatalf("added cell gated (%d):\n%s", n, buf.String())
+		}
+		if !strings.Contains(buf.String(), "brand-new/cc: added (no baseline; not comparable)") {
+			t.Errorf("added cell not classified:\n%s", buf.String())
+		}
+	})
+	t.Run("removed", func(t *testing.T) {
+		base, cur := loadTestRun(t), loadTestRun(t)
+		cur.RMR = cur.RMR[:1] // drop mcs/cc from the current run
+		var buf bytes.Buffer
+		if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+			t.Fatalf("removed cell gated (%d):\n%s", n, buf.String())
+		}
+		if !strings.Contains(buf.String(), "mcs/cc: removed (present in baseline only)") {
+			t.Errorf("removed cell not classified:\n%s", buf.String())
+		}
+	})
+	t.Run("renamed", func(t *testing.T) {
+		base, cur := loadTestRun(t), loadTestRun(t)
+		cur.RMR[1].Lock = "mcs-v2" // same metrics, new key
+		var buf bytes.Buffer
+		if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+			t.Fatalf("renamed cell gated (%d):\n%s", n, buf.String())
+		}
+		out := buf.String()
+		if !strings.Contains(out, "mcs/cc -> mcs-v2/cc: renamed (identical metrics)") {
+			t.Errorf("renamed cell not classified:\n%s", out)
+		}
+		if strings.Contains(out, "mcs/cc: removed") || strings.Contains(out, "mcs-v2/cc: added") {
+			t.Errorf("renamed cell double-reported as added+removed:\n%s", out)
+		}
+	})
+	t.Run("renamed latency", func(t *testing.T) {
+		base, cur := loadTestRun(t), loadTestRun(t)
+		for i := range cur.Latency {
+			if cur.Latency[i].Lock == "mcs" {
+				cur.Latency[i].Lock = "mcs-v2"
+			}
+		}
+		var buf bytes.Buffer
+		if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+			t.Fatalf("renamed latency cell gated (%d):\n%s", n, buf.String())
+		}
+		if !strings.Contains(buf.String(), "mcs/cc/cost=dsmremote -> mcs-v2/cc/cost=dsmremote: renamed") {
+			t.Errorf("renamed latency cell not classified:\n%s", buf.String())
+		}
+	})
 }
 
 func TestHistoryAppendAndResolve(t *testing.T) {

@@ -10,6 +10,13 @@
 // The lock is any name in the locks registry (-list-locks enumerates them;
 // -algo is a deprecated alias for -lock).
 //
+// -cost NAME prices the seeded schedules under a deterministic latency
+// model (see rmr.CostModelNames; -cost-seed seeds it) and reports the
+// accrued simulated time. Pricing is observe-only — schedules, RMR counts,
+// and verdicts are unchanged — and is a seeded-mode feature: combining it
+// with -exhaustive or -faults is an error rather than a silently unpriced
+// run.
+//
 // With -exhaustive, -progress prints live explored/pruned schedule counts
 // and throughput to stderr, and the final report includes the depth
 // histogram of explored choice sequences. When the exploration finds a
@@ -69,6 +76,8 @@ func run(args []string) error {
 	faultsSpec := fs.String("faults", "", "inject scripted faults into every seeded schedule: `kind:pid@op[+delay],...` (crash, stall)")
 	crashPoints := fs.String("crash-points", "", "with -exhaustive, sweep crash-stop plans at these 1-based `op,op,...` attempts per victim")
 	watchdog := fs.Int("watchdog", 0, "arm the starvation watchdog at this overtaking bound (0 = off)")
+	costName := fs.String("cost", "", "price seeded schedules under this cost `model` (see rmr.CostModelNames) and report simulated time")
+	costSeed := fs.Int64("cost-seed", 1, "seed for the deterministic cost model")
 	deadline := fs.Duration("deadline", 0, "wall-clock bound for the whole run; on expiry dump the fault report and exit 3")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +121,19 @@ func run(args []string) error {
 	if points != nil && !*exhaustive {
 		return fmt.Errorf("-crash-points sweeps plans under -exhaustive; for seeded runs script a plan with -faults")
 	}
+	var cost rmr.CostModel
+	if *costName != "" {
+		if *exhaustive {
+			return fmt.Errorf("-cost prices plain seeded runs; it does not combine with -exhaustive")
+		}
+		if plan != nil || *watchdog > 0 {
+			return fmt.Errorf("-cost prices plain seeded runs; it does not combine with -faults or -watchdog")
+		}
+		cost, err = rmr.NewCostModel(*costName, *costSeed)
+		if err != nil {
+			return err
+		}
+	}
 
 	// current tracks the in-flight scheduler so an expired deadline can dump
 	// the fault report and replay schedule of whatever run was stuck.
@@ -141,18 +163,33 @@ func run(args []string) error {
 	}
 
 	var totalEntered, totalAborted int
+	var totalSim, maxSim int64
 	for seed := int64(0); seed < int64(*seeds); seed++ {
-		entered, aborted, err := explore(mdl, harness.Algo(lock), *w, *n, *aborters, seed, *maxSteps, &current)
+		entered, aborted, sim, err := explore(mdl, harness.Algo(lock), cost, *w, *n, *aborters, seed, *maxSteps, &current)
 		if err != nil {
 			return fmt.Errorf("seed %d: %w", seed, err)
 		}
 		totalEntered += entered
 		totalAborted += aborted
+		totalSim += sim.total
+		if sim.max > maxSim {
+			maxSim = sim.max
+		}
 	}
 	fmt.Printf("%s: %d seeds × %d processes (%d aborters): OK\n", lock, *seeds, *n, *aborters)
 	fmt.Printf("  passages completed: %d, attempts aborted: %d\n", totalEntered, totalAborted)
+	if cost != nil && cost.Name() != "unit" {
+		fmt.Printf("  simulated time (cost=%s, cost-seed=%d): total=%d ns, max per-process=%d ns\n",
+			cost.Name(), *costSeed, totalSim, maxSim)
+	}
 	fmt.Println("  mutual exclusion held in every explored schedule; every schedule terminated")
 	return nil
+}
+
+// simTally aggregates one seeded run's simulated time: the sum over
+// processes and the per-process maximum.
+type simTally struct {
+	total, max int64
 }
 
 // runFaultedSeeds runs the seeded schedules with the scripted fault plan
@@ -203,15 +240,21 @@ func runFaultedSeeds(model rmr.Model, algo harness.Algo, w, n, aborters, seeds, 
 	return nil
 }
 
-// explore runs one seeded schedule and returns (entered, aborted) counts.
-func explore(model rmr.Model, algo harness.Algo, w, n, aborters int, seed int64, maxSteps int,
-	current *atomic.Pointer[rmr.Scheduler]) (int, int, error) {
+// explore runs one seeded schedule and returns (entered, aborted) counts
+// plus the simulated-time tally (zero under the default Unit accounting's
+// RMR-tick clock only in the trivial no-op case; equal to the RMR counts
+// when cost is nil or Unit).
+func explore(model rmr.Model, algo harness.Algo, cost rmr.CostModel, w, n, aborters int, seed int64, maxSteps int,
+	current *atomic.Pointer[rmr.Scheduler]) (int, int, simTally, error) {
 	s := rmr.NewScheduler(n, rmr.RandomPick(seed))
 	current.Store(s)
 	m := rmr.NewMemory(model, n, nil)
 	fn, err := harness.Build(m, algo, w, n)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, simTally{}, err
+	}
+	if cost != nil {
+		m.SetCostModel(cost)
 	}
 	m.SetGate(s)
 
@@ -243,12 +286,20 @@ func explore(model rmr.Model, algo harness.Algo, w, n, aborters int, seed int64,
 			m.Proc(i).SignalAbort()
 		}
 		s.Drain()
-		return 0, 0, fmt.Errorf("schedule stalled: %w", err)
+		return 0, 0, simTally{}, fmt.Errorf("schedule stalled: %w", err)
 	}
 	if v := violations.Load(); v != 0 {
-		return 0, 0, fmt.Errorf("%d mutual-exclusion violations", v)
+		return 0, 0, simTally{}, fmt.Errorf("%d mutual-exclusion violations", v)
 	}
-	return int(entered.Load()), int(aborted.Load()), nil
+	var sim simTally
+	for i := 0; i < n; i++ {
+		st := m.Proc(i).SimTime()
+		sim.total += st
+		if st > sim.max {
+			sim.max = st
+		}
+	}
+	return int(entered.Load()), int(aborted.Load()), sim, nil
 }
 
 type exhaustiveConfig struct {

@@ -104,7 +104,7 @@ func TestRunRejectsAbortingMCS(t *testing.T) {
 func TestExploreDetectsStall(t *testing.T) {
 	// A tiny step budget must surface as a stall error, not a hang.
 	var current atomic.Pointer[rmr.Scheduler]
-	_, _, err := explore(rmr.CC, harness.AlgoPaper, 4, 8, 0, 1, 3, &current)
+	_, _, _, err := explore(rmr.CC, harness.AlgoPaper, nil, 4, 8, 0, 1, 3, &current)
 	if err == nil || !strings.Contains(err.Error(), "stalled") {
 		t.Fatalf("err = %v, want stall error", err)
 	}
@@ -207,6 +207,50 @@ func captureRun(t *testing.T, args []string) (string, error) {
 		t.Fatal(err)
 	}
 	return string(out), runErr
+}
+
+// TestRunCostSummary: -cost prices the seeded runs and reports the accrued
+// simulated time without changing the verdict.
+func TestRunCostSummary(t *testing.T) {
+	out, err := captureRun(t, []string{"-lock", "paper", "-n", "4", "-seeds", "3",
+		"-cost", "ccnuma", "-cost-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "simulated time (cost=ccnuma, cost-seed=7)") {
+		t.Errorf("simulated-time summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "mutual exclusion held") {
+		t.Errorf("verdict missing:\n%s", out)
+	}
+}
+
+// TestRunCostUnitSilent: the unit model is the default accounting — no
+// extra summary line.
+func TestRunCostUnitSilent(t *testing.T) {
+	out, err := captureRun(t, []string{"-lock", "tas", "-n", "4", "-seeds", "2", "-cost", "unit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "simulated time") {
+		t.Errorf("unit cost printed a simulated-time summary:\n%s", out)
+	}
+}
+
+// TestRunCostRejectsOtherModes: -cost is a seeded-mode feature.
+func TestRunCostRejectsOtherModes(t *testing.T) {
+	for _, args := range [][]string{
+		{"-cost", "ccnuma", "-exhaustive", "-n", "2"},
+		{"-cost", "ccnuma", "-faults", "crash:0@2", "-n", "4"},
+		{"-cost", "ccnuma", "-watchdog", "8", "-n", "4"},
+	} {
+		if err := run(args); err == nil || !strings.Contains(err.Error(), "-cost prices plain seeded runs") {
+			t.Errorf("run(%v) err = %v, want seeded-mode error", args, err)
+		}
+	}
+	if err := run([]string{"-cost", "bogus", "-n", "4"}); err == nil || !strings.Contains(err.Error(), "ccnuma") {
+		t.Errorf("bogus cost err = %v, want error listing known models", err)
+	}
 }
 
 func TestRunExhaustivePOR(t *testing.T) {

@@ -7,18 +7,29 @@
 //	rmrbench [-quick] [experiment ...]
 //
 // With no arguments every experiment runs (-list enumerates: e1–e7 and
-// e9–e16; e8, the Theorem 2 property checking, lives in cmd/locktest and
+// e9–e17; e8, the Theorem 2 property checking, lives in cmd/locktest and
 // the test suite). -quick shrinks the sweeps for a fast smoke run, -csv
 // emits machine-readable series, -chart N renders column N as an ASCII bar
 // chart, -seed feeds the randomized workloads (e14), and -prom FILE
 // additionally writes a stats-instrumented abort storm's counters in the
 // Prometheus text exposition format.
 //
+// -cost NAMES (comma-separated; see rmr.CostModelNames) and -cost-seed S
+// select the deterministic latency models priced by the E17 experiment and
+// the matrix's latency section. Cost models are observe-only: they never
+// change schedules or RMR counts, only the simulated-time annotations.
+//
 // -matrix FILE writes a per-lock × per-model (CC/DSM) benchmark matrix as
 // JSON, iterating the locks registry instead of any hand-listed lock set
-// (-list-locks enumerates the registry). With -matrix and no experiment
-// arguments, only the matrix is produced; scripts/bench.sh embeds it in
-// BENCH_rmr.json.
+// (-list-locks enumerates the registry). The matrix carries two sections:
+// "locks" (RMR/space cells) and "latency" (simulated p50/p95/p99 passage
+// latency per lock × memory model × cost model, keyed by -cost-seed).
+// -matrix-locks restricts the matrix to a comma-separated subset of the
+// registry (the CI determinism guard prices one lock twice and diffs the
+// bytes), and -workers bounds the matrix's parallelism — every cell is an
+// independent deterministic run, so the output is byte-identical at any
+// worker count. With -matrix and no experiment arguments, only the matrix
+// is produced; scripts/bench.sh embeds it in BENCH_rmr.json.
 //
 // -deadline D bounds the whole run in wall-clock time: a benchmark that
 // livelocks past it reports the in-flight experiment to stderr and exits
@@ -39,6 +50,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,7 +73,7 @@ type experiment struct {
 	fast func() (*harness.Table, error)
 }
 
-func experiments(seed int64) []experiment {
+func experiments(seed int64, costs []string, costSeed int64) []experiment {
 	const w = harness.DefaultW
 	return []experiment{
 		{
@@ -145,6 +157,11 @@ func experiments(seed int64) []experiment {
 				return harness.PointContention(64, w, []int{2, 8, 32})
 			},
 		},
+		{
+			id: "e17", desc: "simulated passage latency by cost model, full lock registry",
+			full: func() (*harness.Table, error) { return harness.LatencyTable(costs, costSeed, 64) },
+			fast: func() (*harness.Table, error) { return harness.LatencyTable(costs, costSeed, 16) },
+		},
 	}
 }
 
@@ -157,6 +174,10 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 42, "seed for the randomized workloads (e14)")
 	promFile := fs.String("prom", "", "also write abort-storm counters to `file` in Prometheus text format")
 	matrixFile := fs.String("matrix", "", "write the per-lock × per-model benchmark matrix to `file` as JSON")
+	costFlag := fs.String("cost", "ccnuma,dsmremote", "comma-separated cost `models` priced by e17 and the matrix's latency section")
+	costSeed := fs.Int64("cost-seed", 1, "seed for the deterministic cost models")
+	workers := fs.Int("workers", 0, "matrix parallelism (0 = GOMAXPROCS); the output is byte-identical at any value")
+	matrixLocks := fs.String("matrix-locks", "", "restrict the matrix to these comma-separated `locks` (default: the whole registry)")
 	exploreFile := fs.String("explore", "", "write the E8 exhaustive-exploration record to `file` as JSON")
 	por := fs.Bool("por", true, "include the partial-order-reduction passes in -explore")
 	listLocks := fs.Bool("list-locks", false, "list the registered locks and exit")
@@ -182,7 +203,11 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	exps := experiments(*seed)
+	costs, err := splitCosts(*costFlag, *costSeed)
+	if err != nil {
+		return err
+	}
+	exps := experiments(*seed, costs, *costSeed)
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("  %-4s %s\n", e.id, e.desc)
@@ -191,7 +216,7 @@ func run(args []string) error {
 	}
 	if *matrixFile != "" {
 		inflight.Store("matrix")
-		if err := writeMatrix(*matrixFile, *quick); err != nil {
+		if err := writeMatrix(*matrixFile, *quick, costs, *costSeed, *workers, *matrixLocks); err != nil {
 			return fmt.Errorf("matrix: %w", err)
 		}
 	}
@@ -276,43 +301,197 @@ type matrixEntry struct {
 	AbortedMax    int64 `json:"storm_aborted_rmrs_max,omitempty"`
 }
 
-// writeMatrix benchmarks every registered lock under every memory model it
+// latencyEntry is one (lock, memory model, cost model) cell of the
+// simulated-latency matrix: the queue-drain workload priced by a
+// deterministic cost model, plus the abort storm's priced passages for
+// abortable locks. Every field is bit-deterministic in (procs, cost,
+// cost_seed) — benchdiff gates these cells exactly.
+type latencyEntry struct {
+	Lock     string `json:"lock"`
+	Model    string `json:"model"`
+	Cost     string `json:"cost"`
+	CostSeed int64  `json:"cost_seed"`
+	// Queue drain: nearest-rank quantiles of per-passage simulated ns.
+	Procs    int   `json:"procs"`
+	QueueP50 int64 `json:"queue_sim_p50_ns"`
+	QueueP95 int64 `json:"queue_sim_p95_ns"`
+	QueueP99 int64 `json:"queue_sim_p99_ns"`
+	QueueMax int64 `json:"queue_sim_max_ns"`
+	// Abort storm; omitted for non-abortable locks.
+	Aborters      int   `json:"aborters,omitempty"`
+	HolderSim     int64 `json:"storm_holder_sim_ns,omitempty"`
+	WaiterSim     int64 `json:"storm_waiter_sim_ns,omitempty"`
+	AbortedSimMax int64 `json:"storm_aborted_sim_max_ns,omitempty"`
+}
+
+// splitCosts parses a comma-separated cost-model list, validating every
+// name (and the constructions themselves) up front so a typo fails before
+// any benchmark runs.
+func splitCosts(list string, seed int64) ([]string, error) {
+	var costs []string
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cm, err := rmr.NewCostModel(name, seed)
+		if err != nil {
+			return nil, err
+		}
+		costs = append(costs, cm.Name())
+	}
+	if len(costs) == 0 {
+		return nil, fmt.Errorf("-cost lists no models (known: %s)", strings.Join(rmr.CostModelNames(), ", "))
+	}
+	return costs, nil
+}
+
+// filterLocks resolves -matrix-locks against the registry: empty keeps the
+// whole (sorted) registry, otherwise the listed locks in registry order,
+// with unknown names rejected.
+func filterLocks(list string) ([]locks.Info, error) {
+	infos := locks.Infos()
+	if strings.TrimSpace(list) == "" {
+		return infos, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(list, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			want[name] = true
+		}
+	}
+	kept := []locks.Info{}
+	for _, info := range infos {
+		if want[info.Name] {
+			kept = append(kept, info)
+			delete(want, info.Name)
+		}
+	}
+	for name := range want {
+		return nil, fmt.Errorf("-matrix-locks: unknown lock %q (use -list-locks)", name)
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("-matrix-locks selected no locks")
+	}
+	return kept, nil
+}
+
+// matrixCell benchmarks one (lock, memory model) pair: the queue and storm
+// workloads under the harness's gated fixed-seed schedule (rmr.Unit pricing,
+// the nil fast path) for the RMR cells, then one gated priced run per cost
+// model for the latency cells. Every cell is bit-deterministic — including
+// the locks whose free-running RMR counts jitter (CC-optimal locks spinning
+// on remote words under DSM) — which is what lets benchdiff gate the matrix
+// exactly.
+func matrixCell(info locks.Info, model rmr.Model, nprocs, aborters int,
+	costs []string, costSeed int64) (matrixEntry, []latencyEntry, error) {
+	algo := harness.Algo(info.Name)
+	modelName := strings.ToLower(model.String())
+	queue, err := harness.QueueWorkloadCost(model, rmr.Unit, algo, harness.DefaultW, nprocs)
+	if err != nil {
+		return matrixEntry{}, nil, fmt.Errorf("%s/%s: queue: %w", info.Name, model, err)
+	}
+	e := matrixEntry{
+		Lock: info.Name, Model: modelName, Procs: nprocs,
+		PassageMax: queue.Passages.Max(), PassageMean: queue.Passages.Mean(),
+		Words: queue.Words,
+	}
+	if info.Abortable {
+		storm, err := harness.AbortStormCost(model, rmr.Unit, algo, harness.DefaultW, aborters, false)
+		if err != nil {
+			return matrixEntry{}, nil, fmt.Errorf("%s/%s: storm: %w", info.Name, model, err)
+		}
+		e.Aborters = aborters
+		e.HolderPassage = storm.HolderPassage
+		e.WaiterPassage = storm.WaiterPassage
+		e.AbortedMax = storm.Aborted.Max()
+	}
+	lat := make([]latencyEntry, 0, len(costs))
+	for _, name := range costs {
+		cm, err := rmr.NewCostModel(name, costSeed)
+		if err != nil {
+			return matrixEntry{}, nil, err
+		}
+		pq, err := harness.QueueWorkloadCost(model, cm, algo, harness.DefaultW, nprocs)
+		if err != nil {
+			return matrixEntry{}, nil, fmt.Errorf("%s/%s/cost=%s: queue: %w", info.Name, model, name, err)
+		}
+		le := latencyEntry{
+			Lock: info.Name, Model: modelName, Cost: name, CostSeed: costSeed,
+			Procs:    nprocs,
+			QueueP50: pq.Sim.Percentile(0.50), QueueP95: pq.Sim.Percentile(0.95),
+			QueueP99: pq.Sim.Percentile(0.99), QueueMax: pq.Sim.Max(),
+		}
+		if info.Abortable {
+			ps, err := harness.AbortStormCost(model, cm, algo, harness.DefaultW, aborters, false)
+			if err != nil {
+				return matrixEntry{}, nil, fmt.Errorf("%s/%s/cost=%s: storm: %w", info.Name, model, name, err)
+			}
+			le.Aborters = aborters
+			le.HolderSim = ps.HolderSim
+			le.WaiterSim = ps.WaiterSim
+			le.AbortedSimMax = ps.AbortedSim.Max()
+		}
+		lat = append(lat, le)
+	}
+	return e, lat, nil
+}
+
+// writeMatrix benchmarks every selected lock under every memory model it
 // supports — the registry replaces any hand-listed lock set — and writes
-// the result as JSON: {"locks": [entry, ...]} in registry (sorted) order.
-func writeMatrix(path string, quick bool) error {
+// the result as JSON: {"locks": [...], "latency": [...]} in registry
+// (sorted) order. Cells are independent deterministic runs, so they run on
+// a worker pool and land in preallocated index slots: the output bytes are
+// identical at any worker count.
+func writeMatrix(path string, quick bool, costs []string, costSeed int64, workers int, lockFilter string) error {
 	nprocs, aborters := 64, 30
 	if quick {
 		nprocs, aborters = 16, 6
 	}
-	entries := []matrixEntry{}
-	for _, info := range locks.Infos() {
+	infos, err := filterLocks(lockFilter)
+	if err != nil {
+		return err
+	}
+	type job struct {
+		info  locks.Info
+		model rmr.Model
+	}
+	jobs := []job{}
+	for _, info := range infos {
 		models := []rmr.Model{rmr.CC}
 		if !info.CCOnly {
 			models = append(models, rmr.DSM)
 		}
 		for _, model := range models {
-			algo := harness.Algo(info.Name)
-			queue, err := harness.QueueWorkloadModel(model, algo, harness.DefaultW, nprocs)
-			if err != nil {
-				return fmt.Errorf("%s/%s: queue: %w", info.Name, model, err)
-			}
-			e := matrixEntry{
-				Lock: info.Name, Model: strings.ToLower(model.String()), Procs: nprocs,
-				PassageMax: queue.Passages.Max(), PassageMean: queue.Passages.Mean(),
-				Words: queue.Words,
-			}
-			if info.Abortable {
-				storm, err := harness.AbortStormModel(model, algo, harness.DefaultW, aborters, false)
-				if err != nil {
-					return fmt.Errorf("%s/%s: storm: %w", info.Name, model, err)
-				}
-				e.Aborters = aborters
-				e.HolderPassage = storm.HolderPassage
-				e.WaiterPassage = storm.WaiterPassage
-				e.AbortedMax = storm.Aborted.Max()
-			}
-			entries = append(entries, e)
+			jobs = append(jobs, job{info, model})
 		}
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	entries := make([]matrixEntry, len(jobs))
+	latency := make([][]latencyEntry, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			entries[i], latency[i], errs[i] = matrixCell(j.info, j.model, nprocs, aborters, costs, costSeed)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	flat := []latencyEntry{}
+	for _, lat := range latency {
+		flat = append(flat, lat...)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -320,7 +499,7 @@ func writeMatrix(path string, quick bool) error {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(map[string]any{"locks": entries}); err != nil {
+	if err := enc.Encode(map[string]any{"locks": entries, "latency": flat}); err != nil {
 		f.Close()
 		return err
 	}

@@ -11,7 +11,9 @@ import (
 )
 
 // TestWriteMatrix: every registered lock must appear in the matrix, with a
-// CC entry always and a DSM entry unless the lock is CC-only.
+// CC entry always and a DSM entry unless the lock is CC-only — and the
+// latency section must cover the same (lock, model) set once per requested
+// cost model, with plausible priced quantiles.
 func TestWriteMatrix(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "matrix.json")
 	if err := run([]string{"-quick", "-matrix", path}); err != nil {
@@ -22,7 +24,8 @@ func TestWriteMatrix(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doc struct {
-		Locks []matrixEntry `json:"locks"`
+		Locks   []matrixEntry  `json:"locks"`
+		Latency []latencyEntry `json:"latency"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatal(err)
@@ -47,6 +50,106 @@ func TestWriteMatrix(t *testing.T) {
 		if info.CCOnly && got[info.Name]["dsm"] {
 			t.Errorf("%s: CC-only lock has a dsm entry", info.Name)
 		}
+	}
+	latGot := map[string]bool{}
+	for _, e := range doc.Latency {
+		if e.QueueP50 <= 0 || e.QueueP50 > e.QueueP95 || e.QueueP95 > e.QueueP99 || e.QueueP99 > e.QueueMax {
+			t.Errorf("%s/%s/%s: implausible quantiles %+v", e.Lock, e.Model, e.Cost, e)
+		}
+		if e.CostSeed != 1 {
+			t.Errorf("%s/%s/%s: cost_seed = %d, want default 1", e.Lock, e.Model, e.Cost, e.CostSeed)
+		}
+		key := e.Lock + "/" + e.Model + "/" + e.Cost
+		if latGot[key] {
+			t.Errorf("duplicate latency entry %s", key)
+		}
+		latGot[key] = true
+	}
+	for lock, models := range got {
+		for model := range models {
+			for _, cost := range []string{"ccnuma", "dsmremote"} {
+				if !latGot[lock+"/"+model+"/"+cost] {
+					t.Errorf("%s/%s: missing latency entry for cost=%s", lock, model, cost)
+				}
+			}
+		}
+	}
+	if want := 2 * len(doc.Locks); len(doc.Latency) != want {
+		t.Errorf("latency section has %d entries, want %d", len(doc.Latency), want)
+	}
+}
+
+// TestWriteMatrixDeterministicAcrossWorkers: the matrix's bytes must not
+// depend on the worker count — cells land in preallocated index slots and
+// every cell is a gated fixed-seed run. linearscan is in the set because
+// its free-running RMR counts jitter under DSM (remote spin re-reads), so
+// it regresses if the cells ever go back to free-running workloads.
+func TestWriteMatrixDeterministicAcrossWorkers(t *testing.T) {
+	dir := t.TempDir()
+	outs := make([][]byte, 2)
+	for i, workers := range []string{"1", "4"} {
+		path := filepath.Join(dir, "matrix"+workers+".json")
+		if err := run([]string{"-quick", "-matrix", path,
+			"-matrix-locks", "paper,mcs,linearscan", "-cost-seed", "7", "-workers", workers}); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs[i] = raw
+	}
+	if string(outs[0]) != string(outs[1]) {
+		t.Error("matrix bytes differ between -workers 1 and -workers 4")
+	}
+}
+
+// TestWriteMatrixLockFilter: -matrix-locks restricts the matrix and rejects
+// unknown names.
+func TestWriteMatrixLockFilter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	if err := run([]string{"-quick", "-matrix", path, "-matrix-locks", "paper", "-cost", "ccnuma"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Locks   []matrixEntry  `json:"locks"`
+		Latency []latencyEntry `json:"latency"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Locks) != 2 { // paper: cc + dsm
+		t.Errorf("filtered matrix has %d lock entries, want 2: %+v", len(doc.Locks), doc.Locks)
+	}
+	for _, e := range doc.Locks {
+		if e.Lock != "paper" {
+			t.Errorf("unexpected lock %q in filtered matrix", e.Lock)
+		}
+	}
+	if len(doc.Latency) != 2 {
+		t.Errorf("filtered latency section has %d entries, want 2", len(doc.Latency))
+	}
+	for _, e := range doc.Latency {
+		if e.Cost != "ccnuma" {
+			t.Errorf("unexpected cost %q with -cost ccnuma", e.Cost)
+		}
+	}
+	err = run([]string{"-quick", "-matrix", path, "-matrix-locks", "nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown lock") {
+		t.Fatalf("err = %v, want unknown-lock error", err)
+	}
+}
+
+// TestRunBadCostFlag: a bogus -cost fails before anything runs, naming the
+// known models.
+func TestRunBadCostFlag(t *testing.T) {
+	err := run([]string{"-cost", "bogus", "-list"})
+	if err == nil || !strings.Contains(err.Error(), "ccnuma") {
+		t.Fatalf("err = %v, want error listing known cost models", err)
 	}
 }
 
@@ -91,7 +194,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestExperimentIDsUnique(t *testing.T) {
 	seen := map[string]bool{}
-	for _, e := range experiments(42) {
+	for _, e := range experiments(42, []string{"ccnuma"}, 1) {
 		if seen[e.id] {
 			t.Fatalf("duplicate experiment id %q", e.id)
 		}
@@ -103,7 +206,7 @@ func TestExperimentIDsUnique(t *testing.T) {
 }
 
 func TestEveryFastExperimentRuns(t *testing.T) {
-	for _, e := range experiments(42) {
+	for _, e := range experiments(42, []string{"ccnuma", "dsmremote"}, 1) {
 		e := e
 		t.Run(e.id, func(t *testing.T) {
 			tbl, err := e.fast()

@@ -14,6 +14,14 @@
 // -ring N keeps only the last N events (a flight recorder), which bounds
 // memory for long schedules at the price of the value-chain check.
 //
+// -cost NAME prices the run under a deterministic latency model (-cost-seed
+// seeds it; see rmr.CostModelNames). Pricing is observe-only — the schedule
+// and the RMR charges are unchanged — but every event then carries its
+// simulated cost and timestamp: the Chrome trace's spans get real simulated
+// durations instead of one tick per charged op, the text report adds
+// per-process simulated time, and the summary's latency quantiles are in
+// model nanoseconds.
+//
 // -faults injects a scripted fault plan ("crash:0@4,stall:1@2+15", see
 // docs/FAULTS.md) into the schedule: the trace then shows exactly which
 // operations a crash abandoned or a stall delayed, and the text report
@@ -23,6 +31,7 @@
 //
 //	rmrtrace [-lock paper] [-n 4] [-w 8] [-seed 1] [-aborters 0] [-max 200]
 //	         [-format text|jsonl|chrome] [-o file] [-ring N] [-faults spec]
+//	         [-cost model] [-cost-seed S]
 //
 // The lock is any name in the locks registry (-list-locks enumerates them;
 // -algo is a deprecated alias for -lock).
@@ -63,7 +72,13 @@ func run(args []string, out io.Writer) error {
 	outFile := fs.String("o", "", "write output to `file` instead of stdout")
 	ringSize := fs.Int("ring", 0, "keep only the last N events (0 = keep all)")
 	faultsSpec := fs.String("faults", "", "inject scripted faults: `kind:pid@op[+delay],...` (crash, stall)")
+	costName := fs.String("cost", "", "price the run under this cost `model` (see rmr.CostModelNames); events then carry simulated time")
+	costSeed := fs.Int64("cost-seed", 1, "seed for the deterministic cost model")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cost, err := rmr.NewCostModel(*costName, *costSeed)
+	if err != nil {
 		return err
 	}
 	plan, err := harness.ParseFaults(*faultsSpec)
@@ -125,6 +140,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The cost model is installed after Build so construction ops stay
+	// unpriced, matching the harness and the benchmark matrix; Unit is the
+	// default accounting and needs no install.
+	if cost != rmr.Unit {
+		m.SetCostModel(cost)
+	}
 	// The stats matrix is sized to the labels the lock interned during
 	// construction, so it is built after Build.
 	st := rmr.NewStats(m)
@@ -159,6 +180,7 @@ func run(args []string, out io.Writer) error {
 	return report(out, m, st, events, inits, reportConfig{
 		algo: lock, n: *n, seed: *seed, aborters: *aborters,
 		maxPrint: *maxPrint, truncated: truncated, faults: s.Faults(),
+		priced: cost != rmr.Unit, costSeed: *costSeed,
 	})
 }
 
@@ -203,6 +225,8 @@ type reportConfig struct {
 	maxPrint  int
 	truncated bool
 	faults    []rmr.Fault
+	priced    bool
+	costSeed  int64
 }
 
 func report(out io.Writer, m *rmr.Memory, st *rmr.Stats, events []rmr.Event, inits map[rmr.Addr]uint64, cfg reportConfig) error {
@@ -236,8 +260,16 @@ func report(out io.Writer, m *rmr.Memory, st *rmr.Stats, events []rmr.Event, ini
 				}
 			}
 		}
-		fmt.Fprintf(out, "  p%-2d total=%-4d reads=%-4d updates=%d\n",
+		fmt.Fprintf(out, "  p%-2d total=%-4d reads=%-4d updates=%d",
 			i, m.Proc(i).RMRs(), reads, updates)
+		if cfg.priced {
+			fmt.Fprintf(out, " sim=%dns", m.Proc(i).SimTime())
+		}
+		fmt.Fprintf(out, "\n")
+	}
+	if cfg.priced {
+		fmt.Fprintf(out, "  (simulated time priced by cost=%s, cost-seed=%d; observe-only)\n",
+			m.CostModel().Name(), cfg.costSeed)
 	}
 	if len(cfg.faults) > 0 {
 		fmt.Fprintf(out, "\ninjected faults:\n")

@@ -108,6 +108,66 @@ func TestRunTraceTextReportsStats(t *testing.T) {
 	}
 }
 
+// TestRunTraceCost: -cost prices the run — the text report gains the
+// per-process simulated time and the pricing footer, the verdict and the
+// value-chain check are unchanged, and a bad model name is rejected.
+func TestRunTraceCost(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-seed", "3", "-max", "5",
+		"-cost", "ccnuma", "-cost-seed", "7"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"trace consistency: OK",
+		"sim=",
+		"priced by cost=ccnuma, cost-seed=7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("priced text output missing %q", want)
+		}
+	}
+	buf.Reset()
+	if err := run([]string{"-n", "3", "-cost", "unit"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "priced by cost=") {
+		t.Error("unit cost printed a pricing footer")
+	}
+	if err := run([]string{"-n", "3", "-cost", "bogus"}, &buf); err == nil ||
+		!strings.Contains(err.Error(), "ccnuma") {
+		t.Errorf("bogus cost err = %v, want error listing known models", err)
+	}
+}
+
+// TestRunTraceChromeCostDurations: with a cost model the Chrome trace's
+// operation spans carry the model's simulated durations, not one tick each.
+func TestRunTraceChromeCostDurations(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "3", "-seed", "2", "-format", "chrome",
+		"-cost", "dsmremote"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Dur *int64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome output is not valid JSON: %v", err)
+	}
+	var wide bool
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" && ev.Dur != nil && *ev.Dur > 1 {
+			wide = true
+		}
+	}
+	if !wide {
+		t.Error("no span carries a simulated duration > 1 tick under dsmremote pricing")
+	}
+}
+
 // TestRunTraceChromeFormat: -format=chrome must emit valid Chrome
 // trace-event JSON with phase spans, operation spans, and thread names.
 func TestRunTraceChromeFormat(t *testing.T) {

@@ -1,0 +1,322 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"sublock/rmr"
+)
+
+// The priced (cost-model) workloads run under a seeded scheduler gate, not
+// free-running goroutines. Free-running spin loops make the per-process
+// operation sequences timing-dependent — under DSM a CC-optimal lock charges
+// one RMR per remote spin re-read, so even its RMR counts vary run to run —
+// and the latency matrix must be byte-identical across runs and -workers
+// counts. The gate serializes every shared-memory step through a PickFunc
+// whose choices depend only on its own deterministic state, so the schedule,
+// the RMR counts, and the priced simulated times are all bit-reproducible.
+//
+// The scheduling seed is fixed: the drain schedule is part of the workload's
+// definition, so -cost-seed varies only the pricing, never the interleaving.
+const (
+	costScheduleSeed = 1
+	gatedStepBudget  = 20_000_000
+)
+
+// gatedPassages collects one Enter/CS/Exit passage per process under a
+// gate. The entered/done flags are read by the PickFunc: picks happen only
+// at quiescent points where every live process is blocked at the gate, so
+// flag values observed there are settled and the schedule stays
+// deterministic.
+type gatedPassages struct {
+	entered  []atomic.Bool
+	done     []atomic.Bool
+	ok       []bool
+	rmrs     []int64
+	sim      []int64
+	exitRMRs []int64
+}
+
+func newGatedPassages(nprocs int) *gatedPassages {
+	return &gatedPassages{
+		entered:  make([]atomic.Bool, nprocs),
+		done:     make([]atomic.Bool, nprocs),
+		ok:       make([]bool, nprocs),
+		rmrs:     make([]int64, nprocs),
+		sim:      make([]int64, nprocs),
+		exitRMRs: make([]int64, nprocs),
+	}
+}
+
+// body returns process i's passage body. The holder "holds" the critical
+// section without any release channel: between Enter returning and Exit's
+// first shared-memory operation the process blocks at the gate, so the CS
+// lasts exactly as long as the PickFunc declines to grant it a step.
+func (g *gatedPassages) body(p *rmr.Proc, h Handle, i int) func() {
+	return func() {
+		before, simBefore := p.RMRs(), p.SimTime()
+		if h.Enter() {
+			g.entered[i].Store(true)
+			exitBefore := p.RMRs()
+			h.Exit()
+			g.exitRMRs[i] = p.RMRs() - exitBefore
+			g.ok[i] = true
+		}
+		g.rmrs[i] = p.RMRs() - before
+		g.sim[i] = p.SimTime() - simBefore
+		g.done[i].Store(true)
+	}
+}
+
+// indexOf returns pid's index in the id-sorted waiting set, or -1.
+func indexOf(waiting []int, pid int) int {
+	for i, p := range waiting {
+		if p == pid {
+			return i
+		}
+	}
+	return -1
+}
+
+// enqueued reports whether process pid is certainly past its doorway: it
+// entered the CS, finished, or has taken enqueueThreshold steps (the same
+// heuristic the free-running workloads use via awaitEnqueued).
+func (g *gatedPassages) enqueued(m *rmr.Memory, pid int) bool {
+	return g.done[pid].Load() || g.entered[pid].Load() ||
+		m.Proc(pid).Steps() >= enqueueThreshold
+}
+
+// queueDrainPick enforces the queue-drain structure: process 0 runs alone
+// until it holds the lock, then processes 1..n-1 are each run alone until
+// past their doorway (so the queue forms in id order behind the holder),
+// then the drain interleaves every waiting process under the seeded RNG
+// until all passages complete.
+func (g *gatedPassages) queueDrainPick(m *rmr.Memory, rng *rand.Rand) rmr.PickFunc {
+	cursor := 0
+	n := len(g.done)
+	return func(_ int, waiting []int) int {
+		for cursor < n {
+			pid := cursor
+			ready := g.enqueued(m, pid)
+			if pid == 0 {
+				ready = g.entered[0].Load() || g.done[0].Load()
+			}
+			if ready {
+				cursor++
+				continue
+			}
+			if i := indexOf(waiting, pid); i >= 0 {
+				return i
+			}
+			break
+		}
+		return rng.Intn(len(waiting))
+	}
+}
+
+// stormStep is one stage of the gated abort storm's schedule script.
+type stormStep struct {
+	kind     stormStepKind
+	pid      int
+	signaled bool
+}
+
+type stormStepKind int
+
+const (
+	stepEnter   stormStepKind = iota // run pid alone until it holds the lock
+	stepEnqueue                      // run pid alone until past its doorway
+	stepAbort                        // signal pid and run it until its passage ends
+)
+
+// stormPick drives the abort-storm script: the holder acquires, the
+// aborters and then the live waiter enqueue in order, each aborter is
+// signaled and unwound one at a time while the holder is withheld, and the
+// final drain releases the holder's exit handoff and the waiter's passage
+// under the seeded RNG. Abort signals are delivered inside the pick — a
+// quiescent point — so delivery lands at the same step in every run.
+func (g *gatedPassages) stormPick(m *rmr.Memory, script []*stormStep, rng *rand.Rand) rmr.PickFunc {
+	idx, ticks := 0, 0
+	return func(_ int, waiting []int) int {
+		for idx < len(script) {
+			st := script[idx]
+			if g.done[st.pid].Load() {
+				idx++
+				continue
+			}
+			switch st.kind {
+			case stepEnter:
+				if g.entered[st.pid].Load() {
+					idx++
+					continue
+				}
+			case stepEnqueue:
+				if g.enqueued(m, st.pid) {
+					idx++
+					continue
+				}
+			case stepAbort:
+				if !st.signaled {
+					st.signaled = true
+					m.Proc(st.pid).SignalAbort()
+				}
+				// Prefer the aborter, but hand every fourth step to a
+				// non-holder peer: an abort path that needs a peer's
+				// cooperation must not livelock the stage, and the holder
+				// must not exit before the storm is assembled.
+				ticks++
+				if ticks%4 == 0 {
+					if i := pickPeer(waiting, st.pid, rng); i >= 0 {
+						return i
+					}
+				}
+			}
+			if i := indexOf(waiting, st.pid); i >= 0 {
+				return i
+			}
+			break
+		}
+		return rng.Intn(len(waiting))
+	}
+}
+
+// pickPeer picks a seeded-random waiting process that is neither the
+// holder (pid 0) nor skip, or -1 when there is none.
+func pickPeer(waiting []int, skip int, rng *rand.Rand) int {
+	n := 0
+	for _, pid := range waiting {
+		if pid != 0 && pid != skip {
+			n++
+		}
+	}
+	if n == 0 {
+		return -1
+	}
+	k := rng.Intn(n)
+	for i, pid := range waiting {
+		if pid != 0 && pid != skip {
+			if k == 0 {
+				return i
+			}
+			k--
+		}
+	}
+	return -1
+}
+
+// buildGated constructs the memory, lock, and per-passage collector shared
+// by the gated workloads, installing the cost model after Build — so
+// construction operations stay unpriced, matching the free-running
+// harnesses — and before the gate.
+func buildGated(model rmr.Model, cost rmr.CostModel, algo Algo, w, nprocs int) (*gatedPassages, *rmr.Memory, HandleFn, error) {
+	m := newMemory(model, nprocs)
+	fn, err := Build(m, algo, w, nprocs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if cost != nil {
+		m.SetCostModel(cost)
+	}
+	return newGatedPassages(nprocs), m, fn, nil
+}
+
+// runGated launches one passage per process under the scheduler and drives
+// it to completion, draining on a stall so the caller gets an error instead
+// of a leaked schedule.
+func runGated(g *gatedPassages, m *rmr.Memory, fn HandleFn, s *rmr.Scheduler, algo Algo, nprocs int) error {
+	m.SetGate(s)
+	for i := 0; i < nprocs; i++ {
+		p := m.Proc(i)
+		s.Go(g.body(p, fn(p), i))
+	}
+	if err := s.Run(gatedStepBudget); err != nil {
+		for i := 0; i < nprocs; i++ {
+			m.Proc(i).SignalAbort()
+		}
+		s.Drain()
+		return fmt.Errorf("harness: %s gated run stalled: %w", algo, err)
+	}
+	return nil
+}
+
+// gatedQueueWorkload is the deterministic priced queue drain behind
+// QueueWorkloadCost.
+func gatedQueueWorkload(model rmr.Model, cost rmr.CostModel, algo Algo, w, nprocs int) (*QueueResult, error) {
+	g, m, fn, err := buildGated(model, cost, algo, w, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(costScheduleSeed))
+	s := rmr.NewScheduler(nprocs, g.queueDrainPick(m, rng))
+	if err := runGated(g, m, fn, s, algo, nprocs); err != nil {
+		return nil, err
+	}
+	res := &QueueResult{Words: m.Size()}
+	for i := 0; i < nprocs; i++ {
+		if !g.ok[i] {
+			return nil, fmt.Errorf("harness: %s process %d failed its priced passage", algo, i)
+		}
+		res.Passages = append(res.Passages, g.rmrs[i])
+		res.Sim = append(res.Sim, g.sim[i])
+	}
+	return res, nil
+}
+
+// gatedAbortStorm is the deterministic priced abort storm behind
+// AbortStormCost.
+func gatedAbortStorm(model rmr.Model, cost rmr.CostModel, algo Algo, w, aborters int, reverse bool) (*StormResult, error) {
+	if !algo.Abortable() {
+		return nil, fmt.Errorf("harness: %s cannot run an abort storm", algo)
+	}
+	nprocs := aborters + 2
+	g, m, fn, err := buildGated(model, cost, algo, w, nprocs)
+	if err != nil {
+		return nil, err
+	}
+	script := []*stormStep{{kind: stepEnter, pid: 0}}
+	for i := 1; i <= aborters; i++ {
+		script = append(script, &stormStep{kind: stepEnqueue, pid: i})
+	}
+	script = append(script, &stormStep{kind: stepEnqueue, pid: nprocs - 1})
+	order := make([]int, aborters)
+	for i := range order {
+		if reverse {
+			order[i] = aborters - i
+		} else {
+			order[i] = 1 + i
+		}
+	}
+	for _, pid := range order {
+		script = append(script, &stormStep{kind: stepAbort, pid: pid})
+	}
+	rng := rand.New(rand.NewSource(costScheduleSeed))
+	s := rmr.NewScheduler(nprocs, g.stormPick(m, script, rng))
+	if err := runGated(g, m, fn, s, algo, nprocs); err != nil {
+		return nil, err
+	}
+	if !g.ok[0] {
+		return nil, fmt.Errorf("harness: %s holder failed to acquire", algo)
+	}
+	waiter := nprocs - 1
+	if !g.ok[waiter] {
+		return nil, fmt.Errorf("harness: %s waiter failed to acquire", algo)
+	}
+	res := &StormResult{
+		HolderPassage: g.rmrs[0],
+		HolderExit:    g.exitRMRs[0],
+		HolderSim:     g.sim[0],
+		WaiterPassage: g.rmrs[waiter],
+		WaiterSim:     g.sim[waiter],
+		Words:         m.Size(),
+	}
+	for _, pid := range order {
+		if g.ok[pid] {
+			res.Entered++
+		} else {
+			res.Aborted = append(res.Aborted, g.rmrs[pid])
+			res.AbortedSim = append(res.AbortedSim, g.sim[pid])
+		}
+	}
+	return res, nil
+}

@@ -22,6 +22,7 @@ type passage struct {
 	entered atomic.Bool // Enter returned true (process may be in the CS)
 	ok      bool        // final Enter result
 	rmrs    int64       // RMRs of the whole passage
+	sim     int64       // simulated time of the whole passage (Proc.SimTime)
 	done    chan struct{}
 }
 
@@ -32,6 +33,7 @@ func launch(p *rmr.Proc, h Handle, release <-chan struct{}) *passage {
 	go func() {
 		defer close(ps.done)
 		before := p.RMRs()
+		simBefore := p.SimTime()
 		if h.Enter() {
 			ps.entered.Store(true)
 			if release != nil {
@@ -41,6 +43,7 @@ func launch(p *rmr.Proc, h Handle, release <-chan struct{}) *passage {
 			ps.ok = true
 		}
 		ps.rmrs = p.RMRs() - before
+		ps.sim = p.SimTime() - simBefore
 	}()
 	return ps
 }
@@ -77,6 +80,12 @@ type StormResult struct {
 	WaiterPassage int64
 	// Aborted is the per-attempt RMR cost of every aborted passage.
 	Aborted Series
+	// HolderSim, WaiterSim, and AbortedSim mirror HolderPassage,
+	// WaiterPassage, and Aborted in simulated time under the run's cost
+	// model (equal to the RMR figures under the default Unit model).
+	HolderSim  int64
+	WaiterSim  int64
+	AbortedSim Series
 	// Words is the shared-memory footprint after the run.
 	Words int
 	// Entered counts how many of the storm's aborters entered the CS
@@ -103,6 +112,16 @@ func AbortStormModel(model rmr.Model, algo Algo, w, aborters int, reverse bool) 
 	return res, err
 }
 
+// AbortStormCost is the priced abort storm: the same holder/aborters/waiter
+// structure as AbortStormModel, driven under a fixed-seed scheduler gate so
+// every run is bit-deterministic (see gated.go), with the cost model pricing
+// the result's simulated-time fields. The gated schedule differs from the
+// free-running one, so the RMR fields are deterministic but not comparable
+// with AbortStormModel's.
+func AbortStormCost(model rmr.Model, cost rmr.CostModel, algo Algo, w, aborters int, reverse bool) (*StormResult, error) {
+	return gatedAbortStorm(model, cost, algo, w, aborters, reverse)
+}
+
 // AbortStormStats is AbortStormModel with an rmr.Stats collector installed
 // for the whole run, returning the per-process × per-phase × per-label
 // counter snapshot alongside the RMR result. The Stats observation path
@@ -122,7 +141,7 @@ func abortStorm(model rmr.Model, algo Algo, w, aborters int, reverse, withStats 
 	if err != nil {
 		return nil, nil, err
 	}
-	// Install stats after Build so every label the lock interned at
+	// Install stats after Build, so every label the lock interned at
 	// construction is a column of the matrix, and before any passage runs.
 	var st *rmr.Stats
 	if withStats {
@@ -133,6 +152,7 @@ func abortStorm(model rmr.Model, algo Algo, w, aborters int, reverse, withStats 
 	holderProc := m.Proc(0)
 	holder := fn(holderProc)
 	holderBefore := holderProc.RMRs()
+	holderSimBefore := holderProc.SimTime()
 	if !holder.Enter() {
 		return nil, nil, fmt.Errorf("harness: %s holder failed to acquire", algo)
 	}
@@ -165,6 +185,7 @@ func abortStorm(model rmr.Model, algo Algo, w, aborters int, reverse, withStats 
 			res.Entered++
 		} else {
 			res.Aborted = append(res.Aborted, abortersPs[i].rmrs)
+			res.AbortedSim = append(res.AbortedSim, abortersPs[i].sim)
 		}
 	}
 
@@ -174,11 +195,13 @@ func abortStorm(model rmr.Model, algo Algo, w, aborters int, reverse, withStats 
 	holder.Exit()
 	res.HolderExit = holderProc.RMRs() - exitBefore
 	res.HolderPassage = holderProc.RMRs() - holderBefore
+	res.HolderSim = holderProc.SimTime() - holderSimBefore
 	<-waiter.done
 	if !waiter.ok {
 		return nil, nil, fmt.Errorf("harness: %s waiter failed to acquire", algo)
 	}
 	res.WaiterPassage = waiter.rmrs
+	res.WaiterSim = waiter.sim
 	res.Words = m.Size()
 	var snap *rmr.Snapshot
 	if st != nil {
@@ -191,6 +214,10 @@ func abortStorm(model rmr.Model, algo Algo, w, aborters int, reverse, withStats 
 type QueueResult struct {
 	// Passages holds the per-process RMR cost of each complete passage.
 	Passages Series
+	// Sim holds each passage's simulated time under the run's cost model,
+	// index-aligned with Passages (equal to it under the default Unit
+	// model).
+	Sim Series
 	// Words is the shared-memory footprint after the run.
 	Words int
 }
@@ -207,6 +234,16 @@ func QueueWorkload(algo Algo, w, nprocs int) (*QueueResult, error) {
 func QueueWorkloadModel(model rmr.Model, algo Algo, w, nprocs int) (*QueueResult, error) {
 	res, _, err := queueWorkload(model, algo, w, nprocs, false)
 	return res, err
+}
+
+// QueueWorkloadCost is the priced queue drain: the same enqueue-then-drain
+// structure as QueueWorkloadModel, driven under a fixed-seed scheduler gate
+// so every run is bit-deterministic (see gated.go), with the cost model
+// pricing the result's Sim series. The gated schedule differs from the
+// free-running one, so the Passages series is deterministic but not
+// comparable with QueueWorkloadModel's.
+func QueueWorkloadCost(model rmr.Model, cost rmr.CostModel, algo Algo, w, nprocs int) (*QueueResult, error) {
+	return gatedQueueWorkload(model, cost, algo, w, nprocs)
 }
 
 // QueueWorkloadStats is QueueWorkloadModel with an rmr.Stats collector
@@ -242,6 +279,7 @@ func queueWorkload(model rmr.Model, algo Algo, w, nprocs int, withStats bool) (*
 			return nil, nil, fmt.Errorf("harness: %s process %d failed its passage", algo, i)
 		}
 		res.Passages = append(res.Passages, ps.rmrs)
+		res.Sim = append(res.Sim, ps.sim)
 	}
 	res.Words = m.Size()
 	var snap *rmr.Snapshot

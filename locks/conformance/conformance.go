@@ -18,6 +18,7 @@ package conformance
 
 import (
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -63,6 +64,7 @@ func Test(t *testing.T, info locks.Info) {
 				t.Run("abort-before-entry", func(t *testing.T) { testAbortBeforeEntry(t, info, model) })
 			}
 			t.Run("attribution", func(t *testing.T) { testAttribution(t, info, model) })
+			t.Run("cost-transparency", func(t *testing.T) { testCostTransparency(t, info, model) })
 			if !info.OneShot {
 				t.Run("multi-passage", func(t *testing.T) { testMultiPassage(t, info, model) })
 			}
@@ -365,6 +367,144 @@ func testAttribution(t *testing.T, info locks.Info, model rmr.Model) {
 		if snap.Passages+snap.AbortedPassages != int64(nprocs) {
 			t.Errorf("stats counted %d finished passages (completed %d + aborted %d), want %d",
 				snap.Passages+snap.AbortedPassages, snap.Passages, snap.AbortedPassages, nprocs)
+		}
+	}
+}
+
+// costRun is one fully-observed seeded run for the cost-transparency check:
+// everything a cost model must NOT change (schedule, per-process RMR and
+// step counters, passage outcomes, final memory words, and the event stream
+// up to its simulated-time annotations).
+type costRun struct {
+	schedule []int
+	events   []rmr.Event
+	rmrs     []int64
+	steps    []int64
+	entered  []bool
+	words    []uint64
+}
+
+// testCostTransparency is the registry-wide observe-only guarantee: running
+// the same seeded schedule under a non-Unit cost model yields a
+// bit-identical execution — the identical schedule, RMR and step counters,
+// passage outcomes, memory contents, and trace — except for the events'
+// Cost and STime annotations, which are exactly what the model is for. A
+// cost model that steered an execution would invalidate every priced
+// experiment, so this is checked for every lock under every memory model.
+func testCostTransparency(t *testing.T, info locks.Info, model rmr.Model) {
+	const nprocs, seed = 6, 3
+	aborters := 0
+	if info.Abortable {
+		aborters = 2
+	}
+	run := func(cm rmr.CostModel) costRun {
+		t.Helper()
+		s := rmr.NewScheduler(nprocs, rmr.RandomPick(seed))
+		s.RecordSchedule(true)
+		m := rmr.NewMemory(model, nprocs, nil)
+		var mu sync.Mutex
+		var events []rmr.Event
+		m.SetTracer(func(ev rmr.Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		})
+		fn, err := locks.Build(m, info.Name, defaultW, nprocs)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		if cm != nil {
+			m.SetCostModel(cm)
+		}
+		m.SetGate(s)
+		r := costRun{entered: make([]bool, nprocs)}
+		var inCS, violations atomic.Int32
+		for i := 0; i < nprocs; i++ {
+			p := m.Proc(i)
+			if i < aborters {
+				p.SignalAbort()
+			}
+			h := fn(p)
+			i := i
+			s.Go(func() {
+				if h.Enter() {
+					if inCS.Add(1) > 1 {
+						violations.Add(1)
+					}
+					r.entered[i] = true
+					inCS.Add(-1)
+					h.Exit()
+				}
+			})
+		}
+		if err := s.Run(stepBudget); err != nil {
+			for i := 0; i < nprocs; i++ {
+				m.Proc(i).SignalAbort()
+			}
+			s.Drain()
+			t.Fatalf("schedule did not terminate: %v", err)
+		}
+		if v := violations.Load(); v != 0 {
+			t.Fatalf("mutual exclusion violated %d times", v)
+		}
+		r.schedule = s.Schedule()
+		r.events = events
+		for i := 0; i < nprocs; i++ {
+			r.rmrs = append(r.rmrs, m.Proc(i).RMRs())
+			r.steps = append(r.steps, m.Proc(i).Steps())
+		}
+		for a := rmr.Addr(0); int(a) < m.Size(); a++ {
+			r.words = append(r.words, m.Peek(a))
+		}
+		return r
+	}
+
+	cm := rmr.CostModel(rmr.NewCCNuma(9))
+	if model == rmr.DSM {
+		cm = rmr.NewDsmRemote(9)
+	}
+	base, priced := run(nil), run(cm)
+
+	if len(base.schedule) != len(priced.schedule) {
+		t.Fatalf("schedule length changed under cost=%s: %d -> %d",
+			cm.Name(), len(base.schedule), len(priced.schedule))
+	}
+	for i := range base.schedule {
+		if base.schedule[i] != priced.schedule[i] {
+			t.Fatalf("schedule diverged at step %d under cost=%s: proc %d -> %d",
+				i, cm.Name(), base.schedule[i], priced.schedule[i])
+		}
+	}
+	for i := 0; i < nprocs; i++ {
+		if base.rmrs[i] != priced.rmrs[i] {
+			t.Errorf("proc %d: RMRs changed under cost=%s: %d -> %d", i, cm.Name(), base.rmrs[i], priced.rmrs[i])
+		}
+		if base.steps[i] != priced.steps[i] {
+			t.Errorf("proc %d: steps changed under cost=%s: %d -> %d", i, cm.Name(), base.steps[i], priced.steps[i])
+		}
+		if base.entered[i] != priced.entered[i] {
+			t.Errorf("proc %d: passage outcome changed under cost=%s: %v -> %v",
+				i, cm.Name(), base.entered[i], priced.entered[i])
+		}
+	}
+	for a, v := range base.words {
+		if priced.words[a] != v {
+			t.Errorf("word %d: final value changed under cost=%s: %d -> %d", a, cm.Name(), v, priced.words[a])
+		}
+	}
+	if len(base.events) != len(priced.events) {
+		t.Fatalf("trace length changed under cost=%s: %d -> %d events",
+			cm.Name(), len(base.events), len(priced.events))
+	}
+	for i := range base.events {
+		b, p := base.events[i], priced.events[i]
+		// Cost and STime are the model's output — the one legitimate
+		// difference. Everything else must match bit for bit.
+		b.Cost, b.STime = 0, 0
+		p.Cost, p.STime = 0, 0
+		if b != p {
+			t.Fatalf("event %d changed under cost=%s:\n  unit:   %+v\n  priced: %+v",
+				i, cm.Name(), base.events[i], priced.events[i])
 		}
 	}
 }

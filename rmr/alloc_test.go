@@ -57,6 +57,25 @@ func checkOpsDoNotAllocate(t *testing.T, p *Proc, own, shared Addr) {
 	}
 }
 
+// TestCostModelPathDoesNotAllocate: the cost-model seam must not cost the
+// zero-allocation guarantee on any data path — neither under the default
+// Unit model (installed explicitly, which Memory normalizes to the nil fast
+// path) nor under the built-in sampling models, whose Cost is a pure table
+// lookup.
+func TestCostModelPathDoesNotAllocate(t *testing.T) {
+	for _, cm := range []CostModel{Unit, NewCCNuma(1), NewDsmRemote(1)} {
+		for _, model := range []Model{CC, DSM} {
+			t.Run(fmt.Sprintf("%s/%v", cm.Name(), model), func(t *testing.T) {
+				m := NewMemory(model, 2, nil)
+				own := m.AllocLocal(0, 0)
+				shared := m.Alloc(0)
+				m.SetCostModel(cm)
+				checkOpsDoNotAllocate(t, m.Proc(0), own, shared)
+			})
+		}
+	}
+}
+
 // TestEnterPhaseDoesNotAllocate: phase transitions are part of every lock's
 // operation path, so they share the zero-allocation guarantee — with no
 // observer, and with a Stats collector installed (Stats records into

@@ -18,12 +18,21 @@ import (
 // DSM) with periodic updates and one shared F&A — the access mix of a queue
 // lock. The reported ops/s metric aggregates all processes.
 func benchMemOps(b *testing.B, model Model) {
+	benchMemOpsCost(b, model, nil)
+}
+
+// benchMemOpsCost is benchMemOps with a cost model installed; nil leaves
+// the default Unit accounting (the exact pre-seam configuration).
+func benchMemOpsCost(b *testing.B, model Model, cm CostModel) {
 	const procs = 8
 	m := NewMemory(model, procs, nil)
 	shared := m.Alloc(0)
 	var spin [procs]Addr
 	for i := range spin {
 		spin[i] = m.AllocLocal(i, 0)
+	}
+	if cm != nil {
+		m.SetCostModel(cm)
 	}
 	b.ResetTimer()
 	var wg sync.WaitGroup
@@ -54,6 +63,23 @@ func benchMemOps(b *testing.B, model Model) {
 func BenchmarkMemOps(b *testing.B) {
 	b.Run("CC/procs=8", func(b *testing.B) { benchMemOps(b, CC) })
 	b.Run("DSM/procs=8", func(b *testing.B) { benchMemOps(b, DSM) })
+}
+
+// BenchmarkCostModelMemOps measures the cost-model seam's overhead against
+// BenchmarkMemOps' configuration: cost=unit is the seam's fast path (a nil
+// model pointer, expected within noise of BenchmarkMemOps itself) and the
+// sampling models add one hash + table lookup per charged op. Named so that
+// scripts/bench.sh's 'BenchmarkMemOps' pattern does not pick it up — it is
+// an overhead guard, not a trajectory benchmark.
+func BenchmarkCostModelMemOps(b *testing.B) {
+	for _, name := range []string{"unit", "ccnuma", "dsmremote"} {
+		cm, err := NewCostModel(name, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("cost="+name+"/CC/procs=8", func(b *testing.B) { benchMemOpsCost(b, CC, cm) })
+		b.Run("cost="+name+"/DSM/procs=8", func(b *testing.B) { benchMemOpsCost(b, DSM, cm) })
+	}
 }
 
 // spinLockBody is a 3-process CAS spin-lock body: each process acquires,

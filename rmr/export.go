@@ -30,6 +30,11 @@ type jsonlEvent struct {
 	RMR   bool   `json:"rmr"`
 	Phase string `json:"phase,omitempty"`
 	Label string `json:"label,omitempty"`
+	// Cost and STime carry the cost model's simulated-time accounting
+	// (Event.Cost / Event.STime); omitted when zero so unit-model traces
+	// stay compact.
+	Cost  int64 `json:"cost,omitempty"`
+	STime int64 `json:"stime,omitempty"`
 }
 
 // WriteJSONL writes events as JSON Lines: one self-describing object per
@@ -43,6 +48,7 @@ func WriteJSONL(w io.Writer, events []Event, labels []string) error {
 			Time: ev.Time, Proc: ev.Proc, Op: ev.Op.String(), Addr: int32(ev.Addr),
 			Old: ev.Old, New: ev.New, OK: ev.OK, RMR: ev.RMR,
 			Phase: ev.Phase.String(), Label: labelName(labels, ev.Label),
+			Cost: ev.Cost, STime: ev.STime,
 		}
 		if ev.Phase == PhaseIdle {
 			je.Phase = ""
@@ -79,32 +85,36 @@ type chromeTrace struct {
 // WriteChromeTrace writes events in the Chrome trace-event JSON format:
 // each process is a thread (tid) of one synthetic pid, passage phases
 // become complete ("X") spans named after the phase, and every memory
-// operation becomes a unit-duration span nested inside its phase, with
-// address, values, RMR charge, and label in args. Timestamps are the
-// events' logical Times (the viewer's microseconds are simulation steps).
-// Load the output at https://ui.perfetto.dev or chrome://tracing.
+// operation becomes a span nested inside its phase, with address, values,
+// RMR charge, simulated cost, and label in args. Each thread's timeline is
+// the process's simulated clock (Event.STime, see Memory.SetCostModel): an
+// operation spans [STime−Cost, STime], so spans have real simulated
+// durations — nanoseconds under the built-in non-unit cost models, RMR
+// ticks under the default Unit model, where a charged op renders as a
+// unit-duration span exactly as before. Load the output at
+// https://ui.perfetto.dev or chrome://tracing.
 func WriteChromeTrace(w io.Writer, events []Event, labels []string) error {
 	type open struct {
 		phase Phase
-		since int64
+		since int64 // phase start on the process's simulated clock
 	}
 	spans := map[int]open{}
 	procs := map[int]bool{}
+	last := map[int]int64{} // per-proc simulated-clock high-water mark
 	var out []chromeEvent
-	var last int64
 	for _, ev := range events {
-		if ev.Time > last {
-			last = ev.Time
+		if ev.STime > last[ev.Proc] {
+			last[ev.Proc] = ev.STime
 		}
 		procs[ev.Proc] = true
 		if ev.Op == OpPhase {
 			if o, ok := spans[ev.Proc]; ok && o.phase != PhaseIdle {
 				out = append(out, chromeEvent{
 					Name: o.phase.String(), Cat: "phase", Ph: "X",
-					TS: o.since, Dur: ev.Time - o.since, PID: 0, TID: ev.Proc,
+					TS: o.since, Dur: ev.STime - o.since, PID: 0, TID: ev.Proc,
 				})
 			}
-			spans[ev.Proc] = open{phase: Phase(ev.New), since: ev.Time}
+			spans[ev.Proc] = open{phase: Phase(ev.New), since: ev.STime}
 			continue
 		}
 		name := ev.Op.String()
@@ -114,12 +124,15 @@ func WriteChromeTrace(w io.Writer, events []Event, labels []string) error {
 		args := map[string]any{
 			"addr": int32(ev.Addr), "old": ev.Old, "new": ev.New, "rmr": ev.RMR,
 		}
+		if ev.Cost != 0 {
+			args["cost"] = ev.Cost
+		}
 		if !ev.OK {
 			args["failed"] = true
 		}
 		out = append(out, chromeEvent{
 			Name: name, Cat: "op", Ph: "X",
-			TS: ev.Time, Dur: 1, PID: 0, TID: ev.Proc, Args: args,
+			TS: ev.STime - ev.Cost, Dur: ev.Cost, PID: 0, TID: ev.Proc, Args: args,
 		})
 	}
 	// Close spans still open at the end of the trace, then name the
@@ -134,7 +147,7 @@ func WriteChromeTrace(w io.Writer, events []Event, labels []string) error {
 		if o, ok := spans[proc]; ok && o.phase != PhaseIdle {
 			out = append(out, chromeEvent{
 				Name: o.phase.String(), Cat: "phase", Ph: "X",
-				TS: o.since, Dur: last + 1 - o.since, PID: 0, TID: proc,
+				TS: o.since, Dur: last[proc] + 1 - o.since, PID: 0, TID: proc,
 			})
 		}
 	}

@@ -130,6 +130,12 @@ type Memory struct {
 	obs   atomic.Pointer[observer]
 	clock atomic.Int64
 
+	// cost prices charged operations in simulated time (cost.go). nil means
+	// the default Unit model and keeps the op paths identical to the
+	// pre-seam code: like model and gate it is set during setup (see
+	// SetCostModel) and read without synchronization on the hot paths.
+	cost CostModel
+
 	// ftab is the free-running wait table behind Proc.Wait (wait.go). Its
 	// parked counter stays zero under a gate, which keeps the mutating
 	// operations' wakeup hook to a single atomic load.
@@ -185,6 +191,38 @@ func (m *Memory) SetGate(g Gate) {
 	// from a free-running phase (Wait no-ops under a gate, so it would
 	// never re-park). The woken processes re-check their conditions.
 	m.ftab.wakeAll()
+}
+
+// SetCostModel installs the cost model that prices charged operations in
+// simulated time (see CostModel in cost.go). nil or Unit restores the
+// default unit accounting, under which SimTime equals RMRs and the op fast
+// paths are untouched. Cost is observe-only: it never changes what the
+// processes do, which operations charge RMRs, or how schedules unfold.
+//
+// Like SetGate and SetTracer it is setup-time only — install the model
+// before launching the concurrent phase. As a guard against swapping models
+// mid-run it panics when the installed gate is a Scheduler with an undrained
+// schedule in progress.
+func (m *Memory) SetCostModel(cm CostModel) {
+	if s := m.sched; s != nil && s.active() {
+		panic("rmr: SetCostModel while the current scheduler is mid-schedule")
+	}
+	if cm == Unit {
+		cm = nil
+	}
+	m.mu.Lock()
+	m.cost = cm
+	m.mu.Unlock()
+}
+
+// CostModel returns the installed cost model; the default is Unit.
+func (m *Memory) CostModel() CostModel {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.cost == nil {
+		return Unit
+	}
+	return m.cost
 }
 
 // exclusive reports whether the issuing process holds exclusive access to

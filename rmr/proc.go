@@ -21,6 +21,7 @@ type Proc struct {
 
 	rmrs  atomic.Int64 // remote memory references charged so far
 	steps atomic.Int64 // total shared-memory operations issued
+	stime atomic.Int64 // simulated time accrued under a non-nil cost model
 
 	abort atomic.Bool // external abort signal (§2: delivered from outside)
 
@@ -47,6 +48,19 @@ func (p *Proc) RMRs() int64 { return p.rmrs.Load() }
 
 // Steps returns the total number of shared-memory operations issued.
 func (p *Proc) Steps() int64 { return p.steps.Load() }
+
+// SimTime returns the simulated time this process has accumulated under the
+// memory's cost model: the sum of the costs of its operations, in simulated
+// nanoseconds for the built-in non-unit models. Under the default Unit model
+// every charged operation costs one tick, so SimTime equals RMRs. Harnesses
+// snapshot it before and after a passage to obtain the passage's simulated
+// latency, exactly as they do with RMRs.
+func (p *Proc) SimTime() int64 {
+	if p.m.cost == nil {
+		return p.rmrs.Load()
+	}
+	return p.stime.Load()
+}
 
 // SignalAbort delivers the external abort signal to the process. The signal
 // is sticky until ClearAbort is called. A process parked by Wait is woken,
@@ -99,7 +113,7 @@ func (p *Proc) EnterPhase(ph Phase) {
 		o.tracer(Event{
 			Proc: p.id, Op: OpPhase, Addr: -1,
 			Old: uint64(old), New: uint64(ph), OK: true,
-			Time: p.m.clock.Add(1), Phase: ph,
+			Time: p.m.clock.Add(1), Phase: ph, STime: p.SimTime(),
 		})
 	}
 }
@@ -123,44 +137,72 @@ func (p *Proc) step(a Addr, mut bool) {
 	p.steps.Add(1)
 }
 
+// charge counts one RMR and prices it under the memory's cost model. The
+// attempt ordinal handed to the model is the process's cumulative RMR count
+// after the charge — deterministic wherever RMR counts are — so seeded
+// models reproduce bit-identical costs on replays (see CostModel).
+func (p *Proc) charge(class OpClass) int64 {
+	n := p.rmrs.Add(1)
+	cm := p.m.cost
+	if cm == nil {
+		return 1
+	}
+	c := cm.Cost(p.id, n, class)
+	p.stime.Add(c)
+	return c
+}
+
+// localCost prices an operation that charged no RMR. The built-in models
+// price local hits at zero (free-running spin re-reads are not
+// deterministic, see CostModel), so under them this is a single nil-check;
+// the step ordinal is passed for custom models that do cost hits.
+func (p *Proc) localCost(class OpClass) int64 {
+	cm := p.m.cost
+	if cm == nil {
+		return 0
+	}
+	c := cm.Cost(p.id, p.steps.Load(), class)
+	if c != 0 {
+		p.stime.Add(c)
+	}
+	return c
+}
+
 // chargeRead charges the RMR cost of a read of w under the memory model and
-// updates coherence state, reporting whether an RMR was charged. The word's
-// mutex must be held.
-func (p *Proc) chargeRead(w *word) bool {
+// updates coherence state, reporting whether an RMR was charged and the
+// operation's simulated cost. The word's mutex must be held.
+func (p *Proc) chargeRead(w *word) (rmr bool, cost int64) {
 	switch p.m.model {
 	case CC:
 		if !w.cached.has(p.id) {
-			p.rmrs.Add(1)
 			w.cached.add(p.id)
-			return true
+			return true, p.charge(ClassRemoteMiss)
 		}
-		return false
 	case DSM:
 		if int(w.owner) != p.id {
-			p.rmrs.Add(1)
-			return true
+			return true, p.charge(ClassRemoteMiss)
 		}
 	}
-	return false
+	return false, p.localCost(ClassLocalHit)
 }
 
 // chargeUpdate charges the RMR cost of a write/CAS/F&A/SWAP of w and updates
-// coherence state, reporting whether an RMR was charged: under CC every
-// update is an RMR and invalidates all other processes' copies, leaving the
-// updater with a valid copy. The word's mutex must be held.
-func (p *Proc) chargeUpdate(w *word) bool {
+// coherence state, reporting whether an RMR was charged and the operation's
+// simulated cost under the given class (ClassInvalidation for plain writes,
+// ClassAtomicRMW for CAS/F&A/SWAP): under CC every update is an RMR and
+// invalidates all other processes' copies, leaving the updater with a valid
+// copy. The word's mutex must be held.
+func (p *Proc) chargeUpdate(w *word, class OpClass) (rmr bool, cost int64) {
 	switch p.m.model {
 	case CC:
-		p.rmrs.Add(1)
 		w.cached.clearExcept(p.id)
-		return true
+		return true, p.charge(class)
 	case DSM:
 		if int(w.owner) != p.id {
-			p.rmrs.Add(1)
-			return true
+			return true, p.charge(class)
 		}
 	}
-	return false
+	return false, p.localCost(ClassLocalHit)
 }
 
 // Read atomically reads the word at a.
@@ -178,9 +220,7 @@ func (p *Proc) Read(a Addr) uint64 {
 		case DSM:
 			// A DSM read changes no coherence state — the word's home is
 			// fixed — so it is a single atomic load.
-			if int(w.owner) != p.id {
-				p.rmrs.Add(1)
-			}
+			p.chargeRead(w)
 			return w.val.Load()
 		case CC:
 			if !m.wide {
@@ -191,6 +231,7 @@ func (p *Proc) Read(a Addr) uint64 {
 				if s&1 == 0 && w.cached.inline.Load()&(1<<uint(p.id)) != 0 {
 					v := w.val.Load()
 					if w.seq.Load() == s {
+						p.localCost(ClassLocalHit)
 						return v
 					}
 				}
@@ -209,10 +250,10 @@ func (p *Proc) Read(a Addr) uint64 {
 	if o != nil {
 		hit, _ = p.cacheState(w, false)
 	}
-	rmr := p.chargeRead(w)
+	rmr, cost := p.chargeRead(w)
 	v := w.val.Load()
 	if o != nil {
-		m.observe(o, p, w, Event{Proc: p.id, Op: OpRead, Addr: a, Old: v, New: v, OK: true, RMR: rmr}, hit, 0)
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpRead, Addr: a, Old: v, New: v, OK: true, RMR: rmr, Cost: cost}, hit, 0)
 	}
 	w.mu.Unlock()
 	return v
@@ -226,21 +267,19 @@ func (p *Proc) Write(a Addr, v uint64) {
 	o := m.obs.Load()
 	if o == nil {
 		if m.exclusive() {
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassInvalidation)
 			w.val.Store(v)
 			return
 		}
 		if m.model == DSM {
-			if int(w.owner) != p.id {
-				p.rmrs.Add(1)
-			}
+			p.chargeUpdate(w, ClassInvalidation)
 			w.val.Store(v)
 			m.wakeup(a)
 			return
 		}
 		if !m.wide {
 			s := w.claim()
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassInvalidation)
 			w.val.Store(v)
 			w.release(s)
 			m.wakeup(a)
@@ -254,12 +293,12 @@ func (p *Proc) Write(a Addr, v uint64) {
 		hit, invals = p.cacheState(w, true)
 	}
 	w.seq.Add(1)
-	rmr := p.chargeUpdate(w)
+	rmr, cost := p.chargeUpdate(w, ClassInvalidation)
 	old := w.val.Load()
 	w.val.Store(v)
 	w.seq.Add(1)
 	if o != nil {
-		m.observe(o, p, w, Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr}, hit, invals)
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpWrite, Addr: a, Old: old, New: v, OK: true, RMR: rmr, Cost: cost}, hit, invals)
 	}
 	w.mu.Unlock()
 	m.wakeup(a)
@@ -276,7 +315,7 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 	o := m.obs.Load()
 	if o == nil {
 		if m.exclusive() {
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassAtomicRMW)
 			if w.val.Load() != old {
 				return false
 			}
@@ -284,9 +323,7 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 			return true
 		}
 		if m.model == DSM {
-			if int(w.owner) != p.id {
-				p.rmrs.Add(1)
-			}
+			p.chargeUpdate(w, ClassAtomicRMW)
 			ok := w.val.CompareAndSwap(old, new)
 			if ok {
 				m.wakeup(a)
@@ -295,7 +332,7 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 		}
 		if !m.wide {
 			s := w.claim()
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassAtomicRMW)
 			ok := w.val.Load() == old
 			if ok {
 				w.val.Store(new)
@@ -314,15 +351,15 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 		hit, invals = p.cacheState(w, true)
 	}
 	w.seq.Add(1)
-	rmr := p.chargeUpdate(w)
+	rmr, cost := p.chargeUpdate(w, ClassAtomicRMW)
 	ok := w.val.CompareAndSwap(old, new)
 	w.seq.Add(1)
 	if o != nil {
 		if ok {
-			m.observe(o, p, w, Event{Proc: p.id, Op: OpCAS, Addr: a, Old: old, New: new, OK: true, RMR: rmr}, hit, invals)
+			m.observe(o, p, w, Event{Proc: p.id, Op: OpCAS, Addr: a, Old: old, New: new, OK: true, RMR: rmr, Cost: cost}, hit, invals)
 		} else {
 			cur := w.val.Load()
-			m.observe(o, p, w, Event{Proc: p.id, Op: OpCAS, Addr: a, Old: cur, New: cur, OK: false, RMR: rmr}, hit, invals)
+			m.observe(o, p, w, Event{Proc: p.id, Op: OpCAS, Addr: a, Old: cur, New: cur, OK: false, RMR: rmr, Cost: cost}, hit, invals)
 		}
 	}
 	w.mu.Unlock()
@@ -341,22 +378,20 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 	o := m.obs.Load()
 	if o == nil {
 		if m.exclusive() {
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Load()
 			w.val.Store(old + delta)
 			return old
 		}
 		if m.model == DSM {
-			if int(w.owner) != p.id {
-				p.rmrs.Add(1)
-			}
+			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Add(delta) - delta
 			m.wakeup(a)
 			return old
 		}
 		if !m.wide {
 			s := w.claim()
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Load()
 			w.val.Store(old + delta)
 			w.release(s)
@@ -371,12 +406,12 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 		hit, invals = p.cacheState(w, true)
 	}
 	w.seq.Add(1)
-	rmr := p.chargeUpdate(w)
+	rmr, cost := p.chargeUpdate(w, ClassAtomicRMW)
 	old := w.val.Load()
 	w.val.Store(old + delta)
 	w.seq.Add(1)
 	if o != nil {
-		m.observe(o, p, w, Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: old + delta, OK: true, RMR: rmr}, hit, invals)
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpFAA, Addr: a, Old: old, New: old + delta, OK: true, RMR: rmr, Cost: cost}, hit, invals)
 	}
 	w.mu.Unlock()
 	m.wakeup(a)
@@ -393,22 +428,20 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 	o := m.obs.Load()
 	if o == nil {
 		if m.exclusive() {
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Load()
 			w.val.Store(v)
 			return old
 		}
 		if m.model == DSM {
-			if int(w.owner) != p.id {
-				p.rmrs.Add(1)
-			}
+			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Swap(v)
 			m.wakeup(a)
 			return old
 		}
 		if !m.wide {
 			s := w.claim()
-			p.chargeUpdate(w)
+			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Load()
 			w.val.Store(v)
 			w.release(s)
@@ -423,12 +456,12 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 		hit, invals = p.cacheState(w, true)
 	}
 	w.seq.Add(1)
-	rmr := p.chargeUpdate(w)
+	rmr, cost := p.chargeUpdate(w, ClassAtomicRMW)
 	old := w.val.Load()
 	w.val.Store(v)
 	w.seq.Add(1)
 	if o != nil {
-		m.observe(o, p, w, Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr}, hit, invals)
+		m.observe(o, p, w, Event{Proc: p.id, Op: OpSwap, Addr: a, Old: old, New: v, OK: true, RMR: rmr, Cost: cost}, hit, invals)
 	}
 	w.mu.Unlock()
 	m.wakeup(a)

@@ -57,6 +57,44 @@ func (r *Ring) Total() int64 {
 	return r.total
 }
 
+// PassageSimLatencies extracts the simulated duration of every passage that
+// both opened and closed inside the buffered window, in completion order:
+// per process, a passage opens on an OpPhase event leaving PhaseIdle and
+// closes on the one returning to it, and its latency is the process's
+// simulated-clock delta (Event.STime) between the two. Passages truncated
+// by eviction at either end are skipped.
+func (r *Ring) PassageSimLatencies() []int64 {
+	type openPassage struct {
+		active bool
+		start  int64
+	}
+	open := map[int]openPassage{}
+	var out []int64
+	for _, ev := range r.Events() {
+		if ev.Op != OpPhase {
+			continue
+		}
+		oldPh, newPh := Phase(ev.Old), Phase(ev.New)
+		o := open[ev.Proc]
+		switch {
+		case oldPh == PhaseIdle && newPh != PhaseIdle:
+			open[ev.Proc] = openPassage{active: true, start: ev.STime}
+		case newPh == PhaseIdle && o.active:
+			out = append(out, ev.STime-o.start)
+			open[ev.Proc] = openPassage{}
+		}
+	}
+	return out
+}
+
+// PassageSimSummary reports nearest-rank p50/p95/p99 of the simulated
+// passage latencies in the buffered window, and how many complete passages
+// they summarize (all zero when none).
+func (r *Ring) PassageSimSummary() (p50, p95, p99 int64, n int) {
+	lats := r.PassageSimLatencies()
+	return SimQuantile(lats, 0.50), SimQuantile(lats, 0.95), SimQuantile(lats, 0.99), len(lats)
+}
+
 // Reset discards the buffered events (capacity is retained).
 func (r *Ring) Reset() {
 	r.mu.Lock()

@@ -16,6 +16,12 @@ import (
 // in [2^(b-1), 2^b); the last bucket absorbs everything beyond.
 const numPassageBuckets = 16
 
+// numSimBuckets sizes the passage simulated-latency histogram the same way
+// but in simulated nanoseconds, whose range is far wider than RMR counts
+// (a DSM-remote passage easily costs 10^5 ns): 48 log2 buckets cover
+// anything a realistic model can produce.
+const numSimBuckets = 48
+
 // Stats accumulates the observability counter matrix of one Memory:
 // operation counts, RMR charges, cache hits, and invalidations, each
 // broken down by process × passage phase × address label, plus a
@@ -41,6 +47,8 @@ type Stats struct {
 	aborted   atomic.Int64 // passages that visited PhaseAbort
 	histSum   atomic.Int64 // total RMRs across finished passages
 	hist      [numPassageBuckets]atomic.Int64
+	simSum    atomic.Int64 // total simulated time across finished passages
+	simHist   [numSimBuckets]atomic.Int64
 
 	// inPassage tracks each process's open passage. Only the owning
 	// goroutine touches its entry (from EnterPhase), and Snapshot does not
@@ -53,12 +61,14 @@ type statsCell struct {
 	rmrs   atomic.Int64
 	hits   atomic.Int64
 	invals atomic.Int64
+	simns  atomic.Int64 // simulated time under the memory's cost model
 }
 
 type passageState struct {
-	active  bool
-	aborted bool
-	start   int64 // Proc.RMRs at passage start
+	active   bool
+	aborted  bool
+	start    int64 // Proc.RMRs at passage start
+	startSim int64 // Proc.SimTime at passage start
 }
 
 // NewStats creates a collector for m, sized to its process count and the
@@ -76,7 +86,7 @@ func NewStats(m *Memory) *Stats {
 
 // record accounts one observed operation. Called from the operation slow
 // path with the word lock held; distinct words record concurrently.
-func (st *Stats) record(pid int, ph Phase, label int32, op Op, rmr, hit bool, invals int) {
+func (st *Stats) record(pid int, ph Phase, label int32, op Op, rmr bool, cost int64, hit bool, invals int) {
 	if label < 0 || int(label) >= st.nlabels {
 		label = 0
 	}
@@ -89,6 +99,9 @@ func (st *Stats) record(pid int, ph Phase, label int32, op Op, rmr, hit bool, in
 	}
 	if rmr {
 		c.rmrs.Add(1)
+	}
+	if cost > 0 {
+		c.simns.Add(cost)
 	}
 	if hit {
 		c.hits.Add(1)
@@ -106,7 +119,8 @@ func (st *Stats) phaseChange(p *Proc, old, new Phase) {
 	ps := &st.inPassage[p.id]
 	switch {
 	case !ps.active && old == PhaseIdle && new != PhaseIdle:
-		ps.active, ps.aborted, ps.start = true, false, p.rmrs.Load()
+		ps.active, ps.aborted = true, false
+		ps.start, ps.startSim = p.rmrs.Load(), p.SimTime()
 	case new == PhaseAbort:
 		ps.aborted = true
 	case new == PhaseIdle && ps.active:
@@ -117,6 +131,13 @@ func (st *Stats) phaseChange(p *Proc, old, new Phase) {
 		}
 		st.hist[b].Add(1)
 		st.histSum.Add(cost)
+		sim := p.SimTime() - ps.startSim
+		sb := bits.Len64(uint64(sim))
+		if sb >= numSimBuckets {
+			sb = numSimBuckets - 1
+		}
+		st.simHist[sb].Add(1)
+		st.simSum.Add(sim)
 		if ps.aborted {
 			st.aborted.Add(1)
 		} else {
@@ -132,6 +153,7 @@ type Cell struct {
 	RMRs   int64    // operations charged as remote
 	Hits   int64    // CC: reads/updates finding a valid cached copy; DSM: local-word accesses
 	Invals int64    // CC only: cached copies invalidated by updates
+	SimNS  int64    // simulated time under the cost model (ticks under Unit)
 }
 
 func (c *Cell) add(o *Cell) {
@@ -141,6 +163,7 @@ func (c *Cell) add(o *Cell) {
 	c.RMRs += o.RMRs
 	c.Hits += o.Hits
 	c.Invals += o.Invals
+	c.SimNS += o.SimNS
 }
 
 func (c *Cell) zero() bool {
@@ -154,12 +177,18 @@ type Snapshot struct {
 	Model  Model
 	Procs  int
 	Labels []string // label id → name; Labels[0] = "" (unlabeled)
+	// Cost names the memory's cost model at snapshot time ("unit" unless a
+	// model was installed with Memory.SetCostModel); simulated-time fields
+	// below are in its units (ns for the built-in non-unit models).
+	Cost string
 
 	// Passage accounting (driven by Proc.EnterPhase).
 	Passages        int64 // finished passages that did not abort
 	AbortedPassages int64
 	PassageRMRSum   int64   // total RMRs across finished passages
 	PassageHist     []int64 // bucket 0: zero-cost; bucket b: cost in [2^(b-1), 2^b)
+	PassageSimSum   int64   // total simulated time across finished passages
+	PassageSimHist  []int64 // same bucketing as PassageHist, in sim time
 
 	cells []Cell
 }
@@ -170,14 +199,20 @@ func (st *Stats) Snapshot() *Snapshot {
 		Model:           st.m.model,
 		Procs:           st.nprocs,
 		Labels:          st.m.Labels()[:st.nlabels],
+		Cost:            st.m.CostModel().Name(),
 		Passages:        st.completed.Load(),
 		AbortedPassages: st.aborted.Load(),
 		PassageRMRSum:   st.histSum.Load(),
 		PassageHist:     make([]int64, numPassageBuckets),
+		PassageSimSum:   st.simSum.Load(),
+		PassageSimHist:  make([]int64, numSimBuckets),
 		cells:           make([]Cell, len(st.cells)),
 	}
 	for i := range st.hist {
 		s.PassageHist[i] = st.hist[i].Load()
+	}
+	for i := range st.simHist {
+		s.PassageSimHist[i] = st.simHist[i].Load()
 	}
 	for i := range st.cells {
 		c := &st.cells[i]
@@ -188,6 +223,7 @@ func (st *Stats) Snapshot() *Snapshot {
 		d.RMRs = c.rmrs.Load()
 		d.Hits = c.hits.Load()
 		d.Invals = c.invals.Load()
+		d.SimNS = c.simns.Load()
 	}
 	return s
 }
@@ -245,6 +281,71 @@ func (s *Snapshot) ProcPhaseLabelRMRs(proc int, ph Phase, prefix string) int64 {
 	return n
 }
 
+// ProcPhaseSimNS sums the simulated time process proc accrued in phase ph.
+func (s *Snapshot) ProcPhaseSimNS(proc int, ph Phase) int64 {
+	var n int64
+	for l := range s.Labels {
+		n += s.Cell(proc, ph, int32(l)).SimNS
+	}
+	return n
+}
+
+// PhaseSimNS sums the simulated time all processes accrued in phase ph.
+func (s *Snapshot) PhaseSimNS(ph Phase) int64 {
+	var n int64
+	for p := 0; p < s.Procs; p++ {
+		n += s.ProcPhaseSimNS(p, ph)
+	}
+	return n
+}
+
+// LabelSimNS sums the simulated time charged to words labeled name across
+// all processes and phases; name "" selects the unlabeled region.
+func (s *Snapshot) LabelSimNS(name string) int64 {
+	var n int64
+	for l, ln := range s.Labels {
+		if ln != name {
+			continue
+		}
+		for p := 0; p < s.Procs; p++ {
+			for ph := Phase(0); ph < NumPhases; ph++ {
+				n += s.Cell(p, ph, int32(l)).SimNS
+			}
+		}
+	}
+	return n
+}
+
+// PassageSimQuantile estimates the q-quantile (0 < q ≤ 1) of per-passage
+// simulated latency from the log2 histogram, returning the upper bound of
+// the bucket holding the nearest-rank passage (so the estimate is exact for
+// zero-cost passages and within 2× otherwise; harnesses that need exact
+// percentiles snapshot Proc.SimTime per passage instead).
+func (s *Snapshot) PassageSimQuantile(q float64) int64 {
+	var total int64
+	for _, n := range s.PassageSimHist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b, n := range s.PassageSimHist {
+		cum += n
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			return 1<<b - 1
+		}
+	}
+	return 1<<len(s.PassageSimHist) - 1
+}
+
 // Total aggregates every cell.
 func (s *Snapshot) Total() Cell {
 	var t Cell
@@ -256,6 +357,9 @@ func (s *Snapshot) Total() Cell {
 
 // TotalRMRs sums RMRs over every cell.
 func (s *Snapshot) TotalRMRs() int64 { return s.Total().RMRs }
+
+// TotalSimNS sums simulated time over every cell.
+func (s *Snapshot) TotalSimNS() int64 { return s.Total().SimNS }
 
 var opNames = [5]string{"read", "write", "cas", "faa", "swap"}
 
@@ -272,10 +376,15 @@ func labelDisplay(name string) string {
 func (s *Snapshot) WriteText(w io.Writer) error {
 	tw := &errWriter{w: w}
 	t := s.Total()
-	tw.printf("rmr stats: model=%v procs=%d labels=%d\n", s.Model, s.Procs, len(s.Labels))
+	tw.printf("rmr stats: model=%v procs=%d labels=%d cost=%s\n", s.Model, s.Procs, len(s.Labels), s.Cost)
 	tw.printf("ops: read=%d write=%d cas=%d faa=%d swap=%d  rmrs=%d hits=%d invalidations=%d\n",
 		t.Ops[0], t.Ops[1], t.Ops[2], t.Ops[3], t.Ops[4], t.RMRs, t.Hits, t.Invals)
 	tw.printf("passages: completed=%d aborted=%d rmr-sum=%d\n", s.Passages, s.AbortedPassages, s.PassageRMRSum)
+	if s.Passages+s.AbortedPassages > 0 {
+		tw.printf("simulated passage latency (cost=%s): sum=%d p50≤%d p95≤%d p99≤%d\n",
+			s.Cost, s.PassageSimSum,
+			s.PassageSimQuantile(0.50), s.PassageSimQuantile(0.95), s.PassageSimQuantile(0.99))
+	}
 	if s.Passages+s.AbortedPassages > 0 {
 		tw.printf("passage cost histogram (rmrs):")
 		for b, n := range s.PassageHist {
@@ -299,6 +408,11 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 	tw.printf("per-phase RMRs (all processes):")
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		tw.printf(" %v=%d", ph, s.PhaseRMRs(ph))
+	}
+	tw.printf("\n")
+	tw.printf("per-phase simulated time (cost=%s):", s.Cost)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		tw.printf(" %v=%d", ph, s.PhaseSimNS(ph))
 	}
 	tw.printf("\n")
 	tw.printf("per-label RMRs (all processes):\n")
@@ -338,9 +452,10 @@ func (s *Snapshot) WriteText(w io.Writer) error {
 // format (version 0.0.4, via the shared internal/promtext writer also used
 // by the native abortable/obs endpoint): rmr_ops_total, rmr_remote_total,
 // rmr_cache_hits_total, rmr_invalidations_total (each by proc, phase,
-// label, and — for ops — kind), rmr_passages_total by result, and the
-// rmr_passage_cost_rmrs histogram. All-zero series are omitted and series
-// order is deterministic.
+// label, and — for ops — kind), rmr_sim_time_ns_total (by proc, phase,
+// label, and cost model), rmr_passages_total by result, and the
+// rmr_passage_cost_rmrs and rmr_passage_sim_ns histograms. All-zero series
+// are omitted and series order is deterministic.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	pw := promtext.NewWriter(w)
 	cellLabels := func(p int, ph Phase, l int32) []promtext.Label {
@@ -374,6 +489,13 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			}
 		})
 	}
+	pw.Metric("rmr_sim_time_ns_total", "Simulated time accrued under the cost model (ticks under unit).", "counter")
+	s.eachCell(func(p int, ph Phase, l int32, c Cell) {
+		if c.SimNS != 0 {
+			pw.Sample("rmr_sim_time_ns_total",
+				append(cellLabels(p, ph, l), promtext.Label{Name: "cost", Value: s.Cost}), c.SimNS)
+		}
+	})
 	pw.Metric("rmr_passages_total", "Finished lock passages by result.", "counter")
 	pw.Sample("rmr_passages_total", []promtext.Label{{Name: "result", Value: "completed"}}, s.Passages)
 	pw.Sample("rmr_passages_total", []promtext.Label{{Name: "result", Value: "aborted"}}, s.AbortedPassages)
@@ -387,6 +509,27 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	cum += s.PassageHist[numPassageBuckets-1]
 	buckets = append(buckets, promtext.Bucket{LE: "+Inf", Cum: cum})
 	pw.Histogram("rmr_passage_cost_rmrs", nil, buckets, s.PassageRMRSum)
+	pw.Metric("rmr_passage_sim_ns", "Simulated time per finished passage under the cost model.", "histogram")
+	// Emit log2 buckets only up to the last populated one — cumulative
+	// counts stay valid with +Inf closing the series — so the exposition
+	// does not carry ~40 empty tail buckets per scrape.
+	lastSim := 0
+	for b, n := range s.PassageSimHist {
+		if n != 0 {
+			lastSim = b
+		}
+	}
+	simBuckets := make([]promtext.Bucket, 0, lastSim+2)
+	var simCum int64
+	for b := 0; b <= lastSim; b++ {
+		simCum += s.PassageSimHist[b]
+		simBuckets = append(simBuckets, promtext.Bucket{LE: fmt.Sprintf("%d", int64(1)<<b-1), Cum: simCum})
+	}
+	for b := lastSim + 1; b < numSimBuckets; b++ {
+		simCum += s.PassageSimHist[b]
+	}
+	simBuckets = append(simBuckets, promtext.Bucket{LE: "+Inf", Cum: simCum})
+	pw.Histogram("rmr_passage_sim_ns", []promtext.Label{{Name: "cost", Value: s.Cost}}, simBuckets, s.PassageSimSum)
 	return pw.Err()
 }
 

@@ -105,6 +105,15 @@ type Event struct {
 	// Label is the label id of the addressed word (see Memory.Label);
 	// 0 means unlabeled. Resolve names with Memory.LabelName.
 	Label int32
+	// Cost is the simulated-time cost the memory's cost model assigned to
+	// the operation (cost.go): simulated nanoseconds under the built-in
+	// non-unit models, one tick per charged operation under Unit. OpPhase
+	// events carry 0.
+	Cost int64
+	// STime is the issuing process's cumulative simulated time after the
+	// operation (Proc.SimTime) — a per-process virtual clock that gives
+	// exported traces real durations.
+	STime int64
 }
 
 // String formats the event on one line, e.g.
@@ -187,8 +196,9 @@ func (m *Memory) observe(o *observer, p *Proc, w *word, ev Event, hit bool, inva
 	ev.Time = m.clock.Add(1)
 	ev.Phase = p.phase
 	ev.Label = w.label.Load()
+	ev.STime = p.SimTime()
 	if o.stats != nil {
-		o.stats.record(ev.Proc, ev.Phase, ev.Label, ev.Op, ev.RMR, hit, invals)
+		o.stats.record(ev.Proc, ev.Phase, ev.Label, ev.Op, ev.RMR, ev.Cost, hit, invals)
 	}
 	if o.tracer != nil {
 		o.tracer(ev)

@@ -35,14 +35,15 @@ func TestTraceRecordsOperations(t *testing.T) {
 
 	// Sequential operations get consecutive timestamps starting at 1, and
 	// with no EnterPhase call every event is attributed to PhaseIdle and
-	// the unlabeled region.
+	// the unlabeled region. Under the default Unit cost model every charged
+	// op costs one tick and STime tracks the process's cumulative RMRs.
 	want := []Event{
-		{Proc: 0, Op: OpRead, Addr: a, Old: 10, New: 10, OK: true, RMR: true, Time: 1},
-		{Proc: 0, Op: OpWrite, Addr: a, Old: 10, New: 20, OK: true, RMR: true, Time: 2},
-		{Proc: 0, Op: OpFAA, Addr: a, Old: 20, New: 25, OK: true, RMR: true, Time: 3},
-		{Proc: 0, Op: OpSwap, Addr: a, Old: 25, New: 1, OK: true, RMR: true, Time: 4},
-		{Proc: 0, Op: OpCAS, Addr: a, Old: 1, New: 2, OK: true, RMR: true, Time: 5},
-		{Proc: 0, Op: OpCAS, Addr: a, Old: 2, New: 2, OK: false, RMR: true, Time: 6},
+		{Proc: 0, Op: OpRead, Addr: a, Old: 10, New: 10, OK: true, RMR: true, Time: 1, Cost: 1, STime: 1},
+		{Proc: 0, Op: OpWrite, Addr: a, Old: 10, New: 20, OK: true, RMR: true, Time: 2, Cost: 1, STime: 2},
+		{Proc: 0, Op: OpFAA, Addr: a, Old: 20, New: 25, OK: true, RMR: true, Time: 3, Cost: 1, STime: 3},
+		{Proc: 0, Op: OpSwap, Addr: a, Old: 25, New: 1, OK: true, RMR: true, Time: 4, Cost: 1, STime: 4},
+		{Proc: 0, Op: OpCAS, Addr: a, Old: 1, New: 2, OK: true, RMR: true, Time: 5, Cost: 1, STime: 5},
+		{Proc: 0, Op: OpCAS, Addr: a, Old: 2, New: 2, OK: false, RMR: true, Time: 6, Cost: 1, STime: 6},
 	}
 	if len(c.events) != len(want) {
 		t.Fatalf("recorded %d events, want %d", len(c.events), len(want))

@@ -22,12 +22,16 @@
 # The report's "locks" key is the registry-driven per-lock × per-model
 # (CC/DSM) RMR matrix from `rmrbench -matrix`: one entry per registered
 # lock and supported memory model, so a newly registered lock shows up in
-# BENCH_rmr.json with no change here. The "explorer" key is the E8
-# exhaustive-exploration record from `rmrbench -explore`: replays, pruned
-# and equivalent-cut counts, and replays/sec per configuration with
-# reduction off and on, so the reduction's leverage is diffable across PRs.
-# BENCHTIME=1x shrinks the matrix workloads and the exploration bound too
-# (-quick).
+# BENCH_rmr.json with no change here. The same rmrbench invocation emits
+# the "latency" key: the simulated-latency matrix — per lock × memory
+# model × cost model (COST_MODELS, default "ccnuma,dsmremote", priced with
+# the deterministic seed COST_SEED, default 1) — whose p50/p95/p99 cells
+# are bit-deterministic and gate exactly in benchdiff like the RMR cells.
+# The "explorer" key is the E8 exhaustive-exploration record from
+# `rmrbench -explore`: replays, pruned and equivalent-cut counts, and
+# replays/sec per configuration with reduction off and on, so the
+# reduction's leverage is diffable across PRs. BENCHTIME=1x shrinks the
+# matrix workloads and the exploration bound too (-quick).
 #
 # BENCH_native.json: the wall-clock matrix from `nativebench` — the native
 # abortable lock vs sync.Mutex vs every registry lock (free-running
@@ -46,6 +50,8 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_rmr.json}"
 native_out="${2:-BENCH_native.json}"
 benchtime="${BENCHTIME:-1s}"
+cost_models="${COST_MODELS:-ccnuma,dsmremote}"
+cost_seed="${COST_SEED:-1}"
 raw="$(mktemp)"
 matrix="$(mktemp)"
 explore="$(mktemp)"
@@ -87,6 +93,7 @@ go test -run '^$' -bench 'BenchmarkMemOps|BenchmarkExplorerThroughput' \
 	-benchtime "$benchtime" -benchmem -timeout 20m ./rmr/ | tee "$raw"
 
 run_artifact rmrbench go run ./cmd/rmrbench "${quick_flags[@]}" -deadline 15m \
+	-cost "$cost_models" -cost-seed "$cost_seed" \
 	-matrix "$matrix" -explore "$explore"
 validate_json "$matrix"
 validate_json "$explore"
@@ -103,9 +110,10 @@ validate_json "$native_out"
 	printf '    "MemOps/DSM ops/s": 18193806,\n'
 	printf '    "ExplorerThroughput schedules/s": 67822\n'
 	printf '  },\n'
-	# Splice in the registry matrix and the exploration record: drop the
-	# outer braces of rmrbench's {"locks": [...]} / {"explorer": [...]}
-	# documents and keep the members as-is.
+	# Splice in the registry matrix (its "locks" and "latency" members) and
+	# the exploration record: drop the outer braces of rmrbench's
+	# {"latency": [...], "locks": [...]} / {"explorer": [...]} documents and
+	# keep the members as-is.
 	printf '%s,\n' "$(splice "$matrix")"
 	printf '%s,\n' "$(splice "$explore")"
 	printf '  "benchmarks": [\n'
