@@ -85,13 +85,34 @@ type latencyCell struct {
 type exploreCell struct {
 	Config        string  `json:"config"`
 	POR           bool    `json:"por"`
+	Visited       bool    `json:"visited"`
+	Symmetry      bool    `json:"symmetry"`
+	Shard         int     `json:"shard"`
+	ShardCount    int     `json:"shard_count"`
 	MaxSteps      int     `json:"maxsteps"`
 	Explored      int     `json:"explored"`
 	Pruned        int     `json:"pruned"`
 	Equivalent    int     `json:"equivalent"`
+	VisitedHits   int     `json:"visited_hits"`
+	SymmetryCuts  int     `json:"symmetry_cuts"`
 	Replays       int     `json:"replays"`
 	ReplaysPerSec float64 `json:"replays_per_sec"`
 	Exhausted     bool    `json:"exhausted"`
+}
+
+// exploreKey identifies a cell across runs: the configuration plus its
+// point on the reduction lattice. Plain POR cells keep their historical
+// key so old baselines still match; the visited/symmetry suffixes only
+// appear on the new lattice points.
+func exploreKey(c exploreCell) string {
+	key := fmt.Sprintf("%s/por=%v", c.Config, c.POR)
+	if c.Visited {
+		key += "/visited=true"
+	}
+	if c.Symmetry {
+		key += "/sym=true"
+	}
+	return key
 }
 
 // nativeCell is one wall-clock row of nativebench's matrix.
@@ -656,13 +677,13 @@ func diffExplorer(w io.Writer, base, cur []exploreCell, pct float64) int {
 	fmt.Fprintln(w, "explorer (replay counts deterministic, gated; rates report-only):")
 	bm := map[string]exploreCell{}
 	for _, c := range base {
-		bm[fmt.Sprintf("%s/por=%v", c.Config, c.POR)] = c
+		bm[exploreKey(c)] = c
 	}
 	regressions := 0
 	added := map[string]string{}
 	seen := map[string]bool{}
 	for _, c := range cur {
-		key := fmt.Sprintf("%s/por=%v", c.Config, c.POR)
+		key := exploreKey(c)
 		b, ok := bm[key]
 		if !ok {
 			added[key] = exploreFingerprint(c)
@@ -671,6 +692,11 @@ func diffExplorer(w io.Writer, base, cur []exploreCell, pct float64) int {
 		seen[key] = true
 		if b.MaxSteps != c.MaxSteps {
 			fmt.Fprintf(w, "  %s: step bound changed (%d->%d); not comparable\n", key, b.MaxSteps, c.MaxSteps)
+			continue
+		}
+		if b.Shard != c.Shard || b.ShardCount != c.ShardCount {
+			fmt.Fprintf(w, "  %s: shard changed (%d/%d -> %d/%d); not comparable\n",
+				key, b.Shard, b.ShardCount, c.Shard, c.ShardCount)
 			continue
 		}
 		if b.Exhausted != c.Exhausted {
@@ -682,6 +708,8 @@ func diffExplorer(w io.Writer, base, cur []exploreCell, pct float64) int {
 		regressions += diffMetrics(w, key, []metric{
 			{"replays", float64(b.Replays), float64(c.Replays), true},
 			{"explored", float64(b.Explored), float64(c.Explored), true},
+			{"visited_hits", float64(b.VisitedHits), float64(c.VisitedHits), true},
+			{"symmetry_cuts", float64(b.SymmetryCuts), float64(c.SymmetryCuts), true},
 			{"replays_per_sec", b.ReplaysPerSec, c.ReplaysPerSec, false},
 		}, pct, true)
 	}
@@ -698,8 +726,13 @@ func diffExplorer(w io.Writer, base, cur []exploreCell, pct float64) int {
 // exploreFingerprint is an exploreCell's deterministic-count signature with
 // the config name blanked (rates excluded — they never repeat exactly).
 func exploreFingerprint(c exploreCell) string {
-	return fmt.Sprintf("por=%v maxsteps=%d explored=%d pruned=%d equivalent=%d replays=%d exhausted=%v",
+	fp := fmt.Sprintf("por=%v maxsteps=%d explored=%d pruned=%d equivalent=%d replays=%d exhausted=%v",
 		c.POR, c.MaxSteps, c.Explored, c.Pruned, c.Equivalent, c.Replays, c.Exhausted)
+	if c.Visited || c.Symmetry {
+		fp += fmt.Sprintf(" visited=%v sym=%v hits=%d cuts=%d",
+			c.Visited, c.Symmetry, c.VisitedHits, c.SymmetryCuts)
+	}
+	return fp
 }
 
 func diffNative(w io.Writer, base, cur []nativeCell, pct float64) int {

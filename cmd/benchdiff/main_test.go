@@ -32,7 +32,12 @@ const rmrDoc = `{
   "explorer": [
     {"config": "n=2", "n": 2, "w": 4, "aborters": 0, "maxsteps": 12,
      "por": true, "explored": 500, "pruned": 200, "equivalent": 100,
-     "replays": 700, "seconds": 0.5, "replays_per_sec": 1400, "exhausted": true}
+     "replays": 700, "seconds": 0.5, "replays_per_sec": 1400, "exhausted": true},
+    {"config": "n=2", "n": 2, "w": 4, "aborters": 0, "maxsteps": 12,
+     "por": true, "visited": true, "symmetry": true,
+     "explored": 60, "pruned": 20, "equivalent": 10,
+     "visited_hits": 40, "symmetry_cuts": 8,
+     "replays": 63, "seconds": 0.1, "replays_per_sec": 630, "exhausted": true}
   ],
   "benchmarks": [
     {"name": "BenchmarkMemOps/CC", "iterations": 1000, "ns/op": 55.0, "B/op": 0, "allocs/op": 0, "replays/s": 100}
@@ -78,7 +83,7 @@ func TestLoadRunParsesBothReports(t *testing.T) {
 	if len(e.RMR) != 2 || e.RMR[0].PassageMax != 9 {
 		t.Errorf("rmr cells = %+v", e.RMR)
 	}
-	if len(e.Explorer) != 1 || e.Explorer[0].Replays != 700 {
+	if len(e.Explorer) != 2 || e.Explorer[0].Replays != 700 || e.Explorer[1].VisitedHits != 40 {
 		t.Errorf("explorer cells = %+v", e.Explorer)
 	}
 	if len(e.Latency) != 2 || e.Latency[0].QueueP95 != 2100 || e.Latency[0].Cost != "ccnuma" {
@@ -151,6 +156,62 @@ func TestExplorerReplayRegressionGates(t *testing.T) {
 	var buf bytes.Buffer
 	if n := report(&buf, base, cur, "test", thresholds{}); n != 1 {
 		t.Fatalf("replay-count regression produced %d, want 1\n%s", n, buf.String())
+	}
+}
+
+// TestVisitedHitsDriftGates is the reduction lattice's negative test: the
+// visited/symmetry cells run at Workers=1 so their cut counters are exact,
+// and any drift in them must gate even when the replay count is unchanged.
+func TestVisitedHitsDriftGates(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Explorer[1].VisitedHits += 5
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 1 {
+		t.Fatalf("visited_hits drift produced %d gated regressions, want 1\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "visited_hits") {
+		t.Errorf("report does not name visited_hits:\n%s", buf.String())
+	}
+
+	base, cur = loadTestRun(t), loadTestRun(t)
+	cur.Explorer[1].SymmetryCuts++
+	buf.Reset()
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 1 {
+		t.Fatalf("symmetry_cuts drift produced %d gated regressions, want 1\n%s", n, buf.String())
+	}
+}
+
+// TestLatticeCellsKeyedSeparately: the plain-POR cell and the
+// POR+visited+symmetry cell share a config string but are distinct lattice
+// points — a regression in one must not be masked by (or diffed against)
+// the other.
+func TestLatticeCellsKeyedSeparately(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	if k0, k1 := exploreKey(base.Explorer[0]), exploreKey(base.Explorer[1]); k0 == k1 {
+		t.Fatalf("lattice points collide on key %q", k0)
+	}
+	cur.Explorer[1].Replays += 10
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 1 {
+		t.Fatalf("lattice-cell replay regression produced %d, want 1\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "visited=true/sym=true") {
+		t.Errorf("report does not name the lattice cell:\n%s", buf.String())
+	}
+}
+
+// TestShardChangeIsNotComparable: depth and shard changes re-shape the
+// explored tree, so the cell is reported but never gated.
+func TestShardChangeIsNotComparable(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Explorer[1].Shard, cur.Explorer[1].ShardCount = 1, 4
+	cur.Explorer[1].Replays += 500 // would gate if compared
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+		t.Fatalf("shard change gated (%d):\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "not comparable") {
+		t.Errorf("shard change not called out:\n%s", buf.String())
 	}
 }
 

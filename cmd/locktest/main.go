@@ -24,6 +24,15 @@
 // flight-recorder tracer and the last events before the violation are
 // dumped alongside the schedule.
 //
+// Exploration reductions stack: -por (sleep sets), -visited (state-hash
+// caching of re-converging interleavings), -symmetry (process-id symmetry
+// for locks registered id-symmetric). -shard i/n explores one top-level
+// slice of the choice tree. -checkpoint FILE saves the pending frontier
+// when -exhaustcap interrupts the search, and -resume FILE continues from
+// a saved artifact — the deep-explore CI job chains these across pushes,
+// validating the artifact version and configuration (a stale artifact
+// warns and starts fresh).
+//
 // Fault injection (see docs/FAULTS.md): -faults runs the seeded schedules
 // under a scripted fault plan ("crash:0@4,stall:1@2+15"); -crash-points
 // makes -exhaustive sweep crash-stop plans at the given operation attempts
@@ -71,6 +80,11 @@ func run(args []string) error {
 	exhaustCap := fs.Int("exhaustcap", 200000, "schedule cap for -exhaustive (0 = none)")
 	workers := fs.Int("workers", 0, "parallel exploration workers for -exhaustive (0 = GOMAXPROCS)")
 	por := fs.Bool("por", false, "partial-order reduction for -exhaustive (sleep sets; prunes equivalent interleavings)")
+	visited := fs.Bool("visited", false, "state-hash visited caching for -exhaustive (cuts replays that re-converge on an explored state)")
+	symmetry := fs.Bool("symmetry", false, "process-id symmetry reduction for -exhaustive (id-symmetric locks only; see locks registry)")
+	checkpointFile := fs.String("checkpoint", "", "write the exploration frontier checkpoint to this `file` (-exhaustive)")
+	resumeFile := fs.String("resume", "", "resume -exhaustive from this checkpoint `file`; a missing or invalid artifact warns and starts fresh")
+	shardSpec := fs.String("shard", "", "explore only shard `i/n` of the choice tree (-exhaustive); merge counts across shards externally")
 	progress := fs.Bool("progress", false, "print live exploration counters to stderr (-exhaustive)")
 	ringSize := fs.Int("ring", 64, "flight-recorder size for violation dumps (-exhaustive)")
 	faultsSpec := fs.String("faults", "", "inject scripted faults into every seeded schedule: `kind:pid@op[+delay],...` (crash, stall)")
@@ -149,10 +163,23 @@ func run(args []string) error {
 		defer timer.Stop()
 	}
 
+	shard, shardCount, err := parseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	if (*checkpointFile != "" || *resumeFile != "") && !*exhaustive {
+		return fmt.Errorf("-checkpoint/-resume apply to -exhaustive runs")
+	}
+	if (*checkpointFile != "" || *resumeFile != "") && (points != nil || *watchdog > 0) {
+		return fmt.Errorf("-checkpoint/-resume do not combine with fault sweeps (-crash-points, -watchdog)")
+	}
 	if *exhaustive {
 		return runExhaustive(exhaustiveConfig{
 			model: mdl, algo: harness.Algo(lock), w: *w, n: *n, aborters: *aborters,
 			maxSteps: *exhaustSteps, cap: *exhaustCap, workers: *workers, por: *por,
+			visited: *visited, symmetry: *symmetry,
+			shard: shard, shardCount: shardCount,
+			checkpointFile: *checkpointFile, resumeFile: *resumeFile,
 			progress: *progress, ringSize: *ringSize,
 			crashPoints: points, watchdog: *watchdog,
 		})
@@ -303,19 +330,39 @@ func explore(model rmr.Model, algo harness.Algo, cost rmr.CostModel, w, n, abort
 }
 
 type exhaustiveConfig struct {
-	model       rmr.Model
-	algo        harness.Algo
-	w           int
-	n           int
-	aborters    int
-	maxSteps    int
-	cap         int
-	workers     int
-	por         bool
-	progress    bool
-	ringSize    int
-	crashPoints []int
-	watchdog    int
+	model          rmr.Model
+	algo           harness.Algo
+	w              int
+	n              int
+	aborters       int
+	maxSteps       int
+	cap            int
+	workers        int
+	por            bool
+	visited        bool
+	symmetry       bool
+	shard          int
+	shardCount     int
+	checkpointFile string
+	resumeFile     string
+	progress       bool
+	ringSize       int
+	crashPoints    []int
+	watchdog       int
+}
+
+// parseShard parses the -shard "i/n" spec; an empty spec is unsharded.
+func parseShard(spec string) (shard, count int, err error) {
+	if spec == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(spec, "%d/%d", &shard, &count); err != nil {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want i/n", spec)
+	}
+	if count < 1 || shard < 0 || shard >= count {
+		return 0, 0, fmt.Errorf("invalid -shard %q: want 0 <= i < n", spec)
+	}
+	return shard, count, nil
 }
 
 // runExhaustive enumerates every schedule of length ≤ maxSteps (bounded
@@ -337,16 +384,31 @@ func runExhaustive(cfg exhaustiveConfig) error {
 		reduction = rmr.SleepSets
 		reductionName = "sleep-sets"
 	}
-	if cfg.watchdog > 0 && cfg.por {
-		reductionName = "off (forced by -watchdog)"
+	if cfg.visited {
+		reductionName += "+visited"
+	}
+	if cfg.symmetry {
+		reductionName += "+symmetry"
 	}
 	faulted := len(cfg.crashPoints) > 0 || cfg.watchdog > 0
+	if faulted && (cfg.por || cfg.visited || cfg.symmetry) {
+		reductionName += " (forced off by fault sweep)"
+	}
 	ec := harness.ExploreConfig{
 		Model: cfg.model, Algo: cfg.algo, W: cfg.w, N: cfg.n, Aborters: cfg.aborters,
 		MaxSteps: cfg.maxSteps, MaxSchedules: cfg.cap, Workers: workers, Reduction: reduction,
+		Visited: cfg.visited, Symmetry: cfg.symmetry,
+		Shard: cfg.shard, ShardCount: cfg.shardCount,
+	}
+	if cfg.symmetry && !faulted && ec.SymmetryClasses() == nil {
+		fmt.Fprintf(os.Stderr, "locktest: %s is not registered id-symmetric (or has no interchangeable role); -symmetry has no effect\n", cfg.algo)
 	}
 	fmt.Printf("%s: bounded-exhaustive exploration: n=%d w=%d aborters=%d ≤%d steps, workers=%d, reduction=%s\n",
 		cfg.algo, cfg.n, cfg.w, cfg.aborters, cfg.maxSteps, workers, reductionName)
+	if cfg.shardCount > 0 {
+		fmt.Printf("  shard %d of %d (top-level choice split; counts cover this shard's subtrees only)\n",
+			cfg.shard, cfg.shardCount)
+	}
 	if faulted {
 		fmt.Printf("  fault sweep: crash points %v, watchdog bound %d\n", cfg.crashPoints, cfg.watchdog)
 	}
@@ -357,9 +419,11 @@ func runExhaustive(cfg exhaustiveConfig) error {
 	}
 	start := time.Now()
 	var res rmr.Result
+	var ck *rmr.Checkpoint
 	var runs []rmr.FaultRun
 	var err error
-	if faulted {
+	switch {
+	case faulted:
 		f := harness.Faults{CrashPoints: cfg.crashPoints, Watchdog: cfg.watchdog}
 		if len(cfg.crashPoints) == 0 {
 			// Watchdog-only: explore the fault-free schedules under the
@@ -367,7 +431,17 @@ func runExhaustive(cfg exhaustiveConfig) error {
 			f.Victims = []int{}
 		}
 		res, runs, err = harness.ExploreFaults(ec, f)
-	} else {
+	case cfg.checkpointFile != "" || cfg.resumeFile != "":
+		resume := loadCheckpoint(cfg.resumeFile)
+		res, ck, err = harness.ExploreCheckpoint(ec, resume)
+		if resume != nil && (errors.Is(err, rmr.ErrCheckpointConfig) || errors.Is(err, rmr.ErrCheckpointVersion)) {
+			// Cache restores are best-effort: a stale artifact (changed
+			// flags, changed format) starts a fresh exploration instead of
+			// failing the job.
+			fmt.Fprintf(os.Stderr, "locktest: resume: %v; starting fresh\n", err)
+			res, ck, err = harness.ExploreCheckpoint(ec, nil)
+		}
+	default:
 		res, err = harness.Explore(ec)
 	}
 	elapsed := time.Since(start)
@@ -391,6 +465,18 @@ func runExhaustive(cfg exhaustiveConfig) error {
 	}
 	fmt.Printf("  %d schedules explored, %d pruned, %d cut as equivalent, exhausted=%v\n",
 		res.Explored, res.Pruned, res.Equivalent, res.Exhausted)
+	if res.VisitedHits > 0 || res.SymmetryCuts > 0 || cfg.visited || cfg.symmetry {
+		fmt.Printf("  cut breakdown: %d visited-state hits, %d symmetry cuts\n",
+			res.VisitedHits, res.SymmetryCuts)
+	}
+	if res.VisitedSaturated {
+		fmt.Println("  visited set saturated: caching degraded to pass-through past the capacity limit")
+	}
+	if ck != nil {
+		if err := writeCheckpoint(cfg.checkpointFile, ck); err != nil {
+			return err
+		}
+	}
 	if faulted {
 		fmt.Printf("  %d fault plans swept (fault-free baseline first)\n", len(runs))
 	}
@@ -432,6 +518,50 @@ func dumpFaultViolation(cfg exhaustiveConfig, fe *rmr.ErrFaultExplore) {
 	fmt.Fprintf(os.Stderr, "locktest: replayed violation: %v\n", replayErr)
 }
 
+// loadCheckpoint reads a resume artifact. Cache restores in CI are
+// best-effort — a missing or corrupt artifact warns and starts fresh
+// rather than failing the job.
+func loadCheckpoint(file string) *rmr.Checkpoint {
+	if file == "" {
+		return nil
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locktest: resume: %v; starting fresh\n", err)
+		return nil
+	}
+	ck, err := rmr.DecodeCheckpoint(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locktest: resume: %v; starting fresh\n", err)
+		return nil
+	}
+	fmt.Printf("  resuming from %s: %d prior replays, %d pending subtrees, complete=%v\n",
+		file, ck.Partial.Replays(), len(ck.Frontier), ck.Complete)
+	return ck
+}
+
+// writeCheckpoint reports the post-run frontier state and serializes it to
+// file; an empty name (resume-only run) just reports.
+func writeCheckpoint(file string, ck *rmr.Checkpoint) error {
+	if ck.Complete {
+		fmt.Println("  exploration complete: checkpoint closed (no pending frontier)")
+	} else {
+		fmt.Printf("  checkpoint: %d pending subtrees after the replay cap\n", len(ck.Frontier))
+	}
+	if file == "" {
+		return nil
+	}
+	data, err := ck.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		return fmt.Errorf("write checkpoint: %w", err)
+	}
+	fmt.Printf("  checkpoint written to %s\n", file)
+	return nil
+}
+
 // startProgress prints live explored/pruned counters and throughput to
 // stderr twice a second until the returned stop function is called.
 func startProgress(mon *rmr.Monitor) (stop func()) {
@@ -448,9 +578,11 @@ func startProgress(mon *rmr.Monitor) (stop func()) {
 				return
 			case <-t.C:
 				explored, pruned, equivalent := mon.Counts()
+				visited, symmetry := mon.CutCounts()
 				secs := time.Since(start).Seconds()
-				fmt.Fprintf(os.Stderr, "\rexplored %d, pruned %d, equivalent %d (%.0f replays/s)   ",
-					explored, pruned, equivalent, float64(explored+pruned+equivalent)/secs)
+				total := explored + pruned + equivalent + visited + symmetry
+				fmt.Fprintf(os.Stderr, "\rexplored %d, pruned %d, equivalent %d, visited %d, symmetry %d (%.0f replays/s)   ",
+					explored, pruned, equivalent, visited, symmetry, float64(total)/secs)
 			}
 		}
 	}()

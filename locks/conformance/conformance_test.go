@@ -137,12 +137,22 @@ func TestExhaustive(t *testing.T) {
 	}
 }
 
-// TestExhaustivePORMatchesFull is the registry-wide agreement check: for
-// every lock whose full choice tree is affordable to exhaust, the reduced
-// and the unreduced exploration must report the identical Exhausted verdict
-// and the identical violation/no-violation outcome, with the reduction
-// replaying at most as many schedules. Skipped under -short.
-func TestExhaustivePORMatchesFull(t *testing.T) {
+// TestExhaustiveReductionLattice is the registry-wide agreement check over
+// the Explorer's reduction lattice: for every lock whose full choice tree
+// is affordable to exhaust, the points full, POR, POR+visited, and
+// POR+visited+symmetry must report the identical Exhausted verdict and the
+// identical violation/no-violation outcome, with every reduced point
+// replaying at most as many schedules as the unreduced search. The chain
+// is deliberately not required to shrink monotonically: cutting a subtree
+// at a visited hit also removes the sleep-set backfill that subtree would
+// have produced, so a stronger reduction can occasionally replay a few
+// more schedules than a weaker one while still beating the full count.
+// The reduced points run at multiple worker counts; Exhausted must agree across them
+// (replay counts are scheduling-dependent at Workers > 1 and are checked
+// per-point, not across counts). Symmetry participates only where the
+// registry marks the lock IDSymmetric — elsewhere the harness keeps it off
+// and the last two points coincide. Skipped under -short.
+func TestExhaustiveReductionLattice(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bounded-exhaustive exploration skipped in -short mode")
 	}
@@ -154,6 +164,14 @@ func TestExhaustivePORMatchesFull(t *testing.T) {
 		fullCap                      = 40000
 		minSteps, stepGrow, maxSteps = 14, 6, 56
 	)
+	lattice := []struct {
+		name          string
+		visited, symm bool
+	}{
+		{"por", false, false},
+		{"por+visited", true, false},
+		{"por+visited+symmetry", true, true},
+	}
 	for _, info := range locks.Infos() {
 		info := info
 		t.Run(info.Name, func(t *testing.T) {
@@ -176,23 +194,33 @@ func TestExhaustivePORMatchesFull(t *testing.T) {
 					if !full.Exhausted {
 						break // the cap stopped the full search; deeper bounds only grow
 					}
-					cfg.Reduction = rmr.SleepSets
-					cfg.MaxSchedules = 0
-					por, err := harness.Explore(cfg)
-					if err != nil {
-						t.Fatalf("aborters=%d steps=%d: por: %v", a, steps, err)
-					}
-					if !por.Exhausted {
-						t.Fatalf("aborters=%d steps=%d: por not exhausted where full was", a, steps)
-					}
-					if por.Replays() > full.Replays() {
-						t.Fatalf("aborters=%d steps=%d: por replayed %d > full %d",
-							a, steps, por.Replays(), full.Replays())
+					for _, pt := range lattice {
+						rcfg := cfg
+						rcfg.Reduction = rmr.SleepSets
+						rcfg.MaxSchedules = 0
+						rcfg.Visited, rcfg.Symmetry = pt.visited, pt.symm
+						for _, workers := range []int{1, 2} {
+							rcfg.Workers = workers
+							res, err := harness.Explore(rcfg)
+							if err != nil {
+								t.Fatalf("aborters=%d steps=%d: %s w=%d: %v", a, steps, pt.name, workers, err)
+							}
+							if !res.Exhausted {
+								t.Fatalf("aborters=%d steps=%d: %s w=%d not exhausted where full was",
+									a, steps, pt.name, workers)
+							}
+							if res.Replays() > full.Replays() {
+								t.Fatalf("aborters=%d steps=%d: %s w=%d replayed %d > full %d",
+									a, steps, pt.name, workers, res.Replays(), full.Replays())
+							}
+							if workers == 1 && full.Explored > 0 {
+								t.Logf("aborters=%d steps=%d: %s %d replays (full: %d)",
+									a, steps, pt.name, res.Replays(), full.Replays())
+							}
+						}
 					}
 					if full.Explored > 0 {
 						compared = true
-						t.Logf("aborters=%d steps=%d: full %d replays (%d explored), por %d replays (%d explored)",
-							a, steps, full.Replays(), full.Explored, por.Replays(), por.Explored)
 						break
 					}
 				}

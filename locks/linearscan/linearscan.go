@@ -27,6 +27,8 @@ func init() {
 		Abortable: true,
 		OneShot:   true,
 		Labels:    []string{"linearscan/"},
+		// Slots are assigned by F&A arrival order, not by process id.
+		IDSymmetric: true,
 		New: func(m *rmr.Memory, _, capacity int) (locks.HandleFunc, error) {
 			l, err := New(m, capacity)
 			if err != nil {

@@ -19,6 +19,9 @@ func init() {
 		Summary:   "Mellor-Crummey–Scott queue lock: non-abortable, FCFS, O(1) RMRs (§1 anchor)",
 		Abortable: false,
 		Labels:    []string{"mcs/"},
+		// Per-process qnodes are used uniformly; queue order depends only
+		// on arrival order, not on which id arrived.
+		IDSymmetric: true,
 		New: func(m *rmr.Memory, _, _ int) (locks.HandleFunc, error) {
 			l := New(m)
 			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil

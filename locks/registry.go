@@ -34,6 +34,13 @@ type Info struct {
 	// at construction (e.g. "mcs/"). The conformance suite checks that RMRs
 	// attributed to labeled words carry one of these prefixes.
 	Labels []string
+	// IDSymmetric reports that the lock's behavior is invariant under
+	// process-id permutation within a role: no per-id data structures whose
+	// scan order leaks the id (tournament-tree locks, for example, assign
+	// ids to fixed leaf slots and are NOT id-symmetric). The exhaustive
+	// harness only enables the Explorer's symmetry reduction for locks that
+	// set this.
+	IDSymmetric bool
 	// New builds an instance of the lock.
 	New Factory
 

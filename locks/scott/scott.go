@@ -25,6 +25,9 @@ func init() {
 		Summary:   "Scott-style abortable CLH queue lock: FCFS, O(1) RMRs abort-free, linear in aborts (Table 1 row 1)",
 		Abortable: true,
 		Labels:    []string{"scott/"},
+		// CLH-style per-process qnodes used uniformly; arrival order alone
+		// shapes the queue.
+		IDSymmetric: true,
 		New: func(m *rmr.Memory, _, _ int) (locks.HandleFunc, error) {
 			l := New(m)
 			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil

@@ -17,6 +17,8 @@ func init() {
 		Summary:   "abortable test-and-test-and-set lock: O(1) space, unbounded RMRs under contention (unfair anchor)",
 		Abortable: true,
 		Labels:    []string{"tas/"},
+		// Processes race on one shared word and keep no id-indexed layout.
+		IDSymmetric: true,
 		New: func(m *rmr.Memory, _, _ int) (locks.HandleFunc, error) {
 			l := New(m)
 			return func(p *rmr.Proc) locks.Abortable { return l.Handle(p) }, nil

@@ -60,6 +60,43 @@ type Explorer struct {
 	// tree. Configurations with more than 64 processes fall back to
 	// NoReduction.
 	Reduction Reduction
+	// Visited enables state-hash visited caching (see visited.go): replays
+	// reaching an already-visited fingerprinted state are cut and counted
+	// in Result.VisitedHits. Sound for bodies whose verdict is a function
+	// of the reachable state (the Body contract's trace-invariance,
+	// strengthened to state-invariance); forced off when a watchdog or a
+	// non-crash-only fault plan makes verdicts depend on global step
+	// counts, and above 64 processes.
+	Visited bool
+	// VisitedCap bounds the visited set to this many fingerprints
+	// (rounded up to a power of two); 0 selects 1<<20. When the set fills
+	// up, new states stop being recorded — sound, but counts lose their
+	// worker-count independence; Result.VisitedSaturated reports it.
+	VisitedCap int
+	// Symmetry enables process-ID symmetry reduction (see visited.go): a
+	// never-granted process is only granted when it is the smallest
+	// never-granted id of its role class, cutting schedules that are id
+	// permutations of canonical ones. Sound only for bodies that treat the
+	// ids within a class interchangeably (locks.Info.IDSymmetric for the
+	// registry locks) and launch every process with GoProc before Run so
+	// the full waiting set is visible from the first pick. Forced off
+	// under any fault plan (crash points name specific ids), a watchdog,
+	// and above 64 processes.
+	Symmetry bool
+	// SymmetryClasses partitions the process ids into interchangeable role
+	// classes for Symmetry; ids not listed get singleton classes and are
+	// never restricted. nil puts every id in one class.
+	SymmetryClasses [][]int
+	// Shard/ShardCount select sharded mode: of the root-level choice
+	// indices, this exploration only descends those with index ≡ Shard
+	// (mod ShardCount), so ShardCount explorations with Shard = 0..
+	// ShardCount-1 partition the schedule tree and their Results Merge
+	// into the whole-tree counts. ShardCount 0 disables sharding. Each
+	// shard keeps its own sleep seeds and visited set, so under reduction
+	// the merged counts may differ from an unsharded run's — the verdicts
+	// and the union of covered equivalence classes do not.
+	Shard      int
+	ShardCount int
 	// Monitor, when non-nil, receives live progress counts so a driver
 	// can report throughput while a long exploration runs.
 	Monitor *Monitor
@@ -82,12 +119,20 @@ type Monitor struct {
 	explored   atomic.Int64
 	pruned     atomic.Int64
 	equivalent atomic.Int64
+	visited    atomic.Int64
+	symmetry   atomic.Int64
 }
 
 // Counts returns the schedules explored, pruned at the step bound, and
 // cut as equivalent to explored ones so far.
 func (mn *Monitor) Counts() (explored, pruned, equivalent int64) {
 	return mn.explored.Load(), mn.pruned.Load(), mn.equivalent.Load()
+}
+
+// CutCounts returns the visited-hit and symmetry-cut replays so far, the
+// PR-9 reductions' share of the cut breakdown.
+func (mn *Monitor) CutCounts() (visited, symmetry int64) {
+	return mn.visited.Load(), mn.symmetry.Load()
 }
 
 // Result summarizes an exploration.
@@ -101,21 +146,79 @@ type Result struct {
 	// only reorders commuting steps of a schedule explored elsewhere.
 	// Always 0 with Reduction == NoReduction.
 	Equivalent int
+	// VisitedHits counts replays the visited-state reduction cut at a
+	// choice point whose fingerprinted state was already reached at the
+	// same depth under the same sleep set: the continuations are replicas
+	// of subtrees covered elsewhere. Always 0 without Explorer.Visited.
+	// Deterministic at Workers <= 1; with racing workers the
+	// hit-vs-pruned split depends on which worker records a state first,
+	// so only Explored, Exhausted, and the verdict are invariant.
+	VisitedHits int
+	// SymmetryCuts counts replays the symmetry reduction cut at a choice
+	// point whose only non-sleeping continuations grant a non-canonical
+	// fresh process id: an id-permuted canonical schedule covers them.
+	// Always 0 without Explorer.Symmetry.
+	SymmetryCuts int
 	// Exhausted reports whether the whole (length-bounded) choice tree —
 	// up to equivalence when reduction is on — was covered; false when
 	// MaxSchedules stopped the search early.
 	Exhausted bool
+	// VisitedSaturated reports that the visited set reached VisitedCap and
+	// stopped recording new states. Cuts stay sound (only genuinely
+	// visited states are ever cut) but the counts may then vary across
+	// worker counts and runs.
+	VisitedSaturated bool
 	// Depths is the schedule-length histogram: Depths[d] counts replays
 	// whose choice sequence had length d (pruned and equivalent-cut
-	// replays count at the step they were cut at). Like
-	// Explored/Pruned/Equivalent it is deterministic for uncapped runs at
-	// any worker count.
+	// replays count at the step they were cut at). Deterministic for
+	// uncapped runs at any worker count without visited caching; with
+	// Explorer.Visited and Workers > 1 the cut depths shift with the
+	// hit-vs-pruned split (see VisitedHits).
 	Depths []int64
 }
 
 // Replays returns the total number of body replays the exploration
-// performed: explored + pruned + equivalent-cut.
-func (r Result) Replays() int { return r.Explored + r.Pruned + r.Equivalent }
+// performed: explored + pruned + cut (equivalent, visited, symmetry).
+func (r Result) Replays() int {
+	return r.Explored + r.Pruned + r.Equivalent + r.VisitedHits + r.SymmetryCuts
+}
+
+// add accumulates o into r: counts and depth histograms sum, exhaustion
+// ANDs, saturation ORs.
+func (r *Result) add(o Result) {
+	r.Explored += o.Explored
+	r.Pruned += o.Pruned
+	r.Equivalent += o.Equivalent
+	r.VisitedHits += o.VisitedHits
+	r.SymmetryCuts += o.SymmetryCuts
+	if !o.Exhausted {
+		r.Exhausted = false
+	}
+	if o.VisitedSaturated {
+		r.VisitedSaturated = true
+	}
+	for d, n := range o.Depths {
+		for len(r.Depths) <= d {
+			r.Depths = append(r.Depths, 0)
+		}
+		r.Depths[d] += n
+	}
+}
+
+// Merge combines the Results of a sharded exploration's shards (Explorer.
+// Shard/ShardCount) — or of any disjoint sub-explorations — into the
+// aggregate: counts and depth histograms sum, Exhausted holds iff every
+// shard exhausted its subtree. The shard subtrees partition the root
+// branches, so the merge of all ShardCount results covers exactly the
+// whole tree and the merged verdict set equals an unsharded run's.
+func Merge(rs ...Result) Result {
+	var out Result
+	out.Exhausted = true
+	for _, r := range rs {
+		out.add(r)
+	}
+	return out
+}
 
 // noteDepth bumps the length-d bucket, growing the histogram as needed.
 func noteDepth(depths *[]int64, d int) {
@@ -179,33 +282,113 @@ func ReplayPick(schedule []int) PickFunc {
 // log of which process went first).
 type Body func(s *Scheduler, maxSteps int) error
 
+// exploreConfig is a run's resolved configuration: the step bound and the
+// effective reductions after capability forcing, plus the shared visited
+// set every replayer of the run consults.
+type exploreConfig struct {
+	maxSteps   int
+	workers    int
+	red        Reduction
+	vis, sym   bool
+	classes    [][]int
+	set        *visitedSet
+	shard      int
+	shardCount int
+}
+
+// visitedCapacity resolves the VisitedCap knob.
+func (e *Explorer) visitedCapacity() int {
+	if e.VisitedCap > 0 {
+		return e.VisitedCap
+	}
+	return defaultVisitedCap
+}
+
+// config resolves the explorer's knobs against what the run can soundly
+// support, forcing ineligible reductions off (see the knob comments).
+func (e *Explorer) config(nprocs int) exploreConfig {
+	cfg := exploreConfig{
+		maxSteps:   e.MaxSteps,
+		workers:    e.Workers,
+		red:        e.Reduction,
+		classes:    e.SymmetryClasses,
+		shard:      e.Shard,
+		shardCount: e.ShardCount,
+	}
+	if cfg.maxSteps == 0 {
+		cfg.maxSteps = 512
+	}
+	if nprocs <= porMaxProcs {
+		cfg.vis = e.Visited
+		cfg.sym = e.Symmetry
+	} else {
+		cfg.red = NoReduction
+	}
+	if e.Watchdog > 0 || !e.plan.CrashOnly() {
+		// Stalls key eligibility off the global step count and the watchdog
+		// keys its verdict off the order of independent CS entries: both
+		// break the trace-invariance sleep sets rely on — and the state-
+		// invariance visited caching and symmetry rely on, since neither
+		// the watchdog's overtaking counters nor a stall scripts' step
+		// coordinates are part of the state fingerprint. Crash-only plans
+		// are safe for sleep sets and visited caching — a crash fires at a
+		// per-process attempt count, which is preserved by reordering
+		// commuting steps and is folded into the fingerprint.
+		cfg.red = NoReduction
+		cfg.vis = false
+		cfg.sym = false
+	}
+	if e.plan != nil {
+		// Any fault plan names specific victim ids, so processes of a class
+		// are no longer interchangeable.
+		cfg.sym = false
+	}
+	if cfg.shardCount > 0 && (cfg.shard < 0 || cfg.shard >= cfg.shardCount) {
+		cfg.shardCount = 0 // invalid shard spec: explore the whole tree
+	}
+	if cfg.vis {
+		cfg.set = newVisitedSet(e.visitedCapacity())
+	}
+	return cfg
+}
+
 // Run explores schedules of body depth-first — in lexicographic order of
 // the choice sequences when sequential, over disjoint prefix subtrees when
 // Workers > 1. A property violation aborts the search with an *ErrExplore
 // carrying the offending schedule for replay; see Workers for what is
 // deterministic in parallel mode.
 func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
-	maxSteps := e.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 512
+	cfg := e.config(nprocs)
+	if cfg.workers > 1 {
+		res, _, err := e.runParallel(nprocs, body, cfg, nil, false)
+		var ee *ErrExplore
+		if err != nil && cfg.set != nil && errors.As(err, &ee) {
+			// Visited-set insertions race across workers, so the parallel
+			// winner need not be the lex-least violation of the reduced
+			// tree. A sequential confirmatory rerun over a fresh visited
+			// set restores the lexmin guarantee: its DFS discovery order is
+			// the lexicographic order. If the rerun's schedule cap stops it
+			// short of a violation, keep the parallel report.
+			cfg2 := cfg
+			cfg2.set = newVisitedSet(e.visitedCapacity())
+			if _, seqErr := e.runSequential(nprocs, body, cfg2); seqErr != nil {
+				return res, seqErr
+			}
+		}
+		return res, err
 	}
-	red := e.Reduction
-	if nprocs > porMaxProcs {
-		red = NoReduction
-	}
-	if e.Watchdog > 0 || !e.plan.CrashOnly() {
-		// Stalls key eligibility off the global step count and the watchdog
-		// keys its verdict off the order of independent CS entries: both
-		// break the trace-invariance sleep sets rely on. Crash-only plans
-		// are safe — a crash fires at a per-process attempt count, which
-		// reordering commuting steps preserves.
-		red = NoReduction
-	}
-	if e.Workers > 1 {
-		return e.runParallel(nprocs, body, maxSteps, red)
-	}
-	var res Result
-	rp := newReplayer(nprocs, maxSteps, red)
+	return e.runSequential(nprocs, body, cfg)
+}
+
+// runSequential is the sequential depth-first search over the choice tree.
+func (e *Explorer) runSequential(nprocs int, body Body, cfg exploreConfig) (res Result, err error) {
+	maxSteps := cfg.maxSteps
+	defer func() {
+		if cfg.set != nil && cfg.set.sat.Load() {
+			res.VisitedSaturated = true
+		}
+	}()
+	rp := newReplayer(nprocs, cfg)
 	e.arm(rp)
 	defer rp.close()
 	// prefix holds the choice index forced at each step. It is a buffer
@@ -225,7 +408,11 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 			copy(rec.por.seedOp, seedOp)
 		}
 		runErr := rp.run(prefix, body, maxSteps)
-		noteDepth(&res.Depths, len(rec.taken))
+		if !rec.vis.shardSkip {
+			// A shard-skipped root replay is not a replay of this shard's
+			// subtree at all; everything else counts.
+			noteDepth(&res.Depths, len(rec.taken))
+		}
 		switch {
 		case runErr == nil:
 			res.Explored++
@@ -233,12 +420,25 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 				mn.explored.Add(1)
 			}
 		case errors.Is(runErr, ErrStepLimit):
-			if rec.por.cut {
+			switch {
+			case rec.vis.shardSkip:
+				// Not counted: the root branches belong to other shards.
+			case rec.vis.vcut:
+				res.VisitedHits++
+				if mn := e.Monitor; mn != nil {
+					mn.visited.Add(1)
+				}
+			case rec.vis.scut:
+				res.SymmetryCuts++
+				if mn := e.Monitor; mn != nil {
+					mn.symmetry.Add(1)
+				}
+			case rec.por.cut:
 				res.Equivalent++
 				if mn := e.Monitor; mn != nil {
 					mn.equivalent.Add(1)
 				}
-			} else {
+			default:
 				res.Pruned++
 				if mn := e.Monitor; mn != nil {
 					mn.pruned.Add(1)
@@ -258,15 +458,16 @@ func (e *Explorer) Run(nprocs int, body Body) (Result, error) {
 			rec.backfill()
 		}
 		// Backtrack: find the deepest step with an untried alternative
-		// that is not asleep at its node.
+		// whose sibling subtree is not reduced away at its node (sleep
+		// set, symmetry, shard ownership).
 		next := rec.taken
 		found := false
 		for i := len(next) - 1; i >= 0 && !found; i-- {
 			for c := next[i] + 1; c < rec.width[i]; c++ {
+				if rec.skipSibling(i, c) {
+					continue
+				}
 				if rec.por.on {
-					if rec.asleep(i, c) {
-						continue
-					}
 					seedMask = rec.childSleep(i, c, seedOp)
 				}
 				prefix = append(append(prefix[:0], next[:i]...), c)
@@ -400,15 +601,7 @@ func (e *Explorer) RunFaults(nprocs int, body Body, fs FaultSet) (Result, []Faul
 			sub.MaxSchedules = remaining
 		}
 		res, err := sub.Run(nprocs, body)
-		total.Explored += res.Explored
-		total.Pruned += res.Pruned
-		total.Equivalent += res.Equivalent
-		for d, n := range res.Depths {
-			for len(total.Depths) <= d {
-				total.Depths = append(total.Depths, 0)
-			}
-			total.Depths[d] += n
-		}
+		total.add(res)
 		runs = append(runs, FaultRun{Plan: plan, Result: res})
 		if err != nil {
 			var ee *ErrExplore
@@ -416,9 +609,6 @@ func (e *Explorer) RunFaults(nprocs int, body Body, fs FaultSet) (Result, []Faul
 				return total, runs, &ErrFaultExplore{Plan: plan, ErrExplore: ee}
 			}
 			return total, runs, err
-		}
-		if !res.Exhausted {
-			total.Exhausted = false
 		}
 	}
 	return total, runs, nil
@@ -449,23 +639,44 @@ type exTask struct {
 // steady state costs no locks, only a handful of atomic operations per
 // replay) and donate the shallower half to the shared pool whenever some
 // worker is starved.
-func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int, red Reduction) (Result, error) {
+//
+// seed, when non-nil, replaces the root task with a saved frontier
+// (checkpoint resume); with collect true a capped run returns the pending
+// frontier — workers then drain their local stacks into the shared pool
+// before exiting, so counted replays and returned frontier subtrees
+// exactly partition the tree and a resume chain covers exactly what an
+// uninterrupted run covers (byte-identical totals with one worker; see
+// the checkpoint.go package comment for the racing-worker caveat).
+func (e *Explorer) runParallel(nprocs int, body Body, cfg exploreConfig, seed []exTask, collect bool) (Result, []exTask, error) {
+	stack := []exTask{{}} // the root subtree: no forced choices
+	if seed != nil {
+		// Checkpoint frontiers are stored lexicographically ascending; the
+		// shared pool is a LIFO popped from the end, so reverse the seed to
+		// process tasks in lex order. A Workers=1 resume then replays the
+		// exact continuation of the interrupted DFS, which keeps its final
+		// counts identical to an uninterrupted run's (visited-cut depths —
+		// and so truncated-replay counts — depend on processing order).
+		stack = seed
+		for i, j := 0, len(stack)-1; i < j; i, j = i+1, j-1 {
+			stack[i], stack[j] = stack[j], stack[i]
+		}
+	}
 	st := &parState{
 		maxSchedules: e.MaxSchedules,
-		workers:      e.Workers,
+		workers:      cfg.workers,
 		mon:          e.Monitor,
-		stack:        []exTask{{}}, // the root subtree: no forced choices
+		stack:        stack,
 	}
 	st.work = sync.NewCond(&st.mu)
 	var wg sync.WaitGroup
-	for i := 0; i < e.Workers; i++ {
+	for i := 0; i < st.workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			rp := newReplayer(nprocs, maxSteps, red)
+			rp := newReplayer(nprocs, cfg)
 			e.arm(rp)
 			defer rp.close()
-			depths := st.worker(rp, body, maxSteps)
+			depths := st.worker(rp, body, cfg.maxSteps)
 			st.mu.Lock()
 			for d, n := range depths {
 				for len(st.depths) <= d {
@@ -479,16 +690,26 @@ func (e *Explorer) runParallel(nprocs int, body Body, maxSteps int, red Reductio
 	wg.Wait()
 
 	res := Result{
-		Explored:   int(st.explored.Load()),
-		Pruned:     int(st.pruned.Load()),
-		Equivalent: int(st.equivalent.Load()),
-		Depths:     st.depths,
+		Explored:     int(st.explored.Load()),
+		Pruned:       int(st.pruned.Load()),
+		Equivalent:   int(st.equivalent.Load()),
+		VisitedHits:  int(st.visited.Load()),
+		SymmetryCuts: int(st.symmetry.Load()),
+		Depths:       st.depths,
+	}
+	if cfg.set != nil && cfg.set.sat.Load() {
+		res.VisitedSaturated = true
 	}
 	if b := st.best.Load(); b != nil {
-		return res, b
+		return res, nil, b
 	}
 	res.Exhausted = !st.capped.Load()
-	return res, nil
+	var frontier []exTask
+	if collect && !res.Exhausted {
+		frontier = st.stack
+		sortTasks(frontier)
+	}
+	return res, frontier, nil
 }
 
 // parState is the shared state of a parallel exploration. The hot fields
@@ -502,6 +723,8 @@ type parState struct {
 	explored   atomic.Int64
 	pruned     atomic.Int64
 	equivalent atomic.Int64
+	visited    atomic.Int64
+	symmetry   atomic.Int64
 	capped     atomic.Bool
 	best       atomic.Pointer[ErrExplore] // lexicographically smallest violation
 
@@ -533,6 +756,10 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 	var depths []int64
 	for {
 		if st.capped.Load() {
+			// Donate the unexplored local subtrees before exiting so a
+			// checkpoint's frontier plus the counted replays exactly
+			// partition the tree.
+			st.drainLocal(&local)
 			return depths
 		}
 		var task exTask
@@ -565,7 +792,9 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 			}
 		}
 		runErr := rp.run(task.prefix, body, maxSteps)
-		noteDepth(&depths, len(rec.taken))
+		if !rec.vis.shardSkip {
+			noteDepth(&depths, len(rec.taken))
+		}
 		violation := false
 		switch {
 		case runErr == nil:
@@ -574,12 +803,25 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 				st.mon.explored.Add(1)
 			}
 		case errors.Is(runErr, ErrStepLimit):
-			if rec.por.cut {
+			switch {
+			case rec.vis.shardSkip:
+				// Not a replay of this shard's subtree; uncounted.
+			case rec.vis.vcut:
+				st.visited.Add(1)
+				if st.mon != nil {
+					st.mon.visited.Add(1)
+				}
+			case rec.vis.scut:
+				st.symmetry.Add(1)
+				if st.mon != nil {
+					st.mon.symmetry.Add(1)
+				}
+			case rec.por.cut:
 				st.equivalent.Add(1)
 				if st.mon != nil {
 					st.mon.equivalent.Add(1)
 				}
-			} else {
+			default:
 				st.pruned.Add(1)
 				if st.mon != nil {
 					st.mon.pruned.Add(1)
@@ -593,21 +835,18 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 			violation = true
 			st.noteViolation(rec.taken, runErr)
 		}
-		if st.maxSchedules > 0 &&
-			st.explored.Load()+st.pruned.Load()+st.equivalent.Load() >= int64(st.maxSchedules) {
-			st.capped.Store(true)
-			st.wakeAll()
-			return depths
-		}
 		if !violation {
 			if por {
 				rec.backfill()
 			}
 			// Sibling subtrees of a violating schedule compare greater
 			// than it, so on a violation there is nothing worth pushing.
+			// Pushing before the cap check below keeps the partition
+			// invariant: a capped exit leaves every unexplored subtree of
+			// this replay in some stack.
 			for d := len(task.prefix); d < len(rec.taken); d++ {
 				for c := rec.width[d] - 1; c > rec.taken[d]; c-- {
-					if por && rec.asleep(d, c) {
+					if rec.skipSibling(d, c) {
 						continue
 					}
 					var t exTask
@@ -633,12 +872,36 @@ func (st *parState) worker(rp *replayer, body Body, maxSteps int) []int64 {
 				st.share(&local, int(h))
 			}
 		}
+		if st.maxSchedules > 0 && st.replays() >= int64(st.maxSchedules) {
+			st.capped.Store(true)
+			st.wakeAll()
+			st.drainLocal(&local)
+			return depths
+		}
 		// The replayed task is dead: rec.prefix still aliases it, but the
 		// next run overwrites that before any pick reads it.
 		if cap(task.prefix) >= hint {
 			free = append(free, task)
 		}
 	}
+}
+
+// replays totals the counted replays so far.
+func (st *parState) replays() int64 {
+	return st.explored.Load() + st.pruned.Load() + st.equivalent.Load() +
+		st.visited.Load() + st.symmetry.Load()
+}
+
+// drainLocal donates a worker's whole local stack to the shared pool, for
+// frontier collection at a capped exit.
+func (st *parState) drainLocal(local *[]exTask) {
+	if len(*local) == 0 {
+		return
+	}
+	st.mu.Lock()
+	st.stack = append(st.stack, *local...)
+	st.mu.Unlock()
+	*local = (*local)[:0]
 }
 
 // share donates the shallowest tasks of a worker's local stack — the
@@ -732,14 +995,16 @@ func lexCompare(a, b []int) int {
 }
 
 // recorder is a PickFunc that follows a forced prefix of choice indices
-// and then always takes the first alternative — the first one not asleep,
-// under reduction — recording the choices made and the branching width at
-// every step. Its por state is described in por.go.
+// and then always takes the first alternative — the first one not reduced
+// away (asleep, visited, symmetry-blocked, or shard-unowned) — recording
+// the choices made and the branching width at every step. Its por state is
+// described in por.go, its vis state in visited.go.
 type recorder struct {
 	prefix []int
 	taken  []int
 	width  []int
 	por    porState
+	vis    visState
 }
 
 // replayer bundles a recorder with a scheduler that is reset and reused
@@ -758,7 +1023,8 @@ type replayer struct {
 // not grow slices while holding the scheduler lock. The caller must
 // close() the replayer when the exploration is over to release the pooled
 // goroutines.
-func newReplayer(nprocs, maxSteps int, red Reduction) *replayer {
+func newReplayer(nprocs int, cfg exploreConfig) *replayer {
+	maxSteps := cfg.maxSteps
 	hint := maxSteps + 1
 	if hint > 4096 {
 		hint = 4096
@@ -769,7 +1035,7 @@ func newReplayer(nprocs, maxSteps int, red Reduction) *replayer {
 	}}
 	rp.s = NewScheduler(nprocs, rp.rec.pick)
 	rp.s.spawn = rp.pool.spawn
-	if red == SleepSets && nprocs <= porMaxProcs {
+	if cfg.red == SleepSets && nprocs <= porMaxProcs {
 		p := &rp.rec.por
 		p.on = true
 		p.nprocs = nprocs
@@ -782,6 +1048,23 @@ func newReplayer(nprocs, maxSteps int, red Reduction) *replayer {
 		p.pendAt = make([]stepAccess, hint*nprocs)
 		rp.s.acc = p.acc
 	}
+	v := &rp.rec.vis
+	v.nprocs = nprocs
+	v.shard, v.shardCount = cfg.shard, cfg.shardCount
+	if cfg.vis {
+		v.on = true
+		v.set = cfg.set
+		v.s = rp.s
+		rp.s.hist = make([]uint64, nprocs)
+	}
+	if cfg.sym {
+		v.sym = true
+		v.initSym(nprocs, cfg.classes)
+		v.grantedAt = make([]uint64, 0, hint)
+		if !rp.rec.por.on {
+			v.pidAt = make([]int32, 0, hint*nprocs)
+		}
+	}
 	return rp
 }
 
@@ -791,6 +1074,9 @@ func (rp *replayer) run(prefix []int, body Body, maxSteps int) error {
 	rp.rec.taken = rp.rec.taken[:0]
 	rp.rec.width = rp.rec.width[:0]
 	rp.rec.por.cut = false
+	v := &rp.rec.vis
+	v.vcut, v.scut, v.shardSkip = false, false, false
+	v.granted = 0
 	rp.s.reset()
 	return body(rp.s, maxSteps)
 }
@@ -902,6 +1188,9 @@ func (pp *procPool) close() {
 func (r *recorder) pick(step int, waiting []int) int {
 	if r.por.on {
 		return r.porPick(step, waiting)
+	}
+	if r.vis.active() {
+		return r.visPick(step, waiting)
 	}
 	choice := 0
 	if step < len(r.prefix) {

@@ -136,7 +136,9 @@ func TestGoAndGoProcEquivalent(t *testing.T) {
 // itself be deterministic for uncapped runs at any worker count.
 func resultsEqual(a, b Result) bool {
 	return a.Explored == b.Explored && a.Pruned == b.Pruned &&
-		a.Equivalent == b.Equivalent && a.Exhausted == b.Exhausted &&
+		a.Equivalent == b.Equivalent && a.VisitedHits == b.VisitedHits &&
+		a.SymmetryCuts == b.SymmetryCuts && a.Exhausted == b.Exhausted &&
+		a.VisitedSaturated == b.VisitedSaturated &&
 		slices.Equal(a.Depths, b.Depths)
 }
 
@@ -162,7 +164,7 @@ func TestParallelViolationDeterministic(t *testing.T) {
 			t.Errorf("workers=%d: schedule %v, want %v", workers, got.Schedule, want.Schedule)
 		}
 		// Replaying the reported schedule must reproduce the violation.
-		rp := newReplayer(2, maxSteps, NoReduction)
+		rp := newReplayer(2, exploreConfig{maxSteps: maxSteps, red: NoReduction})
 		if rerr := rp.run(got.Schedule, buggyLockBody, maxSteps); rerr == nil {
 			t.Errorf("workers=%d: reported schedule does not reproduce", workers)
 		}

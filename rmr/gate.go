@@ -123,6 +123,18 @@ type Scheduler struct {
 	// grants, so entries need no lock.
 	acc []stepAccess
 
+	// hist, when non-nil, is the per-process observation-history hash the
+	// Explorer's visited-state reduction maintains: entry pid folds in the
+	// address, result and abort-flag observation of every operation pid has
+	// performed, via noteResult. For a deterministic body that history pins
+	// the process's control state, which is what lets a fingerprint of
+	// (memory, histories, signals) stand in for "same global state". Like
+	// acc, only the step-token holder writes its own entry between grants.
+	// mem is the Memory whose state the fingerprint walks, attached by
+	// SetGate so the pick callback can reach it at quiescent points.
+	hist []uint64
+	mem  *Memory
+
 	mu       sync.Mutex
 	waiting  []int // pids blocked at the gate, sorted ascending
 	release  []int // Drain's scratch copy of waiting
@@ -497,6 +509,22 @@ func (s *Scheduler) noteAccess(a Addr, mut bool) {
 	}
 }
 
+// noteResult folds an operation's address, result value, and the abort
+// flag the process could have observed into its observation-history hash
+// (see hist). Proc's operation methods call it on the gated fast paths,
+// right after computing the result. Same write discipline as noteAccess:
+// only the step-token holder runs between grants.
+func (s *Scheduler) noteResult(pid int, a Addr, v uint64, aborted bool) {
+	if s.hist == nil || s.open.Load() || pid >= len(s.hist) {
+		return
+	}
+	fl := uint64(0)
+	if aborted {
+		fl = 1
+	}
+	s.hist[pid] = mix(mix(mix(s.hist[pid], uint64(a)), v), fl)
+}
+
 // Go launches fn as a scheduled process. It must be called for every
 // process before Run, and fn must issue its shared-memory operations
 // through a Proc of a Memory gated by this scheduler.
@@ -708,6 +736,10 @@ func (s *Scheduler) reset() {
 	s.lastGranted = -1
 	s.stopRun = false
 	s.failure = nil
+	s.mem = nil
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
 	s.faults = s.faults[:0]
 	s.sched = s.sched[:0]
 	if s.fs != nil {

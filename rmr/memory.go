@@ -187,6 +187,11 @@ func (m *Memory) SetGate(g Gate) {
 	}
 	m.gate = g
 	m.sched, _ = g.(*Scheduler)
+	if m.sched != nil {
+		// Back-pointer for the visited-state reduction: the scheduler's
+		// pick callback fingerprints this memory at quiescent points.
+		m.sched.mem = m
+	}
 	// A gate takes over schedule control: release any process still parked
 	// from a free-running phase (Wait no-ops under a gate, so it would
 	// never re-park). The woken processes re-check their conditions.

@@ -107,18 +107,22 @@ type porState struct {
 // explored elsewhere.
 func (r *recorder) porPick(step int, waiting []int) int {
 	p := &r.por
+	v := &r.vis
 	r.ensureDepth(step)
 	base := step * p.nprocs
 	for i, pid := range waiting {
 		p.pidAt[base+i] = int32(pid)
+	}
+	if v.sym {
+		v.ensureDepth(step, false)
+		v.grantedAt[step] = v.granted
 	}
 	if step < len(r.prefix) {
 		choice := r.prefix[step]
 		if choice >= len(waiting) {
 			panic(badPrefix(step, choice, len(waiting)))
 		}
-		r.taken = append(r.taken, choice)
-		r.width = append(r.width, len(waiting))
+		r.record(choice, waiting)
 		return choice
 	}
 	if step == len(r.prefix) {
@@ -140,14 +144,47 @@ func (r *recorder) porPick(step int, waiting []int) int {
 		}
 	}
 	p.sleepAt[step] = p.mask
-	for i, pid := range waiting {
-		if p.mask&(1<<uint(pid)) == 0 {
-			r.taken = append(r.taken, i)
-			r.width = append(r.width, len(waiting))
-			return i
+	// Visited check after the wake filter so the fingerprint keys on the
+	// effective sleep set; forced steps above never reach here, so subtree
+	// roots replayed from ancestor cuts are not re-checked against keys
+	// their own ancestors inserted.
+	if v.on && v.seen(step, p.mask, waiting) {
+		v.vcut = true
+		return -1
+	}
+	var wm uint64
+	if v.sym {
+		for _, pid := range waiting {
+			wm |= 1 << uint(pid)
 		}
 	}
-	p.cut = true
+	symHit := false
+	for i, pid := range waiting {
+		if p.mask&(1<<uint(pid)) != 0 {
+			continue
+		}
+		if step == 0 && !v.ownsRoot(i) {
+			continue
+		}
+		if v.sym && v.symBlocked(pid, v.granted, wm) {
+			symHit = true
+			continue
+		}
+		r.record(i, waiting)
+		return i
+	}
+	// Classify the cut: a symmetry block anywhere makes it a symmetry cut
+	// (a canonical representative covers this node); otherwise an unowned
+	// root is the shard filter (the root sleep seed is empty, so only
+	// sharding can empty the root scan); everything else is a sleep cut.
+	switch {
+	case symHit:
+		v.scut = true
+	case step == 0 && v.shardCount > 0:
+		v.shardSkip = true
+	default:
+		p.cut = true
+	}
 	return -1
 }
 

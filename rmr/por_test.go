@@ -430,7 +430,7 @@ func poolSettled(pp *procPool) bool {
 // goroutine dispatch through the lock-free free list — allocates nothing.
 func TestPORReplayDoesNotAllocate(t *testing.T) {
 	const procs, maxSteps = 3, 14
-	rp := newReplayer(procs, maxSteps, SleepSets)
+	rp := newReplayer(procs, exploreConfig{maxSteps: maxSteps, red: SleepSets})
 	defer rp.close()
 	m := NewMemory(CC, procs, rp.s)
 	lock := m.Alloc(0)

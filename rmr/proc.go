@@ -137,6 +137,17 @@ func (p *Proc) step(a Addr, mut bool) {
 	p.steps.Add(1)
 }
 
+// observe folds the operation's result into the process's observation
+// history for the Explorer's visited-state reduction — a no-op (one nil
+// check) unless an exploration enabled it. Only the gated exclusive fast
+// paths call it: an exploration always takes those, and the free-running
+// paths have no quiescent points to fingerprint at.
+func (p *Proc) observe(a Addr, v uint64) {
+	if s := p.m.sched; s != nil && s.hist != nil {
+		s.noteResult(p.id, a, v, p.abort.Load())
+	}
+}
+
 // charge counts one RMR and prices it under the memory's cost model. The
 // attempt ordinal handed to the model is the process's cumulative RMR count
 // after the charge — deterministic wherever RMR counts are — so seeded
@@ -214,7 +225,9 @@ func (p *Proc) Read(a Addr) uint64 {
 	if o == nil {
 		if m.exclusive() {
 			p.chargeRead(w)
-			return w.val.Load()
+			v := w.val.Load()
+			p.observe(a, v)
+			return v
 		}
 		switch m.model {
 		case DSM:
@@ -269,6 +282,7 @@ func (p *Proc) Write(a Addr, v uint64) {
 		if m.exclusive() {
 			p.chargeUpdate(w, ClassInvalidation)
 			w.val.Store(v)
+			p.observe(a, v)
 			return
 		}
 		if m.model == DSM {
@@ -317,9 +331,11 @@ func (p *Proc) CAS(a Addr, old, new uint64) bool {
 		if m.exclusive() {
 			p.chargeUpdate(w, ClassAtomicRMW)
 			if w.val.Load() != old {
+				p.observe(a, 0)
 				return false
 			}
 			w.val.Store(new)
+			p.observe(a, 1)
 			return true
 		}
 		if m.model == DSM {
@@ -381,6 +397,7 @@ func (p *Proc) FAA(a Addr, delta uint64) uint64 {
 			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Load()
 			w.val.Store(old + delta)
+			p.observe(a, old)
 			return old
 		}
 		if m.model == DSM {
@@ -431,6 +448,7 @@ func (p *Proc) Swap(a Addr, v uint64) uint64 {
 			p.chargeUpdate(w, ClassAtomicRMW)
 			old := w.val.Load()
 			w.val.Store(v)
+			p.observe(a, old)
 			return old
 		}
 		if m.model == DSM {

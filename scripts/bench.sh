@@ -52,6 +52,11 @@ native_out="${2:-BENCH_native.json}"
 benchtime="${BENCHTIME:-1s}"
 cost_models="${COST_MODELS:-ccnuma,dsmremote}"
 cost_seed="${COST_SEED:-1}"
+# BENCH_SKIP_EXPLORE=1 drops the rmrbench -explore reduction-lattice pass
+# (the slowest deterministic section). The report then has no "explorer"
+# key; benchdiff treats the missing array as not-comparable-by-absence and
+# the deep-explore CI job covers exploration depth instead.
+skip_explore="${BENCH_SKIP_EXPLORE:-0}"
 raw="$(mktemp)"
 matrix="$(mktemp)"
 explore="$(mktemp)"
@@ -92,11 +97,18 @@ splice() {
 go test -run '^$' -bench 'BenchmarkMemOps|BenchmarkExplorerThroughput' \
 	-benchtime "$benchtime" -benchmem -timeout 20m ./rmr/ | tee "$raw"
 
+explore_flags=(-explore "$explore")
+if [ "$skip_explore" = "1" ]; then
+	echo "bench.sh: BENCH_SKIP_EXPLORE=1 — skipping the exploration lattice" >&2
+	explore_flags=()
+fi
 run_artifact rmrbench go run ./cmd/rmrbench "${quick_flags[@]}" -deadline 15m \
 	-cost "$cost_models" -cost-seed "$cost_seed" \
-	-matrix "$matrix" -explore "$explore"
+	-matrix "$matrix" "${explore_flags[@]}"
 validate_json "$matrix"
-validate_json "$explore"
+if [ "$skip_explore" != "1" ]; then
+	validate_json "$explore"
+fi
 
 run_artifact nativebench go run ./cmd/nativebench "${quick_flags[@]}" -o "$native_out"
 validate_json "$native_out"
@@ -115,7 +127,9 @@ validate_json "$native_out"
 	# {"latency": [...], "locks": [...]} / {"explorer": [...]} documents and
 	# keep the members as-is.
 	printf '%s,\n' "$(splice "$matrix")"
-	printf '%s,\n' "$(splice "$explore")"
+	if [ "$skip_explore" != "1" ]; then
+		printf '%s,\n' "$(splice "$explore")"
+	fi
 	printf '  "benchmarks": [\n'
 	awk '
 	/^Benchmark/ {
