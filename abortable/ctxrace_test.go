@@ -1,0 +1,140 @@
+package abortable
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sublock/internal/testutil"
+)
+
+// TestEnterContextCancelRace stresses the window where a context cancel
+// races the waiter's park/unpark decision: cancels are fired at randomized
+// delays straddling the spin->park transition, and every EnterContext call
+// must return promptly — granted or cancelled — with no waiter left parked
+// and no goroutine leaked. This is the abort path lockd relies on to reap
+// disconnected clients, exercised at its narrowest race.
+func TestEnterContextCancelRace(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const (
+		waiters = 8
+		rounds  = 60
+	)
+	lk := New(Config{MaxHandles: waiters + 1})
+	holder, err := lk.NewHandle()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Handles are permanent slots on the lock: create one per waiter and
+	// reuse it across rounds (one goroutine at a time per handle).
+	handles := make([]*Handle, waiters)
+	for i := range handles {
+		if handles[i], err = lk.NewHandle(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	var granted, cancelled atomic.Int64
+	for round := 0; round < rounds; round++ {
+		if !holder.Enter() {
+			t.Fatal("holder Enter failed")
+		}
+
+		// Randomized cancel delays: 0 hits before the Enter, tiny delays
+		// land mid-spin, larger ones after the waiter has parked.
+		delays := make([]time.Duration, waiters)
+		for i := range delays {
+			delays[i] = time.Duration(rng.Intn(200)) * time.Microsecond
+		}
+
+		var wg sync.WaitGroup
+		for i := 0; i < waiters; i++ {
+			wg.Add(1)
+			go func(h *Handle, delay time.Duration) {
+				defer wg.Done()
+				ctx, cancel := context.WithCancel(context.Background())
+				timer := time.AfterFunc(delay, cancel)
+				defer timer.Stop()
+				defer cancel()
+				start := time.Now()
+				err := h.EnterContext(ctx)
+				if err == nil {
+					granted.Add(1)
+					h.Exit()
+					return
+				}
+				if !errors.Is(err, context.Canceled) {
+					t.Errorf("EnterContext = %v, want nil or context.Canceled", err)
+					return
+				}
+				cancelled.Add(1)
+				// Promptness: a cancelled waiter must not sit parked until
+				// the holder exits (which is >= 1ms away every round).
+				if waited := time.Since(start); waited > 500*time.Millisecond {
+					t.Errorf("cancelled waiter took %v to return", waited)
+				}
+			}(handles[i], delays[i])
+		}
+
+		// Hold across the cancel volley so park really happens, then free
+		// the lock for whichever waiters were not cancelled.
+		time.Sleep(time.Millisecond)
+		holder.Exit()
+		wg.Wait()
+	}
+
+	if cancelled.Load() == 0 {
+		t.Error("stress never exercised the cancel path")
+	}
+	if granted.Load() == 0 {
+		t.Error("stress never exercised the grant path")
+	}
+	testutil.WaitGoroutinesSettle(t, base, 3*time.Second)
+}
+
+// TestEnterContextCancelWhileParkedPool drives the same race through the
+// HandlePool borrow queue (lockd's first-level queue): waiters blocked in
+// pool.EnterContext are cancelled while parked and must be reaped promptly.
+func TestEnterContextCancelWhileParkedPool(t *testing.T) {
+	base := runtime.NumGoroutine()
+	lk := New(Config{MaxHandles: 2})
+	pool, err := NewHandlePool(lk, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := pool.Enter() // hold the lock so all borrows queue behind it
+
+	const waiters = 6
+	errc := make(chan error, waiters)
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < waiters; i++ {
+		go func() {
+			wh, err := pool.EnterContext(ctx)
+			if err == nil {
+				pool.Release(wh)
+			}
+			errc <- err
+		}()
+	}
+	time.Sleep(2 * time.Millisecond) // let the waiters park
+	cancel()
+	for i := 0; i < waiters; i++ {
+		select {
+		case err := <-errc:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("pool waiter = %v, want nil or context.Canceled", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("cancelled pool waiter not reaped within 2s")
+		}
+	}
+	pool.Release(h)
+	testutil.WaitGoroutinesSettle(t, base, 3*time.Second)
+}

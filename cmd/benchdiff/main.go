@@ -19,10 +19,12 @@
 // into a single "renamed" line so a re-keyed lock or benchmark is not
 // misread as one regression plus one improvement.
 //
-//   - Wall-clock cells — native throughput/latency and the Go benchmark
-//     ns/op lines — are machine- and load-dependent, so they are
-//     report-only unless a threshold is set (-native-threshold /
-//     -bench-threshold, percent; 0 disables gating).
+//   - Wall-clock cells — native throughput/latency, the lockd service-load
+//     matrix (BENCH_lockd.json, -lockd) and the Go benchmark ns/op lines —
+//     are machine- and load-dependent, so they are report-only unless a
+//     threshold is set (-native-threshold / -bench-threshold, percent;
+//     0 disables gating; the lockd cells never gate — chaos scenarios are
+//     intentionally noisy).
 //
 // Usage:
 //
@@ -115,6 +117,28 @@ func exploreKey(c exploreCell) string {
 	return key
 }
 
+// lockdCell is one wall-clock row of lockdload's service-load matrix: a
+// (distribution, chaos) scenario's acquire percentiles plus the server's
+// robustness counters. Always report-only — the chaos scenarios kill
+// holders and waiters on purpose, so even the counter columns are noisy.
+type lockdCell struct {
+	Dist        string  `json:"dist"`
+	Clients     int     `json:"clients"`
+	Names       int     `json:"names"`
+	Chaos       bool    `json:"chaos"`
+	Ops         int64   `json:"ops"`
+	Throughput  float64 `json:"throughput_ops_per_sec"`
+	P50ns       int64   `json:"acquire_p50_ns"`
+	P95ns       int64   `json:"acquire_p95_ns"`
+	P99ns       int64   `json:"acquire_p99_ns"`
+	Timeouts    int64   `json:"timeouts"`
+	Sheds       int64   `json:"sheds"`
+	KilledHolds int64   `json:"killed_holds"`
+	KilledWaits int64   `json:"killed_waits"`
+	Expiries    int64   `json:"expiries"`
+	FenceRej    int64   `json:"fencing_rejections"`
+}
+
 // nativeCell is one wall-clock row of nativebench's matrix.
 type nativeCell struct {
 	Lock       string  `json:"lock"`
@@ -147,6 +171,7 @@ type entry struct {
 	Latency   []latencyCell `json:"latency,omitempty"`
 	Explorer  []exploreCell `json:"explorer,omitempty"`
 	Native    []nativeCell  `json:"native,omitempty"`
+	Lockd     []lockdCell   `json:"lockd,omitempty"`
 	GoBench   []goBench     `json:"gobench,omitempty"`
 }
 
@@ -154,6 +179,7 @@ func main() {
 	var (
 		rmrPath    = flag.String("rmr", "", "BENCH_rmr.json to read (empty = skip)")
 		nativePath = flag.String("native", "", "BENCH_native.json to read (empty = skip)")
+		lockdPath  = flag.String("lockd", "", "BENCH_lockd.json to read (empty = skip)")
 		histPath   = flag.String("history", "bench/history.jsonl", "append-only run log")
 		appendHist = flag.Bool("append", false, "append this run to -history")
 		basePath   = flag.String("baseline", "", "baseline entry JSON (empty = last matching history line)")
@@ -170,7 +196,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: need -rmr and/or -native")
 		os.Exit(2)
 	}
-	cur, err := loadRun(*rmrPath, *nativePath, *commit)
+	cur, err := loadRun(*rmrPath, *nativePath, *lockdPath, *commit)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -228,7 +254,7 @@ func main() {
 }
 
 // loadRun parses the bench.sh reports into one normalized entry.
-func loadRun(rmrPath, nativePath, commit string) (*entry, error) {
+func loadRun(rmrPath, nativePath, lockdPath, commit string) (*entry, error) {
 	e := &entry{Commit: commit}
 	if rmrPath != "" {
 		var doc struct {
@@ -261,6 +287,17 @@ func loadRun(rmrPath, nativePath, commit string) (*entry, error) {
 			return nil, err
 		}
 		e.Native = doc.Native
+		e.Quick = e.Quick || doc.Quick
+	}
+	if lockdPath != "" {
+		var doc struct {
+			Quick bool        `json:"quick"`
+			Lockd []lockdCell `json:"lockd"`
+		}
+		if err := readJSON(lockdPath, &doc); err != nil {
+			return nil, err
+		}
+		e.Lockd = doc.Lockd
 		e.Quick = e.Quick || doc.Quick
 	}
 	return e, nil
@@ -414,6 +451,7 @@ func report(w io.Writer, base, cur *entry, baseDesc string, th thresholds) int {
 	regressions += diffLatency(w, base.Latency, cur.Latency, th.rmr)
 	regressions += diffExplorer(w, base.Explorer, cur.Explorer, th.rmr)
 	regressions += diffNative(w, base.Native, cur.Native, th.native)
+	diffLockd(w, base.Lockd, cur.Lockd)
 	regressions += diffGoBench(w, base.GoBench, cur.GoBench, th.bench)
 	return regressions
 }
@@ -787,6 +825,72 @@ func diffNative(w io.Writer, base, cur []nativeCell, pct float64) int {
 	}
 	classifyCells(w, added, removed)
 	return regressions
+}
+
+// lockdKey identifies one service-load scenario across runs.
+func lockdKey(c lockdCell) string {
+	key := fmt.Sprintf("lockd/%s/c=%d/n=%d", c.Dist, c.Clients, c.Names)
+	if c.Chaos {
+		key += "/chaos"
+	}
+	return key
+}
+
+// diffLockd reports the service-load deltas. It never gates: every column
+// is wall-clock or chaos-driven (the chaos scenarios kill holders and
+// cancel waiters at random, so even expiry and shed counts jitter run to
+// run); the section exists so a latency cliff or a counter going to zero
+// is visible in the delta report, not to fail CI.
+func diffLockd(w io.Writer, base, cur []lockdCell) {
+	if len(base) == 0 || len(cur) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "lockd service load (wall-clock + chaos counters, report-only):")
+	bm := map[string]lockdCell{}
+	for _, c := range base {
+		bm[lockdKey(c)] = c
+	}
+	added := map[string]string{}
+	seen := map[string]bool{}
+	for _, c := range cur {
+		key := lockdKey(c)
+		b, ok := bm[key]
+		if !ok {
+			added[key] = lockdFingerprint(c)
+			continue
+		}
+		seen[key] = true
+		ms := []metric{
+			{"acquire_p50_ns", float64(b.P50ns), float64(c.P50ns), true},
+			{"acquire_p95_ns", float64(b.P95ns), float64(c.P95ns), true},
+			{"acquire_p99_ns", float64(b.P99ns), float64(c.P99ns), true},
+			{"timeouts", float64(b.Timeouts), float64(c.Timeouts), true},
+			{"sheds", float64(b.Sheds), float64(c.Sheds), true},
+			{"expiries", float64(b.Expiries), float64(c.Expiries), false},
+			{"fencing_rejections", float64(b.FenceRej), float64(c.FenceRej), false},
+			{"killed_holds", float64(b.KilledHolds), float64(c.KilledHolds), false},
+			{"killed_waits", float64(b.KilledWaits), float64(c.KilledWaits), false},
+		}
+		diffMetrics(w, key, ms, 0, false)
+		if b.Throughput != c.Throughput {
+			fmt.Fprintf(w, "    %-24s %14.6g -> %-14.6g %s\n",
+				key+" ops/s", b.Throughput, c.Throughput, delta(b.Throughput, c.Throughput))
+		}
+	}
+	removed := map[string]string{}
+	for key, b := range bm {
+		if !seen[key] {
+			removed[key] = lockdFingerprint(b)
+		}
+	}
+	classifyCells(w, added, removed)
+}
+
+// lockdFingerprint is a lockdCell's workload signature (not its measured
+// numbers — wall-clock values never repeat, so a renamed scenario matches
+// on shape alone).
+func lockdFingerprint(c lockdCell) string {
+	return fmt.Sprintf("dist=%s clients=%d names=%d chaos=%v", c.Dist, c.Clients, c.Names, c.Chaos)
 }
 
 // nativeFingerprint blanks the lock name of a nativeCell's signature.

@@ -54,6 +54,23 @@ const nativeDoc = `{
   ]
 }`
 
+const lockdDoc = `{
+  "schema": "lockdload/v1",
+  "quick": true,
+  "lockd": [
+    {"dist": "uniform", "clients": 8, "names": 64, "chaos": false,
+     "ops": 4000, "throughput_ops_per_sec": 8000,
+     "acquire_p50_ns": 90000, "acquire_p95_ns": 400000, "acquire_p99_ns": 900000,
+     "timeouts": 0, "sheds": 0, "killed_holds": 0, "killed_waits": 0,
+     "expiries": 0, "fencing_rejections": 0},
+    {"dist": "zipf", "clients": 8, "names": 64, "chaos": true,
+     "ops": 2500, "throughput_ops_per_sec": 5000,
+     "acquire_p50_ns": 120000, "acquire_p95_ns": 800000, "acquire_p99_ns": 2000000,
+     "timeouts": 3, "sheds": 1, "killed_holds": 40, "killed_waits": 20,
+     "expiries": 38, "fencing_rejections": 12}
+  ]
+}`
+
 func writeTemp(t *testing.T, name, content string) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), name)
@@ -65,7 +82,8 @@ func writeTemp(t *testing.T, name, content string) string {
 
 func loadTestRun(t *testing.T) *entry {
 	t.Helper()
-	e, err := loadRun(writeTemp(t, "rmr.json", rmrDoc), writeTemp(t, "native.json", nativeDoc), "abc123")
+	e, err := loadRun(writeTemp(t, "rmr.json", rmrDoc), writeTemp(t, "native.json", nativeDoc),
+		writeTemp(t, "lockd.json", lockdDoc), "abc123")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,6 +112,9 @@ func TestLoadRunParsesBothReports(t *testing.T) {
 	}
 	if len(e.GoBench) != 1 || e.GoBench[0].Units["ns/op"] != 55 {
 		t.Errorf("gobench = %+v", e.GoBench)
+	}
+	if len(e.Lockd) != 2 || e.Lockd[1].Expiries != 38 || !e.Lockd[1].Chaos {
+		t.Errorf("lockd cells = %+v", e.Lockd)
 	}
 }
 
@@ -229,6 +250,46 @@ func TestNativeReportOnlyByDefault(t *testing.T) {
 	// With a threshold set, both the latency and throughput cells gate.
 	if n := report(&buf, base, cur, "test", thresholds{native: 20}); n != 2 {
 		t.Fatalf("gated native run produced %d regressions, want 2", n)
+	}
+}
+
+// TestLockdNeverGates: the service-load cells are wall-clock and
+// chaos-driven, so even a 10x latency cliff is reported, never gated —
+// regardless of any thresholds set for the other wall-clock families.
+func TestLockdNeverGates(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Lockd[1].P99ns *= 10
+	cur.Lockd[1].Expiries = 0
+	cur.Lockd[1].Throughput /= 2
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{rmr: 0, native: 20, bench: 20}); n != 0 {
+		t.Fatalf("lockd deltas gated (%d):\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lockd/zipf/c=8/n=64/chaos") {
+		t.Errorf("lockd cell not named:\n%s", out)
+	}
+	if !strings.Contains(out, "acquire_p99_ns") || !strings.Contains(out, "expiries") {
+		t.Errorf("lockd deltas not reported:\n%s", out)
+	}
+	if strings.Contains(out, "REGRESSION") {
+		t.Errorf("lockd delta flagged as regression:\n%s", out)
+	}
+}
+
+// TestLockdScenarioChangeClassified: a re-shaped scenario (different client
+// count) keys differently and is classified added+removed, not diffed.
+func TestLockdScenarioChangeClassified(t *testing.T) {
+	base, cur := loadTestRun(t), loadTestRun(t)
+	cur.Lockd[0].Clients = 32
+	var buf bytes.Buffer
+	if n := report(&buf, base, cur, "test", thresholds{}); n != 0 {
+		t.Fatalf("scenario change gated (%d):\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "lockd/uniform/c=32/n=64: added") ||
+		!strings.Contains(out, "lockd/uniform/c=8/n=64: removed") {
+		t.Errorf("scenario change not classified:\n%s", out)
 	}
 }
 

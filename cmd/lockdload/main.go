@@ -1,0 +1,136 @@
+// Command lockdload drives the lockd load harness and writes the results
+// as BENCH_lockd.json: acquire-latency percentiles (p50/p95/p99,
+// nanoseconds), throughput, and the server's robustness counters (lease
+// expiries, sheds, fencing rejections) for three scenarios — uniform
+// names, hot-key Zipf names, and hot-key Zipf with chaos (clients killed
+// mid-hold and mid-wait).
+//
+// By default each scenario runs against its own in-process server, which
+// is what CI and scripts/bench.sh use; -addr points every scenario at an
+// already-running lockd instead (server counters are then omitted — scrape
+// the server's /metrics for them).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sublock/load"
+)
+
+// cell is one scenario's row in BENCH_lockd.json, shaped for
+// cmd/benchdiff's lockd section.
+type cell struct {
+	Dist        string  `json:"dist"`
+	Clients     int     `json:"clients"`
+	Names       int     `json:"names"`
+	Chaos       bool    `json:"chaos"`
+	Ops         int64   `json:"ops"`
+	Throughput  float64 `json:"throughput_ops_per_sec"`
+	P50ns       int64   `json:"acquire_p50_ns"`
+	P95ns       int64   `json:"acquire_p95_ns"`
+	P99ns       int64   `json:"acquire_p99_ns"`
+	Timeouts    int64   `json:"timeouts"`
+	Sheds       int64   `json:"sheds"`
+	KilledHolds int64   `json:"killed_holds"`
+	KilledWaits int64   `json:"killed_waits"`
+	Expiries    int64   `json:"expiries"`
+	FenceRej    int64   `json:"fencing_rejections"`
+}
+
+func toCell(r load.Result) cell {
+	c := cell{
+		Dist:        r.Dist,
+		Clients:     r.Clients,
+		Names:       r.Names,
+		Chaos:       r.Chaos,
+		Ops:         r.Ops,
+		Throughput:  r.Throughput,
+		P50ns:       r.P50,
+		P95ns:       r.P95,
+		P99ns:       r.P99,
+		Timeouts:    r.Timeouts,
+		Sheds:       r.Sheds,
+		KilledHolds: r.KilledHolds,
+		KilledWaits: r.KilledWaits,
+	}
+	if r.Server != nil {
+		c.Expiries = r.Server.Expiries
+		c.FenceRej = r.Server.FencingRejects
+	}
+	return c
+}
+
+func main() {
+	var (
+		out      = flag.String("o", "", "write JSON here (default stdout)")
+		addr     = flag.String("addr", "", "target a running lockd (host:port) instead of in-process servers")
+		quick    = flag.Bool("quick", false, "small fast run for CI smoke")
+		clients  = flag.Int("clients", 32, "concurrent clients per scenario")
+		names    = flag.Int("names", 256, "lock-name space size")
+		duration = flag.Duration("duration", 3*time.Second, "run length per scenario")
+		seed     = flag.Int64("seed", 1, "PRNG seed (name choice and chaos)")
+	)
+	flag.Parse()
+
+	base := load.Defaults()
+	base.Addr = *addr
+	base.Clients = *clients
+	base.Names = *names
+	base.Duration = *duration
+	base.Seed = *seed
+	if *quick {
+		base.Clients = 8
+		base.Names = 64
+		base.Duration = 500 * time.Millisecond
+	}
+
+	scenarios := []struct {
+		name string
+		mut  func(*load.Config)
+	}{
+		{"uniform", func(c *load.Config) { c.Dist = "uniform" }},
+		{"zipf", func(c *load.Config) { c.Dist = "zipf" }},
+		{"zipf+chaos", func(c *load.Config) {
+			c.Dist = "zipf"
+			c.TTL = 200 * time.Millisecond
+			c.Chaos = load.Chaos{KillHold: 0.05, KillWait: 0.05}
+		}},
+	}
+
+	cells := make([]cell, 0, len(scenarios))
+	for _, sc := range scenarios {
+		cfg := base
+		sc.mut(&cfg)
+		fmt.Fprintf(os.Stderr, "lockdload: %s (%d clients, %d names, %v)\n",
+			sc.name, cfg.Clients, cfg.Names, cfg.Duration)
+		res, err := load.Run(context.Background(), cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lockdload:", err)
+			os.Exit(1)
+		}
+		cells = append(cells, toCell(res))
+	}
+
+	doc := map[string]any{
+		"schema": "lockdload/v1",
+		"quick":  *quick,
+		"lockd":  cells,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lockdload:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lockdload:", err)
+		os.Exit(1)
+	}
+}

@@ -11,9 +11,20 @@
 // exactly the recall mechanism.
 //
 //	go run ./examples/kvstore
+//
+// With -addr the row locks live in a lockd service: rows are leased as
+// "row-<i>" over HTTP, and the wound is delivered by cancelling the
+// victim's in-flight acquire context — the same recall, propagated through
+// the service into the native lock's bounded abort.
+//
+//	go run ./cmd/lockd &
+//	go run ./examples/kvstore -addr 127.0.0.1:7513
 package main
 
 import (
+	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,13 +35,17 @@ import (
 	"time"
 
 	"sublock/abortable"
+	"sublock/lockd/client"
 )
 
 const (
 	rows        = 16
 	transactors = 8
-	txEach      = 150
 )
+
+// txEach is per-transactor transaction count; remote mode trims it because
+// every row lock is an HTTP round trip.
+var txEach = 150
 
 // row is one record guarded by an abortable lock.
 type row struct {
@@ -43,11 +58,100 @@ type store struct {
 	rows [rows]*row
 }
 
-// txn is one transaction attempt: a timestamped participant with a handle
-// per row and a registry entry that lets older transactions wound it.
+// rowLocker is one transactor's view of the row locks: blocking enter,
+// exit, and the wound-wait recall of an in-flight enter. Local mode recalls
+// via Handle.Abort; remote mode cancels the acquire's context.
+type rowLocker interface {
+	enter(rowID int) bool // false when wounded (or otherwise aborted)
+	exit(rowID int)
+	wound(rowID int) // abort this transactor's in-flight enter of rowID
+}
+
+// localLocker drives the in-process abortable locks directly.
+type localLocker struct {
+	handles [rows]*abortable.Handle
+}
+
+func newLocalLocker(s *store) (*localLocker, error) {
+	l := &localLocker{}
+	for i := range s.rows {
+		h, err := s.rows[i].lock.NewHandle()
+		if err != nil {
+			return nil, err
+		}
+		l.handles[i] = h
+	}
+	return l, nil
+}
+
+func (l *localLocker) enter(rowID int) bool { return l.handles[rowID].Enter() }
+func (l *localLocker) exit(rowID int)       { l.handles[rowID].Exit() }
+func (l *localLocker) wound(rowID int)      { l.handles[rowID].Abort() }
+
+// remoteLocker leases rows from a lockd service. The wound cancels the
+// in-flight acquire's context, which the service wires into the native
+// lock's EnterContext — the recall arrives as a bounded abort server-side.
+type remoteLocker struct {
+	cl     *client.Client
+	leases [rows]*client.Lease
+	cancel [rows]atomic.Value // context.CancelFunc of the in-flight acquire
+}
+
+// MaxAttempts 1: a retried acquire whose first attempt's response was lost
+// would double-grant and leave a ghost holder; wound-wait's restart loop is
+// the retry policy here.
+func newRemoteLocker(addr string) *remoteLocker {
+	return &remoteLocker{cl: client.New(addr, client.Config{MaxAttempts: 1})}
+}
+
+func (l *remoteLocker) enter(rowID int) bool {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	l.cancel[rowID].Store(cancel)
+	// A short TTL bounds the stall if a grant is orphaned by a wound that
+	// lands in the response-write race window (the server rolls back the
+	// common case itself; see lockd's handleAcquire).
+	ls, err := l.cl.Acquire(ctx, fmt.Sprintf("row-%d", rowID), 5*time.Second, 30*time.Second)
+	l.cancel[rowID].Store(context.CancelFunc(func() {}))
+	if err != nil {
+		return false // wounded (context cancelled) or service pushback
+	}
+	l.leases[rowID] = ls
+	return true
+}
+
+func (l *remoteLocker) exit(rowID int) {
+	if ls := l.leases[rowID]; ls != nil {
+		l.leases[rowID] = nil
+		switch err := l.cl.Release(context.Background(), ls); {
+		case err == nil:
+		case errors.Is(err, client.ErrStale), errors.Is(err, client.ErrExpired):
+			// The lease lapsed while this txn queued behind a reclaim on a
+			// later row. The ring transfer is delta-based, so the sum
+			// invariant survives; a store with non-commutative writes would
+			// have to fence on ls.Token instead of shrugging here.
+			lapsedReleases.Add(1)
+		default:
+			log.Printf("release row-%d: %v", rowID, err)
+		}
+	}
+}
+
+// lapsedReleases counts remote releases rejected because the lease had
+// already been reclaimed (reported once at exit, not per event).
+var lapsedReleases atomic.Int64
+
+func (l *remoteLocker) wound(rowID int) {
+	if c, ok := l.cancel[rowID].Load().(context.CancelFunc); ok && c != nil {
+		c()
+	}
+}
+
+// txn is one transaction attempt: a timestamped participant with a row
+// locker and a registry entry that lets older transactions wound it.
 type txn struct {
 	ts      int64 // birth timestamp: smaller = older = higher priority
-	handles [rows]*abortable.Handle
+	lk      rowLocker
 	waiting atomic.Int64 // row the txn is currently waiting on, -1 = none
 	holding atomic.Int64 // bitmask of rows currently held (single writer)
 }
@@ -86,7 +190,7 @@ func (r *registry) wound(older *txn, rowID int) int {
 			continue
 		}
 		if w := t.waiting.Load(); w >= 0 {
-			t.handles[w].Abort()
+			t.lk.wound(int(w))
 			wounded++
 		}
 		// A younger holder that is not waiting is mid-computation and will
@@ -96,16 +200,26 @@ func (r *registry) wound(older *txn, rowID int) int {
 }
 
 func main() {
-	if err := run(); err != nil {
+	addr := flag.String("addr", "", "lockd address (host:port); empty runs in-process")
+	flag.Parse()
+	if err := run(*addr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+func run(addr string) error {
 	s := &store{}
 	for i := range s.rows {
 		s.rows[i] = &row{lock: abortable.New(abortable.Config{MaxHandles: transactors})}
 		s.rows[i].value = 100
+	}
+	// Remote mode: fewer transactions (each row lock is an HTTP round
+	// trip) and a gentler wound sweep — at 100µs the cancel storm lands in
+	// the grant/response race window constantly.
+	sweepPeriod := 100 * time.Microsecond
+	if addr != "" {
+		txEach = 30
+		sweepPeriod = 2 * time.Millisecond
 	}
 	reg := &registry{txns: map[*txn]bool{}}
 	var stamp atomic.Int64
@@ -114,13 +228,14 @@ func run() error {
 	var wg sync.WaitGroup
 	for w := 0; w < transactors; w++ {
 		rng := rand.New(rand.NewSource(int64(w) + 1))
-		handles := [rows]*abortable.Handle{}
-		for i := range s.rows {
-			h, err := s.rows[i].lock.NewHandle()
-			if err != nil {
+		var lk rowLocker
+		if addr == "" {
+			var err error
+			if lk, err = newLocalLocker(s); err != nil {
 				return err
 			}
-			handles[i] = h
+		} else {
+			lk = newRemoteLocker(addr)
 		}
 		wg.Add(1)
 		go func() {
@@ -133,10 +248,10 @@ func run() error {
 				set := rng.Perm(rows)[:nset]
 				amount := int64(rng.Intn(20))
 				for {
-					t := &txn{ts: stamp.Add(1), handles: handles}
+					t := &txn{ts: stamp.Add(1), lk: lk}
 					t.waiting.Store(-1)
 					reg.add(t)
-					if execute(s, reg, t, set, amount) {
+					if execute(s, t, set, amount) {
 						commits.Add(1)
 						reg.remove(t)
 						break
@@ -160,7 +275,7 @@ func run() error {
 				txns = append(txns, t)
 			}
 			reg.mu.Unlock()
-			if len(txns) == 0 && commits.Load() >= transactors*txEach {
+			if len(txns) == 0 && commits.Load() >= int64(transactors*txEach) {
 				return
 			}
 			sort.Slice(txns, func(i, j int) bool { return txns[i].ts < txns[j].ts })
@@ -169,7 +284,7 @@ func run() error {
 					wounds.Add(int64(reg.wound(older, int(rowID))))
 				}
 			}
-			time.Sleep(100 * time.Microsecond)
+			time.Sleep(sweepPeriod)
 		}
 	}()
 	wg.Wait()
@@ -180,6 +295,9 @@ func run() error {
 	}
 	fmt.Printf("committed %d transactions across %d transactors\n", commits.Load(), transactors)
 	fmt.Printf("wound-wait interventions: %d sweeps wounded waiters; %d restarts\n", wounds.Load(), restarts.Load())
+	if n := lapsedReleases.Load(); n > 0 {
+		fmt.Printf("remote leases lapsed while queued (reclaimed before release): %d\n", n)
+	}
 	fmt.Printf("invariant: total balance %d (want %d): %v\n", total, int64(rows*100), total == rows*100)
 	if total != rows*100 {
 		return fmt.Errorf("conservation violated")
@@ -190,18 +308,18 @@ func run() error {
 // execute runs one attempt of the transaction: lock the set in request
 // order (announcing each wait so elders can wound us), apply the transfer,
 // release everything. It reports false if any acquisition was aborted.
-func execute(s *store, reg *registry, t *txn, set []int, amount int64) bool {
+func execute(s *store, t *txn, set []int, amount int64) bool {
 	locked := make([]int, 0, len(set))
 	var held int64
 	defer func() {
 		for _, id := range locked {
-			t.handles[id].Exit()
+			t.lk.exit(id)
 		}
 		t.holding.Store(0)
 	}()
 	for _, id := range set {
 		t.waiting.Store(int64(id))
-		ok := t.handles[id].Enter()
+		ok := t.lk.enter(id)
 		t.waiting.Store(-1)
 		if !ok {
 			return false // wounded: caller restarts with a fresh timestamp

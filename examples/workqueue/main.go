@@ -8,10 +8,20 @@
 // parked behind a slow peer while unclaimed work exists.
 //
 //	go run ./examples/workqueue
+//
+// With -addr the chunk locks live in a lockd service instead of in
+// process: workers acquire "chunk-<i>" leases over HTTP, and the same
+// abort-and-switch pattern rides on the service's bounded acquire wait
+// (patience is stretched to cover network latency).
+//
+//	go run ./cmd/lockd &
+//	go run ./examples/workqueue -addr 127.0.0.1:7513
 package main
 
 import (
 	"context"
+	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -19,7 +29,10 @@ import (
 	"time"
 )
 
-import "sublock/abortable"
+import (
+	"sublock/abortable"
+	"sublock/lockd/client"
+)
 
 const (
 	chunks     = 8
@@ -33,30 +46,84 @@ type chunk struct {
 	remaining atomic.Int64
 }
 
+// enterFunc tries to lock chunk i within ctx, returning the matching
+// unlock on success. Local mode aborts via EnterContext; remote mode rides
+// the lockd acquire wait budget.
+type enterFunc func(ctx context.Context, i int) (func(), error)
+
 func main() {
-	if err := run(); err != nil {
+	addr := flag.String("addr", "", "lockd address (host:port); empty runs in-process")
+	flag.Parse()
+	if err := run(*addr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
+// localEnter gives one worker abortable handles on every chunk lock.
+func localEnter(cs []*chunk) (enterFunc, error) {
+	handles := make([]*abortable.Handle, len(cs))
+	for i, c := range cs {
+		h, err := c.lock.NewHandle()
+		if err != nil {
+			return nil, err
+		}
+		handles[i] = h
+	}
+	return func(ctx context.Context, i int) (func(), error) {
+		if err := handles[i].EnterContext(ctx); err != nil {
+			return nil, err
+		}
+		return handles[i].Exit, nil
+	}, nil
+}
+
+// remoteEnter leases "chunk-<i>" from a lockd service. The patience
+// deadline travels as the service-side wait budget, so a contended chunk
+// sheds this worker with wait_timeout instead of parking it.
+func remoteEnter(addr string) enterFunc {
+	cl := client.New(addr, client.Config{MaxAttempts: 1})
+	return func(ctx context.Context, i int) (func(), error) {
+		wait := time.Second
+		if dl, ok := ctx.Deadline(); ok {
+			wait = time.Until(dl)
+		}
+		ls, err := cl.Acquire(ctx, fmt.Sprintf("chunk-%d", i), 10*time.Second, wait)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
+			if err := cl.Release(context.Background(), ls); err != nil &&
+				!errors.Is(err, client.ErrExpired) {
+				log.Printf("release chunk-%d: %v", i, err)
+			}
+		}, nil
+	}
+}
+
+func run(addr string) error {
 	cs := make([]*chunk, chunks)
 	for i := range cs {
 		cs[i] = &chunk{lock: abortable.New(abortable.Config{MaxHandles: workers})}
 		cs[i].remaining.Store(unitsEach)
+	}
+	// Local aborts resolve in microseconds; an HTTP round trip does not.
+	patience := patienceµs * time.Microsecond
+	if addr != "" {
+		patience = 5 * time.Millisecond
 	}
 	var done atomic.Int64
 	var switches atomic.Int64 // abort-and-move-on events
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		handles := make([]*abortable.Handle, chunks)
-		for i, c := range cs {
-			h, err := c.lock.NewHandle()
-			if err != nil {
+		var enter enterFunc
+		if addr == "" {
+			var err error
+			if enter, err = localEnter(cs); err != nil {
 				return err
 			}
-			handles[i] = h
+		} else {
+			enter = remoteEnter(addr)
 		}
 		wg.Add(1)
 		go func() {
@@ -69,8 +136,8 @@ func run() error {
 				if c.remaining.Load() == 0 {
 					continue
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), patienceµs*time.Microsecond)
-				err := handles[i].EnterContext(ctx)
+				ctx, cancel := context.WithTimeout(context.Background(), patience)
+				exit, err := enter(ctx, i)
 				cancel()
 				if err != nil {
 					// Contended: abandon this chunk and try the next one
@@ -86,7 +153,7 @@ func run() error {
 					done.Add(1)
 					time.Sleep(20 * time.Microsecond)
 				}
-				handles[i].Exit()
+				exit()
 			}
 		}()
 	}

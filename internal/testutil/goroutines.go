@@ -1,0 +1,46 @@
+// Package testutil holds small helpers shared across the repository's
+// test suites.
+package testutil
+
+import (
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// SettleSlack is the tolerance WaitGoroutinesSettle allows above the
+// baseline: the runtime (finalizers, netpoll, timer goroutines) may keep
+// a couple of transient goroutines alive with no leak involved.
+const SettleSlack = 2
+
+// WaitGoroutinesSettle asserts that the process goroutine count returns
+// to base+SettleSlack within the deadline, polling with a backoff so a
+// promptly-reaped waiter passes on the first checks. On timeout it fails
+// the test with a full goroutine dump, which is the artifact needed to
+// find the leaked park site.
+//
+// Record base with runtime.NumGoroutine() before spawning the goroutines
+// under test.
+func WaitGoroutinesSettle(t testing.TB, base int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	var n int
+	for pause := time.Millisecond; ; pause *= 2 {
+		if n = runtime.NumGoroutine(); n <= base+SettleSlack {
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		if pause > 100*time.Millisecond {
+			pause = 100 * time.Millisecond
+		}
+		time.Sleep(pause)
+	}
+	var dump strings.Builder
+	pprof.Lookup("goroutine").WriteTo(&dump, 1)
+	t.Fatalf("goroutines did not settle: %d live, want <= %d (base %d + slack %d)\n%s",
+		n, base+SettleSlack, base, SettleSlack, dump.String())
+}

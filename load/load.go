@@ -1,0 +1,264 @@
+// Package load is the lockd load harness: concurrent clients hammer a
+// lock service — in-process by default, or a remote addr — under a
+// uniform or hot-key (Zipf) name distribution, optionally with chaos
+// (clients killed mid-hold and mid-wait), and report acquire-latency
+// percentiles, throughput, and the server's robustness counters.
+package load
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sublock/lockd"
+	"sublock/lockd/client"
+)
+
+// Chaos configures client-failure injection.
+type Chaos struct {
+	// KillHold is the probability a successful acquire "crashes" mid-hold:
+	// the release is skipped, so the lease must lapse via TTL expiry.
+	KillHold float64
+	// KillWait is the probability an acquire's context is cancelled
+	// mid-wait, simulating a waiter that disconnects while parked.
+	KillWait float64
+}
+
+func (c Chaos) enabled() bool { return c.KillHold > 0 || c.KillWait > 0 }
+
+// Config describes one load run. The zero value is not runnable; use
+// Defaults() and override.
+type Config struct {
+	// Addr targets a running lockd server ("host:port"); empty starts an
+	// in-process server and reports its Stats in the result.
+	Addr string
+	// Clients is the number of concurrent client goroutines.
+	Clients int
+	// Names is the size of the lock-name space.
+	Names int
+	// Dist is the name distribution: "uniform" or "zipf" (hot-key).
+	Dist string
+	// ZipfS is the Zipf skew parameter (>1; larger = hotter head).
+	ZipfS float64
+	// Duration bounds the run.
+	Duration time.Duration
+	// Hold is the dwell inside the critical section.
+	Hold time.Duration
+	// TTL and Wait are passed through to every acquire. A short TTL keeps
+	// chaos-killed holds reclaimable within the run.
+	TTL, Wait time.Duration
+	// Chaos injects client failures.
+	Chaos Chaos
+	// Seed makes name choice and chaos reproducible.
+	Seed int64
+
+	// Server tunes the in-process server (ignored with Addr set).
+	Server lockd.Config
+}
+
+// Defaults returns a small, safe baseline configuration.
+func Defaults() Config {
+	return Config{
+		Clients:  8,
+		Names:    64,
+		Dist:     "uniform",
+		ZipfS:    1.2,
+		Duration: time.Second,
+		Hold:     200 * time.Microsecond,
+		TTL:      500 * time.Millisecond,
+		Wait:     2 * time.Second,
+		Seed:     1,
+		Server:   lockd.Config{SweepInterval: 20 * time.Millisecond},
+	}
+}
+
+// Result is one run's report.
+type Result struct {
+	Dist    string        `json:"dist"`
+	Clients int           `json:"clients"`
+	Names   int           `json:"names"`
+	Chaos   bool          `json:"chaos"`
+	Elapsed time.Duration `json:"elapsed_ns"`
+
+	Ops        int64   `json:"ops"` // granted acquires
+	Throughput float64 `json:"throughput_ops_per_sec"`
+	P50        int64   `json:"acquire_p50_ns"`
+	P95        int64   `json:"acquire_p95_ns"`
+	P99        int64   `json:"acquire_p99_ns"`
+
+	Timeouts    int64 `json:"timeouts"`     // client-observed wait timeouts
+	Sheds       int64 `json:"sheds"`        // client-observed 503s (post-retry)
+	KilledHolds int64 `json:"killed_holds"` // chaos: releases skipped
+	KilledWaits int64 `json:"killed_waits"` // chaos: waits cancelled
+	StaleErrs   int64 `json:"stale_errs"`   // releases fenced out (post-expiry)
+	OtherErrs   int64 `json:"other_errs"`
+
+	// Server holds the in-process server's counters (nil against a remote
+	// addr, where the server's /metrics is the source of truth).
+	Server *lockd.Stats `json:"server,omitempty"`
+}
+
+// namePicker returns a per-client generator of name indices.
+func namePicker(cfg Config, rng *rand.Rand) (func() int, error) {
+	switch cfg.Dist {
+	case "uniform":
+		return func() int { return rng.Intn(cfg.Names) }, nil
+	case "zipf":
+		z := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Names-1))
+		return func() int { return int(z.Uint64()) }, nil
+	default:
+		return nil, fmt.Errorf("load: unknown distribution %q (want uniform or zipf)", cfg.Dist)
+	}
+}
+
+// Run executes one load run and merges the per-client measurements.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Clients <= 0 || cfg.Names <= 0 || cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("load: Clients, Names and Duration must be positive")
+	}
+	if _, err := namePicker(cfg, rand.New(rand.NewSource(0))); err != nil {
+		return Result{}, err
+	}
+
+	addr := cfg.Addr
+	var srv *lockd.Server
+	if addr == "" {
+		srv = lockd.New(cfg.Server)
+		ts := httptest.NewServer(srv.Handler())
+		defer func() {
+			ts.Close()
+			srv.Close()
+		}()
+		addr = ts.URL
+	}
+
+	var (
+		ops, timeouts, sheds     atomic.Int64
+		killedHolds, killedWaits atomic.Int64
+		staleErrs, otherErrs     atomic.Int64
+		latMu                    sync.Mutex
+		latencies                []int64
+		wg                       sync.WaitGroup
+		runCtx, runCancel        = context.WithTimeout(ctx, cfg.Duration)
+	)
+	defer runCancel()
+	start := time.Now()
+
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919))
+			pick, _ := namePicker(cfg, rng)
+			cl := client.New(addr, client.Config{
+				MaxAttempts: 2,
+				BaseBackoff: 5 * time.Millisecond,
+				MaxBackoff:  100 * time.Millisecond,
+			})
+			local := make([]int64, 0, 4096)
+			for runCtx.Err() == nil {
+				name := fmt.Sprintf("key-%05d", pick())
+				actx, acancel := context.WithCancel(runCtx)
+				killWait := cfg.Chaos.KillWait > 0 && rng.Float64() < cfg.Chaos.KillWait
+				var killTimer *time.Timer
+				if killWait {
+					frac := 0.05 + 0.9*rng.Float64()
+					killTimer = time.AfterFunc(time.Duration(float64(cfg.Wait)*frac), acancel)
+				}
+				t0 := time.Now()
+				ls, err := cl.Acquire(actx, name, cfg.TTL, cfg.Wait)
+				if killTimer != nil {
+					killTimer.Stop()
+				}
+				if err != nil {
+					acancel()
+					switch {
+					case errors.Is(err, context.Canceled) && runCtx.Err() != nil:
+						// run over; not an error
+					case errors.Is(err, context.Canceled):
+						killedWaits.Add(1)
+					case errors.Is(err, client.ErrWaitTimeout):
+						timeouts.Add(1)
+					case errors.Is(err, client.ErrOverloaded), errors.Is(err, client.ErrDraining):
+						sheds.Add(1)
+					default:
+						otherErrs.Add(1)
+					}
+					continue
+				}
+				local = append(local, time.Since(t0).Nanoseconds())
+				ops.Add(1)
+				if cfg.Hold > 0 {
+					time.Sleep(cfg.Hold)
+				}
+				if cfg.Chaos.KillHold > 0 && rng.Float64() < cfg.Chaos.KillHold {
+					// Crash mid-hold: never release; the lease must lapse.
+					killedHolds.Add(1)
+					acancel()
+					continue
+				}
+				switch err := cl.Release(context.Background(), ls); {
+				case err == nil:
+				case errors.Is(err, client.ErrStale), errors.Is(err, client.ErrExpired):
+					// Held past the TTL (scheduler stall or hot-key queue):
+					// the server already reclaimed it. Expected under chaos.
+					staleErrs.Add(1)
+				default:
+					otherErrs.Add(1)
+				}
+				acancel()
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{
+		Dist:        cfg.Dist,
+		Clients:     cfg.Clients,
+		Names:       cfg.Names,
+		Chaos:       cfg.Chaos.enabled(),
+		Elapsed:     elapsed,
+		Ops:         ops.Load(),
+		Timeouts:    timeouts.Load(),
+		Sheds:       sheds.Load(),
+		KilledHolds: killedHolds.Load(),
+		KilledWaits: killedWaits.Load(),
+		StaleErrs:   staleErrs.Load(),
+		OtherErrs:   otherErrs.Load(),
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50 = percentile(latencies, 0.50)
+	res.P95 = percentile(latencies, 0.95)
+	res.P99 = percentile(latencies, 0.99)
+	if srv != nil {
+		// Let in-flight expiries from killed holds land before snapshotting.
+		if cfg.Chaos.enabled() {
+			time.Sleep(cfg.TTL + 2*cfg.Server.SweepInterval + 50*time.Millisecond)
+		}
+		st := srv.Stats()
+		res.Server = &st
+	}
+	return res, nil
+}
+
+// percentile reads the q-quantile from sorted (ascending) samples.
+func percentile(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

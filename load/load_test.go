@@ -1,0 +1,77 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRunUniform(t *testing.T) {
+	cfg := Defaults()
+	cfg.Clients = 4
+	cfg.Names = 16
+	cfg.Duration = 300 * time.Millisecond
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("uniform run made no progress")
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("percentiles p50=%d p99=%d, want positive and ordered", res.P50, res.P99)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v, want > 0", res.Throughput)
+	}
+	if res.Server == nil {
+		t.Fatal("in-process run must report server stats")
+	}
+	if res.Server.Acquires < res.Ops {
+		t.Fatalf("server acquires %d < client ops %d", res.Server.Acquires, res.Ops)
+	}
+	if res.Chaos {
+		t.Fatal("chaos flagged on a chaos-free run")
+	}
+}
+
+func TestRunZipfChaos(t *testing.T) {
+	cfg := Defaults()
+	cfg.Clients = 8
+	cfg.Names = 32
+	cfg.Dist = "zipf"
+	cfg.Duration = 400 * time.Millisecond
+	cfg.TTL = 100 * time.Millisecond
+	cfg.Chaos = Chaos{KillHold: 0.2, KillWait: 0.1}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 {
+		t.Fatal("zipf chaos run made no progress")
+	}
+	if !res.Chaos {
+		t.Fatal("chaos not flagged")
+	}
+	if res.KilledHolds == 0 {
+		t.Fatal("chaos never killed a holder (KillHold=0.2 over the whole run)")
+	}
+	// Every killed hold left a lease to lapse: the server must have
+	// reclaimed them (the post-run settle window in Run waits for this).
+	if res.Server.Expiries == 0 {
+		t.Fatalf("server reclaimed no leases after %d killed holds", res.KilledHolds)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := Defaults()
+	cfg.Dist = "pareto"
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+	cfg = Defaults()
+	cfg.Clients = 0
+	if _, err := Run(context.Background(), cfg); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}

@@ -1,0 +1,128 @@
+package lockd_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sublock/lockd"
+	"sublock/lockd/client"
+)
+
+// TestHelperHoldLock is not a test: it is the body of the crashing holder
+// subprocess. Gated on LOCKD_HELPER_ADDR so normal runs skip it. It
+// acquires the victim lock, reports the fencing token on stdout, then
+// hangs until the parent kills it -9 — a real client crash, with no
+// deferred release and no TCP FIN for the server to notice.
+func TestHelperHoldLock(t *testing.T) {
+	addr := os.Getenv("LOCKD_HELPER_ADDR")
+	if addr == "" {
+		t.Skip("helper process body; run via TestKillNineHolderLosesLock")
+	}
+	cl := client.New(addr)
+	ls, err := cl.Acquire(context.Background(), "victim", 400*time.Millisecond, 2*time.Second)
+	if err != nil {
+		fmt.Printf("HELPER_ERR=%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("TOKEN=%d\n", ls.Token)
+	os.Stdout.Sync()
+	time.Sleep(30 * time.Second) // killed long before this elapses
+}
+
+// TestKillNineHolderLosesLock is the end-to-end crashed-holder drill: a
+// subprocess acquires a lease over HTTP and is SIGKILLed mid-hold. The
+// lease must lapse at TTL (sweeper reclaim), the next acquirer must get a
+// larger fencing token, and a replayed release under the dead holder's
+// token must be rejected.
+func TestKillNineHolderLosesLock(t *testing.T) {
+	s := lockd.New(lockd.Config{SweepInterval: 10 * time.Millisecond})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperHoldLock$", "-test.v")
+	cmd.Env = append(os.Environ(), "LOCKD_HELPER_ADDR="+ts.URL)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Wait for the subprocess to report its token.
+	tokenc := make(chan uint64, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "TOKEN="); ok {
+				n, err := strconv.ParseUint(v, 10, 64)
+				if err == nil {
+					tokenc <- n
+				}
+				return
+			}
+			if strings.HasPrefix(line, "HELPER_ERR=") {
+				t.Error(line)
+				return
+			}
+		}
+	}()
+	var deadToken uint64
+	select {
+	case deadToken = <-tokenc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("helper subprocess never reported its token")
+	}
+
+	// kill -9: no release, no graceful connection teardown.
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// The next acquirer is granted the lock once the 400ms lease lapses.
+	cl := client.New(ts.URL)
+	start := time.Now()
+	ls, err := cl.Acquire(context.Background(), "victim", 10*time.Second, 5*time.Second)
+	if err != nil {
+		t.Fatalf("acquire after kill: %v", err)
+	}
+	if waited := time.Since(start); waited > 3*time.Second {
+		t.Errorf("reclaim took %v, want promptly after the 400ms TTL", waited)
+	}
+	if ls.Token <= deadToken {
+		t.Fatalf("post-crash token %d not above dead holder's %d", ls.Token, deadToken)
+	}
+
+	// A replay of the dead holder's release must be fenced out.
+	stale := &client.Lease{Name: "victim", Token: deadToken}
+	if err := cl.Release(context.Background(), stale); !errors.Is(err, client.ErrStale) {
+		t.Fatalf("stale release = %v, want client.ErrStale", err)
+	}
+
+	st := s.Stats()
+	if st.Expiries < 1 {
+		t.Errorf("Stats().Expiries = %d, want >= 1 (the reclaimed lease)", st.Expiries)
+	}
+	if st.FencingRejects < 1 {
+		t.Errorf("Stats().FencingRejects = %d, want >= 1 (the replayed release)", st.FencingRejects)
+	}
+	if err := cl.Release(context.Background(), ls); err != nil {
+		t.Fatalf("live release: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+package conformance_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"sublock/locks"
+	_ "sublock/locks/all"
+)
+
+// TestSymmetryAudit enforces the symmetry-flag audit: every registered
+// lock must have a row in docs/MODEL.md's symmetry-audit table whose
+// yes/no verdict matches its registered IDSymmetric flag, and the table
+// must not name locks that do not exist. Go's zero value makes an
+// *unset* IDSymmetric indistinguishable from a deliberate false at the
+// type level; this table is where the deliberate stance (and its
+// rationale) is recorded, so a new lock registered without an audit row
+// fails here instead of silently defaulting.
+func TestSymmetryAudit(t *testing.T) {
+	rows := parseAuditTable(t, "../../docs/MODEL.md")
+
+	registered := map[string]bool{}
+	for _, in := range locks.Infos() {
+		registered[in.Name] = true
+		row, ok := rows[in.Name]
+		if !ok {
+			t.Errorf("lock %q registered but missing from the docs/MODEL.md symmetry-audit table", in.Name)
+			continue
+		}
+		if row.symmetric != in.IDSymmetric {
+			t.Errorf("lock %q: audit table says IDSymmetric=%v, registry says %v",
+				in.Name, row.symmetric, in.IDSymmetric)
+		}
+		if strings.TrimSpace(row.rationale) == "" {
+			t.Errorf("lock %q: audit row has no rationale", in.Name)
+		}
+	}
+	for name := range rows {
+		if !registered[name] {
+			t.Errorf("audit table row %q names a lock that is not registered", name)
+		}
+	}
+}
+
+type auditRow struct {
+	symmetric bool
+	rationale string
+}
+
+// parseAuditTable extracts the markdown table between the
+// symmetry-audit:begin/end markers: | `name` | yes/no | rationale |.
+func parseAuditTable(t *testing.T, path string) map[string]auditRow {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read audit table: %v", err)
+	}
+	text := string(raw)
+	const begin, end = "<!-- symmetry-audit:begin -->", "<!-- symmetry-audit:end -->"
+	i := strings.Index(text, begin)
+	j := strings.Index(text, end)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("%s: symmetry-audit markers missing or out of order", path)
+	}
+	rows := map[string]auditRow{}
+	for lineNo, line := range strings.Split(text[i+len(begin):j], "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !strings.HasPrefix(line, "|") {
+			continue
+		}
+		cells := strings.Split(strings.Trim(line, "|"), "|")
+		if len(cells) != 3 {
+			t.Fatalf("audit table line %d: want 3 cells, got %d: %q", lineNo, len(cells), line)
+		}
+		name := strings.Trim(strings.TrimSpace(cells[0]), "`")
+		if name == "Lock" || strings.HasPrefix(name, "---") {
+			continue // header or separator
+		}
+		verdict := strings.ToLower(strings.TrimSpace(cells[1]))
+		row := auditRow{rationale: strings.TrimSpace(cells[2])}
+		switch verdict {
+		case "yes":
+			row.symmetric = true
+		case "no":
+			row.symmetric = false
+		default:
+			t.Fatalf("audit table row %q: verdict %q is not yes/no", name, verdict)
+		}
+		if _, dup := rows[name]; dup {
+			t.Fatalf("audit table row %q duplicated", name)
+		}
+		rows[name] = row
+	}
+	if len(rows) == 0 {
+		t.Fatal("audit table has no rows")
+	}
+	return rows
+}
+
+// TestSymmetryAuditRegistrationComments spot-checks that the registration
+// sites actually spell the flag out (the audit's second half): every
+// locks.Register call site must contain an explicit "IDSymmetric:" field.
+func TestSymmetryAuditRegistrationComments(t *testing.T) {
+	// Registration files, relative to this package.
+	files := []string{
+		"../tas/tas.go",
+		"../mcs/mcs.go",
+		"../scott/scott.go",
+		"../linearscan/linearscan.go",
+		"../tournament/tournament.go",
+		"../paper/paper.go",
+	}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("read %s: %v", f, err)
+		}
+		text := string(raw)
+		regs := strings.Count(text, "locks.Register(")
+		explicit := strings.Count(text, "IDSymmetric:")
+		if regs == 0 {
+			t.Errorf("%s: expected at least one locks.Register call", f)
+		}
+		if explicit < regs {
+			t.Errorf("%s: %d locks.Register call(s) but only %d explicit IDSymmetric field(s); every registration must take a stance",
+				f, regs, explicit)
+		}
+	}
+	// The audit table and this list must cover the same registry: if a new
+	// lock package registers elsewhere, fail loudly so it gets added here.
+	names := map[string]bool{}
+	for _, in := range locks.Infos() {
+		names[in.Name] = true
+	}
+	if len(names) != 9 {
+		var got []string
+		for n := range names {
+			got = append(got, n)
+		}
+		t.Errorf("registry has %d locks %v; update symmetry_audit_test.go's file list and docs/MODEL.md's audit table (want the audited 9)",
+			len(names), got)
+	}
+}

@@ -23,7 +23,11 @@ func init() {
 		Abortable: true,
 		OneShot:   true,
 		Labels:    []string{"oneshot/", "tree/"},
-		New:       oneShotFactory(true),
+		// The §3 tree registers processes at id-determined leaves (the
+		// split trees index by id); permuting ids moves processes across
+		// the tree, so runs are not invariant under id permutation.
+		IDSymmetric: false,
+		New:         oneShotFactory(true),
 	})
 	locks.Register(locks.Info{
 		Name:      "paper-plain",
@@ -31,7 +35,10 @@ func init() {
 		Abortable: true,
 		OneShot:   true,
 		Labels:    []string{"oneshot/", "tree/"},
-		New:       oneShotFactory(false),
+		// Same id-determined leaf layout as "paper"; FindNext adaptivity
+		// does not change where ids live in the tree.
+		IDSymmetric: false,
+		New:         oneShotFactory(false),
 	})
 	locks.Register(locks.Info{
 		Name:      "paper-longlived",
@@ -39,7 +46,10 @@ func init() {
 		Abortable: true,
 		CCOnly:    true,
 		Labels:    []string{"oneshot/", "tree/", "longlived/"},
-		New:       longLivedFactory(false),
+		// Wraps the one-shot tree (id-determined leaves) and adds per-id
+		// announce/retire slots in the long-lived frame.
+		IDSymmetric: false,
+		New:         longLivedFactory(false),
 	})
 	locks.Register(locks.Info{
 		Name:      "paper-longlived-bounded",
@@ -47,7 +57,10 @@ func init() {
 		Abortable: true,
 		CCOnly:    true,
 		Labels:    []string{"oneshot/", "tree/", "longlived/"},
-		New:       longLivedFactory(true),
+		// Same layout as paper-longlived, plus §6.2's per-id recycling
+		// pools — more id-indexed state, not less.
+		IDSymmetric: false,
+		New:         longLivedFactory(true),
 	})
 }
 

@@ -25,6 +25,10 @@ func init() {
 		Summary:   "Jayanti-shaped abortable binary arbitration-tree lock: Θ(log N) RMRs per passage (Table 1 row 2)",
 		Abortable: true,
 		Labels:    []string{"tournament/"},
+		// Ids are assigned to fixed arbitration-tree leaves; which internal
+		// nodes a process competes at is a function of its id, so permuting
+		// ids permutes the contention pattern.
+		IDSymmetric: false,
 		New: func(m *rmr.Memory, _, capacity int) (locks.HandleFunc, error) {
 			l, err := New(m, capacity)
 			if err != nil {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# bench.sh — run the benchmark suites and emit BENCH_rmr.json + BENCH_native.json.
+# bench.sh — run the benchmark suites and emit BENCH_rmr.json,
+# BENCH_native.json and BENCH_lockd.json.
 #
-# Usage:  scripts/bench.sh [rmr-output.json] [native-output.json]
+# Usage:  scripts/bench.sh [rmr-output.json] [native-output.json] [lockd-output.json]
 #
 # After the reports are written, the benchmark-regression pipeline runs:
 # cmd/benchdiff compares them against the committed quick baseline
@@ -39,6 +40,13 @@
 # goroutine count. BENCHTIME=1x selects its -quick op budgets as well.
 # See docs/PERF.md for how to read it.
 #
+# BENCH_lockd.json: the lock-service load matrix from `lockdload` — an
+# in-process lockd instance driven over HTTP with uniform and Zipf-skewed
+# key distributions plus a chaos scenario (killed holders and cancelled
+# waiters), acquire-latency percentiles and server-side shed/expiry
+# counters per cell. Wall-clock, so benchdiff treats it report-only.
+# BENCHTIME=1x selects its -quick budgets.
+#
 # The "baseline" block records the pre-optimization seed numbers measured
 # on the reference 1-CPU container, so a report is self-describing: the
 # acceptance targets were >=2x baseline ops/s for MemOps, >=3x baseline
@@ -49,6 +57,7 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_rmr.json}"
 native_out="${2:-BENCH_native.json}"
+lockd_out="${3:-BENCH_lockd.json}"
 benchtime="${BENCHTIME:-1s}"
 cost_models="${COST_MODELS:-ccnuma,dsmremote}"
 cost_seed="${COST_SEED:-1}"
@@ -57,6 +66,10 @@ cost_seed="${COST_SEED:-1}"
 # key; benchdiff treats the missing array as not-comparable-by-absence and
 # the deep-explore CI job covers exploration depth instead.
 skip_explore="${BENCH_SKIP_EXPLORE:-0}"
+# BENCH_SKIP_LOCKD=1 drops the lockdload service-load pass. No BENCH_lockd
+# artifact is written and benchdiff gets no -lockd flag; its lockd section
+# is simply absent from the run, which diffLockd treats as not comparable.
+skip_lockd="${BENCH_SKIP_LOCKD:-0}"
 raw="$(mktemp)"
 matrix="$(mktemp)"
 explore="$(mktemp)"
@@ -89,8 +102,14 @@ validate_json() {
 }
 
 # splice FILE — emit FILE's members without its outer braces, for embedding
-# a single-key JSON document into a larger one.
+# a single-key JSON document into a larger one. A skipped section leaves its
+# artifact absent; emitting nothing (with a log line, since the caller's
+# guard should normally prevent this) keeps the assembly from dying on sed.
 splice() {
+	if [ ! -s "$1" ]; then
+		echo "bench.sh: splice: $1 absent or empty (section skipped?); emitting nothing" >&2
+		return 0
+	fi
 	sed '1d;$d' "$1"
 }
 
@@ -112,6 +131,13 @@ fi
 
 run_artifact nativebench go run ./cmd/nativebench "${quick_flags[@]}" -o "$native_out"
 validate_json "$native_out"
+
+if [ "$skip_lockd" = "1" ]; then
+	echo "bench.sh: BENCH_SKIP_LOCKD=1 — skipping the lockd service-load pass" >&2
+else
+	run_artifact lockdload go run ./cmd/lockdload "${quick_flags[@]}" -o "$lockd_out"
+	validate_json "$lockd_out"
+fi
 
 {
 	printf '{\n'
@@ -152,11 +178,17 @@ validate_json "$native_out"
 
 echo "wrote $out"
 echo "wrote $native_out"
+if [ "$skip_lockd" != "1" ]; then
+	echo "wrote $lockd_out"
+fi
 
 # Benchmark-regression pipeline (see cmd/benchdiff). The committed baseline
 # is a quick run, so it only anchors quick runs; full runs diff against the
 # last full entry in the history log.
 diff_args=(-rmr "$out" -native "$native_out" -history bench/history.jsonl -append)
+if [ "$skip_lockd" != "1" ]; then
+	diff_args+=(-lockd "$lockd_out")
+fi
 if commit="$(git rev-parse --short HEAD 2>/dev/null)"; then
 	diff_args+=(-commit "$commit")
 fi
